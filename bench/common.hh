@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benchmark binaries.
+ *
+ * Each bench binary regenerates one table/figure of the paper's
+ * evaluation (see DESIGN.md's per-experiment index): it runs the
+ * cycle-level simulator over the 16 SPEC2000int-like workloads and
+ * prints the same rows/series the paper reports.
+ *
+ * Environment knobs:
+ *   RIX_SCALE  workload scale factor (default 1; paper-like curves
+ *              stabilize around 4)
+ *   RIX_BENCH  comma-separated subset of benchmark names to run
+ */
+
+#ifndef RIX_BENCH_COMMON_HH
+#define RIX_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <array>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workload/workload.hh"
+
+namespace rixbench
+{
+
+using namespace rix;
+
+inline u64
+scaleFromEnv()
+{
+    const char *s = getenv("RIX_SCALE");
+    return s ? strtoull(s, nullptr, 10) : 1;
+}
+
+inline std::vector<std::string>
+benchList()
+{
+    std::vector<std::string> all = workloadNames();
+    const char *sel = getenv("RIX_BENCH");
+    if (!sel)
+        return all;
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = sel;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out.empty() ? all : out;
+}
+
+/** Cache of built programs (mcf's data image is 4MB; build once). */
+inline const Program &
+program(const std::string &name)
+{
+    static std::map<std::string, Program> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, buildWorkload(name, scaleFromEnv())).first;
+    return it->second;
+}
+
+inline SimReport
+run(const std::string &bench, const CoreParams &params)
+{
+    return runSimulation(program(bench), params, 20'000'000,
+                         200'000'000);
+}
+
+/** Percent speedup of @p x over baseline IPC @p base. */
+inline double
+speedupPct(double base, double x)
+{
+    return base > 0 ? (x / base - 1.0) * 100.0 : 0.0;
+}
+
+inline void
+printHeader(const char *title)
+{
+    printf("\n==== %s ====\n", title);
+}
+
+inline void
+printRowLabel(const std::string &name)
+{
+    printf("%-8s", name.c_str());
+}
+
+/** Geometric mean of speedup percentages (via ratios, paper style). */
+inline double
+gmeanSpeedupPct(const std::vector<double> &pcts)
+{
+    std::vector<double> ratios;
+    for (double p : pcts)
+        ratios.push_back(1.0 + p / 100.0);
+    return (geoMean(ratios) - 1.0) * 100.0;
+}
+
+} // namespace rixbench
+
+#endif // RIX_BENCH_COMMON_HH

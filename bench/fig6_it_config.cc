@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 6 reproduction (experiments E7/E8): sensitivity of the
+ * +reverse configuration to integration-table geometry.
+ *
+ * Left: associativity sweep {1, 2, 4, full} at 1K entries / 1K
+ * physical registers, realistic and oracle suppression.
+ * Right: size sweep {64, 256, 1K, 4K} fully associative (the 4K point
+ * uses 4K physical registers, as in the paper).
+ *
+ * Like the paper we show the eight "every other benchmark" columns by
+ * default; set RIX_BENCH to change the selection.
+ */
+
+#include "base/log.hh"
+
+#include "bench/common.hh"
+
+using namespace rixbench;
+
+namespace
+{
+
+std::vector<std::string>
+defaultColumns()
+{
+    if (getenv("RIX_BENCH"))
+        return benchList();
+    return {"crafty", "eon.k", "gap", "gzip",
+            "parser", "perl.s", "vortex", "vpr.r"};
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> benches = defaultColumns();
+
+    std::map<std::string, double> baseIpc;
+    for (const auto &bm : benches)
+        baseIpc[bm] = run(bm, baselineParams()).ipc();
+
+    printHeader("Figure 6 (left): IT associativity, speedup % "
+                "(realistic/oracle)");
+    printf("%-10s", "assoc");
+    for (const auto &bm : benches)
+        printf(" %13s", bm.c_str());
+    printf(" %13s\n", "GMean");
+    const unsigned assocs[4] = {1, 2, 4, 1024};
+    for (unsigned a : assocs) {
+        printf("%-10s", a >= 1024 ? "full" : strfmt("%u-way", a).c_str());
+        std::vector<double> gp[2];
+        std::string row;
+        for (const auto &bm : benches) {
+            double sp[2];
+            for (int l = 0; l < 2; ++l) {
+                CoreParams cp = integrationParams(
+                    IntegrationMode::Reverse,
+                    l ? LispMode::Oracle : LispMode::Realistic);
+                cp.integ.itAssoc = a;
+                SimReport r = run(bm, cp);
+                sp[l] = speedupPct(baseIpc[bm], r.ipc());
+                gp[l].push_back(sp[l]);
+            }
+            printf(" %6.2f/%6.2f", sp[0], sp[1]);
+        }
+        printf(" %6.2f/%6.2f\n", gmeanSpeedupPct(gp[0]),
+               gmeanSpeedupPct(gp[1]));
+    }
+
+    printHeader("Figure 6 (right): IT size (fully assoc), speedup % "
+                "(realistic/oracle)");
+    printf("%-10s", "entries");
+    for (const auto &bm : benches)
+        printf(" %13s", bm.c_str());
+    printf(" %13s\n", "GMean");
+    // The extra {4096, 8-bit} row quantifies a reproduction finding:
+    // in a 4K fully-associative table, entries outlive the 4-bit
+    // generation wrap (16 reallocations of a register), reintroducing
+    // the register mis-integrations of section 2.2; 8-bit counters
+    // restore the expected curve (EXPERIMENTS.md E8).
+    struct SizePoint { unsigned entries; unsigned genBits; };
+    const SizePoint sizes[5] = {
+        {64, 4}, {256, 4}, {1024, 4}, {4096, 4}, {4096, 8}};
+    for (const SizePoint &pt : sizes) {
+        const unsigned sz = pt.entries;
+        printf("%-10s",
+               pt.genBits == 4 ? strfmt("%u", sz).c_str()
+                               : strfmt("%u/g8", sz).c_str());
+        std::vector<double> gp[2];
+        for (const auto &bm : benches) {
+            double sp[2];
+            for (int l = 0; l < 2; ++l) {
+                CoreParams cp = integrationParams(
+                    IntegrationMode::Reverse,
+                    l ? LispMode::Oracle : LispMode::Realistic);
+                cp.integ.itEntries = sz;
+                cp.integ.itAssoc = sz; // fully associative
+                cp.integ.genBits = pt.genBits;
+                if (sz == 4096)
+                    cp.integ.numPhysRegs = 4096;
+                SimReport r = run(bm, cp);
+                sp[l] = speedupPct(baseIpc[bm], r.ipc());
+                gp[l].push_back(sp[l]);
+            }
+            printf(" %6.2f/%6.2f", sp[0], sp[1]);
+        }
+        printf(" %6.2f/%6.2f\n", gmeanSpeedupPct(gp[0]),
+               gmeanSpeedupPct(gp[1]));
+    }
+
+    printf("\nPaper reference: speedup only drops to 7%% (2-way) and 6%%\n"
+           "(direct-mapped) from 8%% (4-way), and rises to just 10%% at\n"
+           "full associativity -- mis-integrations dampen associativity;\n"
+           "reverse integration is insensitive to associativity because\n"
+           "stack-frame offsets give a natural conflict-free indexing.\n");
+    return 0;
+}

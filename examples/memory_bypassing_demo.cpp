@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's Figure 3, live: speculative memory bypassing via reverse
+ * integration, run end-to-end on the cycle-level core.
+ *
+ * The program performs the figure's sequence — caller save of t0, a
+ * call that opens a frame and saves s0, a body that overwrites both,
+ * then the restores — in a loop. With reverse integration the three
+ * fills and the stack-pointer increment integrate instead of
+ * executing; the demo prints the integration accounting to show it.
+ */
+
+#include <cstdio>
+
+#include "assembler/parser.hh"
+#include "sim/simulator.hh"
+
+using namespace rix;
+
+int
+main()
+{
+    const Program prog = assembleTextOrDie(R"(
+        # Figure 3 cast: t0 caller-saved, s0 callee-saved.
+func:   lda sp, -32(sp)        # (3) open frame: reverse entry for sp
+        stq ra, 24(sp)
+        stq s0, 4(sp)          # (4) callee save: reverse entry for s0
+        addqi s0, a0, 9        # body overwrites s0
+        mulqi v0, s0, 7
+        ldq s0, 4(sp)          # (5) callee restore: reverse-integrates
+        ldq ra, 24(sp)
+        lda sp, 32(sp)         # (6) close frame: reverse-integrates sp
+        ret                    # (7)
+main:   addqi t0, zero, 123
+        addqi t9, zero, 4000
+        addqi s2, zero, 0
+loop:   stq t0, 8(sp)          # (1) caller save: reverse entry for t0
+        mv a0, t9
+        jsr func               # (2)
+        addq s2, s2, v0
+        ldq t0, 8(sp)          # (8) caller restore: reverse-integrates
+        addq s2, s2, t0
+        subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s2
+        halt
+        .entry main
+    )", "fig3");
+
+    printf("Figure 3 walkthrough: speculative memory bypassing via "
+           "reverse integration\n\n");
+
+    for (IntegrationMode mode : {IntegrationMode::OpcodeIndexed,
+                                 IntegrationMode::Reverse}) {
+        const SimReport rep =
+            runSimulation(prog, integrationParams(mode));
+        const CoreStats &s = rep.core;
+        printf("mode %-9s: IPC %.3f | integrated: direct %llu, "
+               "reverse %llu\n",
+               integrationModeName(mode), rep.ipc(),
+               (unsigned long long)s.integratedDirect,
+               (unsigned long long)s.integratedReverse);
+        if (mode == IntegrationMode::Reverse) {
+            printf("  reverse stream by type: stack loads %llu "
+                   "(fills/restores), ALU %llu (sp increments)\n",
+                   (unsigned long long)s.integByType[0][1],
+                   (unsigned long long)s.integByType[2][1]);
+            printf("  stack loads integrated: %.0f%% of all retired "
+                   "sp-based loads\n",
+                   100.0 *
+                       (s.integByType[0][0] + s.integByType[0][1]) /
+                       double(s.retiredSpLoads));
+            printf("  executed loads drop: %llu -> see quickstart for "
+                   "the bypass effect\n",
+                   (unsigned long long)s.issuedLoads);
+        }
+    }
+
+    printf("\nWith +reverse, each iteration's three restores and the "
+           "stack-pointer increment\nbypass the execution engine: the "
+           "store's data register IS the load's result,\nexactly the "
+           "paper's save/restore short-circuit — including across the "
+           "sp\nmodification, because the decrement's inverse entry "
+           "restores the pre-call\nphysical register.\n");
+
+    const std::string err = verifyAgainstEmulator(
+        prog, integrationParams(IntegrationMode::Reverse));
+    printf("\narchitectural verification: %s\n",
+           err.empty() ? "OK" : err.c_str());
+    return err.empty() ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Full-suite verification sweep: every workload under every
+ * integration mode, architecturally cross-checked against the
+ * functional emulator, with the headline integration metrics.
+ *
+ *   $ ./build/examples/verify_suite [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulator.hh"
+#include "workload/workload.hh"
+
+using namespace rix;
+
+int
+main(int argc, char **argv)
+{
+    const u64 scale = argc > 1 ? strtoull(argv[1], nullptr, 10) : 1;
+    printf("%-8s %9s | per mode: [verify ipc rate%% (direct/reverse) "
+           "misint]\n",
+           "bench", "insts");
+    bool all_ok = true;
+    for (const auto &name : workloadNames()) {
+        const Program prog = buildWorkload(name, scale);
+        Emulator emu(prog);
+        emu.run(200'000'000);
+        printf("%-8s %9llu |", name.c_str(),
+               (unsigned long long)emu.instsExecuted());
+        fflush(stdout);
+        for (IntegrationMode mode :
+             {IntegrationMode::Off, IntegrationMode::Squash,
+              IntegrationMode::General, IntegrationMode::OpcodeIndexed,
+              IntegrationMode::Reverse}) {
+            const CoreParams cp = integrationParams(mode);
+            const std::string err =
+                verifyAgainstEmulator(prog, cp, 500'000'000,
+                                      5'000'000'000ull);
+            const SimReport r = runSimulation(prog, cp);
+            printf(" [%s %.2f %.1f(%.1f/%.1f) %llu]",
+                   err.empty() ? "ok" : "FAIL", r.ipc(),
+                   100 * r.core.integrationRate(),
+                   100.0 * r.core.integratedDirect / r.core.retired,
+                   100.0 * r.core.integratedReverse / r.core.retired,
+                   (unsigned long long)r.core.misintegrations);
+            if (!err.empty()) {
+                printf(" ERR=%s", err.c_str());
+                all_ok = false;
+            }
+            fflush(stdout);
+        }
+        printf("\n");
+    }
+    printf("\n%s\n", all_ok ? "ALL VERIFIED" : "FAILURES PRESENT");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,259 @@
+#include "assembler/builder.hh"
+
+#include <cstring>
+
+#include "base/bitutil.hh"
+#include "base/log.hh"
+
+namespace rix
+{
+
+Builder::Builder(std::string program_name)
+{
+    prog.name = std::move(program_name);
+}
+
+void
+Builder::bind(const std::string &label)
+{
+    if (prog.codeSymbols.count(label))
+        rix_fatal("label '%s' bound twice", label.c_str());
+    prog.codeSymbols[label] = here();
+}
+
+std::string
+Builder::genLabel(const std::string &prefix)
+{
+    return strfmt("%s$%u", prefix.c_str(), labelCounter++);
+}
+
+InstAddr
+Builder::emit(const Instruction &inst)
+{
+    prog.code.push_back(inst);
+    return prog.code.size() - 1;
+}
+
+// ALU reg-reg forms.
+#define RIX_RR(fn, OP) \
+    void Builder::fn(LogReg rc, LogReg ra, LogReg rb) \
+    { emit(makeRR(Opcode::OP, rc, ra, rb)); }
+
+RIX_RR(addq, ADDQ)
+RIX_RR(subq, SUBQ)
+RIX_RR(and_, AND)
+RIX_RR(bis, BIS)
+RIX_RR(xor_, XOR)
+RIX_RR(sll, SLL)
+RIX_RR(srl, SRL)
+RIX_RR(sra, SRA)
+RIX_RR(cmpeq, CMPEQ)
+RIX_RR(cmplt, CMPLT)
+RIX_RR(cmple, CMPLE)
+RIX_RR(mulq, MULQ)
+RIX_RR(divq, DIVQ)
+RIX_RR(fadd, FADD)
+RIX_RR(fmul, FMUL)
+RIX_RR(fdiv, FDIV)
+#undef RIX_RR
+
+// ALU reg-imm forms.
+#define RIX_RI(fn, OP) \
+    void Builder::fn(LogReg rc, LogReg ra, s32 imm) \
+    { emit(makeRI(Opcode::OP, rc, ra, imm)); }
+
+RIX_RI(addqi, ADDQI)
+RIX_RI(subqi, SUBQI)
+RIX_RI(andi, ANDI)
+RIX_RI(bisi, BISI)
+RIX_RI(xori, XORI)
+RIX_RI(slli, SLLI)
+RIX_RI(srli, SRLI)
+RIX_RI(srai, SRAI)
+RIX_RI(cmpeqi, CMPEQI)
+RIX_RI(cmplti, CMPLTI)
+RIX_RI(cmplei, CMPLEI)
+RIX_RI(mulqi, MULQI)
+#undef RIX_RI
+
+void
+Builder::lda(LogReg rc, s32 imm, LogReg ra)
+{
+    emit(makeRI(Opcode::LDA, rc, ra, imm));
+}
+
+void
+Builder::li(LogReg rc, s32 imm)
+{
+    addqi(rc, regZero, imm);
+}
+
+void
+Builder::liCode(LogReg rc, const std::string &label)
+{
+    addqi(rc, regZero, 0);
+    fixupBranch(label);
+}
+
+void
+Builder::mv(LogReg rc, LogReg ra)
+{
+    addqi(rc, ra, 0);
+}
+
+void
+Builder::nop()
+{
+    emit(makeNop());
+}
+
+void
+Builder::ldq(LogReg rc, s32 imm, LogReg base)
+{
+    emit(makeLoad(Opcode::LDQ, rc, imm, base));
+}
+
+void
+Builder::ldl(LogReg rc, s32 imm, LogReg base)
+{
+    emit(makeLoad(Opcode::LDL, rc, imm, base));
+}
+
+void
+Builder::stq(LogReg data, s32 imm, LogReg base)
+{
+    emit(makeStore(Opcode::STQ, data, imm, base));
+}
+
+void
+Builder::stl(LogReg data, s32 imm, LogReg base)
+{
+    emit(makeStore(Opcode::STL, data, imm, base));
+}
+
+void
+Builder::fixupBranch(const std::string &label)
+{
+    fixups.push_back({prog.code.size() - 1, label});
+}
+
+void
+Builder::br(const std::string &label)
+{
+    emit(makeJump(0));
+    fixupBranch(label);
+}
+
+#define RIX_BCC(fn, OP) \
+    void Builder::fn(LogReg ra, const std::string &label) \
+    { emit(makeBranch(Opcode::OP, ra, 0)); fixupBranch(label); }
+
+RIX_BCC(beq, BEQ)
+RIX_BCC(bne, BNE)
+RIX_BCC(blt, BLT)
+RIX_BCC(bge, BGE)
+RIX_BCC(bgt, BGT)
+RIX_BCC(ble, BLE)
+#undef RIX_BCC
+
+void
+Builder::jsr(const std::string &label, LogReg link)
+{
+    emit(makeCall(0, link));
+    fixupBranch(label);
+}
+
+void
+Builder::jmp(LogReg ra)
+{
+    emit(makeIndirect(Opcode::JMP, ra));
+}
+
+void
+Builder::ret(LogReg ra)
+{
+    emit(makeIndirect(Opcode::RET, ra));
+}
+
+void
+Builder::syscall(s32 code, LogReg arg, LogReg result)
+{
+    emit(makeSyscall(code, arg, result));
+}
+
+void
+Builder::halt()
+{
+    emit(makeHalt());
+}
+
+Addr
+Builder::space(const std::string &sym, size_t bytes, size_t align)
+{
+    if (prog.dataSymbols.count(sym))
+        rix_fatal("data symbol '%s' defined twice", sym.c_str());
+    size_t off = alignUp(prog.data.size(), align);
+    prog.data.resize(off + bytes, 0);
+    const Addr addr = prog.dataBase + off;
+    prog.dataSymbols[sym] = addr;
+    return addr;
+}
+
+Addr
+Builder::quad(const std::string &sym, u64 value)
+{
+    return quads(sym, {value});
+}
+
+Addr
+Builder::quads(const std::string &sym, const std::vector<u64> &values)
+{
+    const Addr addr = space(sym, values.size() * 8, 8);
+    const size_t off = addr - prog.dataBase;
+    for (size_t i = 0; i < values.size(); ++i)
+        memcpy(&prog.data[off + i * 8], &values[i], 8);
+    return addr;
+}
+
+Addr
+Builder::randomQuads(const std::string &sym, size_t count, Rng &rng,
+                     u64 bound)
+{
+    std::vector<u64> vals(count);
+    for (auto &v : vals)
+        v = bound ? rng.below(bound) : rng.next();
+    return quads(sym, vals);
+}
+
+Addr
+Builder::dataAddr(const std::string &sym) const
+{
+    return prog.dataSymbol(sym);
+}
+
+void
+Builder::entry(const std::string &label)
+{
+    entryLabel = label;
+}
+
+Program
+Builder::finish()
+{
+    if (finished)
+        rix_fatal("Builder::finish called twice");
+    finished = true;
+
+    for (const auto &f : fixups) {
+        auto it = prog.codeSymbols.find(f.label);
+        if (it == prog.codeSymbols.end())
+            rix_fatal("undefined label '%s' in program '%s'",
+                      f.label.c_str(), prog.name.c_str());
+        prog.code[f.slot].imm = s32(it->second);
+    }
+    if (!entryLabel.empty())
+        prog.entry = prog.codeSymbol(entryLabel);
+    return std::move(prog);
+}
+
+} // namespace rix

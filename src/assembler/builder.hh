@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Programmatic assembler: a label-resolving builder DSL.
+ *
+ * The synthetic workloads and most tests construct programs through this
+ * interface. Labels are string-named; forward references are recorded as
+ * fixups and resolved by finish(). Data-segment symbols can be used as
+ * immediates anywhere (addresses fit in the 32-bit immediate field).
+ */
+
+#ifndef RIX_ASSEMBLER_BUILDER_HH
+#define RIX_ASSEMBLER_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "base/rng.hh"
+
+namespace rix
+{
+
+class Builder
+{
+  public:
+    explicit Builder(std::string program_name = "anon");
+
+    // ---- labels ----
+
+    /** Bind @p label to the next emitted instruction slot. */
+    void bind(const std::string &label);
+
+    /** Current emission position. */
+    InstAddr here() const { return prog.code.size(); }
+
+    /** Generate a unique label with the given prefix. */
+    std::string genLabel(const std::string &prefix = "L");
+
+    // ---- raw emission ----
+
+    /** Append one instruction; returns its slot index. */
+    InstAddr emit(const Instruction &inst);
+
+    // ---- ALU convenience emitters ----
+
+    void addq(LogReg rc, LogReg ra, LogReg rb);
+    void subq(LogReg rc, LogReg ra, LogReg rb);
+    void and_(LogReg rc, LogReg ra, LogReg rb);
+    void bis(LogReg rc, LogReg ra, LogReg rb);
+    void xor_(LogReg rc, LogReg ra, LogReg rb);
+    void sll(LogReg rc, LogReg ra, LogReg rb);
+    void srl(LogReg rc, LogReg ra, LogReg rb);
+    void sra(LogReg rc, LogReg ra, LogReg rb);
+    void cmpeq(LogReg rc, LogReg ra, LogReg rb);
+    void cmplt(LogReg rc, LogReg ra, LogReg rb);
+    void cmple(LogReg rc, LogReg ra, LogReg rb);
+    void mulq(LogReg rc, LogReg ra, LogReg rb);
+    void divq(LogReg rc, LogReg ra, LogReg rb);
+    void fadd(LogReg rc, LogReg ra, LogReg rb);
+    void fmul(LogReg rc, LogReg ra, LogReg rb);
+    void fdiv(LogReg rc, LogReg ra, LogReg rb);
+
+    void addqi(LogReg rc, LogReg ra, s32 imm);
+    void subqi(LogReg rc, LogReg ra, s32 imm);
+    void andi(LogReg rc, LogReg ra, s32 imm);
+    void bisi(LogReg rc, LogReg ra, s32 imm);
+    void xori(LogReg rc, LogReg ra, s32 imm);
+    void slli(LogReg rc, LogReg ra, s32 imm);
+    void srli(LogReg rc, LogReg ra, s32 imm);
+    void srai(LogReg rc, LogReg ra, s32 imm);
+    void cmpeqi(LogReg rc, LogReg ra, s32 imm);
+    void cmplti(LogReg rc, LogReg ra, s32 imm);
+    void cmplei(LogReg rc, LogReg ra, s32 imm);
+    void mulqi(LogReg rc, LogReg ra, s32 imm);
+
+    /** lda rc, imm(ra): rc = ra + imm. */
+    void lda(LogReg rc, s32 imm, LogReg ra);
+
+    /** Load 32-bit-representable immediate: addqi rc, r31, imm. */
+    void li(LogReg rc, s32 imm);
+
+    /** Load a code label's slot index (resolved at finish). */
+    void liCode(LogReg rc, const std::string &label);
+
+    /** Register move (addqi rc, ra, 0). */
+    void mv(LogReg rc, LogReg ra);
+
+    void nop();
+
+    // ---- memory ----
+
+    void ldq(LogReg rc, s32 imm, LogReg base);
+    void ldl(LogReg rc, s32 imm, LogReg base);
+    void stq(LogReg data, s32 imm, LogReg base);
+    void stl(LogReg data, s32 imm, LogReg base);
+
+    // ---- control (label-targeted) ----
+
+    void br(const std::string &label);
+    void beq(LogReg ra, const std::string &label);
+    void bne(LogReg ra, const std::string &label);
+    void blt(LogReg ra, const std::string &label);
+    void bge(LogReg ra, const std::string &label);
+    void bgt(LogReg ra, const std::string &label);
+    void ble(LogReg ra, const std::string &label);
+    void jsr(const std::string &label, LogReg link = regRa);
+    void jmp(LogReg ra);
+    void ret(LogReg ra = regRa);
+    void syscall(s32 code, LogReg arg = regZero, LogReg result = regZero);
+    void halt();
+
+    // ---- data segment ----
+
+    /** Reserve @p bytes zeroed bytes; returns the symbol's address. */
+    Addr space(const std::string &sym, size_t bytes, size_t align = 8);
+
+    /** Emit one 64-bit data word; returns its address. */
+    Addr quad(const std::string &sym, u64 value);
+
+    /** Emit @p values as consecutive 64-bit words. */
+    Addr quads(const std::string &sym, const std::vector<u64> &values);
+
+    /** Fill @p count quads at @p sym with deterministic random values. */
+    Addr randomQuads(const std::string &sym, size_t count, Rng &rng,
+                     u64 bound = 0);
+
+    /** Address of a previously defined data symbol. */
+    Addr dataAddr(const std::string &sym) const;
+
+    // ---- finalization ----
+
+    /** Set the entry point to @p label (defaults to slot 0). */
+    void entry(const std::string &label);
+
+    /** Resolve fixups and return the finished image. */
+    Program finish();
+
+  private:
+    void fixupBranch(const std::string &label);
+
+    Program prog;
+    std::string entryLabel;
+    struct Fixup { size_t slot; std::string label; };
+    std::vector<Fixup> fixups;
+    unsigned labelCounter = 0;
+    bool finished = false;
+};
+
+} // namespace rix
+
+#endif // RIX_ASSEMBLER_BUILDER_HH

@@ -1,0 +1,473 @@
+#include "assembler/parser.hh"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "base/bitutil.hh"
+#include "base/log.hh"
+#include "isa/opcode.hh"
+
+namespace rix
+{
+
+unsigned
+parseRegister(const std::string &tok)
+{
+    static const std::map<std::string, unsigned> aliases = {
+        {"zero", 31}, {"sp", 30}, {"gp", 29}, {"ra", 26}, {"v0", 0},
+        {"a0", 16}, {"a1", 17}, {"a2", 18}, {"a3", 19}, {"a4", 20},
+        {"a5", 21},
+        {"s0", 9}, {"s1", 10}, {"s2", 11}, {"s3", 12}, {"s4", 13},
+        {"s5", 14}, {"s6", 15},
+        {"t0", 1}, {"t1", 2}, {"t2", 3}, {"t3", 4}, {"t4", 5},
+        {"t5", 6}, {"t6", 7}, {"t7", 8},
+        {"t8", 22}, {"t9", 23}, {"t10", 24}, {"t11", 25},
+    };
+    auto it = aliases.find(tok);
+    if (it != aliases.end())
+        return it->second;
+    if (tok.size() >= 2 && tok[0] == 'r') {
+        char *end = nullptr;
+        long n = strtol(tok.c_str() + 1, &end, 10);
+        if (end && *end == '\0' && n >= 0 && n < long(numLogRegs))
+            return unsigned(n);
+    }
+    return numLogRegs;
+}
+
+namespace
+{
+
+struct SourceLine
+{
+    std::string label;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    int lineNo = 0;
+};
+
+/** Split a source line into label / mnemonic / comma-separated operands. */
+bool
+tokenize(const std::string &raw, int line_no, SourceLine &out,
+         std::string *error)
+{
+    std::string text = raw;
+    // Strip comments.
+    for (char c : {'#', ';'}) {
+        auto pos = text.find(c);
+        if (pos != std::string::npos)
+            text.resize(pos);
+    }
+    // Label prefix.
+    auto colon = text.find(':');
+    if (colon != std::string::npos) {
+        std::string lbl = text.substr(0, colon);
+        // Trim.
+        while (!lbl.empty() && isspace((unsigned char)lbl.front()))
+            lbl.erase(lbl.begin());
+        while (!lbl.empty() && isspace((unsigned char)lbl.back()))
+            lbl.pop_back();
+        if (lbl.empty() || lbl.find(' ') != std::string::npos) {
+            *error = strfmt("line %d: malformed label", line_no);
+            return false;
+        }
+        out.label = lbl;
+        text.erase(0, colon + 1);
+    }
+    std::istringstream is(text);
+    is >> out.mnemonic;
+    std::string rest;
+    std::getline(is, rest);
+    // Split operands on commas.
+    std::string cur;
+    for (char c : rest) {
+        if (c == ',') {
+            out.operands.push_back(cur);
+            cur.clear();
+        } else if (!isspace((unsigned char)c)) {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.operands.push_back(cur);
+    out.lineNo = line_no;
+    return true;
+}
+
+class TextAssembler
+{
+  public:
+    TextAssembler(const std::string &src, const std::string &name)
+        : source(src)
+    {
+        prog.name = name;
+    }
+
+    bool
+    run(std::string *error)
+    {
+        std::istringstream is(source);
+        std::string raw;
+        int line_no = 0;
+        while (std::getline(is, raw)) {
+            ++line_no;
+            SourceLine line;
+            if (!tokenize(raw, line_no, line, error))
+                return false;
+            if (!line.label.empty() && !bindLabel(line, error))
+                return false;
+            if (line.mnemonic.empty())
+                continue;
+            if (line.mnemonic[0] == '.') {
+                if (!directive(line, error))
+                    return false;
+            } else if (!instruction(line, error)) {
+                return false;
+            }
+        }
+        return resolve(error);
+    }
+
+    Program take() { return std::move(prog); }
+
+  private:
+    bool
+    bindLabel(const SourceLine &line, std::string *error)
+    {
+        if (inData) {
+            if (prog.dataSymbols.count(line.label)) {
+                *error = strfmt("line %d: data symbol '%s' redefined",
+                                line.lineNo, line.label.c_str());
+                return false;
+            }
+            prog.dataSymbols[line.label] = prog.dataBase + prog.data.size();
+        } else {
+            if (prog.codeSymbols.count(line.label)) {
+                *error = strfmt("line %d: label '%s' redefined",
+                                line.lineNo, line.label.c_str());
+                return false;
+            }
+            prog.codeSymbols[line.label] = prog.code.size();
+        }
+        return true;
+    }
+
+    bool
+    directive(const SourceLine &line, std::string *error)
+    {
+        const std::string &d = line.mnemonic;
+        if (d == ".text") {
+            inData = false;
+        } else if (d == ".data") {
+            inData = true;
+        } else if (d == ".entry") {
+            if (line.operands.size() != 1) {
+                *error = strfmt("line %d: .entry needs one label",
+                                line.lineNo);
+                return false;
+            }
+            entryLabel = line.operands[0];
+        } else if (d == ".space") {
+            s64 n;
+            if (line.operands.size() != 1 ||
+                !immediate(line.operands[0], &n) || n < 0) {
+                *error = strfmt("line %d: bad .space", line.lineNo);
+                return false;
+            }
+            prog.data.resize(prog.data.size() + size_t(n), 0);
+        } else if (d == ".quad") {
+            for (const auto &opnd : line.operands) {
+                s64 v;
+                if (!immediate(opnd, &v)) {
+                    *error = strfmt("line %d: bad .quad value '%s'",
+                                    line.lineNo, opnd.c_str());
+                    return false;
+                }
+                u64 uv = u64(v);
+                for (int i = 0; i < 8; ++i)
+                    prog.data.push_back(u8(uv >> (8 * i)));
+            }
+        } else if (d == ".align") {
+            s64 n;
+            if (line.operands.size() != 1 ||
+                !immediate(line.operands[0], &n) || !isPow2(u64(n))) {
+                *error = strfmt("line %d: bad .align", line.lineNo);
+                return false;
+            }
+            prog.data.resize(alignUp(prog.data.size(), u64(n)), 0);
+        } else {
+            *error = strfmt("line %d: unknown directive '%s'", line.lineNo,
+                            d.c_str());
+            return false;
+        }
+        return true;
+    }
+
+    /** Parse a plain integer (decimal or 0x...). */
+    static bool
+    immediate(const std::string &tok, s64 *out)
+    {
+        if (tok.empty())
+            return false;
+        char *end = nullptr;
+        long long v = strtoll(tok.c_str(), &end, 0);
+        if (!end || *end != '\0')
+            return false;
+        *out = v;
+        return true;
+    }
+
+    /** Immediate, data symbol, or (for branches) a code-label fixup. */
+    bool
+    immOrSymbol(const std::string &tok, s32 *out, bool allow_code_label,
+                size_t slot)
+    {
+        s64 v;
+        if (immediate(tok, &v)) {
+            *out = s32(v);
+            return true;
+        }
+        auto it = prog.dataSymbols.find(tok);
+        if (it != prog.dataSymbols.end()) {
+            *out = s32(it->second);
+            return true;
+        }
+        if (allow_code_label) {
+            fixups.push_back({slot, tok});
+            *out = 0;
+            return true;
+        }
+        // Forward data references are not supported; code labels are
+        // resolved via fixups only for control instructions.
+        return false;
+    }
+
+    bool
+    reg(const std::string &tok, LogReg *out)
+    {
+        unsigned r = parseRegister(tok);
+        if (r >= numLogRegs)
+            return false;
+        *out = LogReg(r);
+        return true;
+    }
+
+    /** Parse "imm(base)" or "symbol(base)". */
+    bool
+    memOperand(const std::string &tok, s32 *imm, LogReg *base)
+    {
+        auto open = tok.find('(');
+        auto close = tok.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            return false;
+        std::string immpart = tok.substr(0, open);
+        std::string regpart = tok.substr(open + 1, close - open - 1);
+        if (!reg(regpart, base))
+            return false;
+        if (immpart.empty()) {
+            *imm = 0;
+            return true;
+        }
+        s64 v;
+        if (immediate(immpart, &v)) {
+            *imm = s32(v);
+            return true;
+        }
+        auto it = prog.dataSymbols.find(immpart);
+        if (it == prog.dataSymbols.end())
+            return false;
+        *imm = s32(it->second);
+        return true;
+    }
+
+    bool
+    instruction(const SourceLine &line, std::string *error)
+    {
+        // Pseudo-instructions: mv rc, ra  and  li rc, imm.
+        if (line.mnemonic == "mv" || line.mnemonic == "li") {
+            Instruction inst;
+            inst.op = Opcode::ADDQI;
+            const auto &ops = line.operands;
+            if (ops.size() != 2 || !reg(ops[0], &inst.rc)) {
+                *error = strfmt("line %d: bad operands for '%s'",
+                                line.lineNo, line.mnemonic.c_str());
+                return false;
+            }
+            if (line.mnemonic == "mv") {
+                if (!reg(ops[1], &inst.ra)) {
+                    *error = strfmt("line %d: bad register in mv",
+                                    line.lineNo);
+                    return false;
+                }
+            } else {
+                inst.ra = regZero;
+                if (!immOrSymbol(ops[1], &inst.imm, false,
+                                 prog.code.size())) {
+                    *error = strfmt("line %d: bad immediate in li",
+                                    line.lineNo);
+                    return false;
+                }
+            }
+            prog.code.push_back(inst);
+            return true;
+        }
+
+        const Opcode op = opFromName(line.mnemonic.c_str());
+        if (op == Opcode::NUM_OPCODES) {
+            *error = strfmt("line %d: unknown mnemonic '%s'", line.lineNo,
+                            line.mnemonic.c_str());
+            return false;
+        }
+        const OpTraits &t = opTraits(op);
+        Instruction inst;
+        inst.op = op;
+        const auto &ops = line.operands;
+        auto fail = [&]() {
+            *error = strfmt("line %d: bad operands for '%s'", line.lineNo,
+                            line.mnemonic.c_str());
+            return false;
+        };
+        const size_t slot = prog.code.size();
+
+        switch (t.cls) {
+          case InstClass::SimpleInt:
+          case InstClass::ComplexInt:
+          case InstClass::FloatOp:
+            if (op == Opcode::LDA) {
+                if (ops.size() != 2 || !reg(ops[0], &inst.rc) ||
+                    !memOperand(ops[1], &inst.imm, &inst.ra))
+                    return fail();
+                break;
+            }
+            if (t.hasImm) {
+                // Immediates may also be data symbols or code labels
+                // (jump-table bases, resolved via fixups).
+                if (ops.size() != 3 || !reg(ops[0], &inst.rc) ||
+                    !reg(ops[1], &inst.ra) ||
+                    !immOrSymbol(ops[2], &inst.imm, true, slot))
+                    return fail();
+            } else {
+                if (ops.size() != 3 || !reg(ops[0], &inst.rc) ||
+                    !reg(ops[1], &inst.ra) || !reg(ops[2], &inst.rb))
+                    return fail();
+            }
+            break;
+          case InstClass::Load:
+            if (ops.size() != 2 || !reg(ops[0], &inst.rc) ||
+                !memOperand(ops[1], &inst.imm, &inst.ra))
+                return fail();
+            break;
+          case InstClass::Store:
+            if (ops.size() != 2 || !reg(ops[0], &inst.rb) ||
+                !memOperand(ops[1], &inst.imm, &inst.ra))
+                return fail();
+            break;
+          case InstClass::Branch:
+            if (ops.size() != 2 || !reg(ops[0], &inst.ra) ||
+                !immOrSymbol(ops[1], &inst.imm, true, slot))
+                return fail();
+            break;
+          case InstClass::Jump:
+            if (ops.size() != 1 ||
+                !immOrSymbol(ops[0], &inst.imm, true, slot))
+                return fail();
+            break;
+          case InstClass::Call:
+            inst.rc = regRa;
+            if (ops.empty() || ops.size() > 2 ||
+                !immOrSymbol(ops[0], &inst.imm, true, slot))
+                return fail();
+            if (ops.size() == 2 && !reg(ops[1], &inst.rc))
+                return fail();
+            break;
+          case InstClass::IndirectJump:
+            if (ops.size() != 1 || !reg(ops[0], &inst.ra))
+                return fail();
+            break;
+          case InstClass::Return:
+            inst.ra = regRa;
+            if (ops.size() > 1 || (ops.size() == 1 && !reg(ops[0], &inst.ra)))
+                return fail();
+            break;
+          case InstClass::Syscall:
+            if (ops.empty() || ops.size() > 3 ||
+                !immOrSymbol(ops[0], &inst.imm, false, slot))
+                return fail();
+            if (ops.size() >= 2 && !reg(ops[1], &inst.ra))
+                return fail();
+            if (ops.size() == 3 && !reg(ops[2], &inst.rc))
+                return fail();
+            break;
+          case InstClass::Nop:
+          case InstClass::Halt:
+            if (!ops.empty())
+                return fail();
+            break;
+        }
+        prog.code.push_back(inst);
+        return true;
+    }
+
+    bool
+    resolve(std::string *error)
+    {
+        for (const auto &f : fixups) {
+            auto it = prog.codeSymbols.find(f.label);
+            if (it == prog.codeSymbols.end()) {
+                *error = strfmt("undefined label '%s'", f.label.c_str());
+                return false;
+            }
+            prog.code[f.slot].imm = s32(it->second);
+        }
+        if (!entryLabel.empty()) {
+            auto it = prog.codeSymbols.find(entryLabel);
+            if (it == prog.codeSymbols.end()) {
+                *error = strfmt("undefined entry label '%s'",
+                                entryLabel.c_str());
+                return false;
+            }
+            prog.entry = it->second;
+        }
+        return true;
+    }
+
+    const std::string &source;
+    Program prog;
+    bool inData = false;
+    std::string entryLabel;
+    struct Fixup { size_t slot; std::string label; };
+    std::vector<Fixup> fixups;
+};
+
+} // namespace
+
+Program
+assembleText(const std::string &source, const std::string &name,
+             std::string *error, bool *ok)
+{
+    TextAssembler as(source, name);
+    std::string err;
+    bool good = as.run(&err);
+    if (error)
+        *error = err;
+    if (ok)
+        *ok = good;
+    return good ? as.take() : Program{};
+}
+
+Program
+assembleTextOrDie(const std::string &source, const std::string &name)
+{
+    std::string err;
+    bool ok = false;
+    Program p = assembleText(source, name, &err, &ok);
+    if (!ok)
+        rix_fatal("assembly of '%s' failed: %s", name.c_str(), err.c_str());
+    return p;
+}
+
+} // namespace rix

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Text assembler: parses ".s"-style source into a Program.
+ *
+ * Grammar (line oriented; '#' and ';' start comments):
+ *
+ *   [label:] mnemonic operands
+ *   [label:] .text | .data | .entry label | .align n
+ *   [label:] .space n | .quad v[, v...]
+ *
+ * Operands: registers (r0..r31 or ABI aliases zero/sp/ra/gp/v0/a0-a5/
+ * s0-s6/t0-t11), signed immediates (decimal or 0x hex), code labels
+ * (branch/jsr targets), data labels (usable as immediates), and
+ * imm(base) memory forms. 'ret' with no operand defaults to r26.
+ */
+
+#ifndef RIX_ASSEMBLER_PARSER_HH
+#define RIX_ASSEMBLER_PARSER_HH
+
+#include <string>
+
+#include "assembler/program.hh"
+
+namespace rix
+{
+
+/**
+ * Assemble @p source.
+ * @param source   assembler text
+ * @param name     program name for diagnostics
+ * @param error    receives a message when assembly fails
+ * @param ok       set to false on failure
+ */
+Program assembleText(const std::string &source,
+                     const std::string &name,
+                     std::string *error,
+                     bool *ok);
+
+/** Assemble or die: convenience for tests and examples. */
+Program assembleTextOrDie(const std::string &source,
+                          const std::string &name = "asm");
+
+/** Resolve a register alias; returns numLogRegs when unknown. */
+unsigned parseRegister(const std::string &token);
+
+} // namespace rix
+
+#endif // RIX_ASSEMBLER_PARSER_HH

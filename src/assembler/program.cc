@@ -1,0 +1,28 @@
+#include "assembler/program.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+InstAddr
+Program::codeSymbol(const std::string &sym) const
+{
+    auto it = codeSymbols.find(sym);
+    if (it == codeSymbols.end())
+        rix_fatal("undefined code symbol '%s' in program '%s'", sym.c_str(),
+                  name.c_str());
+    return it->second;
+}
+
+Addr
+Program::dataSymbol(const std::string &sym) const
+{
+    auto it = dataSymbols.find(sym);
+    if (it == dataSymbols.end())
+        rix_fatal("undefined data symbol '%s' in program '%s'", sym.c_str(),
+                  name.c_str());
+    return it->second;
+}
+
+} // namespace rix

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Linked program image: code segment, initialized data segment, entry
+ * point and symbol tables. Produced by the Builder or the text
+ * assembler; consumed by the functional emulator and the cycle
+ * simulator's loader.
+ */
+
+#ifndef RIX_ASSEMBLER_PROGRAM_HH
+#define RIX_ASSEMBLER_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace rix
+{
+
+/** Default load address of the data segment. */
+constexpr Addr defaultDataBase = 0x10000000;
+
+/** Default initial stack pointer (stack grows down). */
+constexpr Addr defaultStackBase = 0x7fff0000;
+
+struct Program
+{
+    std::string name = "anon";
+
+    /** Code segment; PC is an index into this vector. */
+    std::vector<Instruction> code;
+
+    /** Initialized data image, loaded at dataBase. */
+    std::vector<u8> data;
+
+    Addr dataBase = defaultDataBase;
+    Addr stackBase = defaultStackBase;
+    InstAddr entry = 0;
+
+    std::map<std::string, InstAddr> codeSymbols;
+    std::map<std::string, Addr> dataSymbols;
+
+    /** Code-segment size in instruction slots. */
+    size_t codeSize() const { return code.size(); }
+
+    /** Fetch a slot; out-of-range PCs decode as NOPs (wrong-path safe). */
+    Instruction
+    fetch(InstAddr pc) const
+    {
+        return pc < code.size() ? code[pc] : makeNop();
+    }
+
+    /** Look up a code symbol; fatal when missing. */
+    InstAddr codeSymbol(const std::string &name) const;
+
+    /** Look up a data symbol; fatal when missing. */
+    Addr dataSymbol(const std::string &name) const;
+};
+
+} // namespace rix
+
+#endif // RIX_ASSEMBLER_PROGRAM_HH

@@ -1,0 +1,58 @@
+#include "base/histogram.hh"
+
+#include <cassert>
+
+namespace rix
+{
+
+Histogram::Histogram(std::vector<u64> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        assert(bounds_[i] > bounds_[i - 1] && "bounds must ascend");
+}
+
+void
+Histogram::sample(u64 value, u64 count)
+{
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i])
+        ++i;
+    counts_[i] += count;
+    total_ += count;
+    sum_ += double(value) * double(count);
+}
+
+u64
+Histogram::bucketCount(size_t i) const
+{
+    assert(i < counts_.size());
+    return counts_[i];
+}
+
+double
+Histogram::cumulativeFraction(size_t bucket) const
+{
+    if (total_ == 0)
+        return 0.0;
+    u64 acc = 0;
+    for (size_t i = 0; i <= bucket && i < counts_.size(); ++i)
+        acc += counts_[i];
+    return double(acc) / double(total_);
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / double(total_);
+}
+
+void
+Histogram::reset()
+{
+    counts_.assign(counts_.size(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace rix

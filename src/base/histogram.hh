@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bucketed histogram used for the Figure-5-style breakdown statistics
+ * (integration distance, reference counts) and latency distributions.
+ */
+
+#ifndef RIX_BASE_HISTOGRAM_HH
+#define RIX_BASE_HISTOGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+/**
+ * A histogram over fixed, caller-supplied upper bucket boundaries.
+ *
+ * A sample s lands in the first bucket whose boundary b satisfies
+ * s <= b; samples above the last boundary land in an implicit overflow
+ * bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** @param bounds ascending inclusive upper bounds of each bucket. */
+    explicit Histogram(std::vector<u64> bounds);
+
+    /** Record one sample. */
+    void sample(u64 value, u64 count = 1);
+
+    /** Number of explicit buckets (excluding overflow). */
+    size_t numBuckets() const { return bounds_.size(); }
+
+    /** Count in bucket @p i; i == numBuckets() is the overflow bucket. */
+    u64 bucketCount(size_t i) const;
+
+    /** Inclusive upper bound of bucket @p i. */
+    u64 bucketBound(size_t i) const { return bounds_.at(i); }
+
+    u64 totalSamples() const { return total_; }
+
+    /** Fraction (0..1) of samples at or below @p bound'th bucket. */
+    double cumulativeFraction(size_t bucket) const;
+
+    /** Mean of recorded samples (overflow samples use their raw value). */
+    double mean() const;
+
+    void reset();
+
+  private:
+    std::vector<u64> bounds_;
+    std::vector<u64> counts_; // bounds_.size() + 1 entries
+    u64 total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace rix
+
+#endif // RIX_BASE_HISTOGRAM_HH

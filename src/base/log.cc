@@ -1,0 +1,39 @@
+#include "base/log.hh"
+
+#include <cstdarg>
+
+namespace rix
+{
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[1024];
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace rix

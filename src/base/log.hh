@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Error reporting in the gem5 tradition: panic() for internal simulator
+ * bugs (aborts), fatal() for user/configuration errors (clean exit),
+ * warn() for suspicious-but-survivable conditions.
+ */
+
+#ifndef RIX_BASE_LOG_HH
+#define RIX_BASE_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rix
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rix
+
+/** Something that should never happen happened: a simulator bug. */
+#define rix_panic(...) \
+    ::rix::panicImpl(__FILE__, __LINE__, ::rix::strfmt(__VA_ARGS__))
+
+/** The simulation cannot continue due to a user error. */
+#define rix_fatal(...) \
+    ::rix::fatalImpl(__FILE__, __LINE__, ::rix::strfmt(__VA_ARGS__))
+
+/** Informational warning; simulation continues. */
+#define rix_warn(...) \
+    ::rix::warnImpl(__FILE__, __LINE__, ::rix::strfmt(__VA_ARGS__))
+
+#endif // RIX_BASE_LOG_HH

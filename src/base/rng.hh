@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic behaviour in the repository (workload data generation,
+ * property tests) flows through this LCG so that every run is exactly
+ * reproducible from a seed.
+ */
+
+#ifndef RIX_BASE_RNG_HH
+#define RIX_BASE_RNG_HH
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+/**
+ * 64-bit linear congruential generator (Knuth MMIX constants).
+ * Deliberately simple: the same recurrence is implemented inside the
+ * simulated workloads, so in-ISA and host-side streams can be matched.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x2545f4914f6cdd1dull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    u64
+    below(u64 bound)
+    {
+        // Use the high bits; low LCG bits have short periods.
+        return (next() >> 16) % bound;
+    }
+
+    /** Uniform value in [lo, hi]. */
+    s64
+    range(s64 lo, s64 hi)
+    {
+        return lo + s64(below(u64(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability @p permille / 1000. */
+    bool
+    chance(unsigned permille)
+    {
+        return below(1000) < permille;
+    }
+
+    u64 raw() const { return state; }
+
+  private:
+    u64 state;
+};
+
+} // namespace rix
+
+#endif // RIX_BASE_RNG_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Saturating counters, the basic storage cell of every predictor in the
+ * machine (branch direction tables, chooser, collision history table,
+ * and the LISP bias logic).
+ */
+
+#ifndef RIX_BASE_SAT_COUNTER_HH
+#define RIX_BASE_SAT_COUNTER_HH
+
+#include <cassert>
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+/**
+ * An n-bit up/down saturating counter.
+ *
+ * The counter saturates at [0, 2^bits - 1]. The conventional "taken"
+ * threshold is the top half of the range.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    SatCounter(unsigned bits, unsigned initial = 0)
+        : maxVal(u8((1u << bits) - 1)), val(u8(initial))
+    {
+        assert(bits >= 1 && bits <= 8);
+        assert(initial <= maxVal);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (val < maxVal)
+            ++val;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    /** Train toward @p dir (true: increment, false: decrement). */
+    void
+    train(bool dir)
+    {
+        dir ? increment() : decrement();
+    }
+
+    /** True when the counter is in the top half of its range. */
+    bool predictTaken() const { return val > maxVal / 2; }
+
+    /** True when saturated at either extreme. */
+    bool saturated() const { return val == 0 || val == maxVal; }
+
+    u8 value() const { return val; }
+    u8 maximum() const { return maxVal; }
+
+    void
+    set(u8 v)
+    {
+        assert(v <= maxVal);
+        val = v;
+    }
+
+  private:
+    u8 maxVal = 3;
+    u8 val = 0;
+};
+
+} // namespace rix
+
+#endif // RIX_BASE_SAT_COUNTER_HH

@@ -1,0 +1,47 @@
+#include "base/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace rix
+{
+
+double
+StatSet::get(const std::string &name, double dflt) const
+{
+    auto it = vals_.find(name);
+    return it == vals_.end() ? dflt : it->second;
+}
+
+std::string
+StatSet::format() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : vals_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+double
+arithMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / double(xs.size());
+}
+
+double
+geoMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs)
+        logsum += std::log(x);
+    return std::exp(logsum / double(xs.size()));
+}
+
+} // namespace rix

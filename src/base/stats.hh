@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components own Counter / Scalar members and register them into a
+ * StatSet so that the simulator driver can enumerate and print every
+ * statistic uniformly (the moral equivalent of the gem5 stats package,
+ * scoped down to what the paper's evaluation needs).
+ */
+
+#ifndef RIX_BASE_STATS_HH
+#define RIX_BASE_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator++() { ++val_; }
+    void operator++(int) { ++val_; }
+    void operator+=(u64 n) { val_ += n; }
+    u64 value() const { return val_; }
+    void reset() { val_ = 0; }
+
+  private:
+    u64 val_ = 0;
+};
+
+/**
+ * Named statistic dictionary. Values are stored as doubles; counters are
+ * snapshotted in at collection time.
+ */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double value) { vals_[name] = value; }
+
+    void
+    add(const std::string &name, double value)
+    {
+        vals_[name] += value;
+    }
+
+    bool has(const std::string &name) const { return vals_.count(name) > 0; }
+
+    /** Fetch a value; returns @p dflt when absent. */
+    double get(const std::string &name, double dflt = 0.0) const;
+
+    const std::map<std::string, double> &all() const { return vals_; }
+
+    /** Render "name = value" lines, one per statistic. */
+    std::string format() const;
+
+  private:
+    std::map<std::string, double> vals_;
+};
+
+/** Arithmetic mean of a range of doubles; 0 on empty input. */
+double arithMean(const std::vector<double> &xs);
+
+/** Geometric mean of positive doubles; 0 on empty input. */
+double geoMean(const std::vector<double> &xs);
+
+} // namespace rix
+
+#endif // RIX_BASE_STATS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every rix library.
+ *
+ * The simulator follows the conventions of Alpha-era out-of-order
+ * machines: 64-bit data paths, word-indexed code memory, byte-addressed
+ * data memory, and monotonically increasing dynamic sequence numbers.
+ */
+
+#ifndef RIX_BASE_TYPES_HH
+#define RIX_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace rix
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Byte address in the simulated data address space. */
+using Addr = u64;
+
+/** Instruction-slot index in the simulated code segment (word PC). */
+using InstAddr = u64;
+
+/** Simulation cycle count. */
+using Cycle = u64;
+
+/** Dynamic instruction sequence number (monotonic, never reused). */
+using InstSeqNum = u64;
+
+/** Physical register identifier. */
+using PhysReg = u16;
+
+/** Logical (architectural) register identifier. */
+using LogReg = u8;
+
+/** Sentinel for "no physical register". */
+constexpr PhysReg invalidPhysReg = 0xffff;
+
+/** Sentinel for "no cycle yet". */
+constexpr Cycle invalidCycle = ~Cycle(0);
+
+} // namespace rix
+
+#endif // RIX_BASE_TYPES_HH

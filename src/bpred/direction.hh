@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Direction predictors: bimodal, gshare, and the hybrid chooser the
+ * paper's front end uses (8K-entry hybrid gshare/bimodal).
+ *
+ * The global history register is updated speculatively at prediction
+ * time; the front end checkpoints it per branch and the pipeline
+ * restores it on squash (see cpu/fetch).
+ */
+
+#ifndef RIX_BPRED_DIRECTION_HH
+#define RIX_BPRED_DIRECTION_HH
+
+#include <vector>
+
+#include "base/sat_counter.hh"
+#include "base/types.hh"
+
+namespace rix
+{
+
+/** PC-indexed 2-bit counter table. */
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned entries, unsigned bits = 2);
+
+    bool predict(InstAddr pc) const;
+    void update(InstAddr pc, bool taken);
+
+    unsigned size() const { return unsigned(table.size()); }
+
+  private:
+    u32 indexOf(InstAddr pc) const { return u32(pc) & (table.size() - 1); }
+    std::vector<SatCounter> table;
+};
+
+/** Global-history-xor-PC indexed 2-bit counter table. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(unsigned entries, unsigned history_bits,
+                             unsigned bits = 2);
+
+    bool predict(InstAddr pc) const;
+    void update(InstAddr pc, u64 history_at_predict, bool taken);
+
+    /** Speculative history update (at prediction). */
+    void speculate(bool taken);
+
+    u64 history() const { return ghr; }
+    void restoreHistory(u64 h) { ghr = h & historyMask; }
+
+  private:
+    u32
+    indexOf(InstAddr pc, u64 history) const
+    {
+        return u32((pc ^ history) & (table.size() - 1));
+    }
+
+    std::vector<SatCounter> table;
+    u64 ghr = 0;
+    u64 historyMask;
+};
+
+/**
+ * Hybrid predictor: per-PC chooser between bimodal and gshare
+ * components. The chooser trains toward whichever component was right.
+ */
+class HybridPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned bimodalEntries = 8192;
+        unsigned gshareEntries = 8192;
+        unsigned historyBits = 13;
+        unsigned chooserEntries = 8192;
+    };
+
+    struct Prediction
+    {
+        bool taken = false;
+        bool usedGshare = false;
+        u64 historyBefore = 0; // checkpoint for squash repair
+    };
+
+    explicit HybridPredictor(const Params &params);
+
+    /** Predict and speculatively update global history. */
+    Prediction predict(InstAddr pc);
+
+    /** Train at retirement with the true outcome. */
+    void update(InstAddr pc, const Prediction &pred, bool taken);
+
+    /** Restore the history register after a squash. */
+    void restoreHistory(u64 h) { gshare.restoreHistory(h); }
+
+    /** Shift an outcome into the history (squash-recovery replay). */
+    void speculateHistory(bool taken) { gshare.speculate(taken); }
+
+    u64 history() const { return gshare.history(); }
+
+  private:
+    u32
+    chooserIndex(InstAddr pc) const
+    {
+        return u32(pc) & (chooser.size() - 1);
+    }
+
+    BimodalPredictor bimodal;
+    GsharePredictor gshare;
+    std::vector<SatCounter> chooser;
+};
+
+} // namespace rix
+
+#endif // RIX_BPRED_DIRECTION_HH

@@ -1,0 +1,109 @@
+#include "bpred/predictor.hh"
+
+namespace rix
+{
+
+BranchPredictorUnit::BranchPredictorUnit(const BranchPredictorParams &params)
+    : hybrid(params.hybrid), btbUnit(params.btbEntries, params.btbAssoc),
+      ras(params.rasEntries)
+{
+}
+
+InstAddr
+BranchPredictorUnit::predict(const Instruction &inst, InstAddr pc,
+                             BranchPrediction *out)
+{
+    BranchPrediction p;
+    p.rasBefore = ras.save();
+    p.callDepth = ras.depth();
+    p.dir.historyBefore = hybrid.history();
+
+    InstAddr next = pc + 1;
+    switch (inst.cls()) {
+      case InstClass::Jump:
+        p.isControl = true;
+        p.predTaken = true;
+        p.predTarget = InstAddr(u32(inst.imm));
+        next = p.predTarget;
+        break;
+      case InstClass::Call:
+        p.isControl = true;
+        p.predTaken = true;
+        p.predTarget = InstAddr(u32(inst.imm));
+        ras.push(pc + 1);
+        next = p.predTarget;
+        break;
+      case InstClass::Return:
+        p.isControl = true;
+        p.predTaken = true;
+        p.predTarget = ras.pop();
+        next = p.predTarget;
+        break;
+      case InstClass::IndirectJump: {
+        p.isControl = true;
+        p.predTaken = true;
+        InstAddr tgt = pc + 1;
+        btbUnit.lookup(pc, &tgt);
+        p.predTarget = tgt;
+        next = tgt;
+        break;
+      }
+      case InstClass::Branch:
+        p.isControl = true;
+        p.dir = hybrid.predict(pc);
+        p.predTaken = p.dir.taken;
+        p.predTarget = InstAddr(u32(inst.imm));
+        next = p.predTaken ? p.predTarget : pc + 1;
+        break;
+      default:
+        break;
+    }
+    if (out)
+        *out = p;
+    return next;
+}
+
+void
+BranchPredictorUnit::update(const Instruction &inst, InstAddr pc,
+                            const BranchPrediction &pred, bool taken,
+                            InstAddr actual_target)
+{
+    switch (inst.cls()) {
+      case InstClass::Branch:
+        hybrid.update(pc, pred.dir, taken);
+        break;
+      case InstClass::IndirectJump:
+        btbUnit.update(pc, actual_target);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+BranchPredictorUnit::repairBefore(const BranchPrediction &pred)
+{
+    hybrid.restoreHistory(pred.dir.historyBefore);
+    ras.restore(pred.rasBefore);
+}
+
+void
+BranchPredictorUnit::applyOutcome(const Instruction &inst, InstAddr pc,
+                                  bool taken)
+{
+    switch (inst.cls()) {
+      case InstClass::Branch:
+        hybrid.speculateHistory(taken);
+        break;
+      case InstClass::Call:
+        ras.push(pc + 1);
+        break;
+      case InstClass::Return:
+        ras.pop();
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace rix

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Front-end branch prediction unit: hybrid direction predictor + BTB +
+ * RAS, plus the per-instruction checkpoint needed for squash repair.
+ */
+
+#ifndef RIX_BPRED_PREDICTOR_HH
+#define RIX_BPRED_PREDICTOR_HH
+
+#include "bpred/btb.hh"
+#include "bpred/direction.hh"
+#include "isa/inst.hh"
+
+namespace rix
+{
+
+struct BranchPredictorParams
+{
+    HybridPredictor::Params hybrid;
+    unsigned btbEntries = 4096;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 32;
+};
+
+/** Everything the pipeline must remember about one prediction. */
+struct BranchPrediction
+{
+    bool isControl = false;
+    bool predTaken = false;
+    InstAddr predTarget = 0;   // meaningful when predTaken
+    HybridPredictor::Prediction dir; // direction checkpoint
+    ReturnAddressStack::Checkpoint rasBefore;
+    unsigned callDepth = 0;    // RAS TOS at fetch (IT index component)
+};
+
+class BranchPredictorUnit
+{
+  public:
+    explicit BranchPredictorUnit(const BranchPredictorParams &params);
+
+    /**
+     * Predict the next PC for @p inst at @p pc, applying speculative
+     * RAS/history updates.
+     * @return predicted next PC.
+     */
+    InstAddr predict(const Instruction &inst, InstAddr pc,
+                     BranchPrediction *out);
+
+    /** Train at retirement. */
+    void update(const Instruction &inst, InstAddr pc,
+                const BranchPrediction &pred, bool taken,
+                InstAddr actual_target);
+
+    /** Restore to the state before a given prediction (full undo). */
+    void repairBefore(const BranchPrediction &pred);
+
+    /**
+     * Re-apply an instruction's own front-end effect with its actual
+     * outcome (used after repairBefore when recovery resumes *after*
+     * the squashing instruction).
+     */
+    void applyOutcome(const Instruction &inst, InstAddr pc, bool taken);
+
+    unsigned callDepth() const { return ras.depth(); }
+
+    Btb &btb() { return btbUnit; }
+    HybridPredictor &direction() { return hybrid; }
+    ReturnAddressStack &returnStack() { return ras; }
+
+  private:
+    HybridPredictor hybrid;
+    Btb btbUnit;
+    ReturnAddressStack ras;
+};
+
+} // namespace rix
+
+#endif // RIX_BPRED_PREDICTOR_HH

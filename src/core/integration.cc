@@ -1,0 +1,248 @@
+#include "core/integration.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+IntegrationEngine::IntegrationEngine(const IntegrationParams &params,
+                                     RegStateVector &reg_state)
+    : p(params), regs(reg_state), it(params),
+      lisp_(params.lispEntries, params.lispAssoc)
+{
+}
+
+bool
+IntegrationEngine::classIntegrates(const Instruction &inst)
+{
+    switch (inst.cls()) {
+      case InstClass::SimpleInt:
+      case InstClass::ComplexInt:
+      case InstClass::FloatOp:
+        return inst.writesReg();
+      case InstClass::Load:
+        return inst.writesReg();
+      case InstClass::Branch:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+IntegrationEngine::classCreatesEntry(const Instruction &inst)
+{
+    // Same classes: entries describe results that future instances (or
+    // squashed-and-refetched instances) may integrate.
+    return classIntegrates(inst);
+}
+
+ITKey
+IntegrationEngine::keyFor(const RenameCandidate &cand) const
+{
+    ITKey key;
+    key.op = cand.inst.op;
+    key.imm = cand.inst.imm;
+    key.pc = cand.pc;
+    key.callDepth = cand.callDepth;
+    key.hasIn1 = cand.hasSrc1;
+    key.hasIn2 = cand.hasSrc2;
+    key.in1 = cand.src1;
+    key.in2 = cand.src2;
+    key.gen1 = cand.src1Gen;
+    key.gen2 = cand.src2Gen;
+    return key;
+}
+
+IntegrationResult
+IntegrationEngine::tryIntegrate(const RenameCandidate &cand)
+{
+    IntegrationResult res;
+    if (!p.enabled() || !classIntegrates(cand.inst))
+        return res;
+    drainPending(cand.seq);
+
+    ITHandle handle;
+    ITEntry *e = it.lookup(keyFor(cand), &handle);
+    if (!e)
+        return res;
+    res.entryHandle = handle;
+
+    if (cand.inst.isCondBranch()) {
+        if (!e->isBranch || !e->outcomeValid)
+            return res;
+        res.integrated = true;
+        res.isBranch = true;
+        res.taken = e->taken;
+        res.reverse = e->reverse;
+        res.producerSeq = e->createSeq;
+        return res;
+    }
+
+    if (!e->hasOut)
+        return res;
+    if (!regs.eligible(e->out, e->outGen, p.mode, p.useGenCounters))
+        return res;
+
+    // Load mis-integration suppression (realistic LISP). The oracle
+    // variant is applied by the caller, which can see values.
+    if (cand.inst.isLoad() && p.lisp == LispMode::Realistic &&
+        lisp_.suppress(cand.pc)) {
+        res.suppressed = true;
+        return res;
+    }
+
+    res.integrated = true;
+    res.reverse = e->reverse;
+    res.preg = e->out;
+    res.gen = e->outGen;
+    res.producerSeq = e->createSeq;
+    return res;
+}
+
+void
+IntegrationEngine::drainPending(u64 now_seq)
+{
+    while (!pending.empty() && pending.front().visibleAtSeq <= now_seq) {
+        PendingInsert &pi = pending.front();
+        ITHandle h = it.insert(pi.key, pi.hasOut, pi.out, pi.outGen,
+                               pi.reverse, pi.isBranch, pi.createSeq);
+        if (pi.isBranch && pi.outcomeValid)
+            it.fillBranchOutcome(h, pi.taken);
+        pending.pop_front();
+    }
+}
+
+ITHandle
+IntegrationEngine::enqueueOrInsert(const ITKey &key, bool has_out,
+                                   PhysReg out, u8 out_gen, bool reverse,
+                                   bool is_branch, u64 create_seq)
+{
+    if (p.itWriteDelay == 0)
+        return it.insert(key, has_out, out, out_gen, reverse, is_branch,
+                         create_seq);
+    PendingInsert pi;
+    pi.visibleAtSeq = create_seq + p.itWriteDelay;
+    pi.key = key;
+    pi.hasOut = has_out;
+    pi.out = out;
+    pi.outGen = out_gen;
+    pi.reverse = reverse;
+    pi.isBranch = is_branch;
+    pi.createSeq = create_seq;
+    pi.id = nextPendingId++;
+    pending.push_back(pi);
+    ITHandle h;
+    h.valid = true;
+    h.isPending = true;
+    h.id = pi.id;
+    return h;
+}
+
+ITHandle
+IntegrationEngine::recordEntries(const RenameCandidate &cand, bool has_dest,
+                                 PhysReg dest, u8 dest_gen, bool integrated)
+{
+    ITHandle branch_handle;
+    if (!p.enabled())
+        return branch_handle;
+    drainPending(cand.seq);
+
+    const Instruction &inst = cand.inst;
+
+    // Direct entry (only when integration failed: an integrating
+    // instruction's result already is the matching entry).
+    if (!integrated && classCreatesEntry(inst)) {
+        const bool is_branch = inst.isCondBranch();
+        ITHandle h = enqueueOrInsert(keyFor(cand), has_dest, dest,
+                                     dest_gen, /*reverse=*/false,
+                                     is_branch, cand.seq);
+        ++nDirectEntries;
+        if (is_branch)
+            branch_handle = h;
+    }
+
+    if (!modeHasReverse(p.mode))
+        return branch_handle;
+
+    // Reverse entry for stack-pointer-based stores: the complementary
+    // load <ldq/imm, base, -> data-register>.
+    if (inst.isStore() && inst.ra == regSp && cand.hasSrc1 &&
+        cand.hasSrc2) {
+        ITKey rkey;
+        rkey.op = inverseOfStore(inst.op);
+        rkey.imm = inst.imm;
+        rkey.pc = cand.pc;
+        rkey.callDepth = cand.callDepth;
+        rkey.hasIn1 = true;
+        rkey.in1 = cand.src1;        // base (stack pointer)
+        rkey.gen1 = cand.src1Gen;
+        enqueueOrInsert(rkey, /*has_out=*/true, cand.src2, cand.src2Gen,
+                        /*reverse=*/true, /*is_branch=*/false, cand.seq);
+        ++nReverseEntries;
+    }
+
+    // Reverse entry for stack-pointer decrements (frame opens): the
+    // complementary increment, with the immediate negated and the input
+    // and output registers swapped. Only lda/addqi sp, -k(sp) forms are
+    // recognized (the canonical frame-open idiom).
+    if ((inst.op == Opcode::LDA || inst.op == Opcode::ADDQI) &&
+        inst.rc == regSp && inst.ra == regSp && inst.imm < 0 && has_dest &&
+        cand.hasSrc1) {
+        ITKey rkey;
+        rkey.op = inst.op;
+        rkey.imm = -inst.imm;
+        rkey.pc = cand.pc;
+        rkey.callDepth = cand.callDepth;
+        rkey.hasIn1 = true;
+        rkey.in1 = dest;          // the decremented stack pointer
+        rkey.gen1 = dest_gen;
+        enqueueOrInsert(rkey, /*has_out=*/true, cand.src1, cand.src1Gen,
+                        /*reverse=*/true, /*is_branch=*/false, cand.seq);
+        ++nReverseEntries;
+    }
+
+    return branch_handle;
+}
+
+void
+IntegrationEngine::fillBranchOutcome(const ITHandle &h, bool taken)
+{
+    if (h.isPending) {
+        for (auto &pi : pending) {
+            if (pi.id == h.id) {
+                pi.outcomeValid = true;
+                pi.taken = taken;
+                return;
+            }
+        }
+        return; // already drained; outcome fill races the write stage
+    }
+    it.fillBranchOutcome(h, taken);
+}
+
+const char *
+integrationModeName(IntegrationMode m)
+{
+    switch (m) {
+      case IntegrationMode::Off: return "off";
+      case IntegrationMode::Squash: return "squash";
+      case IntegrationMode::General: return "+general";
+      case IntegrationMode::OpcodeIndexed: return "+opcode";
+      case IntegrationMode::Reverse: return "+reverse";
+    }
+    return "?";
+}
+
+const char *
+lispModeName(LispMode m)
+{
+    switch (m) {
+      case LispMode::Off: return "off";
+      case LispMode::Realistic: return "realistic";
+      case LispMode::Oracle: return "oracle";
+    }
+    return "?";
+}
+
+} // namespace rix

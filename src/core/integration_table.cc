@@ -1,0 +1,185 @@
+#include "core/integration_table.hh"
+
+#include "base/bitutil.hh"
+#include "base/log.hh"
+
+namespace rix
+{
+
+IntegrationTable::IntegrationTable(const IntegrationParams &p) : params(p)
+{
+    if (p.itEntries == 0 || !isPow2(p.itEntries))
+        rix_fatal("IT entries must be a power of two (%u)", p.itEntries);
+    assoc = p.itAssoc >= p.itEntries ? p.itEntries : p.itAssoc;
+    sets = p.itEntries / assoc;
+    if (!isPow2(sets))
+        rix_fatal("IT sets must be a power of two (entries %u / assoc %u)",
+                  p.itEntries, p.itAssoc);
+    table.resize(size_t(sets) * assoc);
+}
+
+u32
+IntegrationTable::index(const ITKey &key) const
+{
+    if (sets == 1)
+        return 0;
+    if (!modeHasOpcodeIndex(params.mode)) {
+        // PC indexing: the PC distributes entries evenly by itself.
+        return u32(key.pc) & (sets - 1);
+    }
+    // Opcode indexing: structured mix of opcode, immediate and call
+    // depth (section 2.3). Immediates are folded at byte granularity as
+    // well as raw so that the dense 0/8/16... stack-frame offsets spread
+    // over more than a handful of sets; the call depth is scaled so
+    // adjacent depths land in different regions of the table.
+    u64 ix = u64(key.op) * 0x9e37u;
+    ix ^= u64(u32(key.imm));
+    ix ^= u64(u32(key.imm)) >> 3;
+    if (params.useCallDepthIndex)
+        ix ^= u64(key.callDepth) * 0x85ebu;
+    return u32(ix) & (sets - 1);
+}
+
+bool
+IntegrationTable::tagMatch(const ITEntry &e, const ITKey &key) const
+{
+    if (e.op != key.op || e.imm != key.imm)
+        return false;
+    if (!modeHasOpcodeIndex(params.mode) && e.pcTag != key.pc)
+        return false;
+    return true;
+}
+
+bool
+IntegrationTable::inputsMatch(const ITEntry &e, const ITKey &key) const
+{
+    if (e.hasIn1 != key.hasIn1 || e.hasIn2 != key.hasIn2)
+        return false;
+    const bool check_gen = params.useGenCounters;
+    if (e.hasIn1 &&
+        (e.in1 != key.in1 || (check_gen && e.gen1 != key.gen1)))
+        return false;
+    if (e.hasIn2 &&
+        (e.in2 != key.in2 || (check_gen && e.gen2 != key.gen2)))
+        return false;
+    return true;
+}
+
+ITEntry *
+IntegrationTable::lookup(const ITKey &key, ITHandle *handle)
+{
+    ++nLookups;
+    const u32 set = index(key);
+    ITEntry *base = &table[size_t(set) * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        ITEntry &e = base[w];
+        if (e.valid && tagMatch(e, key) && inputsMatch(e, key)) {
+            e.lruStamp = ++lruClock;
+            ++nHits;
+            if (handle)
+                *handle = ITHandle{set, w, e.id, true};
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+ITHandle
+IntegrationTable::insert(const ITKey &key, bool has_out, PhysReg out,
+                         u8 out_gen, bool reverse, bool is_branch,
+                         u64 create_seq)
+{
+    ++nInserts;
+    const u32 set = index(key);
+    ITEntry *base = &table[size_t(set) * assoc];
+
+    // Prefer overwriting an exact duplicate, then an invalid way, then
+    // the LRU victim.
+    unsigned victim = 0;
+    u64 best = ~u64(0);
+    bool found = false;
+    for (unsigned w = 0; w < assoc && !found; ++w) {
+        ITEntry &e = base[w];
+        if (e.valid && tagMatch(e, key) && inputsMatch(e, key)) {
+            victim = w;
+            found = true;
+        }
+    }
+    if (!found) {
+        for (unsigned w = 0; w < assoc && !found; ++w) {
+            if (!base[w].valid) {
+                victim = w;
+                found = true;
+            }
+        }
+    }
+    if (!found) {
+        for (unsigned w = 0; w < assoc; ++w) {
+            if (base[w].lruStamp < best) {
+                best = base[w].lruStamp;
+                victim = w;
+            }
+        }
+        ++nReplacements;
+    }
+
+    ITEntry &e = base[victim];
+    e.valid = true;
+    e.reverse = reverse;
+    e.op = key.op;
+    e.imm = key.imm;
+    e.pcTag = key.pc;
+    e.hasIn1 = key.hasIn1;
+    e.hasIn2 = key.hasIn2;
+    e.in1 = key.in1;
+    e.in2 = key.in2;
+    e.gen1 = key.gen1;
+    e.gen2 = key.gen2;
+    e.hasOut = has_out;
+    e.out = out;
+    e.outGen = out_gen;
+    e.isBranch = is_branch;
+    e.outcomeValid = false;
+    e.taken = false;
+    e.id = nextId++;
+    e.createSeq = create_seq;
+    e.lruStamp = ++lruClock;
+
+    return ITHandle{set, victim, e.id, true};
+}
+
+ITEntry *
+IntegrationTable::at(const ITHandle &h)
+{
+    if (!h.valid)
+        return nullptr;
+    ITEntry &e = table[size_t(h.set) * assoc + h.way];
+    return (e.valid && e.id == h.id) ? &e : nullptr;
+}
+
+void
+IntegrationTable::fillBranchOutcome(const ITHandle &h, bool taken)
+{
+    if (ITEntry *e = at(h)) {
+        if (e->isBranch) {
+            e->outcomeValid = true;
+            e->taken = taken;
+        }
+    }
+}
+
+void
+IntegrationTable::invalidate(const ITHandle &h)
+{
+    if (ITEntry *e = at(h))
+        e->valid = false;
+}
+
+void
+IntegrationTable::invalidateAll()
+{
+    for (auto &e : table)
+        e.valid = false;
+}
+
+} // namespace rix

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The Integration Table (IT).
+ *
+ * Stores <operation, input-preg/gen pair(s), output-preg/gen> tuples of
+ * recently renamed instructions. A renaming instruction whose operation
+ * and (current-map) input physical registers match an entry may
+ * integrate the entry's output register instead of executing.
+ *
+ * Two indexing disciplines (paper section 2.3):
+ *  - PC indexing (squash/general reuse): the set index and tag are the
+ *    instruction's PC;
+ *  - opcode indexing: the set index is a structured mix of opcode,
+ *    immediate and dynamic call depth; the tag is the minimal
+ *    opcode/immediate pair, so different static instructions can
+ *    integrate one another's results.
+ *
+ * Reverse entries (section 2.4) are stored in the same unified table;
+ * they are written under the *inverse* operation's key so that the
+ * future inverse instruction's ordinary lookup finds them.
+ *
+ * Conditional branches have no output register; their entries carry the
+ * branch outcome instead, filled in when the creating branch executes
+ * (handles are id-checked so a reallocated entry is never corrupted).
+ */
+
+#ifndef RIX_CORE_INTEGRATION_TABLE_HH
+#define RIX_CORE_INTEGRATION_TABLE_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "core/params.hh"
+#include "isa/opcode.hh"
+
+namespace rix
+{
+
+struct ITEntry
+{
+    bool valid = false;
+    bool reverse = false;   // created as a reverse entry
+
+    // Operation identity (tag).
+    Opcode op = Opcode::NOP;
+    s32 imm = 0;
+    u64 pcTag = 0;          // participates in the tag under PC indexing
+
+    // Input operands as physical registers + generations.
+    bool hasIn1 = false, hasIn2 = false;
+    PhysReg in1 = invalidPhysReg, in2 = invalidPhysReg;
+    u8 gen1 = 0, gen2 = 0;
+
+    // Output physical register (absent for branch entries).
+    bool hasOut = false;
+    PhysReg out = invalidPhysReg;
+    u8 outGen = 0;
+
+    // Branch outcome payload.
+    bool isBranch = false;
+    bool outcomeValid = false;
+    bool taken = false;
+
+    u64 id = 0;         // unique, for outcome-fill handles
+    u64 createSeq = 0;  // rename-stream position of the creator
+    u64 lruStamp = 0;
+};
+
+/** Stable reference to an entry, validated by id on use. */
+struct ITHandle
+{
+    u32 set = 0;
+    u32 way = 0;
+    u64 id = 0;
+    bool valid = false;
+    // Pipelined-IT support: the entry is still in the write-stage
+    // buffer; `id` then names the pending record instead.
+    bool isPending = false;
+};
+
+/** Everything a lookup needs to identify a match. */
+struct ITKey
+{
+    Opcode op = Opcode::NOP;
+    s32 imm = 0;
+    u64 pc = 0;
+    unsigned callDepth = 0;
+    bool hasIn1 = false, hasIn2 = false;
+    PhysReg in1 = invalidPhysReg, in2 = invalidPhysReg;
+    u8 gen1 = 0, gen2 = 0;
+};
+
+class IntegrationTable
+{
+  public:
+    explicit IntegrationTable(const IntegrationParams &params);
+
+    /**
+     * Find an entry whose operation tag and inputs match @p key.
+     * Updates LRU on hit. Returns nullptr on miss. The caller still
+     * has to test output-register eligibility against the reference
+     * vector.
+     */
+    ITEntry *lookup(const ITKey &key, ITHandle *handle = nullptr);
+
+    /**
+     * Insert an entry built from @p key with the given output register.
+     * An exact tag+input duplicate is overwritten in place; otherwise
+     * the set's LRU victim is replaced.
+     */
+    ITHandle insert(const ITKey &key, bool has_out, PhysReg out, u8 out_gen,
+                    bool reverse, bool is_branch, u64 create_seq);
+
+    /** Record the outcome of the branch that created @p h, if it still
+     *  owns the entry. */
+    void fillBranchOutcome(const ITHandle &h, bool taken);
+
+    /** Entry behind a handle, or nullptr if reallocated since. */
+    ITEntry *at(const ITHandle &h);
+
+    /** Invalidate the entry behind @p h (mis-integration response). */
+    void invalidate(const ITHandle &h);
+
+    /** Invalidate every entry (used on mis-integration storms/tests). */
+    void invalidateAll();
+
+    unsigned numSets() const { return sets; }
+    unsigned associativity() const { return assoc; }
+
+    /** Set index for the given key (exposed for distribution tests). */
+    u32 index(const ITKey &key) const;
+
+    u64 lookups() const { return nLookups; }
+    u64 hits() const { return nHits; }
+    u64 inserts() const { return nInserts; }
+    u64 replacements() const { return nReplacements; }
+
+  private:
+    bool tagMatch(const ITEntry &e, const ITKey &key) const;
+    bool inputsMatch(const ITEntry &e, const ITKey &key) const;
+
+    const IntegrationParams params;
+    unsigned sets;
+    unsigned assoc;
+    std::vector<ITEntry> table; // sets x assoc, row-major
+    u64 lruClock = 0;
+    u64 nextId = 1;
+    u64 nLookups = 0, nHits = 0, nInserts = 0, nReplacements = 0;
+};
+
+} // namespace rix
+
+#endif // RIX_CORE_INTEGRATION_TABLE_HH

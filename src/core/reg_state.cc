@@ -1,0 +1,195 @@
+#include "core/reg_state.hh"
+
+#include "base/bitutil.hh"
+#include "base/log.hh"
+#include "isa/regs.hh"
+
+namespace rix
+{
+
+RegStateVector::RegStateVector(const IntegrationParams &params)
+    : entries(params.numPhysRegs),
+      maxCount(u8(mask(params.refBits))),
+      genMask(u8(mask(params.genBits)))
+{
+    if (params.numPhysRegs < numLogRegs + 1)
+        rix_fatal("too few physical registers (%u)", params.numPhysRegs);
+    for (PhysReg r = 0; r < entries.size(); ++r)
+        freeQueue.push_back(r);
+}
+
+unsigned
+RegStateVector::freeCount() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries)
+        if (e.count == 0 && !e.pinnedReg)
+            ++n;
+    return n;
+}
+
+bool
+RegStateVector::canAllocate() const
+{
+    for (PhysReg r : freeQueue)
+        if (entries[r].count == 0 && !entries[r].pinnedReg)
+            return true;
+    return false;
+}
+
+PhysReg
+RegStateVector::allocate()
+{
+    // The queue may hold stale entries for registers that were
+    // resurrected by an integration after dropping to zero; skip them
+    // lazily (they are re-queued when they drop to zero again).
+    while (!freeQueue.empty()) {
+        PhysReg r = freeQueue.front();
+        freeQueue.pop_front();
+        Entry &e = entries[r];
+        if (e.count != 0 || e.pinnedReg)
+            continue;
+        e.count = 1;
+        e.valid = true;       // mapped registers are integration-eligible
+        e.ready = false;      // value not computed yet
+        e.gen = u8((e.gen + 1) & genMask);
+        e.origin = ZeroOrigin::Never;
+        return r;
+    }
+    rix_panic("physical register file exhausted");
+}
+
+void
+RegStateVector::pin(PhysReg r)
+{
+    Entry &e = entries[r];
+    e.pinnedReg = true;
+    e.count = 1;
+    e.valid = false;   // never integration-eligible
+    e.ready = true;    // value (zero) always available
+}
+
+void
+RegStateVector::addRef(PhysReg r)
+{
+    Entry &e = entries[r];
+    if (e.count >= maxCount)
+        rix_panic("addRef on saturated register p%u", r);
+    ++e.count;
+    // A previously idle 0/T register is active again; its value is
+    // still whatever was computed.
+    e.valid = true;
+}
+
+bool
+RegStateVector::refSaturated(PhysReg r) const
+{
+    return entries[r].count >= maxCount;
+}
+
+void
+RegStateVector::markReady(PhysReg r)
+{
+    entries[r].ready = true;
+}
+
+void
+RegStateVector::dropToZero(Entry &e, PhysReg r, ZeroOrigin why)
+{
+    e.origin = why;
+    // Deadlock-avoidance rule: a squash-unmapped register whose value
+    // was never computed must not be integrated (0/F); everything else
+    // keeps its useful value (0/T).
+    e.valid = (why == ZeroOrigin::Shadowed) || e.ready;
+    freeQueue.push_back(r);
+}
+
+void
+RegStateVector::releaseOverwrite(PhysReg r)
+{
+    Entry &e = entries[r];
+    if (e.pinnedReg)
+        return;
+    if (e.count == 0)
+        rix_panic("releaseOverwrite on free register p%u", r);
+    if (--e.count == 0)
+        dropToZero(e, r, ZeroOrigin::Shadowed);
+}
+
+void
+RegStateVector::releaseSquash(PhysReg r)
+{
+    Entry &e = entries[r];
+    if (e.pinnedReg)
+        return;
+    if (e.count == 0)
+        rix_panic("releaseSquash on free register p%u", r);
+    if (--e.count == 0)
+        dropToZero(e, r, ZeroOrigin::Squashed);
+}
+
+bool
+RegStateVector::eligible(PhysReg r, u8 expect_gen, IntegrationMode mode,
+                         bool check_gen) const
+{
+    const Entry &e = entries[r];
+    if (e.pinnedReg || !e.valid)
+        return false;
+    if (check_gen && e.gen != (expect_gen & genMask))
+        return false;
+    if (!modeHasGeneral(mode)) {
+        // Squash reuse: only fully unmapped, squash-freed registers may
+        // be integrated (the register-ownership discipline).
+        return e.count == 0 && e.origin == ZeroOrigin::Squashed;
+    }
+    // General reuse: any valid register that can take one more mapping.
+    return e.count < maxCount;
+}
+
+bool
+RegStateVector::checkNoLeaks() const
+{
+    std::vector<bool> reachable(entries.size(), false);
+    for (PhysReg r : freeQueue)
+        reachable[r] = true;
+    for (PhysReg r = 0; r < entries.size(); ++r) {
+        const Entry &e = entries[r];
+        if (e.count == 0 && !e.pinnedReg && !reachable[r])
+            return false;
+    }
+    return true;
+}
+
+RegStateVector::Snapshot
+RegStateVector::snapshot() const
+{
+    Snapshot s;
+    s.counts.reserve(entries.size());
+    s.gens.reserve(entries.size());
+    s.flags.reserve(entries.size());
+    for (const auto &e : entries) {
+        s.counts.push_back(e.count);
+        s.gens.push_back(e.gen);
+        s.flags.push_back(u8(e.valid) | u8(e.ready) << 1 |
+                          u8(e.pinnedReg) << 2 | u8(e.origin) << 3);
+    }
+    s.freeQueue = freeQueue;
+    return s;
+}
+
+void
+RegStateVector::restore(const Snapshot &s)
+{
+    for (size_t i = 0; i < entries.size(); ++i) {
+        Entry &e = entries[i];
+        e.count = s.counts[i];
+        e.gen = s.gens[i];
+        e.valid = s.flags[i] & 1;
+        e.ready = (s.flags[i] >> 1) & 1;
+        e.pinnedReg = (s.flags[i] >> 2) & 1;
+        e.origin = ZeroOrigin((s.flags[i] >> 3) & 3);
+    }
+    freeQueue = s.freeQueue;
+}
+
+} // namespace rix

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Physical register state vector with true reference counts (paper
+ * section 2.2).
+ *
+ * Each physical register carries:
+ *  - a saturating reference count (the number of active mappings:
+ *    in-flight or retired-but-not-shadowed logical register instances),
+ *  - a valid bit distinguishing the two zero-reference states: 0/F
+ *    ("contains garbage", produced by a squashed instruction that never
+ *    executed — integrating it would deadlock) and 0/T ("unused but
+ *    useful, integration-eligible"),
+ *  - a wrap-around generation counter incremented at every reallocation
+ *    (the register mis-integration filter of section 2.2),
+ *  - a ready bit maintained by the pipeline (value computed), which
+ *    decides the 0/T vs 0/F transition on squash,
+ *  - the zero-origin (squash vs overwrite), needed to restrict the
+ *    squash-reuse-only mode to squashed registers.
+ *
+ * Free-register reclamation is circular/FIFO (the paper pairs FIFO
+ * reclamation with IT LRU to approximate coordinated replacement).
+ */
+
+#ifndef RIX_CORE_REG_STATE_HH
+#define RIX_CORE_REG_STATE_HH
+
+#include <deque>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/params.hh"
+
+namespace rix
+{
+
+/** Why a reference count dropped to zero. */
+enum class ZeroOrigin : u8
+{
+    Never,      // never been mapped since reset (initial free state)
+    Squashed,   // last unmapping was a mis-speculation squash
+    Shadowed,   // last unmapping was an architectural overwrite at retire
+};
+
+class RegStateVector
+{
+  public:
+    explicit RegStateVector(const IntegrationParams &params);
+
+    /** Total physical registers. */
+    unsigned numRegs() const { return unsigned(entries.size()); }
+
+    /** Registers currently reclaimable (count == 0, not pinned). */
+    unsigned freeCount() const;
+
+    /** True when allocate() can succeed. */
+    bool canAllocate() const;
+
+    /**
+     * Allocate a register in FIFO order. The register transitions to
+     * count=1, valid (a mapped register is integration-eligible), not
+     * ready, and its generation counter advances.
+     */
+    PhysReg allocate();
+
+    /**
+     * Pin a register (used for the architectural zero register): it is
+     * permanently mapped and never reclaimed or integrated.
+     */
+    void pin(PhysReg r);
+
+    /** Add a mapping (an integration). Count must not be saturated. */
+    void addRef(PhysReg r);
+
+    /** True when the count cannot be incremented further. */
+    bool refSaturated(PhysReg r) const;
+
+    /** Pipeline notification: the register's value has been computed. */
+    void markReady(PhysReg r);
+
+    bool ready(PhysReg r) const { return entries[r].ready; }
+
+    /**
+     * Remove a mapping because a younger instruction's retirement
+     * architecturally overwrote it. On the last mapping the register
+     * becomes 0/T (still integration-eligible) and reclaimable.
+     */
+    void releaseOverwrite(PhysReg r);
+
+    /**
+     * Remove a mapping because the mapping instruction was squashed
+     * (also used to undo allocations and integrations during recovery).
+     * On the last mapping the register becomes 0/T if its value was
+     * computed, 0/F otherwise (deadlock-avoidance rule).
+     */
+    void releaseSquash(PhysReg r);
+
+    u8 count(PhysReg r) const { return entries[r].count; }
+    bool valid(PhysReg r) const { return entries[r].valid; }
+    u8 gen(PhysReg r) const { return entries[r].gen; }
+    ZeroOrigin zeroOrigin(PhysReg r) const { return entries[r].origin; }
+    bool pinned(PhysReg r) const { return entries[r].pinnedReg; }
+
+    /**
+     * Integration-eligibility test.
+     * @param r         candidate output register of an IT entry
+     * @param expect_gen generation recorded in the IT entry
+     * @param mode      integration mode (squash-only is restrictive)
+     * @param check_gen whether generation counters participate (ablation)
+     */
+    bool eligible(PhysReg r, u8 expect_gen, IntegrationMode mode,
+                  bool check_gen = true) const;
+
+    /**
+     * Structural invariant: every count==0 non-pinned register is
+     * reachable through the free queue (no leaks). O(n); test use.
+     */
+    bool checkNoLeaks() const;
+
+    /** Full-state snapshot/restore (monolithic checkpointing; tests). */
+    struct Snapshot
+    {
+        std::vector<u8> counts, gens;
+        std::vector<u8> flags;
+        std::deque<PhysReg> freeQueue;
+    };
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
+  private:
+    struct Entry
+    {
+        u8 count = 0;
+        u8 gen = 0;
+        bool valid = false;
+        bool ready = false;
+        bool pinnedReg = false;
+        ZeroOrigin origin = ZeroOrigin::Never;
+    };
+
+    void dropToZero(Entry &e, PhysReg r, ZeroOrigin why);
+
+    std::vector<Entry> entries;
+    std::deque<PhysReg> freeQueue; // FIFO reclamation order (lazy entries)
+    u8 maxCount;
+    u8 genMask;
+};
+
+} // namespace rix
+
+#endif // RIX_CORE_REG_STATE_HH

@@ -1,0 +1,148 @@
+#include "cpu/core.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+Core::Core(const Program &program, const CoreParams &params)
+    : prog(program), p(params), golden_(program), mem(p.mem),
+      bpred(p.bpred), regState(p.integ), integ(p.integ, regState),
+      writeBuffer(p.writeBufferEntries),
+      cht(p.chtEntries, SatCounter(2, 0)),
+      pregValue(p.integ.numPhysRegs, 0)
+{
+    // Pin the zero register's physical register.
+    zeroPreg = regState.allocate();
+    regState.pin(zeroPreg);
+    pregValue[zeroPreg] = 0;
+    map[regZero] = {zeroPreg, regState.gen(zeroPreg)};
+
+    // Map every other architectural register to a fresh, ready
+    // physical register holding its initial value.
+    for (unsigned r = 0; r < numLogRegs; ++r) {
+        if (r == regZero)
+            continue;
+        PhysReg preg = regState.allocate();
+        regState.markReady(preg);
+        pregValue[preg] = golden_.reg(LogReg(r));
+        map[r] = {preg, regState.gen(preg)};
+    }
+
+    fetchPc = prog.entry;
+}
+
+Core::Mapping
+Core::lookupMap(LogReg r) const
+{
+    return map[r];
+}
+
+DynInst *
+Core::findInst(InstSeqNum seq)
+{
+    auto it = robIndex.find(seq);
+    return it == robIndex.end() ? nullptr : it->second;
+}
+
+u64
+Core::loadResult(const Instruction &inst, u64 raw) const
+{
+    if (inst.op == Opcode::LDL)
+        return u64(s64(s32(u32(raw))));
+    return raw;
+}
+
+u64
+Core::memReadOverlay(Addr addr, unsigned size, InstSeqNum before) const
+{
+    u64 value = golden_.memory().read(addr, size);
+    // Overlay bytes from older resolved stores, oldest to youngest, so
+    // the youngest writer of each byte wins.
+    for (const SqEntry &e : sq) {
+        if (e.seq >= before)
+            break;
+        if (!e.resolved)
+            continue;
+        const Addr lo = e.addr > addr ? e.addr : addr;
+        const Addr hi_a = addr + size;
+        const Addr hi_b = e.addr + e.size;
+        const Addr hi = hi_a < hi_b ? hi_a : hi_b;
+        for (Addr b = lo; b < hi; ++b) {
+            const u64 byte = (e.data >> (8 * (b - e.addr))) & 0xff;
+            const unsigned shift = unsigned(8 * (b - addr));
+            value = (value & ~(u64(0xff) << shift)) | (byte << shift);
+        }
+    }
+    return value;
+}
+
+void
+Core::tick()
+{
+    retireStage();
+    if (done)
+        return;
+    writebackStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+
+    // Write-buffer drain: one committed store per cycle into the cache
+    // (timing only).
+    writeBuffer.tick(cycle, [this](Addr a) { mem.write(a, cycle); });
+
+    stats_.rsOccupancySum += rsBusy;
+    stats_.robOccupancySum += rob.size();
+    ++cycle;
+    ++stats_.cycles;
+
+    if (cycle - lastProgressCycle > p.watchdogCycles)
+        rix_panic("watchdog: no retirement progress for %llu cycles "
+                  "(pc=%llu rob=%zu)",
+                  (unsigned long long)p.watchdogCycles,
+                  (unsigned long long)(rob.empty() ? fetchPc
+                                                   : rob.front()->pc),
+                  rob.size());
+}
+
+Core::RunResult
+Core::run(u64 max_retired, Cycle max_cycles)
+{
+    while (!done && stats_.retired < max_retired &&
+           stats_.cycles < max_cycles)
+        tick();
+    return {stats_.retired, stats_.cycles, done};
+}
+
+void
+CoreStats::exportTo(StatSet &out) const
+{
+    out.set("cycles", double(cycles));
+    out.set("fetched", double(fetched));
+    out.set("renamed", double(renamed));
+    out.set("issued", double(issued));
+    out.set("issued_loads", double(issuedLoads));
+    out.set("retired", double(retired));
+    out.set("retired_loads", double(retiredLoads));
+    out.set("retired_stores", double(retiredStores));
+    out.set("retired_branches", double(retiredBranches));
+    out.set("ipc", ipc());
+    out.set("integrated_direct", double(integratedDirect));
+    out.set("integrated_reverse", double(integratedReverse));
+    out.set("integration_rate", integrationRate());
+    out.set("misintegrations", double(misintegrations));
+    out.set("misint_loads", double(misintLoads));
+    out.set("misint_registers", double(misintRegisters));
+    out.set("misint_branches", double(misintBranches));
+    out.set("misint_per_million", misintPerMillion());
+    out.set("branch_mispredicts", double(branchMispredicts));
+    out.set("mispred_resolve_lat", avgMispredResolveLat());
+    out.set("mem_order_violations", double(memOrderViolations));
+    out.set("squashed_insts", double(squashedInsts));
+    out.set("rs_occupancy", avgRsOccupancy());
+    out.set("rob_occupancy",
+            cycles ? double(robOccupancySum) / double(cycles) : 0.0);
+}
+
+} // namespace rix

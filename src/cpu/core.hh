@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The out-of-order, 13-stage, 4-way superscalar core with register
+ * integration (paper section 3.1 machine).
+ *
+ * Pipeline organization (stage latencies are modeled with timestamps,
+ * not per-stage latches; the in-order front end and back end charge
+ * their configured depths):
+ *
+ *   fetch(3) -> decode(1) -> rename+integrate(1) -> schedule(2) ->
+ *   regread(2) -> execute(1+) -> writeback(1) -> DIVA(1) -> retire(1)
+ *
+ * Integrating instructions bypass schedule/regread/execute/writeback
+ * entirely: they complete at rename as soon as their integrated
+ * register's value is ready.
+ *
+ * Wrong paths are genuinely executed: fetch follows the predictors,
+ * wrong-path instructions allocate registers and compute values, and
+ * squash recovery walks the ROB restoring the map table, reference
+ * counts and front-end state — which is what makes squash reuse (and
+ * its 0/T vs 0/F deadlock rule) observable.
+ *
+ * The DIVA checker is the in-order golden emulator: every retiring
+ * instruction is re-executed architecturally and compared. For
+ * integrated instructions a mismatch is a mis-integration (full flush,
+ * LISP training); for anything else it is a simulator invariant
+ * violation and panics.
+ */
+
+#ifndef RIX_CPU_CORE_HH
+#define RIX_CPU_CORE_HH
+
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/integration.hh"
+#include "cpu/core_stats.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/params.hh"
+#include "emu/emulator.hh"
+#include "mem/write_buffer.hh"
+
+namespace rix
+{
+
+class Core
+{
+  public:
+    Core(const Program &prog, const CoreParams &params);
+
+    struct RunResult
+    {
+        u64 retired = 0;
+        Cycle cycles = 0;
+        bool halted = false;
+    };
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run until HALT retires or a limit is hit. */
+    RunResult run(u64 max_retired = ~u64(0), Cycle max_cycles = ~Cycle(0));
+
+    bool halted() const { return done; }
+    Cycle now() const { return cycle; }
+    const CoreStats &stats() const { return stats_; }
+    const CoreParams &params() const { return p; }
+
+    /** Committed architectural state (the DIVA golden model). */
+    const Emulator &golden() const { return golden_; }
+
+    IntegrationEngine &integration() { return integ; }
+    RegStateVector &regStateVector() { return regState; }
+    MemHierarchy &memHierarchy() { return mem; }
+    BranchPredictorUnit &branchPredictor() { return bpred; }
+
+    /** In-flight instruction count (tests). */
+    size_t robOccupancy() const { return rob.size(); }
+    unsigned rsOccupancy() const { return rsBusy; }
+
+  private:
+    struct Mapping
+    {
+        PhysReg preg = invalidPhysReg;
+        u8 gen = 0;
+    };
+
+    struct SqEntry
+    {
+        InstSeqNum seq = 0;
+        Addr addr = 0;
+        unsigned size = 0;
+        u64 data = 0;
+        bool resolved = false;
+    };
+
+    struct LqEntry
+    {
+        InstSeqNum seq = 0;
+        Addr addr = 0;
+        unsigned size = 0;
+        bool resolved = false;
+        InstSeqNum forwardedFrom = 0; // 0: memory/cache
+    };
+
+    // ---- pipeline stages (called youngest-last each cycle) ----
+    void retireStage();
+    void writebackStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // ---- rename helpers ----
+    bool renameOne(std::unique_ptr<DynInst> &inst_ptr);
+    Mapping lookupMap(LogReg r) const;
+    bool oracleWouldMisintegrate(const DynInst &di,
+                                 const IntegrationResult &res) const;
+    void applyIntegration(DynInst &di, const IntegrationResult &res);
+    void finishRenameCommon(DynInst &di);
+
+    // ---- execute helpers ----
+    bool operandsReady(const DynInst &di) const;
+    void executeAlu(DynInst &di);
+    bool executeLoad(DynInst &di);
+    void executeStore(DynInst &di);
+    void scheduleCompletion(DynInst &di, Cycle when);
+    void completeNow(DynInst &di, Cycle when);
+    void resolveControl(DynInst &di);
+    u64 memReadOverlay(Addr addr, unsigned size, InstSeqNum before) const;
+    u64 loadResult(const Instruction &inst, u64 raw) const;
+    void checkStoreViolation(DynInst &store_inst);
+
+    // ---- recovery ----
+    /**
+     * Squash every instruction younger than @p boundary (or including
+     * it when @p include_boundary); restore map/refcounts/front-end;
+     * redirect fetch to @p new_pc after @p penalty cycles.
+     */
+    void squashFrom(DynInst &boundary, bool include_boundary,
+                    InstAddr new_pc, unsigned penalty);
+    void undoRename(DynInst &di);
+
+    // ---- retire helpers ----
+    bool divaCheck(const DynInst &di, const StepResult &expected) const;
+    void handleMisintegration(DynInst &di);
+    void recordRetireStats(const DynInst &di);
+
+    u64 readReg(PhysReg r) const { return pregValue[r]; }
+
+    DynInst *findInst(InstSeqNum seq);
+
+    // ---- configuration & substrates ----
+    const Program &prog;
+    const CoreParams p;
+    Emulator golden_;
+    MemHierarchy mem;
+    BranchPredictorUnit bpred;
+    RegStateVector regState;
+    IntegrationEngine integ;
+    WriteBuffer writeBuffer;
+    std::vector<SatCounter> cht;
+
+    // ---- register state ----
+    std::vector<u64> pregValue;
+    std::array<Mapping, numLogRegs> map;
+    PhysReg zeroPreg = invalidPhysReg;
+
+    // ---- windows ----
+    std::deque<std::unique_ptr<DynInst>> fetchQueue;
+    std::deque<std::unique_ptr<DynInst>> rob;
+    std::unordered_map<InstSeqNum, DynInst *> robIndex;
+    std::deque<SqEntry> sq;
+    std::deque<LqEntry> lq;
+    unsigned rsBusy = 0;
+
+    // ---- event plumbing ----
+    std::multimap<Cycle, InstSeqNum> completionEvents;
+    std::unordered_map<PhysReg, std::vector<InstSeqNum>> integWaiters;
+
+    // ---- fetch state ----
+    InstAddr fetchPc = 0;
+    Cycle fetchStallUntil = 0;
+
+    // ---- bookkeeping ----
+    InstSeqNum nextSeq = 1;
+    u64 renameStreamPos = 0;
+    Cycle cycle = 0;
+    bool done = false;
+    Cycle lastProgressCycle = 0;
+    CoreStats stats_;
+};
+
+} // namespace rix
+
+#endif // RIX_CPU_CORE_HH

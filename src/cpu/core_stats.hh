@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Statistics collected by the out-of-order core — everything the
+ * paper's evaluation section reports: integration rates by kind/type/
+ * distance/status/refcount (Figures 4 and 5), mis-integration counts,
+ * mispredict resolution latency, reservation-station occupancy, fetch
+ * and execution stream sizes.
+ */
+
+#ifndef RIX_CPU_CORE_STATS_HH
+#define RIX_CPU_CORE_STATS_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace rix
+{
+
+struct CoreStats
+{
+    // Progress.
+    u64 cycles = 0;
+    u64 fetched = 0;
+    u64 renamed = 0;
+    u64 issued = 0;          // instructions executed by the OoO engine
+    u64 issuedLoads = 0;
+    u64 retired = 0;
+    u64 retiredLoads = 0;
+    u64 retiredStores = 0;
+    u64 retiredBranches = 0;
+
+    // Integration, counted at retirement (paper methodology).
+    u64 integratedDirect = 0;
+    u64 integratedReverse = 0;
+
+    // Figure 5 breakdowns: [category][0=direct, 1=reverse].
+    // Type: 0 load-sp, 1 load, 2 ALU, 3 branch, 4 FP.
+    u64 integByType[5][2] = {};
+    // Distance buckets: <=4, <=16, <=64, <=256, <=1024, >1024.
+    u64 integByDistance[6][2] = {};
+    // Status: 0 rename, 1 issue, 2 retire, 3 shadow/squash.
+    u64 integByStatus[4][2] = {};
+    // Refcount-after buckets: ==1, <=3, <=7, <=15.
+    u64 integByRefcount[4][2] = {};
+
+    // Retired loads that used the stack pointer as base (type denom).
+    u64 retiredSpLoads = 0;
+
+    // Mis-integration accounting.
+    u64 misintegrations = 0;
+    u64 misintLoads = 0;
+    u64 misintRegisters = 0;
+    u64 misintBranches = 0;
+    u64 oracleSuppressions = 0;
+    u64 lispFalseCandidates = 0; // matches vetoed by the realistic LISP
+
+    // Speculation.
+    u64 branchMispredicts = 0;       // detected at resolution
+    u64 retiredMispredicts = 0;      // mispredicted branches that retired
+    u64 mispredResolveLatSum = 0;    // fetch->resolution cycles, retired
+    u64 memOrderViolations = 0;
+    u64 squashedInsts = 0;
+    u64 squashesBranch = 0;
+    u64 squashesMemOrder = 0;
+    u64 squashesMisint = 0;
+
+    // Occupancy (per-cycle sums; divide by cycles).
+    u64 rsOccupancySum = 0;
+    u64 robOccupancySum = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(retired) / double(cycles) : 0.0;
+    }
+
+    u64
+    integrated() const
+    {
+        return integratedDirect + integratedReverse;
+    }
+
+    /** Retired-instruction integration rate (fraction, 0..1). */
+    double
+    integrationRate() const
+    {
+        return retired ? double(integrated()) / double(retired) : 0.0;
+    }
+
+    double
+    misintPerMillion() const
+    {
+        return retired ? 1e6 * double(misintegrations) / double(retired)
+                       : 0.0;
+    }
+
+    double
+    avgMispredResolveLat() const
+    {
+        return retiredMispredicts
+                   ? double(mispredResolveLatSum) /
+                         double(retiredMispredicts)
+                   : 0.0;
+    }
+
+    double
+    avgRsOccupancy() const
+    {
+        return cycles ? double(rsOccupancySum) / double(cycles) : 0.0;
+    }
+
+    /** Export everything into a named StatSet. */
+    void exportTo(StatSet &out) const;
+};
+
+} // namespace rix
+
+#endif // RIX_CPU_CORE_STATS_HH

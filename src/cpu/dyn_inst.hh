@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction record: the unit tracked by the ROB,
+ * reservation stations, load/store queues, and the integration stats.
+ */
+
+#ifndef RIX_CPU_DYN_INST_HH
+#define RIX_CPU_DYN_INST_HH
+
+#include "bpred/predictor.hh"
+#include "core/integration_table.hh"
+#include "isa/inst.hh"
+
+namespace rix
+{
+
+/** Producer status observed when an instruction integrated (Figure 5). */
+enum class IntegStatus : u8
+{
+    None,
+    Rename,        // producer renamed but not yet issued
+    Issue,         // producer issued (possibly completed, not retired)
+    Retire,        // producer retired, mapping still live
+    ShadowSquash,  // result was unmapped (refcount 0) at integration
+};
+
+struct DynInst
+{
+    // Identity.
+    InstSeqNum seq = 0;
+    InstAddr pc = 0;
+    Instruction inst;
+
+    // Front end.
+    BranchPrediction pred;
+    Cycle fetchCycle = 0;
+    Cycle renameReadyCycle = 0; // exits decode; eligible for rename
+
+    // Rename.
+    bool renamed = false;
+    bool hasSrc1 = false, hasSrc2 = false;
+    PhysReg psrc1 = invalidPhysReg, psrc2 = invalidPhysReg;
+    u8 gsrc1 = 0, gsrc2 = 0;
+    bool hasDest = false;
+    PhysReg pdest = invalidPhysReg;
+    u8 gdest = 0;
+    PhysReg oldDest = invalidPhysReg; // previous mapping of dest lreg
+    u8 oldDestGen = 0;
+    bool oldDestValid = false;
+    Cycle renameCycle = 0;
+
+    // Integration.
+    bool integrated = false;
+    bool reverseIntegrated = false;
+    IntegStatus integStatus = IntegStatus::None;
+    u8 refcountAfter = 0;       // reference count after the increment
+    u64 producerSeq = 0;        // creator's rename-stream position
+    u64 renameStreamPos = 0;    // own rename-stream position
+    ITHandle createdEntry;      // branch-outcome entry this inst created
+    ITHandle sourceEntry;       // entry this inst integrated from
+
+    // Execution state.
+    bool needsRs = false;
+    bool inRs = false;
+    bool issued = false;
+    bool completed = false;
+    Cycle earliestIssue = 0;
+    Cycle retryCycle = 0;       // LSQ retry backoff
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+
+    // Control outcome.
+    bool isCtrl = false;
+    bool resolved = false;
+    bool actualTaken = false;
+    InstAddr actualTarget = 0;  // next PC when taken
+    bool mispredicted = false;
+
+    // Memory.
+    int lqIdx = -1, sqIdx = -1; // -1: no queue entry (integrated loads!)
+    bool addrValid = false;
+    Addr effAddr = 0;
+    u64 storeData = 0;
+    bool speculativePastStore = false;
+
+    bool isLoad() const { return inst.isLoad(); }
+    bool isStore() const { return inst.isStore(); }
+
+    /** Next PC this instruction actually produces. */
+    InstAddr
+    actualNextPc() const
+    {
+        return (isCtrl && actualTaken) ? actualTarget : pc + 1;
+    }
+
+    /** Predicted next PC recorded at fetch. */
+    InstAddr
+    predictedNextPc() const
+    {
+        return (pred.isControl && pred.predTaken) ? pred.predTarget
+                                                  : pc + 1;
+    }
+};
+
+} // namespace rix
+
+#endif // RIX_CPU_DYN_INST_HH

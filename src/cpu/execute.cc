@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Scheduling, execution and writeback.
+ *
+ * Issue selects up to issueWidth ready reservation-station instructions
+ * per cycle under the port mix (2 simple-int, 2 FP/complex, 1 load, 1
+ * store), with loads/branches/FP prioritized and age as tie-break
+ * (section 3.1). Loads issue speculatively past unresolved older store
+ * addresses unless the collision history table predicts a conflict;
+ * store-address resolution checks younger executed loads and triggers a
+ * full squash on a memory-order violation.
+ */
+
+#include "base/log.hh"
+#include "cpu/core.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+enum class Port : u8 { Simple, Complex, LoadP, StoreP };
+
+Port
+portOf(const Instruction &inst)
+{
+    switch (inst.cls()) {
+      case InstClass::ComplexInt:
+      case InstClass::FloatOp:
+        return Port::Complex;
+      case InstClass::Load:
+        return Port::LoadP;
+      case InstClass::Store:
+        return Port::StoreP;
+      default:
+        return Port::Simple; // ALU, branches, returns, indirect jumps
+    }
+}
+
+bool
+priorityClass(const Instruction &inst)
+{
+    switch (inst.cls()) {
+      case InstClass::Load:
+      case InstClass::Branch:
+      case InstClass::IndirectJump:
+      case InstClass::Return:
+      case InstClass::FloatOp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+rangesOverlap(Addr a, unsigned asize, Addr b, unsigned bsize)
+{
+    return a < b + bsize && b < a + asize;
+}
+
+} // namespace
+
+bool
+Core::operandsReady(const DynInst &di) const
+{
+    if (di.hasSrc1 && !regState.ready(di.psrc1))
+        return false;
+    if (di.hasSrc2 && !regState.ready(di.psrc2))
+        return false;
+    if (di.retryCycle > cycle)
+        return false;
+    if (di.isLoad()) {
+        // Collision-predicted loads wait for all older store addresses.
+        const SatCounter &c = cht[di.pc & (cht.size() - 1)];
+        if (c.predictTaken()) {
+            for (const SqEntry &e : sq) {
+                if (e.seq >= di.seq)
+                    break;
+                if (!e.resolved)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Core::scheduleCompletion(DynInst &di, Cycle when)
+{
+    completionEvents.emplace(when > cycle ? when : cycle + 1, di.seq);
+}
+
+void
+Core::completeNow(DynInst &di, Cycle when)
+{
+    di.completed = true;
+    di.completeCycle = when;
+}
+
+void
+Core::executeAlu(DynInst &di)
+{
+    const Instruction &inst = di.inst;
+    const u64 a = di.hasSrc1 ? pregValue[di.psrc1] : 0;
+    const u64 b = di.hasSrc2 ? pregValue[di.psrc2] : 0;
+
+    switch (inst.cls()) {
+      case InstClass::Branch:
+        di.actualTaken = branchTaken(inst, a);
+        di.actualTarget = InstAddr(u32(inst.imm));
+        di.resolved = true;
+        break;
+      case InstClass::IndirectJump:
+      case InstClass::Return:
+        di.actualTaken = true;
+        di.actualTarget = InstAddr(a);
+        di.resolved = true;
+        break;
+      default:
+        if (di.hasDest)
+            pregValue[di.pdest] = aluCompute(inst, a, b);
+        break;
+    }
+    scheduleCompletion(di, cycle + inst.traits().latency);
+}
+
+bool
+Core::executeLoad(DynInst &di)
+{
+    const Instruction &inst = di.inst;
+    const Addr addr = pregValue[di.psrc1] + u64(s64(inst.imm));
+    const unsigned size = inst.accessSize();
+
+    // Scan older stores, youngest first.
+    bool unresolved_older = false;
+    bool forwarded = false;
+    bool partial_conflict = false;
+    InstSeqNum forwarded_from = 0;
+    bool overlap_found = false;
+    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
+        const SqEntry &e = *it;
+        if (e.seq >= di.seq)
+            continue;
+        if (!e.resolved) {
+            unresolved_older = true;
+            continue;
+        }
+        if (!overlap_found && rangesOverlap(addr, size, e.addr, e.size)) {
+            overlap_found = true;
+            if (e.addr == addr && e.size == size) {
+                forwarded = true;
+                forwarded_from = e.seq;
+            } else {
+                partial_conflict = true;
+            }
+        }
+    }
+
+    if (partial_conflict) {
+        // Conservative: a partially overlapping resolved store cannot
+        // forward; retry until the store drains at retirement.
+        di.retryCycle = cycle + 1;
+        return false;
+    }
+
+    di.effAddr = addr;
+    di.addrValid = true;
+    di.speculativePastStore = unresolved_older;
+
+    const u64 value = loadResult(inst, memReadOverlay(addr, size, di.seq));
+    if (di.hasDest)
+        pregValue[di.pdest] = value;
+
+    for (auto &e : lq) {
+        if (e.seq == di.seq) {
+            e.addr = addr;
+            e.size = size;
+            e.resolved = true;
+            e.forwardedFrom = forwarded_from;
+            break;
+        }
+    }
+
+    const Cycle agen_done = cycle + p.agenLatency;
+    const Cycle done = forwarded
+                           ? agen_done + p.storeForwardLatency
+                           : mem.read(addr, agen_done);
+    if (getenv("RIX_TRACE_LOADS") && di.seq < 600)
+        fprintf(stderr, "load seq=%llu issue=%llu addr=%llx done=%llu\n",
+                (unsigned long long)di.seq, (unsigned long long)cycle,
+                (unsigned long long)addr, (unsigned long long)done);
+    scheduleCompletion(di, done);
+    return true;
+}
+
+void
+Core::checkStoreViolation(DynInst &store_inst)
+{
+    // Oldest violating load wins; everything from it onward re-executes.
+    for (const LqEntry &e : lq) {
+        if (e.seq <= store_inst.seq || !e.resolved)
+            continue;
+        if (!rangesOverlap(store_inst.effAddr, unsigned(store_inst.inst
+                                                            .accessSize()),
+                           e.addr, e.size))
+            continue;
+        if (e.forwardedFrom >= store_inst.seq)
+            continue; // load already saw this store (or a younger one)
+
+        DynInst *ld = findInst(e.seq);
+        if (!ld)
+            rix_panic("LQ entry without ROB entry (seq %llu)",
+                      (unsigned long long)e.seq);
+        ++stats_.memOrderViolations;
+        ++stats_.squashesMemOrder;
+        // Train the collision predictor strongly.
+        SatCounter &c = cht[ld->pc & (cht.size() - 1)];
+        c.increment();
+        c.increment();
+        squashFrom(*ld, /*include_boundary=*/true, ld->pc,
+                   p.squashPenalty);
+        return;
+    }
+}
+
+void
+Core::executeStore(DynInst &di)
+{
+    const Instruction &inst = di.inst;
+    const Addr addr = pregValue[di.psrc1] + u64(s64(inst.imm));
+    di.effAddr = addr;
+    di.addrValid = true;
+    di.storeData = pregValue[di.psrc2];
+
+    for (auto &e : sq) {
+        if (e.seq == di.seq) {
+            e.addr = addr;
+            e.size = inst.accessSize();
+            e.data = di.storeData;
+            e.resolved = true;
+            break;
+        }
+    }
+
+    scheduleCompletion(di, cycle + p.agenLatency);
+    checkStoreViolation(di);
+}
+
+void
+Core::issueStage()
+{
+    unsigned slots_simple = p.simpleIntSlots;
+    unsigned slots_complex = p.complexSlots;
+    unsigned slots_load = p.loadSlots;
+    unsigned slots_store = p.storeSlots;
+    unsigned total = p.issueWidth;
+
+    auto try_issue = [&](DynInst &di) -> bool {
+        if (total == 0)
+            return false;
+        unsigned *slot = nullptr;
+        switch (portOf(di.inst)) {
+          case Port::Simple: slot = &slots_simple; break;
+          case Port::Complex: slot = &slots_complex; break;
+          case Port::LoadP: slot = &slots_load; break;
+          case Port::StoreP:
+            slot = p.sharedLoadStorePort ? &slots_load : &slots_store;
+            break;
+        }
+        if (*slot == 0)
+            return true; // port busy; keep scanning other classes
+
+        bool issued = true;
+        if (di.isLoad())
+            issued = executeLoad(di);
+        else if (di.isStore())
+            executeStore(di);
+        else
+            executeAlu(di);
+
+        if (issued) {
+            di.issued = true;
+            di.issueCycle = cycle;
+            if (di.inRs) {
+                di.inRs = false;
+                --rsBusy;
+            }
+            --*slot;
+            --total;
+            ++stats_.issued;
+            if (di.isLoad())
+                ++stats_.issuedLoads;
+        }
+        return true;
+    };
+
+    // A store-set squash during issue invalidates the ROB iterators;
+    // collect candidates first, re-validate by sequence number.
+    std::vector<InstSeqNum> prio, rest;
+    for (const auto &up : rob) {
+        const DynInst &di = *up;
+        if (di.inRs && !di.issued && di.earliestIssue <= cycle &&
+            operandsReady(di))
+            (priorityClass(di.inst) ? prio : rest).push_back(di.seq);
+    }
+
+    for (const auto &bucket : {prio, rest}) {
+        for (InstSeqNum seq : bucket) {
+            if (total == 0)
+                return;
+            DynInst *di = findInst(seq);
+            if (!di || di->issued || !di->inRs)
+                continue; // squashed meanwhile
+            if (!try_issue(*di))
+                return;
+        }
+    }
+}
+
+void
+Core::resolveControl(DynInst &di)
+{
+    if (di.inst.isCondBranch())
+        integ.fillBranchOutcome(di.createdEntry, di.actualTaken);
+
+    if (di.actualNextPc() != di.predictedNextPc()) {
+        di.mispredicted = true;
+        ++stats_.branchMispredicts;
+        ++stats_.squashesBranch;
+        squashFrom(di, /*include_boundary=*/false, di.actualNextPc(),
+                   p.squashPenalty);
+    }
+}
+
+void
+Core::writebackStage()
+{
+    while (!completionEvents.empty() &&
+           completionEvents.begin()->first <= cycle) {
+        const auto [when, seq] = *completionEvents.begin();
+        completionEvents.erase(completionEvents.begin());
+
+        DynInst *di = findInst(seq);
+        if (!di)
+            continue; // squashed in flight
+
+        completeNow(*di, when > cycle ? when : cycle);
+
+        if (di->hasDest && !di->integrated) {
+            regState.markReady(di->pdest);
+            auto w = integWaiters.find(di->pdest);
+            if (w != integWaiters.end()) {
+                for (InstSeqNum ws : w->second) {
+                    DynInst *waiter = findInst(ws);
+                    if (waiter && waiter->integrated && !waiter->completed)
+                        completeNow(*waiter, cycle);
+                }
+                integWaiters.erase(w);
+            }
+        }
+
+        if (di->isCtrl && di->resolved)
+            resolveControl(*di);
+    }
+}
+
+} // namespace rix

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Rename stage with register integration (the paper's section 2).
+ *
+ * Per instruction: translate sources through the map table, attempt
+ * integration against the IT, then either share the matched physical
+ * register (reference-count increment, no reservation station) or
+ * allocate a fresh register and create IT entries (direct, and reverse
+ * entries for stack stores / stack-pointer decrements).
+ *
+ * Integrated conditional branches resolve immediately: a disagreement
+ * with the front-end prediction redirects fetch from rename.
+ */
+
+#include "base/log.hh"
+#include "cpu/core.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+/** Does this instruction occupy a reservation station? */
+bool
+needsReservationStation(const Instruction &inst)
+{
+    switch (inst.cls()) {
+      case InstClass::SimpleInt:
+      case InstClass::ComplexInt:
+      case InstClass::FloatOp:
+      case InstClass::Load:
+      case InstClass::Store:
+      case InstClass::Branch:
+      case InstClass::IndirectJump:
+      case InstClass::Return:
+        return true;
+      default:
+        // Direct jumps and calls execute for free at decode; nops,
+        // halts and syscalls never enter the window.
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+Core::oracleWouldMisintegrate(const DynInst &di,
+                              const IntegrationResult &res) const
+{
+    // Oracle mis-integration suppression: veto an integration whose
+    // value can be proven wrong right now. Approximation of the paper's
+    // oracle: when the candidate register's value or the instruction's
+    // inputs are not available yet, the integration is allowed.
+    if (res.isBranch || !res.integrated)
+        return false;
+
+    const Instruction &inst = di.inst;
+    if (inst.isLoad()) {
+        // An older store with an unresolved address but the same base
+        // register and displacement is about to write the load's
+        // location (the spill-slot update idiom): the reuse would be
+        // stale. Suppress regardless of value readiness.
+        for (const SqEntry &e : sq) {
+            if (e.seq >= di.seq)
+                break;
+            if (e.resolved)
+                continue;
+            auto it = robIndex.find(e.seq);
+            const DynInst *st =
+                it == robIndex.end() ? nullptr : it->second;
+            if (st && st->psrc1 == di.psrc1 && st->inst.imm == inst.imm)
+                return true;
+        }
+        if (!regState.ready(res.preg) || !regState.ready(di.psrc1))
+            return false;
+        const Addr addr = pregValue[di.psrc1] + u64(s64(inst.imm));
+        const u64 correct = loadResult(
+            inst, memReadOverlay(addr, inst.accessSize(), di.seq));
+        return correct != pregValue[res.preg];
+    }
+
+    if (!regState.ready(res.preg))
+        return false;
+    const u64 current = pregValue[res.preg];
+    if (di.hasSrc1 && !regState.ready(di.psrc1))
+        return false;
+    if (di.hasSrc2 && !regState.ready(di.psrc2))
+        return false;
+    const u64 a = di.hasSrc1 ? pregValue[di.psrc1] : 0;
+    const u64 b = di.hasSrc2 ? pregValue[di.psrc2] : 0;
+    return aluCompute(inst, a, b) != current;
+}
+
+void
+Core::applyIntegration(DynInst &di, const IntegrationResult &res)
+{
+    di.integrated = true;
+    di.reverseIntegrated = res.reverse;
+    di.producerSeq = res.producerSeq;
+    di.sourceEntry = res.entryHandle;
+
+    if (res.isBranch) {
+        // Outcome reuse: resolve the branch right now.
+        di.actualTaken = res.taken;
+        di.actualTarget = InstAddr(u32(di.inst.imm));
+        di.resolved = true;
+        di.integStatus = IntegStatus::Retire; // producer outcome known
+        completeNow(di, cycle);
+        return;
+    }
+
+    // Figure-5 status/refcount accounting, observed pre-increment.
+    const u8 count_before = regState.count(res.preg);
+    if (count_before == 0) {
+        di.integStatus = IntegStatus::ShadowSquash;
+    } else if (DynInst *prod = findInst(res.producerSeq)) {
+        di.integStatus = prod->issued ? IntegStatus::Issue
+                                      : IntegStatus::Rename;
+    } else {
+        di.integStatus = IntegStatus::Retire;
+    }
+
+    regState.addRef(res.preg);
+    di.refcountAfter = regState.count(res.preg);
+
+    const LogReg dst = di.inst.rc;
+    di.hasDest = true;
+    di.pdest = res.preg;
+    di.gdest = res.gen;
+    di.oldDest = map[dst].preg;
+    di.oldDestGen = map[dst].gen;
+    di.oldDestValid = true;
+    map[dst] = {res.preg, res.gen};
+
+    if (regState.ready(res.preg)) {
+        completeNow(di, cycle);
+    } else {
+        integWaiters[res.preg].push_back(di.seq);
+    }
+}
+
+void
+Core::finishRenameCommon(DynInst &di)
+{
+    di.renamed = true;
+    di.renameCycle = cycle;
+    di.renameStreamPos = ++renameStreamPos;
+    di.earliestIssue = cycle + p.issueDelay();
+    ++stats_.renamed;
+}
+
+bool
+Core::renameOne(std::unique_ptr<DynInst> &inst_ptr)
+{
+    DynInst &di = *inst_ptr;
+    const Instruction &inst = di.inst;
+
+    // ---- structural resource checks (stall = leave in fetch queue) ----
+    if (rob.size() >= p.robSize)
+        return false;
+    if (inst.isMem() && lq.size() + sq.size() >= p.maxMemOps)
+        return false;
+
+    // ---- source mapping ----
+    di.hasSrc1 = inst.hasSrc1();
+    di.hasSrc2 = inst.hasSrc2();
+    if (di.hasSrc1) {
+        const Mapping m = lookupMap(inst.src1());
+        di.psrc1 = m.preg;
+        di.gsrc1 = m.gen;
+    }
+    if (di.hasSrc2) {
+        const Mapping m = lookupMap(inst.src2());
+        di.psrc2 = m.preg;
+        di.gsrc2 = m.gen;
+    }
+
+    // ---- integration attempt ----
+    RenameCandidate cand;
+    cand.inst = inst;
+    cand.pc = di.pc;
+    cand.callDepth = di.pred.callDepth;
+    cand.seq = renameStreamPos + 1; // position this inst will take
+    cand.hasSrc1 = di.hasSrc1;
+    cand.hasSrc2 = di.hasSrc2;
+    cand.src1 = di.psrc1;
+    cand.src2 = di.psrc2;
+    cand.src1Gen = di.gsrc1;
+    cand.src2Gen = di.gsrc2;
+
+    IntegrationResult res = integ.tryIntegrate(cand);
+    if (res.suppressed)
+        ++stats_.lispFalseCandidates;
+    if (res.integrated && p.integ.lisp == LispMode::Oracle &&
+        oracleWouldMisintegrate(di, res)) {
+        ++stats_.oracleSuppressions;
+        res = IntegrationResult{};
+    }
+
+    if (res.integrated) {
+        finishRenameCommon(di);
+        applyIntegration(di, res);
+        // Reverse entries for stack-pointer decrements are created even
+        // when the decrement itself integrated.
+        integ.recordEntries(cand, di.hasDest, di.pdest, di.gdest,
+                            /*integrated=*/true);
+
+        const bool redirect =
+            di.resolved && di.actualNextPc() != di.predictedNextPc();
+        DynInst *raw = inst_ptr.get();
+        robIndex[di.seq] = raw;
+        rob.push_back(std::move(inst_ptr));
+        if (redirect) {
+            // Early (rename-time) branch resolution: the front end is
+            // on the wrong path.
+            raw->mispredicted = true;
+            ++stats_.branchMispredicts;
+            squashFrom(*raw, /*include_boundary=*/false,
+                       raw->actualNextPc(), p.squashPenalty);
+        }
+        return true;
+    }
+
+    // ---- normal rename path ----
+    di.needsRs = needsReservationStation(inst);
+    if (di.needsRs && rsBusy >= p.rsSize)
+        return false;
+    if (inst.writesReg() && !regState.canAllocate())
+        return false;
+
+    if (inst.writesReg()) {
+        const LogReg dst = inst.rc;
+        di.hasDest = true;
+        di.pdest = regState.allocate();
+        di.gdest = regState.gen(di.pdest);
+        di.oldDest = map[dst].preg;
+        di.oldDestGen = map[dst].gen;
+        di.oldDestValid = true;
+        map[dst] = {di.pdest, di.gdest};
+    }
+
+    finishRenameCommon(di);
+    cand.seq = di.renameStreamPos;
+    di.createdEntry = integ.recordEntries(cand, di.hasDest, di.pdest,
+                                          di.gdest, /*integrated=*/false);
+
+    if (di.needsRs) {
+        ++rsBusy;
+        di.inRs = true;
+    }
+
+    // Queue allocation for memory operations.
+    if (inst.isLoad()) {
+        lq.push_back(LqEntry{di.seq, 0, inst.accessSize(), false, 0});
+        di.lqIdx = 0; // marker: owns an LQ entry
+    } else if (inst.isStore()) {
+        sq.push_back(SqEntry{di.seq, 0, inst.accessSize(), 0, false});
+        di.sqIdx = 0; // marker: owns an SQ entry
+    }
+
+    // Instructions that never enter the execution engine.
+    switch (inst.cls()) {
+      case InstClass::Jump:
+        di.resolved = true;
+        di.actualTaken = true;
+        di.actualTarget = InstAddr(u32(inst.imm));
+        completeNow(di, cycle);
+        break;
+      case InstClass::Call:
+        di.resolved = true;
+        di.actualTaken = true;
+        di.actualTarget = InstAddr(u32(inst.imm));
+        pregValue[di.pdest] = di.pc + 1;
+        regState.markReady(di.pdest);
+        completeNow(di, cycle);
+        break;
+      case InstClass::Syscall:
+        // Architecturally executed at retirement by the golden model;
+        // the register result (always zero) is available immediately.
+        if (di.hasDest) {
+            pregValue[di.pdest] = 0;
+            regState.markReady(di.pdest);
+        }
+        completeNow(di, cycle);
+        break;
+      case InstClass::Nop:
+      case InstClass::Halt:
+        completeNow(di, cycle);
+        break;
+      default:
+        break;
+    }
+
+    robIndex[di.seq] = inst_ptr.get();
+    rob.push_back(std::move(inst_ptr));
+    return true;
+}
+
+void
+Core::renameStage()
+{
+    for (unsigned w = 0; w < p.renameWidth; ++w) {
+        if (fetchQueue.empty())
+            return;
+        if (fetchQueue.front()->renameReadyCycle > cycle)
+            return;
+        // Detach the head so a rename-time redirect (which clears the
+        // fetch queue) cannot invalidate it mid-flight.
+        std::unique_ptr<DynInst> inst_ptr = std::move(fetchQueue.front());
+        fetchQueue.pop_front();
+        if (!renameOne(inst_ptr)) {
+            // Structural stall: put it back and stop renaming.
+            fetchQueue.push_front(std::move(inst_ptr));
+            return;
+        }
+    }
+}
+
+} // namespace rix

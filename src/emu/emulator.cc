@@ -1,0 +1,226 @@
+#include "emu/emulator.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+u64
+aluCompute(const Instruction &inst, u64 a, u64 b)
+{
+    const s64 sa = s64(a);
+    const s64 sb = s64(b);
+    const s64 imm = inst.imm;
+    switch (inst.op) {
+      case Opcode::ADDQ: return a + b;
+      case Opcode::SUBQ: return a - b;
+      case Opcode::AND: return a & b;
+      case Opcode::BIS: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SLL: return a << (b & 63);
+      case Opcode::SRL: return a >> (b & 63);
+      case Opcode::SRA: return u64(sa >> (b & 63));
+      case Opcode::CMPEQ: return a == b;
+      case Opcode::CMPLT: return sa < sb;
+      case Opcode::CMPLE: return sa <= sb;
+      case Opcode::ADDQI: return a + u64(imm);
+      case Opcode::SUBQI: return a - u64(imm);
+      case Opcode::ANDI: return a & u64(imm);
+      case Opcode::BISI: return a | u64(imm);
+      case Opcode::XORI: return a ^ u64(imm);
+      case Opcode::SLLI: return a << (imm & 63);
+      case Opcode::SRLI: return a >> (imm & 63);
+      case Opcode::SRAI: return u64(sa >> (imm & 63));
+      case Opcode::CMPEQI: return sa == imm;
+      case Opcode::CMPLTI: return sa < imm;
+      case Opcode::CMPLEI: return sa <= imm;
+      case Opcode::LDA: return a + u64(imm);
+      case Opcode::MULQ: return a * b;
+      case Opcode::MULQI: return a * u64(imm);
+      case Opcode::DIVQ:
+        if (sb == 0)
+            return 0;
+        if (sa == INT64_MIN && sb == -1)
+            return a;
+        return u64(sa / sb);
+      // FP-class: fixed-point substitutes (documented in DESIGN.md).
+      case Opcode::FADD: return a + b;
+      case Opcode::FMUL: return u64((sa * sb) >> 8);
+      case Opcode::FDIV:
+        if (sb == 0)
+            return 0;
+        if (sa == INT64_MIN && sb == -1)
+            return a;
+        return u64((sa << 8) / sb);
+      case Opcode::JSR: return 0; // link value is PC-relative, set by caller
+      case Opcode::SYSCALL: return 0;
+      default:
+        rix_panic("aluCompute: %s has no ALU function",
+                  opName(inst.op));
+    }
+}
+
+bool
+branchTaken(const Instruction &inst, u64 a)
+{
+    const s64 sa = s64(a);
+    switch (inst.op) {
+      case Opcode::BEQ: return sa == 0;
+      case Opcode::BNE: return sa != 0;
+      case Opcode::BLT: return sa < 0;
+      case Opcode::BGE: return sa >= 0;
+      case Opcode::BGT: return sa > 0;
+      case Opcode::BLE: return sa <= 0;
+      default:
+        rix_panic("branchTaken: %s is not a conditional branch",
+                  opName(inst.op));
+    }
+}
+
+Emulator::Emulator(const Program &p) : prog(p)
+{
+    reset();
+}
+
+void
+Emulator::reset()
+{
+    mem.clear();
+    mem.writeBlock(prog.dataBase, prog.data);
+    for (auto &r : regs)
+        r = 0;
+    regs[regSp] = prog.stackBase;
+    regs[regGp] = prog.dataBase;
+    pcReg = prog.entry;
+    isHalted = false;
+    icount = 0;
+    out.clear();
+}
+
+void
+Emulator::setReg(LogReg r, u64 v)
+{
+    if (r != regZero)
+        regs[r] = v;
+}
+
+StepResult
+Emulator::preview() const
+{
+    StepResult res;
+    res.pc = pcReg;
+    if (isHalted) {
+        res.halted = true;
+        return res;
+    }
+
+    const Instruction inst = prog.fetch(pcReg);
+    res.inst = inst;
+    InstAddr next = pcReg + 1;
+
+    const u64 a = reg(inst.src1());
+    const u64 b = reg(inst.src2());
+
+    switch (inst.cls()) {
+      case InstClass::SimpleInt:
+      case InstClass::ComplexInt:
+      case InstClass::FloatOp:
+        res.destValue = aluCompute(inst, a, b);
+        res.wroteReg = inst.writesReg();
+        break;
+      case InstClass::Load: {
+        const Addr addr = a + u64(s64(inst.imm));
+        res.isMemAccess = true;
+        res.memAddr = addr;
+        u64 v = mem.read(addr, inst.accessSize());
+        if (inst.op == Opcode::LDL)
+            v = u64(s64(s32(u32(v))));
+        res.destValue = v;
+        res.wroteReg = inst.writesReg();
+        break;
+      }
+      case InstClass::Store: {
+        const Addr addr = a + u64(s64(inst.imm));
+        res.isMemAccess = true;
+        res.memAddr = addr;
+        res.destValue = b; // the stored data
+        break;
+      }
+      case InstClass::Branch:
+        if (branchTaken(inst, a))
+            next = InstAddr(u32(inst.imm));
+        break;
+      case InstClass::Jump:
+        next = InstAddr(u32(inst.imm));
+        break;
+      case InstClass::Call:
+        res.destValue = pcReg + 1;
+        res.wroteReg = inst.writesReg();
+        next = InstAddr(u32(inst.imm));
+        break;
+      case InstClass::IndirectJump:
+      case InstClass::Return:
+        next = InstAddr(a);
+        break;
+      case InstClass::Syscall:
+        res.destValue = 0;
+        res.wroteReg = inst.writesReg();
+        break;
+      case InstClass::Nop:
+        break;
+      case InstClass::Halt:
+        res.halted = true;
+        next = pcReg;
+        break;
+    }
+
+    if (res.wroteReg)
+        res.destReg = inst.rc;
+    res.nextPc = next;
+    return res;
+}
+
+void
+Emulator::commit(const StepResult &res)
+{
+    if (isHalted)
+        return;
+    const Instruction &inst = res.inst;
+    if (inst.isStore()) {
+        mem.write(res.memAddr, res.destValue, inst.accessSize());
+    } else if (inst.isSyscall() &&
+               SyscallCode(inst.imm) == SyscallCode::Emit) {
+        out.push_back(reg(inst.src1()));
+    } else if (inst.isHalt()) {
+        isHalted = true;
+    }
+    if (res.wroteReg)
+        setReg(res.destReg, res.destValue);
+    pcReg = res.nextPc;
+    ++icount;
+}
+
+StepResult
+Emulator::step()
+{
+    if (isHalted) {
+        StepResult res;
+        res.pc = pcReg;
+        res.halted = true;
+        return res;
+    }
+    StepResult res = preview();
+    commit(res);
+    return res;
+}
+
+u64
+Emulator::run(u64 max_steps)
+{
+    const u64 start = icount;
+    while (!isHalted && icount - start < max_steps)
+        step();
+    return icount - start;
+}
+
+} // namespace rix

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * In-order functional emulator.
+ *
+ * Executes a Program architecturally, one instruction per step. Three
+ * consumers:
+ *   1. standalone golden-model runs (tests, workload validation),
+ *   2. the DIVA checker, which steps the emulator in lockstep with
+ *      retirement and compares every result the out-of-order core
+ *      produced (mis-integration detection),
+ *   3. examples that want architectural traces.
+ */
+
+#ifndef RIX_EMU_EMULATOR_HH
+#define RIX_EMU_EMULATOR_HH
+
+#include <vector>
+
+#include "assembler/program.hh"
+#include "emu/memory.hh"
+
+namespace rix
+{
+
+/** Pure ALU function: computes an instruction's result value.
+ *
+ * @param inst the instruction (must have a destination or be a store)
+ * @param a    value of src1 (ra), zero if unused
+ * @param b    value of src2 (rb), zero if unused
+ * @return destination value (for stores: the store data, i.e. b)
+ */
+u64 aluCompute(const Instruction &inst, u64 a, u64 b);
+
+/** Branch condition evaluation for conditional branches. */
+bool branchTaken(const Instruction &inst, u64 a);
+
+/** Result of one architectural step, for tracing and DIVA comparison. */
+struct StepResult
+{
+    InstAddr pc = 0;
+    Instruction inst;
+    InstAddr nextPc = 0;
+    bool wroteReg = false;
+    LogReg destReg = regZero;
+    u64 destValue = 0;
+    bool isMemAccess = false;
+    Addr memAddr = 0;
+    bool halted = false;
+};
+
+class Emulator
+{
+  public:
+    explicit Emulator(const Program &prog);
+
+    /** Reset architectural state to the program's initial image. */
+    void reset();
+
+    /** Execute one instruction; no-op (halted result) after HALT. */
+    StepResult step();
+
+    /**
+     * Compute the next step's effects without committing them (the DIVA
+     * checker's comparison path). commit() applies a previewed step.
+     */
+    StepResult preview() const;
+    void commit(const StepResult &res);
+
+    /** Run until HALT or @p max_steps; returns instructions executed. */
+    u64 run(u64 max_steps = 100'000'000);
+
+    bool halted() const { return isHalted; }
+    InstAddr pc() const { return pcReg; }
+    u64 reg(LogReg r) const { return r == regZero ? 0 : regs[r]; }
+    void setReg(LogReg r, u64 v);
+    const Memory &memory() const { return mem; }
+    Memory &memory() { return mem; }
+    u64 instsExecuted() const { return icount; }
+
+    /** Values emitted via SyscallCode::Emit, in order. */
+    const std::vector<u64> &output() const { return out; }
+
+    const Program &program() const { return prog; }
+
+  private:
+    const Program &prog;
+    Memory mem;
+    u64 regs[numLogRegs] = {};
+    InstAddr pcReg = 0;
+    bool isHalted = false;
+    u64 icount = 0;
+    std::vector<u64> out;
+};
+
+} // namespace rix
+
+#endif // RIX_EMU_EMULATOR_HH

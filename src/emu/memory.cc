@@ -1,0 +1,82 @@
+#include "emu/memory.hh"
+
+#include <cstring>
+
+namespace rix
+{
+
+const Memory::Page *
+Memory::findPage(Addr addr) const
+{
+    auto it = pages.find(addr / pageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::touchPage(Addr addr)
+{
+    auto &slot = pages[addr / pageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+u64
+Memory::read(Addr addr, unsigned size) const
+{
+    u64 val = 0;
+    // Fast path: access within one page.
+    const unsigned off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        if (const Page *p = findPage(addr))
+            memcpy(&val, p->data() + off, size);
+        return val;
+    }
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        if (const Page *p = findPage(a))
+            val |= u64((*p)[a % pageBytes]) << (8 * i);
+    }
+    return val;
+}
+
+void
+Memory::write(Addr addr, u64 value, unsigned size)
+{
+    const unsigned off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        memcpy(touchPage(addr).data() + off, &value, size);
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        touchPage(a)[a % pageBytes] = u8(value >> (8 * i));
+    }
+}
+
+void
+Memory::writeBlock(Addr addr, const std::vector<u8> &bytes)
+{
+    for (size_t i = 0; i < bytes.size(); ++i)
+        write8(addr + i, bytes[i]);
+}
+
+bool
+Memory::contentEquals(const Memory &other) const
+{
+    static const Page zeroPage = {};
+    auto covered = [&](const Memory &a, const Memory &b) {
+        for (const auto &[pn, page] : a.pages) {
+            auto it = b.pages.find(pn);
+            const Page &rhs = it == b.pages.end() ? zeroPage : *it->second;
+            if (memcmp(page->data(), rhs.data(), pageBytes) != 0)
+                return false;
+        }
+        return true;
+    };
+    return covered(*this, other) && covered(other, *this);
+}
+
+} // namespace rix

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sparse byte-addressed simulated memory.
+ *
+ * Backed by 4 KiB pages allocated on first touch; untouched memory reads
+ * as zero. This makes wrong-path accesses (which may compute arbitrary
+ * addresses) safe and deterministic.
+ */
+
+#ifndef RIX_EMU_MEMORY_HH
+#define RIX_EMU_MEMORY_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+class Memory
+{
+  public:
+    static constexpr unsigned pageBytes = 4096;
+
+    /** Read @p size (1/2/4/8) bytes, little-endian. */
+    u64 read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value, little-endian. */
+    void write(Addr addr, u64 value, unsigned size);
+
+    u64 read64(Addr a) const { return read(a, 8); }
+    u32 read32(Addr a) const { return u32(read(a, 4)); }
+    u8 read8(Addr a) const { return u8(read(a, 1)); }
+    void write64(Addr a, u64 v) { write(a, v, 8); }
+    void write32(Addr a, u32 v) { write(a, v, 4); }
+    void write8(Addr a, u8 v) { write(a, v, 1); }
+
+    /** Bulk image load (program data segments). */
+    void writeBlock(Addr addr, const std::vector<u8> &bytes);
+
+    /** Number of materialized pages. */
+    size_t numPages() const { return pages.size(); }
+
+    /** Deep content comparison (only materialized, non-zero bytes). */
+    bool contentEquals(const Memory &other) const;
+
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::array<u8, pageBytes>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<u64, std::unique_ptr<Page>> pages;
+};
+
+} // namespace rix
+
+#endif // RIX_EMU_MEMORY_HH

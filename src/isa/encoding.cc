@@ -1,0 +1,38 @@
+#include "isa/encoding.hh"
+
+#include "base/bitutil.hh"
+
+namespace rix
+{
+
+u64
+encode(const Instruction &inst)
+{
+    u64 w = 0;
+    w |= (u64(inst.op) & mask(8)) << 56;
+    w |= (u64(inst.ra) & mask(5)) << 51;
+    w |= (u64(inst.rb) & mask(5)) << 46;
+    w |= (u64(inst.rc) & mask(5)) << 41;
+    w |= u64(u32(inst.imm));
+    return w;
+}
+
+Instruction
+decode(u64 word, bool *ok)
+{
+    Instruction inst;
+    const u64 opfield = bits(word, 63, 56);
+    const bool valid = opfield < numOpcodes;
+    if (ok)
+        *ok = valid;
+    if (!valid)
+        return makeNop();
+    inst.op = Opcode(opfield);
+    inst.ra = LogReg(bits(word, 55, 51));
+    inst.rb = LogReg(bits(word, 50, 46));
+    inst.rc = LogReg(bits(word, 45, 41));
+    inst.imm = s32(u32(bits(word, 31, 0)));
+    return inst;
+}
+
+} // namespace rix

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * 64-bit machine encoding of instructions.
+ *
+ * Layout (EV6-like fixed width, widened to hold 32-bit immediates):
+ *
+ *   [63:56] opcode   [55:51] ra   [50:46] rb   [45:41] rc
+ *   [40:32] reserved (zero)       [31:0]  immediate (two's complement)
+ *
+ * Round-trips losslessly with decode(); used by the assembler's binary
+ * output path and by encode/decode conformance tests.
+ */
+
+#ifndef RIX_ISA_ENCODING_HH
+#define RIX_ISA_ENCODING_HH
+
+#include "isa/inst.hh"
+
+namespace rix
+{
+
+/** Pack an instruction into its 64-bit machine word. */
+u64 encode(const Instruction &inst);
+
+/**
+ * Unpack a machine word.
+ * @param word the encoded instruction
+ * @param ok   set false when the opcode field is invalid
+ */
+Instruction decode(u64 word, bool *ok = nullptr);
+
+} // namespace rix
+
+#endif // RIX_ISA_ENCODING_HH

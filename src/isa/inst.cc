@@ -1,0 +1,153 @@
+#include "isa/inst.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpTraits &t = inst.traits();
+    switch (inst.cls()) {
+      case InstClass::Load:
+        return strfmt("%s r%u, %d(r%u)", t.mnemonic, inst.rc, inst.imm,
+                      inst.ra);
+      case InstClass::Store:
+        return strfmt("%s r%u, %d(r%u)", t.mnemonic, inst.rb, inst.imm,
+                      inst.ra);
+      case InstClass::Branch:
+        return strfmt("%s r%u, @%d", t.mnemonic, inst.ra, inst.imm);
+      case InstClass::Jump:
+        return strfmt("%s @%d", t.mnemonic, inst.imm);
+      case InstClass::Call:
+        return strfmt("%s @%d, r%u", t.mnemonic, inst.imm, inst.rc);
+      case InstClass::IndirectJump:
+      case InstClass::Return:
+        return strfmt("%s r%u", t.mnemonic, inst.ra);
+      case InstClass::Syscall:
+        return strfmt("%s %d", t.mnemonic, inst.imm);
+      case InstClass::Nop:
+      case InstClass::Halt:
+        return t.mnemonic;
+      default:
+        break;
+    }
+    if (t.hasImm) {
+        if (inst.op == Opcode::LDA)
+            return strfmt("%s r%u, %d(r%u)", t.mnemonic, inst.rc, inst.imm,
+                          inst.ra);
+        return strfmt("%s r%u, r%u, %d", t.mnemonic, inst.rc, inst.ra,
+                      inst.imm);
+    }
+    return strfmt("%s r%u, r%u, r%u", t.mnemonic, inst.rc, inst.ra, inst.rb);
+}
+
+Instruction
+makeRR(Opcode op, LogReg rc, LogReg ra, LogReg rb)
+{
+    Instruction i;
+    i.op = op;
+    i.rc = rc;
+    i.ra = ra;
+    i.rb = rb;
+    return i;
+}
+
+Instruction
+makeRI(Opcode op, LogReg rc, LogReg ra, s32 imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rc = rc;
+    i.ra = ra;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLoad(Opcode op, LogReg rc, s32 imm, LogReg base)
+{
+    Instruction i;
+    i.op = op;
+    i.rc = rc;
+    i.ra = base;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeStore(Opcode op, LogReg data, s32 imm, LogReg base)
+{
+    Instruction i;
+    i.op = op;
+    i.rb = data;
+    i.ra = base;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeBranch(Opcode op, LogReg ra, s32 target)
+{
+    Instruction i;
+    i.op = op;
+    i.ra = ra;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+makeJump(s32 target)
+{
+    Instruction i;
+    i.op = Opcode::BR;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+makeCall(s32 target, LogReg link)
+{
+    Instruction i;
+    i.op = Opcode::JSR;
+    i.rc = link;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+makeIndirect(Opcode op, LogReg ra)
+{
+    Instruction i;
+    i.op = op;
+    i.ra = ra;
+    return i;
+}
+
+Instruction
+makeSyscall(s32 code, LogReg arg, LogReg result)
+{
+    Instruction i;
+    i.op = Opcode::SYSCALL;
+    i.imm = code;
+    i.ra = arg;
+    i.rc = result;
+    return i;
+}
+
+Instruction
+makeNop()
+{
+    return Instruction{};
+}
+
+Instruction
+makeHalt()
+{
+    Instruction i;
+    i.op = Opcode::HALT;
+    return i;
+}
+
+} // namespace rix

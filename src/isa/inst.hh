@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Static instruction representation.
+ *
+ * Code memory holds decoded Instruction records directly (the packed
+ * 64-bit machine encoding lives in isa/encoding.hh and round-trips
+ * losslessly). PCs are instruction-slot indices; branch/jump targets are
+ * absolute slot indices resolved by the assembler.
+ */
+
+#ifndef RIX_ISA_INST_HH
+#define RIX_ISA_INST_HH
+
+#include <string>
+
+#include "base/types.hh"
+#include "isa/opcode.hh"
+#include "isa/regs.hh"
+
+namespace rix
+{
+
+/**
+ * One static instruction.
+ *
+ * Field conventions by format:
+ *  - reg-reg ALU:  rc = ra op rb
+ *  - reg-imm ALU:  rc = ra op imm          (lda rc, imm(ra) included)
+ *  - load:         rc = M[ra + imm]
+ *  - store:        M[ra + imm] = rb
+ *  - branch:       if cond(ra) goto imm    (absolute slot index)
+ *  - jsr:          rc = link; goto imm
+ *  - jmp/ret:      goto ra
+ *  - syscall:      rc = sys(imm, ra)
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    LogReg ra = regZero;
+    LogReg rb = regZero;
+    LogReg rc = regZero;
+    s32 imm = 0;
+
+    const OpTraits &traits() const { return opTraits(op); }
+    InstClass cls() const { return traits().cls; }
+
+    bool isLoad() const { return cls() == InstClass::Load; }
+    bool isStore() const { return cls() == InstClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isCondBranch() const { return cls() == InstClass::Branch; }
+    bool isDirectJump() const { return cls() == InstClass::Jump; }
+    bool isCall() const { return cls() == InstClass::Call; }
+    bool isReturn() const { return cls() == InstClass::Return; }
+    bool isIndirectJump() const { return cls() == InstClass::IndirectJump; }
+    bool isSyscall() const { return cls() == InstClass::Syscall; }
+    bool isHalt() const { return cls() == InstClass::Halt; }
+    bool isNop() const { return cls() == InstClass::Nop; }
+
+    /** Any instruction that can redirect the PC. */
+    bool
+    isControl() const
+    {
+        switch (cls()) {
+          case InstClass::Branch:
+          case InstClass::Jump:
+          case InstClass::IndirectJump:
+          case InstClass::Call:
+          case InstClass::Return:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Writes an architectural register (and the write is not to r31). */
+    bool
+    writesReg() const
+    {
+        return traits().hasDest && rc != regZero;
+    }
+
+    /** First source register, or regZero when unused. */
+    LogReg src1() const { return traits().readsRa ? ra : regZero; }
+
+    /** Second source register, or regZero when unused. */
+    LogReg src2() const { return traits().readsRb ? rb : regZero; }
+
+    bool hasSrc1() const { return traits().readsRa; }
+    bool hasSrc2() const { return traits().readsRb; }
+
+    /** Memory access size; only valid for loads/stores. */
+    unsigned accessSize() const { return memAccessSize(op); }
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** Render one instruction as assembler text. */
+std::string disassemble(const Instruction &inst);
+
+// --- Construction helpers (used by the builder, tests and examples) ---
+
+Instruction makeRR(Opcode op, LogReg rc, LogReg ra, LogReg rb);
+Instruction makeRI(Opcode op, LogReg rc, LogReg ra, s32 imm);
+Instruction makeLoad(Opcode op, LogReg rc, s32 imm, LogReg base);
+Instruction makeStore(Opcode op, LogReg data, s32 imm, LogReg base);
+Instruction makeBranch(Opcode op, LogReg ra, s32 target);
+Instruction makeJump(s32 target);
+Instruction makeCall(s32 target, LogReg link = regRa);
+Instruction makeIndirect(Opcode op, LogReg ra);
+Instruction makeSyscall(s32 code, LogReg arg = regZero,
+                        LogReg result = regZero);
+Instruction makeNop();
+Instruction makeHalt();
+
+} // namespace rix
+
+#endif // RIX_ISA_INST_HH

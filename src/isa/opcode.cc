@@ -1,0 +1,91 @@
+#include "isa/opcode.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+// Order must match the Opcode enumeration exactly.
+const OpTraits traitsTable[numOpcodes] = {
+    // mnemonic  class                  lat dst  ra     rb     imm
+    {"addq",    InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"subq",    InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"and",     InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"bis",     InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"xor",     InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"sll",     InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"srl",     InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"sra",     InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"cmpeq",   InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"cmplt",   InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"cmple",   InstClass::SimpleInt,   1, true,  true,  true,  false},
+    {"addqi",   InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"subqi",   InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"andi",    InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"bisi",    InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"xori",    InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"slli",    InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"srli",    InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"srai",    InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"cmpeqi",  InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"cmplti",  InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"cmplei",  InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"lda",     InstClass::SimpleInt,   1, true,  true,  false, true},
+    {"mulq",    InstClass::ComplexInt,  3, true,  true,  true,  false},
+    {"mulqi",   InstClass::ComplexInt,  3, true,  true,  false, true},
+    {"divq",    InstClass::ComplexInt, 12, true,  true,  true,  false},
+    {"fadd",    InstClass::FloatOp,     2, true,  true,  true,  false},
+    {"fmul",    InstClass::FloatOp,     4, true,  true,  true,  false},
+    {"fdiv",    InstClass::FloatOp,    12, true,  true,  true,  false},
+    {"ldq",     InstClass::Load,        1, true,  true,  false, true},
+    {"ldl",     InstClass::Load,        1, true,  true,  false, true},
+    {"stq",     InstClass::Store,       1, false, true,  true,  true},
+    {"stl",     InstClass::Store,       1, false, true,  true,  true},
+    {"br",      InstClass::Jump,        1, false, false, false, true},
+    {"beq",     InstClass::Branch,      1, false, true,  false, true},
+    {"bne",     InstClass::Branch,      1, false, true,  false, true},
+    {"blt",     InstClass::Branch,      1, false, true,  false, true},
+    {"bge",     InstClass::Branch,      1, false, true,  false, true},
+    {"bgt",     InstClass::Branch,      1, false, true,  false, true},
+    {"ble",     InstClass::Branch,      1, false, true,  false, true},
+    {"jsr",     InstClass::Call,        1, true,  false, false, true},
+    {"jmp",     InstClass::IndirectJump,1, false, true,  false, false},
+    {"ret",     InstClass::Return,      1, false, true,  false, false},
+    {"syscall", InstClass::Syscall,     1, true,  true,  false, true},
+    {"nop",     InstClass::Nop,         1, false, false, false, false},
+    {"halt",    InstClass::Halt,        1, false, false, false, false},
+};
+
+} // namespace
+
+const OpTraits &
+opTraits(Opcode op)
+{
+    const auto idx = unsigned(op);
+    if (idx >= numOpcodes)
+        rix_panic("opTraits: bad opcode %u", idx);
+    return traitsTable[idx];
+}
+
+const char *
+opName(Opcode op)
+{
+    return opTraits(op).mnemonic;
+}
+
+Opcode
+opFromName(const char *name)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        if (strcmp(traitsTable[i].mnemonic, name) == 0)
+            return Opcode(i);
+    }
+    return Opcode::NUM_OPCODES;
+}
+
+} // namespace rix

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Opcode enumeration and static per-opcode traits.
+ *
+ * The opcode set is a compact Alpha-EV6-like 64-bit integer ISA plus a
+ * small "FP-class" group (fixed-point substitutes that occupy the
+ * complex-operation issue ports, documented in DESIGN.md). The traits
+ * table drives decode, functional execution, issue-port selection and
+ * the integration policy (which classes integrate, which create reverse
+ * entries).
+ */
+
+#ifndef RIX_ISA_OPCODE_HH
+#define RIX_ISA_OPCODE_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+enum class Opcode : u8
+{
+    // Simple integer, register-register: rc = ra op rb.
+    ADDQ, SUBQ, AND, BIS, XOR, SLL, SRL, SRA,
+    CMPEQ, CMPLT, CMPLE,
+    // Simple integer, register-immediate: rc = ra op imm.
+    ADDQI, SUBQI, ANDI, BISI, XORI, SLLI, SRLI, SRAI,
+    CMPEQI, CMPLTI, CMPLEI,
+    // Load address: rc = ra + imm (Alpha lda rc, imm(ra)).
+    LDA,
+    // Complex integer.
+    MULQ, MULQI, DIVQ,
+    // FP-class (complex ports; fixed-point datapath substitutes).
+    FADD, FMUL, FDIV,
+    // Memory: loads rc = M[ra + imm]; stores M[ra + imm] = rb.
+    LDQ, LDL, STQ, STL,
+    // Control. Conditional branches test ra against zero.
+    BR, BEQ, BNE, BLT, BGE, BGT, BLE,
+    JSR,    // direct call, link into rc
+    JMP,    // indirect jump through ra
+    RET,    // function return through ra (pops RAS)
+    // Misc.
+    SYSCALL, NOP, HALT,
+
+    NUM_OPCODES
+};
+
+constexpr unsigned numOpcodes = unsigned(Opcode::NUM_OPCODES);
+
+/** Syscall function codes (SYSCALL immediate field). */
+enum class SyscallCode : s32
+{
+    Emit = 1,   // append ra's value to the program output channel
+    Nop = 2,    // no effect (models an OS round trip)
+};
+
+/** Functional-unit / issue-port class of an instruction. */
+enum class InstClass : u8
+{
+    SimpleInt,  // 2 issue slots/cycle in the baseline
+    ComplexInt, // shares the 2 "FP or complex" slots
+    FloatOp,    // shares the 2 "FP or complex" slots
+    Load,       // 1 slot
+    Store,      // 1 slot
+    Branch,     // conditional; executes on a simple-int slot
+    Jump,       // unconditional direct (executed at decode, free)
+    IndirectJump,
+    Call,
+    Return,
+    Syscall,    // executed at retirement
+    Nop,
+    Halt,
+};
+
+/** Static properties of one opcode. */
+struct OpTraits
+{
+    const char *mnemonic;
+    InstClass cls;
+    u8 latency;     // execute latency in cycles
+    bool hasDest;   // writes rc
+    bool readsRa;
+    bool readsRb;
+    bool hasImm;
+};
+
+/** Look up the traits of @p op. */
+const OpTraits &opTraits(Opcode op);
+
+/** Mnemonic string of @p op. */
+const char *opName(Opcode op);
+
+/** Parse a mnemonic; returns NUM_OPCODES when unknown. */
+Opcode opFromName(const char *name);
+
+constexpr bool
+isLoadOp(Opcode op)
+{
+    return op == Opcode::LDQ || op == Opcode::LDL;
+}
+
+constexpr bool
+isStoreOp(Opcode op)
+{
+    return op == Opcode::STQ || op == Opcode::STL;
+}
+
+/** Memory access size in bytes for a load/store opcode. */
+constexpr unsigned
+memAccessSize(Opcode op)
+{
+    return (op == Opcode::LDQ || op == Opcode::STQ) ? 8 : 4;
+}
+
+/** The complementary load opcode for a store (reverse integration). */
+constexpr Opcode
+inverseOfStore(Opcode op)
+{
+    return op == Opcode::STQ ? Opcode::LDQ : Opcode::LDL;
+}
+
+/**
+ * True when the opcode has an arithmetic inverse usable for reverse
+ * integration of the stack pointer (add/sub with immediate, lda).
+ */
+constexpr bool
+hasArithmeticInverse(Opcode op)
+{
+    return op == Opcode::ADDQI || op == Opcode::SUBQI || op == Opcode::LDA;
+}
+
+} // namespace rix
+
+#endif // RIX_ISA_OPCODE_HH

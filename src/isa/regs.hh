@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Architectural register conventions.
+ *
+ * The ISA is Alpha-flavoured: 32 64-bit integer registers, with r31
+ * hard-wired to zero, r30 the stack pointer and r26 the return address.
+ * Registers r9-r15 are callee-saved ("s" registers) and r1-r8 / r16-r25
+ * caller-saved, mirroring the conventions the paper's stack save/restore
+ * idioms (register fills and spills) depend on.
+ */
+
+#ifndef RIX_ISA_REGS_HH
+#define RIX_ISA_REGS_HH
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+/** Number of architectural integer registers. */
+constexpr unsigned numLogRegs = 32;
+
+/** Hard-wired zero register. */
+constexpr LogReg regZero = 31;
+
+/** Stack pointer: the register reverse integration keys on. */
+constexpr LogReg regSp = 30;
+
+/** Return address (link) register. */
+constexpr LogReg regRa = 26;
+
+/** Global/data-segment base pointer by convention. */
+constexpr LogReg regGp = 29;
+
+/** First function-argument register (a0..a5 = r16..r21). */
+constexpr LogReg regA0 = 16;
+
+/** Function return-value register. */
+constexpr LogReg regV0 = 0;
+
+/** First callee-saved register (s0..s6 = r9..r15). */
+constexpr LogReg regS0 = 9;
+
+/** First caller-saved temporary (t0.. = r1..). */
+constexpr LogReg regT0 = 1;
+
+/** True for callee-saved ("s") registers. */
+constexpr bool
+isCalleeSaved(LogReg r)
+{
+    return r >= 9 && r <= 15;
+}
+
+} // namespace rix
+
+#endif // RIX_ISA_REGS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cycle-level bus occupancy model.
+ *
+ * A bus moves `widthBytes` per beat, one beat every `cyclesPerBeat` CPU
+ * cycles. Transfers are serialized: a request issued while the bus is
+ * busy waits for the bus to drain. This reproduces the paper's
+ * "backside bus 32 bytes at processor frequency / memory bus 32 bytes
+ * at one-quarter processor frequency, utilization modeled at the cycle
+ * level".
+ */
+
+#ifndef RIX_MEM_BUS_HH
+#define RIX_MEM_BUS_HH
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+class Bus
+{
+  public:
+    Bus(unsigned width_bytes, unsigned cycles_per_beat)
+        : widthBytes(width_bytes), cyclesPerBeat(cycles_per_beat)
+    {
+    }
+
+    /** Cycles needed to move @p bytes. */
+    Cycle
+    transferCycles(unsigned bytes) const
+    {
+        const unsigned beats = (bytes + widthBytes - 1) / widthBytes;
+        return Cycle(beats) * cyclesPerBeat;
+    }
+
+    /**
+     * Schedule a transfer of @p bytes at or after @p now.
+     * @return the cycle at which the transfer completes.
+     */
+    Cycle
+    transfer(Cycle now, unsigned bytes)
+    {
+        const Cycle start = now > nextFree ? now : nextFree;
+        const Cycle done = start + transferCycles(bytes);
+        nextFree = done;
+        busyCycles += done - start;
+        ++nTransfers;
+        return done;
+    }
+
+    Cycle busyUntil() const { return nextFree; }
+    u64 totalBusyCycles() const { return busyCycles; }
+    u64 transfers() const { return nTransfers; }
+
+  private:
+    unsigned widthBytes;
+    unsigned cyclesPerBeat;
+    Cycle nextFree = 0;
+    u64 busyCycles = 0;
+    u64 nTransfers = 0;
+};
+
+} // namespace rix
+
+#endif // RIX_MEM_BUS_HH

@@ -1,0 +1,90 @@
+#include "mem/hierarchy.hh"
+
+namespace rix
+{
+
+MemHierarchy::MemHierarchy(const MemHierarchyParams &params)
+    : p(params), l1iCache(p.l1i), l1dCache(p.l1d), l2Cache(p.l2),
+      itlbUnit(p.itlb), dtlbUnit(p.dtlb),
+      backsideBus(p.l2BusBytes, p.l2BusCyclesPerBeat),
+      memoryBus(p.memBusBytes, p.memBusCyclesPerBeat)
+{
+}
+
+Cycle
+MemHierarchy::fillFromMemory(Addr l2_line_addr, Cycle now)
+{
+    // The request travels on the (separate, uncontended) address path;
+    // only the returning line occupies the data bus. Misses therefore
+    // overlap up to the data-bus bandwidth, which is what lets the
+    // model expose memory-level parallelism.
+    const Addr byte_addr = l2_line_addr * p.l2.lineBytes;
+    (void)byte_addr;
+    const Cycle data_ready = now + p.memLatency;
+    return memoryBus.transfer(data_ready, p.l2.lineBytes);
+}
+
+Cycle
+MemHierarchy::fillFromL2(Addr l1_line_addr, Cycle now,
+                         unsigned l1_line_bytes)
+{
+    const Addr byte_addr = l1_line_addr * l1_line_bytes;
+    auto l2_miss = [this](Addr line, Cycle t) {
+        return fillFromMemory(line, t);
+    };
+    auto l2_wb = [this](Addr, Cycle t) {
+        // Dirty L2 victims occupy the memory data bus.
+        memoryBus.transfer(t, p.l2.lineBytes);
+    };
+    const CacheAccessResult r =
+        l2Cache.access(byte_addr, false, now, l2_miss, l2_wb);
+    // Line returns to L1 over the backside bus.
+    return backsideBus.transfer(r.ready, l1_line_bytes);
+}
+
+Cycle
+MemHierarchy::ifetch(Addr addr, Cycle now)
+{
+    const Cycle tlb_lat = itlbUnit.access(addr);
+    const Cycle start = now + tlb_lat;
+    auto miss = [this](Addr line, Cycle t) {
+        return fillFromL2(line, t, p.l1i.lineBytes);
+    };
+    auto wb = [this](Addr line, Cycle t) {
+        backsideBus.transfer(t, p.l1i.lineBytes);
+        l2Cache.access(line * p.l1i.lineBytes, true, t, nullptr, nullptr);
+    };
+    return l1iCache.access(addr, false, start, miss, wb).ready;
+}
+
+Cycle
+MemHierarchy::read(Addr addr, Cycle now)
+{
+    const Cycle tlb_lat = dtlbUnit.access(addr);
+    const Cycle start = now + tlb_lat;
+    auto miss = [this](Addr line, Cycle t) {
+        return fillFromL2(line, t, p.l1d.lineBytes);
+    };
+    auto wb = [this](Addr line, Cycle t) {
+        backsideBus.transfer(t, p.l1d.lineBytes);
+        l2Cache.access(line * p.l1d.lineBytes, true, t, nullptr, nullptr);
+    };
+    return l1dCache.access(addr, false, start, miss, wb).ready;
+}
+
+Cycle
+MemHierarchy::write(Addr addr, Cycle now)
+{
+    const Cycle tlb_lat = dtlbUnit.access(addr);
+    const Cycle start = now + tlb_lat;
+    auto miss = [this](Addr line, Cycle t) {
+        return fillFromL2(line, t, p.l1d.lineBytes);
+    };
+    auto wb = [this](Addr line, Cycle t) {
+        backsideBus.transfer(t, p.l1d.lineBytes);
+        l2Cache.access(line * p.l1d.lineBytes, true, t, nullptr, nullptr);
+    };
+    return l1dCache.access(addr, true, start, miss, wb).ready;
+}
+
+} // namespace rix

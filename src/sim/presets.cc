@@ -1,0 +1,44 @@
+#include "sim/presets.hh"
+
+namespace rix
+{
+
+CoreParams
+baselineParams()
+{
+    CoreParams p;   // defaults are the section 3.1 machine
+    p.integ.mode = IntegrationMode::Off;
+    return p;
+}
+
+CoreParams
+integrationParams(IntegrationMode mode, LispMode lisp)
+{
+    CoreParams p = baselineParams();
+    p.integ.mode = mode;
+    p.integ.lisp = lisp;
+    return p;
+}
+
+CoreParams
+reducedRsParams(const CoreParams &base)
+{
+    CoreParams p = base;
+    p.rsSize = 20;
+    return p;
+}
+
+CoreParams
+reducedIssueParams(const CoreParams &base)
+{
+    CoreParams p = base;
+    p.issueWidth = 3;
+    p.simpleIntSlots = 2;
+    p.complexSlots = 1;
+    p.loadSlots = 1;
+    p.storeSlots = 0;
+    p.sharedLoadStorePort = true;
+    return p;
+}
+
+} // namespace rix

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Canned machine configurations for the paper's experiments.
+ */
+
+#ifndef RIX_SIM_PRESETS_HH
+#define RIX_SIM_PRESETS_HH
+
+#include "cpu/params.hh"
+
+namespace rix
+{
+
+/** Paper section 3.1 baseline 4-way machine, integration OFF. */
+CoreParams baselineParams();
+
+/** Baseline with the given integration mode and LISP flavour. */
+CoreParams integrationParams(IntegrationMode mode,
+                             LispMode lisp = LispMode::Realistic);
+
+/** Figure 7 "RS": 20 reservation stations instead of 40. */
+CoreParams reducedRsParams(const CoreParams &base);
+
+/**
+ * Figure 7 "IW": 4-wide in-order section, 3-way issue with a single
+ * load/store port.
+ */
+CoreParams reducedIssueParams(const CoreParams &base);
+
+} // namespace rix
+
+#endif // RIX_SIM_PRESETS_HH

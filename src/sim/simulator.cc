@@ -1,0 +1,67 @@
+#include "sim/simulator.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+SimReport
+runSimulation(const Program &prog, const CoreParams &params,
+              u64 max_retired, Cycle max_cycles)
+{
+    Core core(prog, params);
+    core.run(max_retired, max_cycles);
+
+    SimReport rep;
+    rep.workload = prog.name;
+    rep.core = core.stats();
+    rep.halted = core.halted();
+    rep.l1dMisses = core.memHierarchy().l1d().misses();
+    rep.l1iMisses = core.memHierarchy().l1i().misses();
+    rep.l2Misses = core.memHierarchy().l2().misses();
+    rep.dtlbMisses = core.memHierarchy().dtlb().misses();
+    rep.itlbMisses = core.memHierarchy().itlb().misses();
+    return rep;
+}
+
+std::string
+verifyAgainstEmulator(const Program &prog, const CoreParams &params,
+                      u64 max_insts, Cycle max_cycles)
+{
+    Core core(prog, params);
+    core.run(max_insts, max_cycles);
+    if (!core.halted())
+        return strfmt("core did not halt within %llu insts / %llu cycles "
+                      "(retired %llu)",
+                      (unsigned long long)max_insts,
+                      (unsigned long long)max_cycles,
+                      (unsigned long long)core.stats().retired);
+
+    Emulator emu(prog);
+    emu.run(max_insts + 1);
+    if (!emu.halted())
+        return "emulator did not halt";
+
+    if (core.stats().retired != emu.instsExecuted())
+        return strfmt("retired count mismatch: core %llu vs emu %llu",
+                      (unsigned long long)core.stats().retired,
+                      (unsigned long long)emu.instsExecuted());
+
+    for (unsigned r = 0; r < numLogRegs; ++r) {
+        if (core.golden().reg(LogReg(r)) != emu.reg(LogReg(r)))
+            return strfmt("register r%u mismatch: core %llu vs emu %llu",
+                          r,
+                          (unsigned long long)core.golden().reg(LogReg(r)),
+                          (unsigned long long)emu.reg(LogReg(r)));
+    }
+
+    if (core.golden().output() != emu.output())
+        return "program output mismatch";
+
+    if (!core.golden().memory().contentEquals(emu.memory()))
+        return "final memory image mismatch";
+
+    return "";
+}
+
+} // namespace rix

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simulation driver: runs a program on the cycle-level core, collects
+ * the report, and provides the architectural cross-check against the
+ * pure functional emulator (the repository's end-to-end invariant).
+ */
+
+#ifndef RIX_SIM_SIMULATOR_HH
+#define RIX_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "cpu/core.hh"
+#include "sim/presets.hh"
+
+namespace rix
+{
+
+struct SimReport
+{
+    std::string workload;
+    CoreStats core;
+    bool halted = false;
+    // Substrate statistics.
+    u64 l1dMisses = 0, l1iMisses = 0, l2Misses = 0;
+    u64 dtlbMisses = 0, itlbMisses = 0;
+    double ipc() const { return core.ipc(); }
+};
+
+/**
+ * Run @p prog on a core configured by @p params.
+ * @param max_retired stop after this many retired instructions
+ * @param max_cycles  hard cycle limit
+ */
+SimReport runSimulation(const Program &prog, const CoreParams &params,
+                        u64 max_retired = ~u64(0),
+                        Cycle max_cycles = ~Cycle(0));
+
+/**
+ * End-to-end verification: run @p prog both on the cycle-level core
+ * and on the functional emulator, and compare final architectural
+ * registers, memory, emitted output and retired instruction count.
+ * The program must halt within the limits.
+ *
+ * @return empty string on success, else a human-readable diagnosis.
+ */
+std::string verifyAgainstEmulator(const Program &prog,
+                                  const CoreParams &params,
+                                  u64 max_insts = 10'000'000,
+                                  Cycle max_cycles = 50'000'000);
+
+} // namespace rix
+
+#endif // RIX_SIM_SIMULATOR_HH

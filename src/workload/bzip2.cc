@@ -1,0 +1,129 @@
+/**
+ * @file
+ * bzip2-like workload: block compression kernels.
+ *
+ * Character profile (drives the integration behaviour the paper reports
+ * for bzip2): tight loop-dominated kernels (run-length scan, byte
+ * histogram, prefix sum) over a 4KB block, very few calls and a shallow
+ * call graph — so opcode/call-depth indexing and reverse integration
+ * give it little, while PC-based general reuse of unhoisted loop bounds
+ * and address constants works.
+ *
+ * The kernels use pointer-bound loop exits with the bound recomputed
+ * every iteration from a stable base register — the classic
+ * "loop-invariant instruction not hoisted by the compiler" pattern the
+ * paper names as general-reuse fodder.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildBzip2(const WorkloadParams &wp)
+{
+    Builder b("bzip2");
+    Rng rng(0xb21f);
+    const s32 quads = 512; // one 4KB block
+
+    b.randomQuads("src", quads, rng, 256);
+    b.space("freq", 256 * 8);
+    b.space("out", quads * 8);
+
+    const LogReg s0 = 9, s4 = 13;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t5 = 6;
+    const LogReg a0 = 16, a1 = 17;
+    const LogReg v0 = 0;
+
+    b.br("main");
+
+    // rle_scan(a0 = block base) -> v0 = number of runs.
+    b.bind("rle_scan");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0);
+        b.li(v0, 0);
+        b.li(t2, -1); // previous value
+        const std::string top = b.genLabel("rle");
+        b.bind(top);
+        b.ldq(t0, 0, s0);
+        b.cmpeq(t1, t0, t2);
+        const std::string same = b.genLabel("same");
+        b.bne(t1, same);
+        b.addqi(v0, v0, 1);
+        b.mv(t2, t0);
+        b.bind(same);
+        b.addqi(s0, s0, 8);
+        b.addqi(t5, a0, quads * 8); // unhoisted bound recompute
+        b.cmplt(t3, s0, t5);
+        b.bne(t3, top);
+        f.epilogue();
+    }
+
+    // histogram(a0 = block base, a1 = freq base): read-modify-write
+    // counter updates (store->load traffic within the window).
+    b.bind("histogram");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0);
+        const std::string top = b.genLabel("hist");
+        b.bind(top);
+        b.ldq(t0, 0, s0);
+        b.andi(t0, t0, 255);
+        b.slli(t0, t0, 3);
+        b.addq(t0, a1, t0);
+        b.ldq(t1, 0, t0);
+        b.addqi(t1, t1, 1);
+        b.stq(t1, 0, t0);
+        b.addqi(s0, s0, 8);
+        b.addqi(t5, a0, quads * 8); // unhoisted bound recompute
+        b.cmplt(t3, s0, t5);
+        b.bne(t3, top);
+        f.epilogue();
+    }
+
+    // prefix_sum(a0 = freq base) -> v0 = grand total (serial chain).
+    b.bind("prefix_sum");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        b.mv(t2, a0); // stable base copy
+        b.li(v0, 0);
+        const std::string top = b.genLabel("pfx");
+        b.bind(top);
+        b.ldq(t0, 0, a0);
+        b.addq(v0, v0, t0);
+        b.stq(v0, 0, a0);
+        b.addqi(a0, a0, 8);
+        b.addqi(t5, t2, 256 * 8); // unhoisted bound recompute
+        b.cmplt(t3, a0, t5);
+        b.bne(t3, top);
+        f.epilogue();
+    }
+
+    b.bind("main");
+    const s32 blocks = s32(4 * wp.scale);
+    b.li(s4, 0); // checksum
+    emitCountedLoop(b, 15, blocks, [&] {
+        b.li(a0, s32(b.dataAddr("src")));
+        b.jsr("rle_scan");
+        b.xor_(s4, s4, v0);
+        b.li(a0, s32(b.dataAddr("src")));
+        b.li(a1, s32(b.dataAddr("freq")));
+        b.jsr("histogram");
+        b.li(a0, s32(b.dataAddr("freq")));
+        b.jsr("prefix_sum");
+        b.addq(s4, s4, v0);
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

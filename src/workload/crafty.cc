@@ -1,0 +1,107 @@
+/**
+ * @file
+ * crafty-like workload: recursive game-tree search.
+ *
+ * Character profile: deep recursion (call depth varies dynamically),
+ * bitboard-style ALU chains, several static call sites inside one
+ * function computing identical expressions (the cross-static-
+ * instruction reuse that opcode indexing exposes — the paper reports
+ * crafty gaining ~10% integration rate from it), callee-saved
+ * spill/fill traffic for reverse integration, and data-dependent
+ * best-move branches that mispredict (squash reuse).
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildCrafty(const WorkloadParams &wp)
+{
+    Builder b("crafty");
+    Rng rng(0xc4af);
+    b.randomQuads("zobrist", 128, rng);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s2 = 11, s4 = 13, s5 = 14;
+    const LogReg a0 = 16, a1 = 17;
+
+    b.br("main");
+
+    // evaluate(a1 = position hash) -> v0: bitboard-flavoured mixing.
+    b.bind("evaluate");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        // Unhoisted table-base computation (general-reuse fodder).
+        b.addqi(t6, regGp, s32(b.dataAddr("zobrist") - defaultDataBase));
+        b.srli(t0, a1, 13);
+        b.xor_(t0, t0, a1);
+        b.andi(t1, t0, 127);
+        b.slli(t1, t1, 3);
+        b.addq(t1, t6, t1);
+        b.ldq(t2, 0, t1);          // zobrist probe
+        b.xor_(t0, t0, t2);
+        b.slli(t3, t0, 7);
+        b.xor_(t0, t0, t3);
+        b.srli(t3, t0, 17);
+        b.xor_(t0, t0, t3);
+        b.andi(v0, t0, 1023);
+        f.epilogue();
+    }
+
+    // search(a0 = depth, a1 = position) -> v0 = best score.
+    b.bind("search");
+    {
+        FnFrame f(b, {s0, s1, s2});
+        f.prologue();
+        b.mv(s0, a0);
+        b.mv(s1, a1);
+        b.bne(a0, "search_interior");
+        // Leaf: evaluate and return.
+        b.jsr("evaluate");
+        f.epilogue();
+
+        b.bind("search_interior");
+        b.li(s2, 0); // best score so far
+        // Three unrolled move sites. The repeated `subqi a0, s0, 1`
+        // at distinct PCs is exactly what opcode indexing integrates.
+        for (int m = 0; m < 3; ++m) {
+            b.srli(t0, s1, 7);
+            b.xor_(t0, t0, s1);
+            b.mulqi(t1, t0, 0x9e3b);
+            b.addqi(a1, t1, s32(m * 977));
+            b.subqi(a0, s0, 1);
+            b.jsr("search");
+            // Data-dependent best update (mispredictable).
+            b.cmplt(t2, s2, v0);
+            const std::string skip = b.genLabel("nobest");
+            b.beq(t2, skip);
+            b.mv(s2, v0);
+            b.bind(skip);
+        }
+        b.mv(v0, s2);
+        f.epilogue();
+    }
+
+    b.bind("main");
+    b.li(s4, 0);
+    b.li(s5, 0x517c);
+    emitCountedLoop(b, 15, s32(wp.scale), [&] {
+        emitLcg(b, s5);
+        b.mv(a1, s5);
+        b.li(a0, 6); // search depth: 3^6 tree
+        b.jsr("search");
+        b.xor_(s4, s4, v0);
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

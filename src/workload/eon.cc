@@ -1,0 +1,171 @@
+/**
+ * @file
+ * eon-like workloads: fixed-point ray tracing, three shading variants
+ * (cook, kajiya, rushmeier) mirroring SPEC's three eon inputs.
+ *
+ * Character profile: the heaviest memory mix of the suite (the paper
+ * notes loads+stores are 45% of eon's dynamic instructions, which is
+ * why it is hit hardest by losing a load/store port in Figure 7),
+ * FP-class (complex-port) arithmetic chains, per-ray call frames.
+ * kajiya adds one recursive bounce per ray; rushmeier enlarges the
+ * object set.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+struct EonCfg
+{
+    const char *name;
+    s32 rays;
+    s32 objects;
+    int bounces;
+    int shadeOps;
+};
+
+Program
+buildEon(const EonCfg &cfg, const WorkloadParams &wp)
+{
+    Builder b(cfg.name);
+    Rng r2(0xe01 + u64(cfg.objects));
+    b.randomQuads("centers", size_t(cfg.objects) * 4, r2, 4096);
+    b.randomQuads("dirs", 48, r2, 512);
+    b.space("pixels", 1024 * 8);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t4 = 5, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s2 = 11, s3 = 12, s4 = 13, s5 = 14;
+    const LogReg a0 = 16, a1 = 17;
+
+    b.br("main");
+
+    // trace(a0 = ray index, a1 = bounces left) -> v0 = shaded value.
+    b.bind("trace");
+    {
+        FnFrame f(b, {s0, s1, s2, s3});
+        f.prologue();
+        b.mv(s0, a0);
+        b.mv(s3, a1);
+
+        // Ray origin/direction from the direction table (loads).
+        b.andi(t0, s0, 15);
+        b.slli(t0, t0, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("dirs") - defaultDataBase));
+        b.addq(t0, t6, t0);
+        b.ldq(s1, 0, t0);     // dir
+        b.ldq(t1, 8, t0);
+        b.addq(s1, s1, t1);
+
+        // Intersection loop over the object set.
+        b.li(s2, 0x7ffff); // best distance
+        b.addqi(t4, regGp, s32(b.dataAddr("centers") - defaultDataBase));
+        const std::string oloop = b.genLabel("oloop");
+        b.bind(oloop);
+        {
+            b.ldq(t0, 0, t4);   // cx
+            b.ldq(t1, 8, t4);   // cy
+            b.ldq(t2, 16, t4);  // cz
+            b.ldq(t6, 24, t4);  // radius
+            // Scene constant reloaded per object (never stored to:
+            // a clean load-integration target).
+            b.ldq(t3, 0, regGp);
+            b.subq(t0, t0, s1);
+            b.subq(t1, t1, s1);
+            b.fmul(t0, t0, t0);
+            b.fmul(t1, t1, t1);
+            b.fadd(t0, t0, t1);
+            b.fmul(t2, t2, t2);
+            b.fadd(t0, t0, t2); // squared distance
+            b.subq(t0, t0, t6); // compare against the radius
+            b.addq(t0, t0, t3); // bias by the scene constant
+            // Data-dependent nearest-object update.
+            b.cmplt(t1, t0, s2);
+            const std::string far = b.genLabel("far");
+            b.beq(t1, far);
+            b.mv(s2, t0);
+            b.bind(far);
+            // Hit-record update: the store traffic real eon is full of.
+            b.stq(s2, 8, regGp);
+            b.addqi(t4, t4, 32);
+            // Unhoisted end-of-objects bound off the stable gp.
+            b.addqi(t3, regGp,
+                    s32(b.dataAddr("centers") - defaultDataBase +
+                        cfg.objects * 32));
+            b.cmplt(t3, t4, t3);
+            b.bne(t3, oloop);
+        }
+
+        // Shading chain (FP-class, serial).
+        b.mv(v0, s2);
+        for (int i = 0; i < cfg.shadeOps; ++i) {
+            if (i % 3 == 2)
+                b.fmul(v0, v0, s1);
+            else
+                b.fadd(v0, v0, s2);
+        }
+
+        // Secondary bounce (kajiya).
+        if (cfg.bounces > 0) {
+            const std::string nob = b.genLabel("nobounce");
+            b.beq(s3, nob);
+            b.addqi(a0, s0, 7);
+            b.subqi(a1, s3, 1);
+            b.mv(s2, v0);
+            b.jsr("trace");
+            b.addq(v0, v0, s2);
+            b.bind(nob);
+        }
+
+        // Store the pixel (stores are what eon is made of).
+        b.andi(t0, s0, 1023);
+        b.slli(t0, t0, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("pixels") - defaultDataBase));
+        b.addq(t0, t6, t0);
+        b.stq(v0, 0, t0);
+        f.epilogue();
+    }
+
+    b.bind("main");
+    b.li(s4, 0);
+    b.li(s5, 0);
+    emitCountedLoop(b, 15, s32(cfg.rays * s64(wp.scale)), [&] {
+        b.mv(a0, s5);
+        b.li(a1, cfg.bounces);
+        b.jsr("trace");
+        b.xor_(s4, s4, v0);
+        b.addqi(s5, s5, 1);
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace
+
+Program
+buildEonCook(const WorkloadParams &wp)
+{
+    return buildEon({"eon.c", 260, 8, 0, 9}, wp);
+}
+
+Program
+buildEonKajiya(const WorkloadParams &wp)
+{
+    return buildEon({"eon.k", 150, 8, 1, 8}, wp);
+}
+
+Program
+buildEonRushmeier(const WorkloadParams &wp)
+{
+    return buildEon({"eon.r", 190, 14, 0, 6}, wp);
+}
+
+} // namespace rix

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * gap-like workload: computer-algebra vector kernels behind small
+ * functions.
+ *
+ * Character profile: moderate call intensity (four leaf kernels invoked
+ * from a driver loop), complex-integer multiply traffic, unhoisted
+ * loop-bound/base recomputation inside the kernels (general reuse), and
+ * permutation-indexed loads.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildGap(const WorkloadParams &wp)
+{
+    Builder b("gap");
+    Rng rng(0x6a9);
+    const s32 len = 64;
+    b.randomQuads("va", len, rng, 100000);
+    b.randomQuads("vb", len, rng, 100000);
+    b.space("vc", len * 8);
+    // Permutation table: a shuffled 0..len-1.
+    {
+        std::vector<u64> perm(len);
+        for (s32 i = 0; i < len; ++i)
+            perm[i] = u64(i);
+        for (s32 i = len - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.below(u64(i + 1))]);
+        b.quads("perm", perm);
+    }
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t5 = 6, t6 = 7;
+    const LogReg s0 = 9, s4 = 13, s5 = 14;
+    const LogReg a0 = 16, a1 = 17, a2 = 18;
+
+    b.br("main");
+
+    // vec_add(a0 = dst, a1 = x, a2 = y).
+    b.bind("vec_add");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0); // stable base in a callee-saved register
+        const std::string top = b.genLabel("vadd");
+        b.bind(top);
+        b.ldq(t0, 0, a1);
+        b.ldq(t1, 0, a2);
+        b.addq(t0, t0, t1);
+        b.stq(t0, 0, a0);
+        b.addqi(a0, a0, 8);
+        b.addqi(a1, a1, 8);
+        b.addqi(a2, a2, 8);
+        b.addqi(t6, s0, len * 8); // unhoisted bound recompute
+        b.cmplt(t5, a0, t6);
+        b.bne(t5, top);
+        f.epilogue();
+    }
+
+    // vec_scale(a0 = dst/src, a1 = scalar).
+    b.bind("vec_scale");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0);
+        const std::string top = b.genLabel("vscale");
+        b.bind(top);
+        b.ldq(t0, 0, a0);
+        b.mulq(t0, t0, a1);
+        b.srai(t0, t0, 3);
+        b.stq(t0, 0, a0);
+        b.addqi(a0, a0, 8);
+        b.addqi(t6, s0, len * 8); // unhoisted bound recompute
+        b.cmplt(t5, a0, t6);
+        b.bne(t5, top);
+        f.epilogue();
+    }
+
+    // inner(a0 = x, a1 = y) -> v0.
+    b.bind("inner");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.li(v0, 0);
+        b.mv(s0, a0);
+        const std::string top = b.genLabel("inner");
+        b.bind(top);
+        b.ldq(t0, 0, a0);
+        b.ldq(t1, 0, a1);
+        b.mulq(t0, t0, t1);
+        b.addq(v0, v0, t0);
+        b.addqi(a0, a0, 8);
+        b.addqi(a1, a1, 8);
+        b.addqi(t6, s0, len * 8); // unhoisted bound recompute
+        b.cmplt(t5, a0, t6);
+        b.bne(t5, top);
+        f.epilogue();
+    }
+
+    // permute(a0 = src, a1 = dst): dst[i] = src[perm[i]].
+    b.bind("permute");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a1); // stable destination base
+        b.addqi(t2, regGp, s32(b.dataAddr("perm") - defaultDataBase));
+        emitCountedLoop(b, t5, len, [&] {
+            // Invariant base recomputation inside the loop.
+            b.addqi(t6, regGp,
+                    s32(b.dataAddr("perm") - defaultDataBase));
+            b.ldq(t0, 0, t2);
+            b.slli(t0, t0, 3);
+            b.addq(t0, a0, t0);
+            b.ldq(t1, 0, t0);
+            b.stq(t1, 0, a1);
+            b.addqi(a1, a1, 8);
+            b.addqi(t2, t2, 8);
+        });
+        f.epilogue();
+    }
+
+    b.bind("main");
+    b.li(s4, 0);
+    b.li(s5, 3);
+    const s32 va = s32(b.dataAddr("va"));
+    const s32 vb = s32(b.dataAddr("vb"));
+    const s32 vc = s32(b.dataAddr("vc"));
+    emitCountedLoop(b, 15, s32(22 * wp.scale), [&] {
+        b.li(a0, vc);
+        b.li(a1, va);
+        b.li(a2, vb);
+        b.jsr("vec_add");
+        b.li(a0, vc);
+        b.mv(a1, s5);
+        b.jsr("vec_scale");
+        b.li(a0, vc);
+        b.li(a1, va);
+        b.jsr("inner");
+        b.xor_(s4, s4, v0);
+        b.li(a0, vb);
+        b.li(a1, vc);
+        b.jsr("permute");
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

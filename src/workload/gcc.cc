@@ -1,0 +1,161 @@
+/**
+ * @file
+ * gcc-like workload: optimization passes over a synthetic IR.
+ *
+ * Character profile: branch-dense kind dispatch (a computed-goto region
+ * for common kinds plus a compare cascade for the rest — both
+ * mispredict on the data-dependent kind stream, feeding squash reuse),
+ * moderate calls into a folding helper, stores back into the IR array,
+ * and a backward dead-code-marking pass.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildGcc(const WorkloadParams &wp)
+{
+    Builder b("gcc");
+    Rng rng(0x6cc);
+    const s32 nir = 1024;
+    // Each IR record: [kind (0..7), operand] as two quads.
+    {
+        std::vector<u64> ir(size_t(nir) * 2);
+        for (s32 i = 0; i < nir; ++i) {
+            ir[size_t(i) * 2] = rng.below(8);
+            ir[size_t(i) * 2 + 1] = rng.below(65536);
+        }
+        b.quads("ir", ir);
+    }
+    b.space("marks", nir * 8);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t4 = 5, t5 = 6, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s4 = 13;
+    const LogReg a0 = 16, a1 = 17;
+
+    b.br("main");
+
+    // fold(a0 = kind, a1 = operand) -> v0: constant-folding helper.
+    b.bind("fold");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a1);
+        b.andi(t0, a0, 3);
+        b.mulqi(t1, s0, 3);
+        b.addq(t1, t1, t0);
+        b.xori(t1, t1, 0x55);
+        b.srli(t2, t1, 4);
+        b.addq(v0, t1, t2);
+        f.epilogue();
+    }
+
+    // pass_fold() -> v0: forward walk with kind dispatch.
+    b.bind("pass_fold");
+    {
+        FnFrame f(b, {s0, s1});
+        f.prologue();
+        b.addqi(s0, regGp, s32(b.dataAddr("ir") - defaultDataBase));
+        b.li(s1, 0); // accumulator
+        emitCountedLoop(b, t5, nir, [&] {
+            b.ldq(t0, 0, s0); // kind
+            b.ldq(t1, 8, s0); // operand
+            b.cmplti(t2, t0, 4);
+            b.beq(t2, "gcc_cascade");
+            // Computed goto over kinds 0..3 (BTB-hostile dispatch).
+            b.liCode(t4, "gcc_kdisp");
+            b.addq(t4, t4, t0);
+            b.jmp(t4);
+            b.bind("gcc_kdisp");
+            b.br("gcc_k0");
+            b.br("gcc_k1");
+            b.br("gcc_k2");
+            b.br("gcc_k3");
+            b.bind("gcc_k0");
+            b.xor_(s1, s1, t1);
+            b.br("gcc_join");
+            b.bind("gcc_k1");
+            b.addq(s1, s1, t1);
+            b.br("gcc_join");
+            b.bind("gcc_k2");
+            b.mv(a0, t0);
+            b.mv(a1, t1);
+            b.jsr("fold");
+            b.addq(s1, s1, v0);
+            b.br("gcc_join");
+            b.bind("gcc_k3");
+            b.slli(t2, t1, 1);
+            b.stq(t2, 8, s0); // strength-reduce in place
+            b.br("gcc_join");
+            // Compare cascade for kinds 4..7.
+            b.bind("gcc_cascade");
+            b.cmpeqi(t2, t0, 4);
+            const std::string n4 = b.genLabel("n4");
+            b.beq(t2, n4);
+            b.addqi(s1, s1, 3);
+            b.br("gcc_join");
+            b.bind(n4);
+            b.cmpeqi(t2, t0, 5);
+            const std::string n5 = b.genLabel("n5");
+            b.beq(t2, n5);
+            b.srli(t2, s1, 1);
+            b.addq(s1, t2, t1);
+            b.br("gcc_join");
+            b.bind(n5);
+            b.cmpeqi(t2, t0, 6);
+            const std::string n6 = b.genLabel("n6");
+            b.beq(t2, n6);
+            b.mv(a0, t0);
+            b.mv(a1, t1);
+            b.jsr("fold");
+            b.xor_(s1, s1, v0);
+            b.bind(n6); // kind 7: dead instruction, nothing to do
+            b.bind("gcc_join");
+            b.addqi(s0, s0, 16);
+        });
+        b.mv(v0, s1);
+        f.epilogue();
+    }
+
+    // pass_mark(): backward liveness marking.
+    b.bind("pass_mark");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.addqi(s0, regGp,
+                s32(b.dataAddr("ir") - defaultDataBase + (nir - 1) * 16));
+        b.li(t4, nir - 1);
+        emitCountedLoop(b, t5, nir, [&] {
+            // Unhoisted marks-base recomputation: integrable.
+            b.addqi(t6, regGp, s32(b.dataAddr("marks") - defaultDataBase));
+            b.ldq(t0, 0, s0);
+            b.cmpeqi(t1, t0, 7);
+            b.xori(t1, t1, 1); // live = kind != 7
+            b.slli(t2, t4, 3);
+            b.addq(t2, t6, t2);
+            b.stq(t1, 0, t2);
+            b.subqi(s0, s0, 16);
+            b.subqi(t4, t4, 1);
+        });
+        f.epilogue();
+    }
+
+    b.bind("main");
+    b.li(s4, 0);
+    emitCountedLoop(b, 15, s32(2 * wp.scale), [&] {
+        b.jsr("pass_fold");
+        b.xor_(s4, s4, v0);
+        b.jsr("pass_mark");
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gzip-like workload: LZ-style hash-chain matching.
+ *
+ * Character profile: a single dominant loop, almost no calls, dense
+ * same-opcode/same-immediate traffic — the configuration for which the
+ * paper reports opcode indexing *hurting* (poor IT distribution with no
+ * call-depth variety) and reverse integration doing nothing. Includes
+ * the spill-slot reload idiom (a stack local updated on match and
+ * reloaded every iteration) that produces genuine load mis-integrations
+ * for the LISP to learn.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildGzip(const WorkloadParams &wp)
+{
+    Builder b("gzip");
+    Rng rng(0x6219);
+    const s32 wquads = 2048; // 16KB window
+    b.randomQuads("window", wquads, rng, 64); // low-entropy bytes
+    b.space("htab", 256 * 8);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s4 = 13;
+    (void)v0;
+
+    b.bind("main");
+    // Manual frame in main so spill-slot reloads hit the stack.
+    b.lda(regSp, -32, regSp);
+    b.li(t0, 0);
+    b.stq(t0, 16, regSp); // best match length local
+
+    b.li(s4, 0);
+    b.addqi(s0, regGp, s32(b.dataAddr("window") - defaultDataBase));
+    b.li(s1, 0); // position
+    emitCountedLoop(b, 15, s32(1700 * wp.scale), [&] {
+        // Load the current window quad (position advances).
+        b.andi(t0, s1, wquads - 1);
+        b.slli(t0, t0, 3);
+        b.addq(t0, s0, t0);
+        b.ldq(t1, 0, t0);
+        // Hash it. The htab base recomputation is loop-invariant.
+        b.mulqi(t2, t1, 0x9e3b);
+        b.srli(t2, t2, 18);
+        b.andi(t2, t2, 255);
+        b.slli(t2, t2, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("htab") - defaultDataBase));
+        b.addq(t2, t6, t2);
+        b.ldq(t3, 0, t2);       // chain head
+        // Spill-slot reload: usually integrable, stale after a match.
+        b.ldq(t6, 16, regSp);
+        // Match check (data-dependent branch).
+        b.cmpeq(t3, t3, t1);
+        const std::string nomatch = b.genLabel("nomatch");
+        b.beq(t3, nomatch);
+        b.xor_(s4, s4, t1);
+        b.addqi(t6, t6, 1);
+        b.stq(t6, 16, regSp);   // update the local: next reload is stale
+        b.bind(nomatch);
+        b.stq(t1, 0, t2);       // install new chain head
+        b.addqi(s1, s1, 1);
+    });
+    b.ldq(t0, 16, regSp);
+    b.addq(s4, s4, t0);
+    b.lda(regSp, 32, regSp);
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

@@ -1,0 +1,52 @@
+#include "workload/kit.hh"
+
+#include "base/bitutil.hh"
+
+namespace rix
+{
+
+FnFrame::FnFrame(Builder &builder, std::vector<LogReg> callee_saves,
+                 int local_bytes)
+    : b(builder), saves(std::move(callee_saves))
+{
+    saveBytes = 8 * int(saves.size() + 1); // + return address
+    frame = int(alignUp(u64(saveBytes + local_bytes), 16));
+}
+
+void
+FnFrame::prologue()
+{
+    // Frame open: the stack-pointer decrement that creates the reverse
+    // IT entry for the matching increment in the epilogue.
+    b.lda(regSp, -frame, regSp);
+    b.stq(regRa, 0, regSp);
+    for (size_t i = 0; i < saves.size(); ++i)
+        b.stq(saves[i], s32(8 * (i + 1)), regSp);
+}
+
+void
+FnFrame::epilogue()
+{
+    // Register fills: the loads reverse integration short-circuits.
+    for (size_t i = 0; i < saves.size(); ++i)
+        b.ldq(saves[i], s32(8 * (i + 1)), regSp);
+    b.ldq(regRa, 0, regSp);
+    b.lda(regSp, frame, regSp);
+    b.ret();
+}
+
+void
+emitLcg(Builder &b, LogReg state)
+{
+    b.mulqi(state, state, 1103515245);
+    b.addqi(state, state, 12345);
+}
+
+void
+emitLcgBits(Builder &b, LogReg dst, LogReg state, unsigned bits)
+{
+    b.srli(dst, state, 16);
+    b.andi(dst, dst, s32((1u << bits) - 1));
+}
+
+} // namespace rix

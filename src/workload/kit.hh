@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Workload construction kit: the compiler-like idioms shared by every
+ * synthetic SPEC2000int-like benchmark.
+ *
+ * The kit deliberately reproduces the code shapes register integration
+ * feeds on:
+ *  - FnFrame emits the canonical Alpha calling convention (frame open
+ *    `lda sp,-k(sp)`, return-address and callee-saved spills/fills) —
+ *    the save/restore pairs reverse integration targets;
+ *  - emitLcg is the deterministic in-ISA random source used for
+ *    data-dependent (mispredictable) branches, which create the squash
+ *    reuse opportunities;
+ *  - loop emitters leave loop-invariant address computations unhoisted,
+ *    feeding general reuse.
+ */
+
+#ifndef RIX_WORKLOAD_KIT_HH
+#define RIX_WORKLOAD_KIT_HH
+
+#include <vector>
+
+#include "assembler/builder.hh"
+
+namespace rix
+{
+
+/**
+ * Stack frame helper. Usage inside a function body:
+ *
+ *   FnFrame frame(b, {regS0, regS1}, 16);
+ *   frame.prologue();   // open frame, spill ra + s0 + s1
+ *   ...body (locals at frame.localOffset(0..))...
+ *   frame.epilogue();   // fill, close frame, ret
+ */
+class FnFrame
+{
+  public:
+    FnFrame(Builder &b, std::vector<LogReg> callee_saves,
+            int local_bytes = 0);
+
+    void prologue();
+    void epilogue();
+
+    int frameBytes() const { return frame; }
+
+    /** sp-relative offset of the i-th 8-byte local slot. */
+    int localOffset(int i) const { return saveBytes + 8 * i; }
+
+  private:
+    Builder &b;
+    std::vector<LogReg> saves;
+    int saveBytes;
+    int frame;
+};
+
+/** LCG step in registers: state = state * 1103515245 + 12345. */
+void emitLcg(Builder &b, LogReg state);
+
+/** dst = (state >> 16) & (2^bits - 1): a usable pseudo-random field. */
+void emitLcgBits(Builder &b, LogReg dst, LogReg state, unsigned bits);
+
+/**
+ * Emit a counted loop skeleton:
+ *   counter = iters; label: <body via callback>; counter--; bne label
+ * The callback receives the builder; the counter register must not be
+ * clobbered by the body.
+ */
+template <typename BodyFn>
+void
+emitCountedLoop(Builder &b, LogReg counter, s32 iters, BodyFn &&body)
+{
+    b.li(counter, iters);
+    const std::string top = b.genLabel("loop");
+    b.bind(top);
+    body();
+    b.subqi(counter, counter, 1);
+    b.bne(counter, top);
+}
+
+} // namespace rix
+
+#endif // RIX_WORKLOAD_KIT_HH

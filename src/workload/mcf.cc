@@ -1,0 +1,83 @@
+/**
+ * @file
+ * mcf-like workload: network-simplex pointer chasing.
+ *
+ * Character profile: a dependent load chain over a 4MB arc structure
+ * (twice the 2MB L2), so most hops miss the entire cache hierarchy.
+ * The paper singles mcf out as the benchmark whose execution time is
+ * dominated by memory, benefiting least from integration — the shape
+ * this program reproduces (lowest IPC of the suite, smallest speedup).
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildMcf(const WorkloadParams &wp)
+{
+    Builder b("mcf");
+    Rng rng(0x3cf);
+    const s32 nodes = 262144; // 2MB of next-pointers
+    // Single random cycle (Sattolo's algorithm) so the chase never
+    // revisits early and never gets stuck.
+    {
+        std::vector<u64> next(nodes);
+        std::vector<u64> order(nodes);
+        for (s32 i = 0; i < nodes; ++i)
+            order[i] = u64(i);
+        for (s32 i = nodes - 1; i > 0; --i)
+            std::swap(order[i], order[rng.below(u64(i))]);
+        for (s32 i = 0; i < nodes; ++i)
+            next[order[i]] = order[(i + 1) % nodes];
+        b.quads("arcs", next);
+    }
+    b.randomQuads("cost", nodes, rng, 1 << 20); // another 2MB
+
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s2 = 11, s3 = 12, s4 = 13, s5 = 14;
+    const LogReg chains[4] = {s0, s2, s3, s5};
+
+    b.bind("main");
+    b.li(s4, 0);
+    // Four independent chases spread around the cycle: the
+    // memory-level parallelism a real network-simplex walk exposes.
+    b.li(s0, 0);
+    b.li(s2, s32(nodes / 4));
+    b.li(s3, s32(nodes / 2));
+    b.li(s5, s32(3 * (nodes / 4)));
+    b.addqi(s1, regGp, s32(b.dataAddr("arcs") - defaultDataBase));
+    emitCountedLoop(b, 15, s32(700 * wp.scale), [&] {
+        for (int c = 0; c < 4; ++c) {
+            const LogReg cur = chains[c];
+            // Dependent pointer hop (the L2-busting load).
+            b.slli(t0, cur, 3);
+            b.addq(t0, s1, t0);
+            b.ldq(cur, 0, t0);
+            // Reduced-cost computation on the visited arc; the
+            // cost-base recomputation is loop-invariant.
+            b.addqi(t6, regGp,
+                    s32(b.dataAddr("cost") - defaultDataBase));
+            b.slli(t1, cur, 3);
+            b.addq(t1, t6, t1);
+            b.ldq(t2, 0, t1);
+            b.subqi(t2, t2, 1100000);
+            // Heavily biased negative-cost branch (predictable, so
+            // the four chases overlap in the window).
+            const std::string pos = b.genLabel("pos");
+            b.bge(t2, pos);
+            b.addq(s4, s4, t2);
+            b.bind(pos);
+            b.xor_(s4, s4, cur);
+        }
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

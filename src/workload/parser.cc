@@ -1,0 +1,219 @@
+/**
+ * @file
+ * parser-like workload: recursive-descent expression parsing with
+ * dictionary probing.
+ *
+ * Character profile: frequent small-function calls with varying
+ * recursion depth (parenthesized sub-expressions), caller-saved spills
+ * around calls (the Figure 3 "t0" idiom), a cursor variable kept in
+ * memory and reloaded around calls (an occasional load mis-integration
+ * source), and hash probes per identifier token.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+/** Host-side token generator for expr := term ('+' term)*;
+ *  term := factor ('*' factor)*; factor := NUM | '(' expr ')'. */
+void
+genExpr(std::vector<u64> &toks, Rng &rng, int depth);
+
+void
+genFactor(std::vector<u64> &toks, Rng &rng, int depth)
+{
+    if (depth < 4 && rng.chance(280)) {
+        toks.push_back(3); // '('
+        genExpr(toks, rng, depth + 1);
+        toks.push_back(4); // ')'
+    } else {
+        toks.push_back(0); // NUM
+        toks.push_back(rng.below(997)); // its value token
+    }
+}
+
+void
+genTerm(std::vector<u64> &toks, Rng &rng, int depth)
+{
+    genFactor(toks, rng, depth);
+    while (rng.chance(300)) {
+        toks.push_back(2); // '*'
+        genFactor(toks, rng, depth);
+    }
+}
+
+void
+genExpr(std::vector<u64> &toks, Rng &rng, int depth)
+{
+    genTerm(toks, rng, depth);
+    while (rng.chance(350)) {
+        toks.push_back(1); // '+'
+        genTerm(toks, rng, depth);
+    }
+}
+
+} // namespace
+
+Program
+buildParser(const WorkloadParams &wp)
+{
+    Builder b("parser");
+    Rng rng(0xbad5eed);
+
+    std::vector<u64> toks;
+    while (toks.size() < 380) {
+        genExpr(toks, rng, 0);
+        toks.push_back(5); // sentence terminator
+    }
+    toks.push_back(6); // END of stream
+    b.quads("tokens", toks);
+    b.quad("pos", 0); // cursor kept in memory
+    b.randomQuads("dict", 128, rng, 1 << 16);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t6 = 7;
+    const LogReg s0 = 9, s4 = 13;
+    const s32 posOff = s32(b.dataAddr("pos") - defaultDataBase);
+
+    b.br("main");
+
+    // next_token() -> v0: load tokens[pos++] (memory cursor).
+    b.bind("next_token");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        b.ldq(t0, posOff, regGp);
+        b.slli(t1, t0, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("tokens") - defaultDataBase));
+        b.addq(t1, t6, t1);
+        b.ldq(v0, 0, t1);
+        b.addqi(t0, t0, 1);
+        b.stq(t0, posOff, regGp);
+        f.epilogue();
+    }
+
+    // peek_token() -> v0: the reload that integration may serve stale
+    // after next_token stored a new cursor (load mis-integrations).
+    b.bind("peek_token");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        b.ldq(t0, posOff, regGp);
+        b.slli(t1, t0, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("tokens") - defaultDataBase));
+        b.addq(t1, t6, t1);
+        b.ldq(v0, 0, t1);
+        f.epilogue();
+    }
+
+    // dict_probe(a0 = value) -> v0: hash lookup per identifier.
+    b.bind("dict_probe");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        b.mulqi(t0, 16, 0x85eb);
+        b.srli(t0, t0, 9);
+        b.andi(t0, t0, 127);
+        b.slli(t0, t0, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("dict") - defaultDataBase));
+        b.addq(t0, t6, t0);
+        b.ldq(v0, 0, t0);
+        b.xor_(v0, v0, 16);
+        f.epilogue();
+    }
+
+    // parse_factor() -> v0.
+    b.bind("parse_factor");
+    {
+        FnFrame f(b, {s0}, 16);
+        f.prologue();
+        b.jsr("next_token");
+        b.cmpeqi(t0, v0, 3); // '('?
+        b.beq(t0, "pf_num");
+        b.jsr("parse_expr");  // recurse
+        b.mv(s0, v0);
+        b.jsr("next_token"); // consume ')'
+        b.mv(v0, s0);
+        f.epilogue();
+        b.bind("pf_num");
+        b.jsr("next_token"); // the NUM's value token
+        b.mv(16, v0);
+        b.jsr("dict_probe");
+        f.epilogue();
+    }
+
+    // parse_term() -> v0.
+    b.bind("parse_term");
+    {
+        FnFrame f(b, {s0}, 16);
+        f.prologue();
+        b.jsr("parse_factor");
+        b.mv(s0, v0);
+        b.bind("pt_loop");
+        b.jsr("peek_token");
+        b.cmpeqi(t0, v0, 2); // '*'?
+        b.beq(t0, "pt_done");
+        b.jsr("next_token"); // consume '*'
+        b.jsr("parse_factor");
+        b.mulq(s0, s0, v0);
+        b.srai(s0, s0, 2);
+        b.br("pt_loop");
+        b.bind("pt_done");
+        b.mv(v0, s0);
+        f.epilogue();
+    }
+
+    // parse_expr() -> v0.
+    b.bind("parse_expr");
+    {
+        FnFrame f(b, {s0}, 16);
+        f.prologue();
+        b.jsr("parse_term");
+        b.mv(s0, v0);
+        b.bind("pe_loop");
+        b.jsr("peek_token");
+        b.cmpeqi(t0, v0, 1); // '+'?
+        b.beq(t0, "pe_done");
+        b.jsr("next_token"); // consume '+'
+        b.jsr("parse_term");
+        b.addq(s0, s0, v0);
+        b.br("pe_loop");
+        b.bind("pe_done");
+        b.mv(v0, s0);
+        f.epilogue();
+    }
+
+    b.bind("main");
+    b.li(s4, 0);
+    const s32 sentences = s32(toks.size() ? 64 : 64);
+    (void)sentences;
+    emitCountedLoop(b, 15, s32(3 * wp.scale), [&] {
+        // Rewind the cursor and parse the whole stream.
+        b.li(t0, 0);
+        b.stq(t0, posOff, regGp);
+        b.bind(b.genLabel("stream"));
+        const std::string stream_top = b.genLabel("stop");
+        b.bind(stream_top);
+        b.jsr("peek_token");
+        b.cmpeqi(t2, v0, 6); // END?
+        const std::string done = b.genLabel("sdone");
+        b.bne(t2, done);
+        b.jsr("parse_expr");
+        b.xor_(s4, s4, v0);
+        b.jsr("next_token"); // consume the sentence terminator
+        b.br(stream_top);
+        b.bind(done);
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * perlbmk-like workloads: a bytecode interpreter, two input mixes
+ * (diffmail, splitmail).
+ *
+ * Character profile: indirect-jump dispatch through a handler table
+ * (BTB-hostile), a VM operand stack in memory, runtime helper calls
+ * with frames. The paper reports perl.s among the biggest winners from
+ * opcode indexing and reverse integration (call-rich, repeated
+ * helpers); diffmail leans arithmetic, splitmail leans string-ish byte
+ * traffic with more helper calls.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+enum VmOp : u64
+{
+    VM_PUSHC = 0, // operand follows in the next slot
+    VM_ADD = 1,
+    VM_XOR = 2,
+    VM_DUP = 3,
+    VM_HELPER = 4, // call a runtime helper on the top of stack
+    VM_STR = 5,    // string-ish op: byte loads/stores via helper
+    VM_DROP = 6,
+    VM_NOP = 7,
+};
+
+/** Generate a balanced bytecode program. */
+std::vector<u64>
+genBytecode(Rng &rng, size_t len, unsigned helper_permille,
+            unsigned str_permille)
+{
+    std::vector<u64> code;
+    int depth = 0;
+    while (code.size() < len) {
+        if (depth < 2) {
+            code.push_back(VM_PUSHC);
+            code.push_back(rng.below(100000));
+            ++depth;
+            continue;
+        }
+        if (rng.chance(str_permille)) {
+            code.push_back(VM_STR);
+        } else if (rng.chance(helper_permille)) {
+            code.push_back(VM_HELPER);
+        } else {
+            switch (rng.below(5)) {
+              case 0: code.push_back(VM_ADD); --depth; break;
+              case 1: code.push_back(VM_XOR); --depth; break;
+              case 2: code.push_back(VM_DUP); ++depth; break;
+              case 3:
+                if (depth > 1) {
+                    code.push_back(VM_DROP);
+                    --depth;
+                } else {
+                    code.push_back(VM_NOP);
+                }
+                break;
+              default: code.push_back(VM_NOP); break;
+            }
+        }
+        if (depth > 12) {
+            code.push_back(VM_DROP);
+            --depth;
+        }
+    }
+    // Drain to a small, fixed depth.
+    while (depth > 1) {
+        code.push_back(VM_DROP);
+        --depth;
+    }
+    return code;
+}
+
+Program
+buildPerl(const char *name, u64 seed, unsigned helper_permille,
+          unsigned str_permille, const WorkloadParams &wp)
+{
+    Builder b(name);
+    Rng rng(seed);
+    const std::vector<u64> code = genBytecode(rng, 700, helper_permille,
+                                              str_permille);
+    // Dispatch count: PUSHC consumes an extra operand slot.
+    s32 n_ops = 0;
+    for (size_t i = 0; i < code.size(); ++i) {
+        ++n_ops;
+        if (code[i] == VM_PUSHC)
+            ++i;
+    }
+    b.quads("bytecode", code);
+    b.space("vmstack", 64 * 8);
+    b.space("strbuf", 64 * 8);
+    b.quad("profctr", 0);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t4 = 5, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s4 = 13;
+    const LogReg a0 = 16;
+
+    b.br("main");
+
+    // helper(a0 = x) -> v0: the runtime routine perl dips into.
+    b.bind("vm_helper");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0);
+        b.mulqi(t0, s0, 2654435);
+        b.srli(t1, t0, 11);
+        b.xor_(v0, t0, t1);
+        b.andi(v0, v0, 0xffff);
+        f.epilogue();
+    }
+
+    // strop(a0 = x) -> v0: byte shuffling through a buffer.
+    b.bind("vm_strop");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0);
+        b.addqi(t6, regGp, s32(b.dataAddr("strbuf") - defaultDataBase));
+        b.andi(t0, s0, 63);
+        b.slli(t0, t0, 3);
+        b.addq(t0, t6, t0);
+        b.ldq(t1, 0, t0);
+        b.addq(t1, t1, s0);
+        b.stq(t1, 0, t0);
+        b.srli(v0, t1, 3);
+        f.epilogue();
+    }
+
+    b.bind("main");
+    // s0 = instruction pointer, s1 = VM stack pointer (in memory).
+    b.li(s4, 0);
+    emitCountedLoop(b, 15, s32(4 * wp.scale), [&] {
+        b.addqi(s0, regGp, s32(b.dataAddr("bytecode") - defaultDataBase));
+        b.addqi(s1, regGp, s32(b.dataAddr("vmstack") - defaultDataBase));
+        emitCountedLoop(b, 14, n_ops, [&] {
+            b.ldq(t0, 0, s0);      // opcode
+            b.addqi(s0, s0, 8);
+            // Interpreter bookkeeping: profiling counter RMW (its
+            // reload is the canonical load mis-integration source)
+            // and an unhoisted stack-overflow guard.
+            b.ldq(t1, s32(b.dataAddr("profctr") - defaultDataBase),
+                  regGp);
+            b.addqi(t1, t1, 1);
+            b.stq(t1, s32(b.dataAddr("profctr") - defaultDataBase),
+                  regGp);
+            b.addqi(t2, regGp,
+                    s32(b.dataAddr("vmstack") - defaultDataBase + 504));
+            b.cmplt(t2, t2, s1);
+            b.bne(t2, "pm_overflow");
+            // Dispatch: handler stubs are one slot apart.
+            b.liCode(t4, "pm_disp");
+            b.addq(t4, t4, t0);
+            b.jmp(t4);
+            b.bind("pm_disp");
+            b.br("pm_pushc");
+            b.br("pm_add");
+            b.br("pm_xor");
+            b.br("pm_dup");
+            b.br("pm_helper");
+            b.br("pm_str");
+            b.br("pm_drop");
+            b.br("pm_join"); // NOP
+
+            b.bind("pm_pushc");
+            b.ldq(t1, 0, s0);  // inline operand
+            b.addqi(s0, s0, 8);
+            b.stq(t1, 0, s1);
+            b.addqi(s1, s1, 8);
+            // Consuming the operand shortens the counted stream: burn
+            // one dispatch credit by looping via a no-op path.
+            b.br("pm_join");
+
+            b.bind("pm_add");
+            b.ldq(t1, -8, s1);
+            b.ldq(t2, -16, s1);
+            b.addq(t1, t1, t2);
+            b.stq(t1, -16, s1);
+            b.subqi(s1, s1, 8);
+            b.br("pm_join");
+
+            b.bind("pm_xor");
+            b.ldq(t1, -8, s1);
+            b.ldq(t2, -16, s1);
+            b.xor_(t1, t1, t2);
+            b.stq(t1, -16, s1);
+            b.subqi(s1, s1, 8);
+            b.br("pm_join");
+
+            b.bind("pm_dup");
+            b.ldq(t1, -8, s1);
+            b.stq(t1, 0, s1);
+            b.addqi(s1, s1, 8);
+            b.br("pm_join");
+
+            b.bind("pm_helper");
+            b.ldq(a0, -8, s1);
+            b.jsr("vm_helper");
+            b.stq(v0, -8, s1);
+            b.br("pm_join");
+
+            b.bind("pm_str");
+            b.ldq(a0, -8, s1);
+            b.jsr("vm_strop");
+            b.stq(v0, -8, s1);
+            b.br("pm_join");
+
+            b.bind("pm_drop");
+            b.subqi(s1, s1, 8);
+
+            b.bind("pm_join");
+        });
+        b.br("pm_noflow");
+        b.bind("pm_overflow");
+        b.halt(); // VM stack overflow: never reached
+        b.bind("pm_noflow");
+        // Fold the surviving stack slot into the checksum.
+        b.ldq(t0, 0, s1);
+        b.xor_(s4, s4, t0);
+        b.ldq(t0, -8, s1);
+        b.addq(s4, s4, t0);
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace
+
+Program
+buildPerlDiffmail(const WorkloadParams &wp)
+{
+    return buildPerl("perl.d", 0xbead1, 120, 60, wp);
+}
+
+Program
+buildPerlSplitmail(const WorkloadParams &wp)
+{
+    return buildPerl("perl.s", 0xbead2, 160, 240, wp);
+}
+
+} // namespace rix

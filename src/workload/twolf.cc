@@ -1,0 +1,95 @@
+/**
+ * @file
+ * twolf-like workload: standard-cell placement by simulated annealing.
+ *
+ * Character profile: a dominant loop with data-dependent accept/reject
+ * branches near 50/50 (the mispredict + squash-reuse generator),
+ * random-pair position loads and conditional swap stores, a temperature
+ * kept in a spilled stack slot and reloaded each iteration (load
+ * mis-integration fodder), and almost no calls — twolf gains little
+ * from opcode indexing or reverse integration in the paper.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildTwolf(const WorkloadParams &wp)
+{
+    Builder b("twolf");
+    Rng rng(0x201f);
+    const s32 cells = 512;
+    b.randomQuads("cellx", cells, rng, 4096);
+    b.randomQuads("celly", cells, rng, 4096);
+
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t4 = 5, t6 = 7, t7 = 8;
+    const LogReg s0 = 9, s1 = 10, s4 = 13, s5 = 14;
+
+    b.bind("main");
+    b.lda(regSp, -32, regSp);
+    b.li(t0, 4096);
+    b.stq(t0, 16, regSp); // temperature local
+
+    b.li(s4, 0);
+    b.li(s5, 0x70f3);
+    b.addqi(s0, regGp, s32(b.dataAddr("cellx") - defaultDataBase));
+    b.addqi(s1, regGp, s32(b.dataAddr("celly") - defaultDataBase));
+    emitCountedLoop(b, 15, s32(2100 * wp.scale), [&] {
+        // Pick a random pair of cells.
+        emitLcg(b, s5);
+        emitLcgBits(b, t0, s5, 9);
+        b.srli(t1, s5, 32);
+        b.andi(t1, t1, cells - 1);
+        b.slli(t0, t0, 3);
+        b.slli(t1, t1, 3);
+        // Load the four coordinates.
+        b.addq(t2, s0, t0);
+        b.ldq(t3, 0, t2);      // xa
+        b.addq(t4, s0, t1);
+        b.ldq(t6, 0, t4);      // xb
+        // |xa - xb| branch-free.
+        b.subq(t7, t3, t6);
+        b.srai(t3, t7, 63);
+        b.xor_(t7, t7, t3);
+        b.subq(t7, t7, t3);
+        // Temperature reload from the spill slot (usually integrable,
+        // stale right after the periodic decay below).
+        b.ldq(t3, 16, regSp);
+        // Accept when delta < temperature: near-random direction.
+        b.cmplt(t6, t7, t3);
+        const std::string reject = b.genLabel("reject");
+        b.beq(t6, reject);
+        // Accept: swap the x coordinates (stores).
+        b.ldq(t3, 0, t2);
+        b.ldq(t6, 0, t4);
+        b.stq(t6, 0, t2);
+        b.stq(t3, 0, t4);
+        b.addqi(s4, s4, 1);
+        b.bind(reject);
+        // Periodic temperature decay (updates the spilled local).
+        b.andi(t6, s4, 127);
+        const std::string nodecay = b.genLabel("nodecay");
+        b.bne(t6, nodecay);
+        b.ldq(t6, 16, regSp);
+        b.mulqi(t6, t6, 255);
+        b.srli(t6, t6, 8);
+        b.addqi(t6, t6, 1);
+        b.stq(t6, 16, regSp);
+        b.bind(nodecay);
+        // Touch the y array too (more load traffic).
+        b.addq(t2, s1, t0);
+        b.ldq(t3, 0, t2);
+        b.xor_(s4, s4, t3);
+    });
+    b.lda(regSp, 32, regSp);
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

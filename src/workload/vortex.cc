@@ -1,0 +1,173 @@
+/**
+ * @file
+ * vortex-like workload: an object-oriented in-memory database.
+ *
+ * Character profile: the deepest and most frequent call chains of the
+ * suite (main -> operation -> validate -> hash -> slot, plus field
+ * copy/compare leaf loops), heavy callee-save traffic, and duplicate
+ * address-expression sites within functions. The paper reports vortex
+ * among the biggest beneficiaries of both opcode indexing (~10% extra)
+ * and reverse integration (~10% reverse rate).
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildVortex(const WorkloadParams &wp)
+{
+    Builder b("vortex");
+    Rng rng(0x4073);
+    const s32 nobjs = 256;
+    const s32 fields = 8;
+    b.randomQuads("objects", size_t(nobjs) * fields, rng, 1 << 20);
+    b.space("table", 256 * 8);
+    b.space("scratch", fields * 8);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t5 = 6, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s4 = 13, s5 = 14;
+    const LogReg a0 = 16, a1 = 17;
+
+    b.br("main");
+
+    // validate(a0 = id) -> v0 = clamped id.
+    b.bind("vx_validate");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        b.andi(v0, a0, nobjs - 1);
+        f.epilogue();
+    }
+
+    // hash(a0 = id) -> v0 = bucket index.
+    b.bind("vx_hash");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        b.mulqi(t0, a0, 0x9e3b);
+        b.srli(t1, t0, 13);
+        b.xor_(t0, t0, t1);
+        b.andi(v0, t0, 255);
+        f.epilogue();
+    }
+
+    // slot(a0 = bucket) -> v0 = &table[bucket].
+    b.bind("vx_slot");
+    {
+        FnFrame f(b, {});
+        f.prologue();
+        b.slli(t0, a0, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("table") - defaultDataBase));
+        b.addq(v0, t6, t0);
+        f.epilogue();
+    }
+
+    // copy_fields(a0 = src obj base): copy into scratch.
+    b.bind("vx_copy");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0);
+        b.addqi(t2, regGp, s32(b.dataAddr("scratch") - defaultDataBase));
+        emitCountedLoop(b, t5, fields, [&] {
+            // Duplicate address-expression site #1.
+            b.addqi(t6, regGp,
+                    s32(b.dataAddr("scratch") - defaultDataBase));
+            b.ldq(t0, 0, s0);
+            b.stq(t0, 0, t2);
+            b.addqi(s0, s0, 8);
+            b.addqi(t2, t2, 8);
+        });
+        f.epilogue();
+    }
+
+    // compare_fields(a0 = obj base) -> v0 = mismatch count vs scratch.
+    b.bind("vx_compare");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.mv(s0, a0);
+        b.addqi(t2, regGp, s32(b.dataAddr("scratch") - defaultDataBase));
+        b.li(v0, 0);
+        emitCountedLoop(b, t5, fields, [&] {
+            // Duplicate address-expression site #2 (same op/imm/input
+            // as site #1 in vx_copy: opcode indexing integrates these
+            // across the two static instructions).
+            b.addqi(t6, regGp,
+                    s32(b.dataAddr("scratch") - defaultDataBase));
+            b.ldq(t0, 0, s0);
+            b.ldq(t1, 0, t2);
+            b.cmpeq(t0, t0, t1);
+            b.xori(t0, t0, 1);
+            b.addq(v0, v0, t0);
+            b.addqi(s0, s0, 8);
+            b.addqi(t2, t2, 8);
+        });
+        f.epilogue();
+    }
+
+    // obj_insert(a0 = id) -> v0.
+    b.bind("vx_insert");
+    {
+        FnFrame f(b, {s0, s1});
+        f.prologue();
+        b.jsr("vx_validate");
+        b.mv(s0, v0);
+        b.mv(a0, s0);
+        b.jsr("vx_hash");
+        b.mv(a0, v0);
+        b.jsr("vx_slot");
+        b.mv(s1, v0);
+        b.stq(s0, 0, s1);
+        // Object base = objects + id * fields * 8.
+        b.slli(t0, s0, 6);
+        b.addqi(t6, regGp, s32(b.dataAddr("objects") - defaultDataBase));
+        b.addq(a0, t6, t0);
+        b.jsr("vx_copy");
+        b.mv(v0, s0);
+        f.epilogue();
+    }
+
+    // obj_lookup(a0 = id) -> v0 = mismatch count.
+    b.bind("vx_lookup");
+    {
+        FnFrame f(b, {s0, s1});
+        f.prologue();
+        b.jsr("vx_validate");
+        b.mv(s0, v0);
+        b.mv(a0, s0);
+        b.jsr("vx_hash");
+        b.mv(a0, v0);
+        b.jsr("vx_slot");
+        b.ldq(s1, 0, v0);   // stored id
+        b.slli(t0, s1, 6);
+        b.addqi(t6, regGp, s32(b.dataAddr("objects") - defaultDataBase));
+        b.addq(a0, t6, t0);
+        b.jsr("vx_compare");
+        f.epilogue();
+    }
+
+    b.bind("main");
+    b.li(s4, 0);
+    b.li(s5, 0x9a7);
+    emitCountedLoop(b, 15, s32(260 * wp.scale), [&] {
+        emitLcg(b, s5);
+        emitLcgBits(b, a0, s5, 10);
+        b.jsr("vx_insert");
+        b.xor_(s4, s4, v0);
+        emitLcgBits(b, a0, s5, 9);
+        b.jsr("vx_lookup");
+        b.addq(s4, s4, v0);
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

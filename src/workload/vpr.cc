@@ -1,0 +1,186 @@
+/**
+ * @file
+ * vpr-like workloads: FPGA placement (vpr.p) and routing (vpr.r).
+ *
+ * Character profile: placement is annealing-flavoured like twolf but
+ * over a 2-D grid with a cost call per move; routing is a maze
+ * wavefront expansion — a store/load/branch loop with essentially no
+ * calls, the second benchmark (with gzip) for which the paper reports
+ * opcode indexing *losing* integration rate to IT conflicts.
+ */
+
+#include "workload/kit.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+Program
+buildVprPlace(const WorkloadParams &wp)
+{
+    Builder b("vpr.p");
+    Rng rng(0x0b97);
+    const s32 ncells = 400;
+    b.randomQuads("px", 512, rng, 64);
+    b.randomQuads("py", 512, rng, 64);
+
+    const LogReg v0 = 0;
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s4 = 13, s5 = 14;
+    const LogReg a0 = 16, a1 = 17;
+    (void)ncells;
+
+    b.br("main");
+
+    // bbox_cost(a0 = cell i, a1 = cell j) -> v0: wiring cost estimate.
+    b.bind("vp_cost");
+    {
+        FnFrame f(b, {s0});
+        f.prologue();
+        b.slli(t0, a0, 3);
+        b.slli(t1, a1, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("px") - defaultDataBase));
+        b.addq(t2, t6, t0);
+        b.ldq(s0, 0, t2);
+        b.addq(t2, t6, t1);
+        b.ldq(t3, 0, t2);
+        b.subq(s0, s0, t3);
+        b.srai(t3, s0, 63);
+        b.xor_(s0, s0, t3);
+        b.subq(s0, s0, t3); // |dx|
+        b.addqi(t6, regGp, s32(b.dataAddr("py") - defaultDataBase));
+        b.addq(t2, t6, t0);
+        b.ldq(t3, 0, t2);
+        b.addq(t2, t6, t1);
+        b.ldq(t2, 0, t2);
+        b.subq(t3, t3, t2);
+        b.srai(t2, t3, 63);
+        b.xor_(t3, t3, t2);
+        b.subq(t3, t3, t2); // |dy|
+        b.addq(v0, s0, t3);
+        f.epilogue();
+    }
+
+    b.bind("main");
+    b.lda(regSp, -32, regSp);
+    b.li(t0, 96);
+    b.stq(t0, 16, regSp); // acceptance threshold local
+
+    b.li(s4, 0);
+    b.li(s5, 0x9e37);
+    emitCountedLoop(b, 15, s32(1500 * wp.scale), [&] {
+        emitLcg(b, s5);
+        emitLcgBits(b, a0, s5, 9);
+        b.srli(a1, s5, 33);
+        b.andi(a1, a1, 511);
+        b.jsr("vp_cost");
+        // Threshold reload (spill-slot idiom).
+        b.ldq(t1, 16, regSp);
+        b.cmplt(t2, v0, t1);
+        const std::string rej = b.genLabel("rej");
+        b.beq(t2, rej);
+        // Accept: commit the move (swap x coordinates).
+        b.slli(t0, a0, 3);
+        b.addqi(t6, regGp, s32(b.dataAddr("px") - defaultDataBase));
+        b.addq(t0, t6, t0);
+        b.ldq(t1, 0, t0);
+        b.addqi(t1, t1, 1);
+        b.stq(t1, 0, t0);
+        b.addqi(s4, s4, 1);
+        b.bind(rej);
+        // Cooling schedule every 256 accepts.
+        b.andi(t0, s4, 255);
+        const std::string nocool = b.genLabel("nocool");
+        b.bne(t0, nocool);
+        b.ldq(t0, 16, regSp);
+        b.mulqi(t0, t0, 253);
+        b.srli(t0, t0, 8);
+        b.addqi(t0, t0, 2);
+        b.stq(t0, 16, regSp);
+        b.bind(nocool);
+        b.xor_(s4, s4, v0);
+    });
+    b.lda(regSp, 32, regSp);
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+Program
+buildVprRoute(const WorkloadParams &wp)
+{
+    Builder b("vpr.r");
+    Rng rng(0x0b98);
+    const s32 dim = 64; // 64x64 routing grid
+    b.space("visited", dim * dim * 8);
+    b.space("queue", 4096 * 8);
+
+    const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t4 = 5, t6 = 7;
+    const LogReg s0 = 9, s1 = 10, s2 = 11, s3 = 12, s4 = 13, s5 = 14;
+
+    b.bind("main");
+    b.li(s4, 0);
+    b.li(s5, 1);          // epoch (also the visited marker)
+    b.li(s0, 0);          // queue head
+    b.li(s1, 0);          // queue tail
+    b.addqi(s2, regGp, s32(b.dataAddr("queue") - defaultDataBase));
+    b.addqi(s3, regGp, s32(b.dataAddr("visited") - defaultDataBase));
+
+    emitCountedLoop(b, 15, s32(1300 * wp.scale), [&] {
+        // Re-seed with a fresh source when the wavefront drained.
+        b.cmpeq(t0, s0, s1);
+        const std::string noseed = b.genLabel("noseed");
+        b.beq(t0, noseed);
+        b.addqi(s5, s5, 1); // new epoch invalidates old marks
+        b.mulqi(t1, s5, 37);
+        b.andi(t1, t1, dim * dim - 1);
+        b.slli(t2, s1, 3);
+        b.andi(t2, t2, 4095 * 8);
+        b.addq(t2, s2, t2);
+        b.stq(t1, 0, t2);
+        b.addqi(s1, s1, 1);
+        b.bind(noseed);
+
+        // Pop the head cell.
+        b.slli(t0, s0, 3);
+        b.andi(t0, t0, 4095 * 8);
+        b.addq(t0, s2, t0);
+        b.ldq(t1, 0, t0); // current cell
+        b.addqi(s0, s0, 1);
+
+        // Expand the four neighbours (unrolled; bounds-checked).
+        const int deltas[4] = {1, -1, dim, -dim};
+        for (int d = 0; d < 4; ++d) {
+            b.addqi(t2, t1, deltas[d]);
+            const std::string skip = b.genLabel("skip");
+            b.blt(t2, skip);
+            b.cmplti(t3, t2, dim * dim);
+            b.beq(t3, skip);
+            // Visited check for this epoch.
+            b.slli(t4, t2, 3);
+            b.addq(t4, s3, t4);
+            b.ldq(t6, 0, t4);
+            b.cmpeq(t6, t6, s5);
+            b.bne(t6, skip);
+            b.stq(s5, 0, t4); // mark
+            // Enqueue.
+            b.slli(t6, s1, 3);
+            b.andi(t6, t6, 4095 * 8);
+            b.addq(t6, s2, t6);
+            b.stq(t2, 0, t6);
+            b.addqi(s1, s1, 1);
+            b.addqi(s4, s4, 1);
+            b.bind(skip);
+        }
+        b.xor_(s4, s4, t1);
+    });
+    b.syscall(s32(SyscallCode::Emit), s4);
+    b.halt();
+
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

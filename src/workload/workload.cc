@@ -1,0 +1,68 @@
+#include "workload/workload.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"bzip2", buildBzip2,
+         "block compression: tight RLE/histogram loops, few calls"},
+        {"crafty", buildCrafty,
+         "game-tree search: deep recursion, bitboard ALU, call-heavy"},
+        {"eon.c", buildEonCook,
+         "ray tracer (cook): fixed-point vector math, 45% memory ops"},
+        {"eon.k", buildEonKajiya,
+         "ray tracer (kajiya): adds a bounce recursion level"},
+        {"eon.r", buildEonRushmeier,
+         "ray tracer (rushmeier): larger object set"},
+        {"gap", buildGap,
+         "computer algebra: vector arithmetic kernels behind small calls"},
+        {"gcc", buildGcc,
+         "compiler passes over a synthetic IR: branchy, moderate calls"},
+        {"gzip", buildGzip,
+         "LZ compression: hash-chain matching, loop-dominated, few calls"},
+        {"mcf", buildMcf,
+         "network simplex: pointer chasing over an L2-busting arc array"},
+        {"parser", buildParser,
+         "link grammar: recursive descent, dictionary probing"},
+        {"perl.d", buildPerlDiffmail,
+         "perl interpreter (diffmail): indirect dispatch, arith ops"},
+        {"perl.s", buildPerlSplitmail,
+         "perl interpreter (splitmail): indirect dispatch, string ops"},
+        {"twolf", buildTwolf,
+         "standard-cell placement: annealing with data-dependent accepts"},
+        {"vortex", buildVortex,
+         "OO database: layered small functions, deepest call chains"},
+        {"vpr.p", buildVprPlace,
+         "FPGA placement: annealing over a grid"},
+        {"vpr.r", buildVprRoute,
+         "FPGA routing: maze expansion, loop-dominated, few calls"},
+    };
+    return table;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+Program
+buildWorkload(const std::string &name, u64 scale)
+{
+    WorkloadParams wp;
+    wp.scale = scale;
+    for (const auto &w : allWorkloads())
+        if (name == w.name)
+            return w.build(wp);
+    rix_fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace rix

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Workload registry: 16 synthetic programs, one per benchmark instance
+ * of the paper's SPEC2000 integer evaluation (bzip2, crafty, eon.cook,
+ * eon.kajiya, eon.rushmeier, gap, gcc, gzip, mcf, parser, perl.diffmail,
+ * perl.splitmail, twolf, vortex, vpr.place, vpr.route).
+ *
+ * Each program is written in the repository's Alpha-flavoured ISA and
+ * engineered to exhibit that benchmark's published characteristics:
+ * call intensity and depth, load/store fraction, branch predictability,
+ * loop-invariant redundancy and stack save/restore traffic — the
+ * properties that determine its integration behaviour (DESIGN.md
+ * explains the substitution for the real SPEC binaries).
+ *
+ * All programs are deterministic, self-checking (they emit a checksum
+ * through the Emit syscall) and halt after an amount of work scaled by
+ * WorkloadParams::scale.
+ */
+
+#ifndef RIX_WORKLOAD_WORKLOAD_HH
+#define RIX_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+
+namespace rix
+{
+
+struct WorkloadParams
+{
+    u64 scale = 1; // multiplies the dynamic instruction count
+};
+
+using WorkloadBuilderFn = Program (*)(const WorkloadParams &);
+
+struct WorkloadInfo
+{
+    const char *name;
+    WorkloadBuilderFn build;
+    const char *description;
+};
+
+/** The 16 benchmark instances in the paper's reporting order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Names only, in order. */
+std::vector<std::string> workloadNames();
+
+/** Build one workload by name; fatal on unknown names. */
+Program buildWorkload(const std::string &name, u64 scale = 1);
+
+// Individual builders.
+Program buildBzip2(const WorkloadParams &);
+Program buildCrafty(const WorkloadParams &);
+Program buildEonCook(const WorkloadParams &);
+Program buildEonKajiya(const WorkloadParams &);
+Program buildEonRushmeier(const WorkloadParams &);
+Program buildGap(const WorkloadParams &);
+Program buildGcc(const WorkloadParams &);
+Program buildGzip(const WorkloadParams &);
+Program buildMcf(const WorkloadParams &);
+Program buildParser(const WorkloadParams &);
+Program buildPerlDiffmail(const WorkloadParams &);
+Program buildPerlSplitmail(const WorkloadParams &);
+Program buildTwolf(const WorkloadParams &);
+Program buildVortex(const WorkloadParams &);
+Program buildVprPlace(const WorkloadParams &);
+Program buildVprRoute(const WorkloadParams &);
+
+} // namespace rix
+
+#endif // RIX_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Assembler tests: builder label resolution, data segment layout, text
+ * parser syntax (registers, aliases, memory operands, directives) and
+ * error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/builder.hh"
+#include "assembler/parser.hh"
+
+using namespace rix;
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    Builder b("t");
+    b.bind("top");
+    b.addqi(1, 1, 1);
+    b.br("bottom"); // forward reference
+    b.br("top");    // backward reference
+    b.bind("bottom");
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.code[1].imm, 3); // bottom
+    EXPECT_EQ(p.code[2].imm, 0); // top
+}
+
+TEST(Builder, DataSymbols)
+{
+    Builder b("t");
+    Addr a = b.quad("x", 42);
+    Addr y = b.quads("y", {1, 2, 3});
+    Addr c = b.space("z", 100, 16);
+    EXPECT_EQ(a, b.dataAddr("x"));
+    EXPECT_EQ(y, b.dataAddr("y"));
+    EXPECT_EQ(c % 16, 0u);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.dataSymbol("x"), a);
+    // Initialized image contains the quad values.
+    u64 v;
+    memcpy(&v, &p.data[p.dataSymbol("y") - p.dataBase], 8);
+    EXPECT_EQ(v, 1u);
+}
+
+TEST(Builder, EntryPoint)
+{
+    Builder b("t");
+    b.nop();
+    b.bind("main");
+    b.halt();
+    b.entry("main");
+    Program p = b.finish();
+    EXPECT_EQ(p.entry, 1u);
+}
+
+TEST(Builder, LiCodeResolves)
+{
+    Builder b("t");
+    b.liCode(1, "target");
+    b.bind("target");
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.code[0].imm, 1);
+}
+
+TEST(Builder, GenLabelUnique)
+{
+    Builder b("t");
+    EXPECT_NE(b.genLabel("L"), b.genLabel("L"));
+}
+
+TEST(ParserTest, RegistersAndAliases)
+{
+    EXPECT_EQ(parseRegister("r0"), 0u);
+    EXPECT_EQ(parseRegister("r31"), 31u);
+    EXPECT_EQ(parseRegister("sp"), 30u);
+    EXPECT_EQ(parseRegister("ra"), 26u);
+    EXPECT_EQ(parseRegister("zero"), 31u);
+    EXPECT_EQ(parseRegister("s0"), 9u);
+    EXPECT_EQ(parseRegister("a0"), 16u);
+    EXPECT_EQ(parseRegister("t0"), 1u);
+    EXPECT_EQ(parseRegister("r32"), numLogRegs);
+    EXPECT_EQ(parseRegister("x5"), numLogRegs);
+}
+
+TEST(ParserTest, BasicProgram)
+{
+    Program p = assembleTextOrDie(R"(
+        # a tiny loop
+        .data
+buf:    .space 64
+val:    .quad 7, 8
+        .text
+main:   addqi t0, zero, 10
+loop:   subqi t0, t0, 1
+        bne t0, loop
+        ldq t1, val(zero)
+        stq t1, buf(zero)
+        halt
+        .entry main
+    )");
+    EXPECT_EQ(p.entry, 0u);
+    EXPECT_EQ(p.code.size(), 6u);
+    EXPECT_EQ(p.code[0].op, Opcode::ADDQI);
+    EXPECT_EQ(p.code[2].op, Opcode::BNE);
+    EXPECT_EQ(p.code[2].imm, 1); // loop label
+    EXPECT_EQ(p.code[3].op, Opcode::LDQ);
+    EXPECT_EQ(Addr(u32(p.code[3].imm)), p.dataSymbol("val"));
+}
+
+TEST(ParserTest, MemoryOperandForms)
+{
+    Program p = assembleTextOrDie(R"(
+        ldq t0, 16(sp)
+        stq t0, -8(sp)
+        lda sp, -32(sp)
+        ret
+    )");
+    EXPECT_EQ(p.code[0].imm, 16);
+    EXPECT_EQ(p.code[0].ra, regSp);
+    EXPECT_EQ(p.code[1].imm, -8);
+    EXPECT_EQ(p.code[1].rb, 1); // t0 data
+    EXPECT_EQ(p.code[2].op, Opcode::LDA);
+    EXPECT_EQ(p.code[2].imm, -32);
+    EXPECT_EQ(p.code[3].op, Opcode::RET);
+    EXPECT_EQ(p.code[3].ra, regRa);
+}
+
+TEST(ParserTest, CallForms)
+{
+    Program p = assembleTextOrDie(R"(
+f:      ret
+main:   jsr f
+        jsr f, t5
+        jmp t5
+        halt
+        .entry main
+    )");
+    EXPECT_EQ(p.code[1].rc, regRa);
+    EXPECT_EQ(p.code[2].rc, 6u); // t5
+    EXPECT_EQ(p.code[3].op, Opcode::JMP);
+}
+
+TEST(ParserTest, Errors)
+{
+    std::string err;
+    bool ok = true;
+    assembleText("bogus r1, r2, r3", "t", &err, &ok);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("unknown mnemonic"), std::string::npos);
+
+    assembleText("br nowhere", "t", &err, &ok);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("undefined label"), std::string::npos);
+
+    assembleText("addq r1, r2", "t", &err, &ok);
+    EXPECT_FALSE(ok);
+
+    assembleText("x: nop\nx: nop", "t", &err, &ok);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("redefined"), std::string::npos);
+}
+
+TEST(ParserTest, CommentsAndBlankLines)
+{
+    Program p = assembleTextOrDie(R"(
+        ; comment style two
+        # comment style one
+
+        nop ; trailing
+        halt
+    )");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(ParserTest, HexImmediates)
+{
+    Program p = assembleTextOrDie("addqi t0, zero, 0x10\nhalt");
+    EXPECT_EQ(p.code[0].imm, 16);
+}
+
+TEST(ProgramTest, FetchOutOfRangeIsNop)
+{
+    Builder b("t");
+    b.halt();
+    Program p = b.finish();
+    EXPECT_TRUE(p.fetch(12345).isNop());
+}

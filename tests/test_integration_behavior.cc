@@ -1,0 +1,334 @@
+/**
+ * @file
+ * End-to-end behaviour of the three paper extensions on the live
+ * pipeline: directed programs that must produce general reuse,
+ * squash reuse, reverse integration (speculative memory bypassing),
+ * load mis-integrations with LISP learning, and the Figure 2/3
+ * dynamics — all while retiring architecturally correct state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/parser.hh"
+#include "cpu/core.hh"
+#include "sim/simulator.hh"
+
+using namespace rix;
+
+namespace
+{
+
+Program &
+keep(Program p)
+{
+    static std::vector<std::unique_ptr<Program>> pool;
+    pool.push_back(std::make_unique<Program>(std::move(p)));
+    return *pool.back();
+}
+
+CoreStats
+runMode(Program &p, IntegrationMode mode,
+        LispMode lisp = LispMode::Realistic)
+{
+    // Correctness first: every mode must match the emulator.
+    CoreParams cp = integrationParams(mode, lisp);
+    EXPECT_EQ(verifyAgainstEmulator(p, cp, 2'000'000, 20'000'000), "");
+    Core c(p, cp);
+    c.run(2'000'000, 20'000'000);
+    return c.stats();
+}
+
+} // namespace
+
+TEST(IntegrationBehavior, GeneralReuseOnInvariantLoop)
+{
+    Program &p = keep(assembleTextOrDie(R"(
+        addqi t9, zero, 2000
+        addqi s1, zero, 0
+loop:   addqi t1, gp, 64      # unhoisted invariant
+        ldq t2, 0(t1)         # invariant load
+        addq s1, s1, t2
+        subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s1
+        halt
+    )",
+                                        "inv"));
+    const CoreStats squash = runMode(p, IntegrationMode::Squash);
+    const CoreStats general = runMode(p, IntegrationMode::General);
+    // Squash reuse cannot touch these (nothing squashes); general
+    // reuse integrates the invariant pair almost every iteration.
+    EXPECT_LT(squash.integrationRate(), 0.02);
+    EXPECT_GT(general.integrationRate(), 0.25);
+    EXPECT_GT(general.integByType[2][0], 1000u); // ALU direct
+    EXPECT_GT(general.integByType[1][0], 1000u); // load direct
+}
+
+TEST(IntegrationBehavior, SquashReuseAfterMispredicts)
+{
+    // A 50/50 branch whose arms reconverge: wrong-path work past the
+    // join point is squashed and then re-fetched — squash reuse.
+    Program &p = keep(assembleTextOrDie(R"(
+        addqi t9, zero, 4000
+        addqi t0, zero, 0x12345
+        addqi s1, zero, 0
+loop:   mulqi t0, t0, 25214903
+        addqi t0, t0, 11
+        srli t1, t0, 17
+        andi t1, t1, 1
+        beq t1, skip
+        addqi s1, s1, 1
+skip:   addqi t3, gp, 8       # reconvergent, reusable work
+        ldq t4, 0(t3)
+        xor s1, s1, t4
+        subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s1
+        halt
+    )",
+                                        "sq"));
+    const CoreStats off = runMode(p, IntegrationMode::Off);
+    const CoreStats squash = runMode(p, IntegrationMode::Squash);
+    EXPECT_GT(off.branchMispredicts, 500u);
+    EXPECT_GT(squash.integrated(), 200u);
+    // Squash reuse only reuses squash-freed registers.
+    EXPECT_GT(squash.integByStatus[3][0], 0u); // shadow/squash status
+}
+
+TEST(IntegrationBehavior, ReverseIntegrationBypassesSaveRestore)
+{
+    Program &p = keep(assembleTextOrDie(R"(
+leaf:   lda sp, -24(sp)
+        stq ra, 0(sp)
+        stq s0, 8(sp)
+        stq s1, 16(sp)
+        addq v0, a0, s0
+        addqi s0, a0, 1       # overwrite s0/s1 in the body
+        addqi s1, a0, 2
+        addqi t8, zero, 30    # long body: the saves retire meanwhile
+body:   mulqi v0, v0, 3
+        srli v0, v0, 1
+        subqi t8, t8, 1
+        bne t8, body
+        ldq s1, 16(sp)        # restores: reverse-integration targets
+        ldq s0, 8(sp)
+        ldq ra, 0(sp)
+        lda sp, 24(sp)
+        ret
+main:   addqi s0, zero, 5
+        addqi s1, zero, 6
+        addqi t9, zero, 1500
+        addqi s2, zero, 0
+loop:   mv a0, t9
+        jsr leaf
+        addq s2, s2, v0
+        subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s2
+        halt
+        .entry main
+    )",
+                                        "rev"));
+    const CoreStats opcode = runMode(p, IntegrationMode::OpcodeIndexed);
+    const CoreStats reverse = runMode(p, IntegrationMode::Reverse);
+    EXPECT_EQ(opcode.integratedReverse, 0u);
+    // Per call: 3 fills + 1 sp-increment are reverse-integrable.
+    EXPECT_GT(reverse.integratedReverse, 4000u);
+    // Stack loads dominate the reverse stream (Figure 5 Type).
+    EXPECT_GT(reverse.integByType[0][1], 2500u);
+    // Most reverse integrations happen after the creating store
+    // retired (Figure 5 Status: bottom striped portions).
+    EXPECT_GT(reverse.integByStatus[2][1] + reverse.integByStatus[3][1],
+              reverse.integByStatus[0][1] + reverse.integByStatus[1][1]);
+}
+
+TEST(IntegrationBehavior, SquashModeLacksGeneralReuse)
+{
+    // The ownership discipline: with only squash reuse, an actively
+    // mapped register is never shared (refcount stays <= 1).
+    Program &p = keep(assembleTextOrDie(R"(
+        addqi t9, zero, 1000
+loop:   addqi t1, gp, 64
+        addqi t2, gp, 64     # same value computed at another PC
+        addq t3, t1, t2
+        xor s1, s1, t3
+        subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s1
+        halt
+    )",
+                                        "own"));
+    const CoreStats squash = runMode(p, IntegrationMode::Squash);
+    for (int r = 0; r < 2; ++r)
+        for (int b = 1; b < 4; ++b)
+            EXPECT_EQ(squash.integByRefcount[b][r], 0u)
+                << "refcount bucket " << b;
+}
+
+TEST(IntegrationBehavior, OpcodeIndexingEnablesCrossPcReuse)
+{
+    // Two static instructions computing the same value from the same
+    // register: PC indexing keeps them apart, opcode indexing shares.
+    Program &p = keep(assembleTextOrDie(R"(
+        addqi t9, zero, 1500
+        addqi s1, zero, 0
+loop:   addqi t1, gp, 128
+        ldq t2, 0(t1)
+        addqi t3, gp, 128    # duplicate site
+        ldq t4, 0(t3)
+        addq s1, s1, t2
+        addq s1, s1, t4
+        subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s1
+        halt
+    )",
+                                        "dup"));
+    const CoreStats general = runMode(p, IntegrationMode::General);
+    const CoreStats opcode = runMode(p, IntegrationMode::OpcodeIndexed);
+    EXPECT_GT(opcode.integrated(), general.integrated());
+}
+
+TEST(IntegrationBehavior, LoadMisintegrationAndLispLearning)
+{
+    // A spill slot updated every iteration: its reload's IT entry is
+    // stale by the time it is reused -> load mis-integration; the LISP
+    // then suppresses that load for good.
+    Program &p = keep(assembleTextOrDie(R"(
+        lda sp, -16(sp)
+        addqi t0, zero, 0
+        stq t0, 8(sp)
+        addqi t9, zero, 800
+        addqi s1, zero, 0
+loop:   ldq t1, 8(sp)        # reload (mis-integration source)
+        addqi t1, t1, 1
+        stq t1, 8(sp)        # update invalidates the reuse
+        addq s1, s1, t1
+        subqi t9, t9, 1
+        bne t9, loop
+        lda sp, 16(sp)
+        syscall 1, s1
+        halt
+    )",
+                                        "mis"));
+    const CoreStats gen = runMode(p, IntegrationMode::General);
+    EXPECT_GT(gen.misintLoads, 0u);
+    // Overbiased LISP: one or two flushes, then suppression forever.
+    EXPECT_LT(gen.misintLoads, 10u);
+
+    // Reverse integration flips the story: the store's reverse entry
+    // provides the *current* data register, so the reload integrates
+    // correctly (speculative memory bypassing of the spill slot).
+    const CoreStats rev = runMode(p, IntegrationMode::Reverse);
+    EXPECT_GT(rev.integratedReverse, 300u);
+}
+
+TEST(IntegrationBehavior, IntegratedBranchResolvesEarly)
+{
+    // A branch whose outcome is reusable (same condition register):
+    // integration resolves it at rename, cutting resolution latency.
+    Program &p = keep(assembleTextOrDie(R"(
+        addqi t9, zero, 3000
+        addqi t0, zero, 0x5a5a
+        addqi s1, zero, 0
+loop:   mulqi t0, t0, 69069
+        addqi t0, t0, 5
+        srli t1, t0, 13
+        andi t1, t1, 1
+        beq t1, a
+        addqi s1, s1, 2
+        br join
+a:      addqi s1, s1, 1
+join:   beq t1, b             # same condition: outcome reusable
+        addqi s1, s1, 4
+b:      subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s1
+        halt
+    )",
+                                        "brx"));
+    const CoreStats off = runMode(p, IntegrationMode::Off);
+    const CoreStats gen = runMode(p, IntegrationMode::General);
+    EXPECT_GT(gen.integByType[3][0], 500u); // integrated branches
+    EXPECT_LE(gen.avgMispredResolveLat(), off.avgMispredResolveLat());
+}
+
+TEST(IntegrationBehavior, OracleSuppressionBeatsRealistic)
+{
+    Program &p = keep(assembleTextOrDie(R"(
+        lda sp, -16(sp)
+        addqi t0, zero, 0
+        stq t0, 8(sp)
+        addqi t9, zero, 600
+loop:   ldq t1, 8(sp)
+        addqi t1, t1, 3
+        stq t1, 8(sp)
+        xor s1, s1, t1
+        subqi t9, t9, 1
+        bne t9, loop
+        lda sp, 16(sp)
+        syscall 1, s1
+        halt
+    )",
+                                        "orc"));
+    const CoreStats real =
+        runMode(p, IntegrationMode::General, LispMode::Realistic);
+    const CoreStats oracle =
+        runMode(p, IntegrationMode::General, LispMode::Oracle);
+    EXPECT_LE(oracle.misintegrations, real.misintegrations);
+    EXPECT_GT(oracle.oracleSuppressions, 0u);
+}
+
+TEST(IntegrationBehavior, RegisterFileNeverLeaks)
+{
+    Program &p = keep(assembleTextOrDie(R"(
+        addqi t9, zero, 2500
+        addqi t0, zero, 0x777
+loop:   mulqi t0, t0, 1664525
+        addqi t0, t0, 1013904223
+        srli t1, t0, 20
+        andi t1, t1, 1
+        beq t1, s
+        addqi s1, s1, 1
+s:      addqi t2, gp, 32
+        ldq t3, 0(t2)
+        xor s1, s1, t3
+        subqi t9, t9, 1
+        bne t9, loop
+        halt
+    )",
+                                        "leak"));
+    CoreParams cp = integrationParams(IntegrationMode::Reverse);
+    Core c(p, cp);
+    c.run(2'000'000, 20'000'000);
+    ASSERT_TRUE(c.halted());
+    EXPECT_TRUE(c.regStateVector().checkNoLeaks());
+    // After everything retires only the architectural mappings remain.
+    unsigned live = 0;
+    for (PhysReg r = 0; r < c.regStateVector().numRegs(); ++r)
+        if (c.regStateVector().count(r) > 0)
+            ++live;
+    EXPECT_LE(live, numLogRegs + 1);
+}
+
+TEST(IntegrationBehavior, IntegrationReducesExecutedInstructions)
+{
+    Program &p = keep(assembleTextOrDie(R"(
+        addqi t9, zero, 2000
+loop:   addqi t1, gp, 64
+        ldq t2, 0(t1)
+        addqi t3, gp, 72
+        ldq t4, 0(t3)
+        addq s1, s1, t2
+        xor s1, s1, t4
+        subqi t9, t9, 1
+        bne t9, loop
+        halt
+    )",
+                                        "exec"));
+    const CoreStats off = runMode(p, IntegrationMode::Off);
+    const CoreStats rev = runMode(p, IntegrationMode::Reverse);
+    EXPECT_LT(rev.issued, off.issued);
+    EXPECT_LT(rev.issuedLoads, off.issuedLoads);
+    EXPECT_LE(rev.avgRsOccupancy(), off.avgRsOccupancy() + 0.01);
+}

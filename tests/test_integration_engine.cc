@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Integration-engine tests: class eligibility policy, the decision
+ * flow (lookup + register eligibility + LISP), entry creation rules
+ * (direct entries only on failed integration; reverse entries for
+ * stack stores and stack-pointer decrements), and the worked scenarios
+ * of the paper's Figures 2 and 3 at the engine level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/integration.hh"
+
+using namespace rix;
+
+namespace
+{
+
+struct EngineFixture : ::testing::Test
+{
+    EngineFixture()
+        : params(makeParams()), regs(params), engine(params, regs)
+    {
+    }
+
+    static IntegrationParams
+    makeParams()
+    {
+        IntegrationParams p;
+        p.mode = IntegrationMode::Reverse;
+        p.itEntries = 64;
+        p.itAssoc = 4;
+        p.numPhysRegs = 64;
+        return p;
+    }
+
+    RenameCandidate
+    cand(const Instruction &inst, PhysReg s1 = invalidPhysReg,
+         u8 g1 = 0, PhysReg s2 = invalidPhysReg, u8 g2 = 0,
+         InstAddr pc = 0, unsigned depth = 0)
+    {
+        RenameCandidate c;
+        c.inst = inst;
+        c.pc = pc;
+        c.callDepth = depth;
+        c.seq = ++seq;
+        c.hasSrc1 = s1 != invalidPhysReg;
+        c.src1 = s1;
+        c.src1Gen = g1;
+        c.hasSrc2 = s2 != invalidPhysReg;
+        c.src2 = s2;
+        c.src2Gen = g2;
+        return c;
+    }
+
+    IntegrationParams params;
+    RegStateVector regs;
+    IntegrationEngine engine;
+    u64 seq = 0;
+};
+
+} // namespace
+
+TEST(EngineStatic, ClassPolicy)
+{
+    EXPECT_TRUE(
+        IntegrationEngine::classIntegrates(makeRR(Opcode::ADDQ, 1, 2, 3)));
+    EXPECT_TRUE(
+        IntegrationEngine::classIntegrates(makeLoad(Opcode::LDQ, 1, 0, 2)));
+    EXPECT_TRUE(IntegrationEngine::classIntegrates(
+        makeBranch(Opcode::BEQ, 1, 5)));
+    // Stores, jumps, calls, syscalls, nops never integrate.
+    EXPECT_FALSE(IntegrationEngine::classIntegrates(
+        makeStore(Opcode::STQ, 1, 0, 2)));
+    EXPECT_FALSE(IntegrationEngine::classIntegrates(makeJump(3)));
+    EXPECT_FALSE(IntegrationEngine::classIntegrates(makeCall(3)));
+    EXPECT_FALSE(IntegrationEngine::classIntegrates(makeSyscall(1)));
+    EXPECT_FALSE(IntegrationEngine::classIntegrates(makeNop()));
+    // Writes to r31 produce nothing to reuse.
+    EXPECT_FALSE(IntegrationEngine::classIntegrates(
+        makeRR(Opcode::ADDQ, regZero, 2, 3)));
+}
+
+TEST_F(EngineFixture, DirectReuseFlow)
+{
+    PhysReg in = regs.allocate();
+    regs.markReady(in);
+
+    Instruction add = makeRI(Opcode::ADDQI, 3, 1, 8);
+    RenameCandidate c1 = cand(add, in, regs.gen(in));
+    IntegrationResult r1 = engine.tryIntegrate(c1);
+    EXPECT_FALSE(r1.integrated); // empty table
+
+    PhysReg out = regs.allocate();
+    regs.markReady(out);
+    engine.recordEntries(c1, true, out, regs.gen(out), false);
+
+    // A later instance with the same input integrates the output.
+    RenameCandidate c2 = cand(add, in, regs.gen(in));
+    IntegrationResult r2 = engine.tryIntegrate(c2);
+    ASSERT_TRUE(r2.integrated);
+    EXPECT_EQ(r2.preg, out);
+    EXPECT_FALSE(r2.reverse);
+    EXPECT_EQ(r2.producerSeq, c1.seq);
+}
+
+TEST_F(EngineFixture, IntegrationFailsOnIneligibleRegister)
+{
+    PhysReg in = regs.allocate();
+    regs.markReady(in);
+    Instruction add = makeRI(Opcode::ADDQI, 3, 1, 8);
+    RenameCandidate c1 = cand(add, in, regs.gen(in));
+    PhysReg out = regs.allocate(); // never marked ready
+    engine.recordEntries(c1, true, out, regs.gen(out), false);
+    regs.releaseSquash(out); // 0/F: unexecuted squashed register
+    IntegrationResult r = engine.tryIntegrate(cand(add, in, regs.gen(in)));
+    EXPECT_FALSE(r.integrated);
+}
+
+TEST_F(EngineFixture, LispSuppressesLoads)
+{
+    PhysReg base = regs.allocate();
+    regs.markReady(base);
+    Instruction ld = makeLoad(Opcode::LDQ, 4, 16, 2);
+    RenameCandidate c1 = cand(ld, base, regs.gen(base), invalidPhysReg, 0,
+                              /*pc=*/77);
+    PhysReg out = regs.allocate();
+    regs.markReady(out);
+    engine.recordEntries(c1, true, out, regs.gen(out), false);
+
+    RenameCandidate c2 = cand(ld, base, regs.gen(base), invalidPhysReg, 0,
+                              77);
+    EXPECT_TRUE(engine.tryIntegrate(c2).integrated);
+
+    engine.lisp().trainMisintegration(77);
+    IntegrationResult r = engine.tryIntegrate(
+        cand(ld, base, regs.gen(base), invalidPhysReg, 0, 77));
+    EXPECT_FALSE(r.integrated);
+    EXPECT_TRUE(r.suppressed);
+}
+
+TEST_F(EngineFixture, StackStoreCreatesReverseEntry)
+{
+    // Figure 3: stq data, 8(sp) creates <ldq/8, sp, -> data>.
+    PhysReg sp = regs.allocate();
+    regs.markReady(sp);
+    PhysReg data = regs.allocate();
+    regs.markReady(data);
+
+    Instruction st = makeStore(Opcode::STQ, 20, 8, regSp);
+    RenameCandidate cs = cand(st, sp, regs.gen(sp), data, regs.gen(data));
+    engine.recordEntries(cs, false, invalidPhysReg, 0, false);
+    EXPECT_EQ(engine.reverseEntriesCreated(), 1u);
+
+    // The register fill integrates the store's data register.
+    Instruction ld = makeLoad(Opcode::LDQ, 20, 8, regSp);
+    IntegrationResult r = engine.tryIntegrate(cand(ld, sp, regs.gen(sp)));
+    ASSERT_TRUE(r.integrated);
+    EXPECT_TRUE(r.reverse);
+    EXPECT_EQ(r.preg, data);
+}
+
+TEST_F(EngineFixture, NonStackStoreCreatesNoReverseEntry)
+{
+    PhysReg base = regs.allocate();
+    PhysReg data = regs.allocate();
+    Instruction st = makeStore(Opcode::STQ, 20, 8, /*base=*/5);
+    engine.recordEntries(cand(st, base, regs.gen(base), data,
+                              regs.gen(data)),
+                         false, invalidPhysReg, 0, false);
+    EXPECT_EQ(engine.reverseEntriesCreated(), 0u);
+}
+
+TEST_F(EngineFixture, SpDecrementCreatesInverseEntry)
+{
+    // Figure 3: lda sp,-32(sp) creates the entry that lets
+    // lda sp,32(sp) reclaim the old stack-pointer register.
+    PhysReg old_sp = regs.allocate();
+    regs.markReady(old_sp);
+    PhysReg new_sp = regs.allocate();
+    regs.markReady(new_sp);
+
+    Instruction dec = makeRI(Opcode::LDA, regSp, regSp, -32);
+    engine.recordEntries(cand(dec, old_sp, regs.gen(old_sp)), true,
+                         new_sp, regs.gen(new_sp), false);
+    EXPECT_EQ(engine.reverseEntriesCreated(), 1u);
+
+    Instruction inc = makeRI(Opcode::LDA, regSp, regSp, 32);
+    IntegrationResult r =
+        engine.tryIntegrate(cand(inc, new_sp, regs.gen(new_sp)));
+    ASSERT_TRUE(r.integrated);
+    EXPECT_TRUE(r.reverse);
+    EXPECT_EQ(r.preg, old_sp);
+}
+
+TEST_F(EngineFixture, SpIncrementCreatesNoReverseEntry)
+{
+    PhysReg sp = regs.allocate();
+    PhysReg out = regs.allocate();
+    Instruction inc = makeRI(Opcode::LDA, regSp, regSp, 32);
+    engine.recordEntries(cand(inc, sp, regs.gen(sp)), true, out,
+                         regs.gen(out), false);
+    EXPECT_EQ(engine.reverseEntriesCreated(), 0u);
+}
+
+TEST_F(EngineFixture, IntegratedInstructionCreatesNoDirectEntry)
+{
+    PhysReg in = regs.allocate();
+    regs.markReady(in);
+    Instruction add = makeRI(Opcode::ADDQI, 3, 1, 8);
+    const u64 before = engine.directEntriesCreated();
+    engine.recordEntries(cand(add, in, regs.gen(in)), true, 10, 0,
+                         /*integrated=*/true);
+    EXPECT_EQ(engine.directEntriesCreated(), before);
+}
+
+TEST_F(EngineFixture, BranchOutcomeReuse)
+{
+    PhysReg in = regs.allocate();
+    regs.markReady(in);
+    Instruction br = makeBranch(Opcode::BNE, 2, 50);
+    RenameCandidate c1 = cand(br, in, regs.gen(in));
+    ITHandle h = engine.recordEntries(c1, false, invalidPhysReg, 0, false);
+    // Outcome unknown yet: no integration.
+    EXPECT_FALSE(engine.tryIntegrate(cand(br, in, regs.gen(in))).integrated);
+    engine.fillBranchOutcome(h, true);
+    IntegrationResult r = engine.tryIntegrate(cand(br, in, regs.gen(in)));
+    ASSERT_TRUE(r.integrated);
+    EXPECT_TRUE(r.isBranch);
+    EXPECT_TRUE(r.taken);
+}
+
+TEST_F(EngineFixture, ModeOffNeverIntegrates)
+{
+    IntegrationParams p = makeParams();
+    p.mode = IntegrationMode::Off;
+    RegStateVector rs(p);
+    IntegrationEngine eng(p, rs);
+    PhysReg in = rs.allocate();
+    rs.markReady(in);
+    Instruction add = makeRI(Opcode::ADDQI, 3, 1, 8);
+    RenameCandidate c;
+    c.inst = add;
+    c.hasSrc1 = true;
+    c.src1 = in;
+    c.src1Gen = rs.gen(in);
+    eng.recordEntries(c, true, 9, 0, false);
+    EXPECT_FALSE(eng.tryIntegrate(c).integrated);
+}
+
+TEST_F(EngineFixture, PipelinedWritesDelayVisibility)
+{
+    // With a write delay of 8 renamed instructions, an entry created at
+    // seq S is invisible to lookups before S+8 (the section 3.3
+    // pipelined-integration model) and visible after.
+    IntegrationParams pp = makeParams();
+    pp.itWriteDelay = 8;
+    RegStateVector rs(pp);
+    IntegrationEngine eng(pp, rs);
+
+    PhysReg in = rs.allocate();
+    rs.markReady(in);
+    Instruction add = makeRI(Opcode::ADDQI, 3, 1, 8);
+
+    RenameCandidate c1;
+    c1.inst = add;
+    c1.seq = 10;
+    c1.hasSrc1 = true;
+    c1.src1 = in;
+    c1.src1Gen = rs.gen(in);
+    PhysReg out = rs.allocate();
+    rs.markReady(out);
+    eng.recordEntries(c1, true, out, rs.gen(out), false);
+    EXPECT_EQ(eng.pendingWrites(), 1u);
+
+    RenameCandidate c2 = c1;
+    c2.seq = 14; // within the write delay: no reuse
+    EXPECT_FALSE(eng.tryIntegrate(c2).integrated);
+
+    RenameCandidate c3 = c1;
+    c3.seq = 19; // past the delay: entry drained and visible
+    EXPECT_TRUE(eng.tryIntegrate(c3).integrated);
+    EXPECT_EQ(eng.pendingWrites(), 0u);
+}
+
+TEST_F(EngineFixture, PipelinedBranchOutcomeSurvivesDrain)
+{
+    IntegrationParams pp = makeParams();
+    pp.itWriteDelay = 8;
+    RegStateVector rs(pp);
+    IntegrationEngine eng(pp, rs);
+
+    PhysReg in = rs.allocate();
+    rs.markReady(in);
+    Instruction br = makeBranch(Opcode::BNE, 2, 50);
+    RenameCandidate c1;
+    c1.inst = br;
+    c1.seq = 5;
+    c1.hasSrc1 = true;
+    c1.src1 = in;
+    c1.src1Gen = rs.gen(in);
+    ITHandle h = eng.recordEntries(c1, false, invalidPhysReg, 0, false);
+    EXPECT_TRUE(h.isPending);
+    // Outcome arrives while the entry is still in the write stage.
+    eng.fillBranchOutcome(h, true);
+
+    RenameCandidate c2 = c1;
+    c2.seq = 20;
+    IntegrationResult r = eng.tryIntegrate(c2);
+    ASSERT_TRUE(r.integrated);
+    EXPECT_TRUE(r.taken);
+}
+
+TEST_F(EngineFixture, Figure2Scenario)
+{
+    // Simplified Figure 2: two add instances share one register
+    // simultaneously (refcount 1 -> 2), a third integrates after the
+    // mapping is shadowed (0/T).
+    PhysReg p1 = regs.allocate();
+    regs.markReady(p1); // holds R1
+    Instruction i1 = makeRI(Opcode::ADDQI, 2, 1, 1); // addqi R2, R1, 1
+    RenameCandidate c1 = cand(i1, p1, regs.gen(p1), invalidPhysReg, 0, 0x10);
+    PhysReg p4 = regs.allocate();
+    regs.markReady(p4);
+    engine.recordEntries(c1, true, p4, regs.gen(p4), false);
+
+    // New instance integrates p4 while the original mapping is live.
+    IntegrationResult r =
+        engine.tryIntegrate(cand(i1, p1, regs.gen(p1), invalidPhysReg, 0,
+                                 0x10));
+    ASSERT_TRUE(r.integrated);
+    regs.addRef(p4);
+    EXPECT_EQ(regs.count(p4), 2); // simultaneous sharing (1/T -> 2/T)
+
+    // Shadow both mappings: register idles at 0/T, still reusable.
+    regs.releaseOverwrite(p4);
+    regs.releaseOverwrite(p4);
+    EXPECT_EQ(regs.count(p4), 0);
+    EXPECT_TRUE(
+        engine.tryIntegrate(cand(i1, p1, regs.gen(p1), invalidPhysReg, 0,
+                                 0x10))
+            .integrated);
+}

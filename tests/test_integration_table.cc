@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Integration-table tests: PC vs opcode indexing/tagging, input and
+ * generation matching, LRU replacement, exact-duplicate overwrite,
+ * branch-outcome handles, reverse entries in the unified table, and
+ * index-distribution properties of the call-depth mix.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/integration_table.hh"
+#include "core/lisp.hh"
+
+using namespace rix;
+
+namespace
+{
+
+IntegrationParams
+params(IntegrationMode mode, unsigned entries = 64, unsigned assoc = 4)
+{
+    IntegrationParams p;
+    p.mode = mode;
+    p.itEntries = entries;
+    p.itAssoc = assoc;
+    return p;
+}
+
+ITKey
+key(Opcode op, s32 imm, PhysReg in1, u8 gen1, u64 pc = 0,
+    unsigned depth = 0)
+{
+    ITKey k;
+    k.op = op;
+    k.imm = imm;
+    k.pc = pc;
+    k.callDepth = depth;
+    k.hasIn1 = true;
+    k.in1 = in1;
+    k.gen1 = gen1;
+    return k;
+}
+
+} // namespace
+
+TEST(ItTable, InsertAndLookupOpcodeMode)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed));
+    it.insert(key(Opcode::ADDQI, 8, 5, 1), true, 40, 2, false, false, 7);
+    ITEntry *e = it.lookup(key(Opcode::ADDQI, 8, 5, 1));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->out, 40);
+    EXPECT_EQ(e->outGen, 2);
+    EXPECT_EQ(e->createSeq, 7u);
+}
+
+TEST(ItTable, InputMismatchMisses)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed));
+    it.insert(key(Opcode::ADDQI, 8, 5, 1), true, 40, 2, false, false, 0);
+    EXPECT_EQ(it.lookup(key(Opcode::ADDQI, 8, 6, 1)), nullptr); // reg
+    EXPECT_EQ(it.lookup(key(Opcode::ADDQI, 9, 5, 1)), nullptr); // imm
+    EXPECT_EQ(it.lookup(key(Opcode::SUBQI, 8, 5, 1)), nullptr); // op
+}
+
+TEST(ItTable, GenerationMismatchMisses)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed));
+    it.insert(key(Opcode::ADDQI, 8, 5, 1), true, 40, 2, false, false, 0);
+    EXPECT_EQ(it.lookup(key(Opcode::ADDQI, 8, 5, 2)), nullptr);
+}
+
+TEST(ItTable, GenCheckingAblatable)
+{
+    IntegrationParams p = params(IntegrationMode::OpcodeIndexed);
+    p.useGenCounters = false;
+    IntegrationTable it(p);
+    it.insert(key(Opcode::ADDQI, 8, 5, 1), true, 40, 2, false, false, 0);
+    EXPECT_NE(it.lookup(key(Opcode::ADDQI, 8, 5, 9)), nullptr);
+}
+
+TEST(ItTable, PcModeTagsByPc)
+{
+    IntegrationTable it(params(IntegrationMode::General));
+    it.insert(key(Opcode::ADDQI, 8, 5, 1, /*pc=*/100), true, 40, 2,
+              false, false, 0);
+    // Same operation at a different PC misses under PC indexing...
+    EXPECT_EQ(it.lookup(key(Opcode::ADDQI, 8, 5, 1, 200)), nullptr);
+    // ...and hits at the creating PC.
+    EXPECT_NE(it.lookup(key(Opcode::ADDQI, 8, 5, 1, 100)), nullptr);
+}
+
+TEST(ItTable, OpcodeModeIgnoresPc)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed));
+    it.insert(key(Opcode::ADDQI, 8, 5, 1, 100), true, 40, 2, false,
+              false, 0);
+    EXPECT_NE(it.lookup(key(Opcode::ADDQI, 8, 5, 1, 200)), nullptr);
+}
+
+TEST(ItTable, CallDepthChangesSetButNotTag)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed, 64, 1));
+    ITKey k0 = key(Opcode::ADDQI, 8, 5, 1, 0, /*depth=*/0);
+    ITKey k3 = key(Opcode::ADDQI, 8, 5, 1, 0, /*depth=*/3);
+    // Different depths index different sets (the whole point of the
+    // call-depth mix).
+    EXPECT_NE(it.index(k0), it.index(k3));
+    it.insert(k0, true, 40, 2, false, false, 0);
+    EXPECT_EQ(it.lookup(k3), nullptr);
+    EXPECT_NE(it.lookup(k0), nullptr);
+}
+
+TEST(ItTable, LruReplacementWithinSet)
+{
+    // Direct-mapped-by-construction: 4 entries, 4-way = one set.
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed, 4, 4));
+    for (int i = 0; i < 4; ++i)
+        it.insert(key(Opcode::ADDQI, i, 5, 1), true, PhysReg(10 + i), 0,
+                  false, false, u64(i));
+    it.lookup(key(Opcode::ADDQI, 0, 5, 1)); // touch entry 0
+    it.insert(key(Opcode::ADDQI, 9, 5, 1), true, 50, 0, false, false, 9);
+    EXPECT_NE(it.lookup(key(Opcode::ADDQI, 0, 5, 1)), nullptr);
+    EXPECT_EQ(it.lookup(key(Opcode::ADDQI, 1, 5, 1)), nullptr); // LRU out
+    EXPECT_GE(it.replacements(), 1u);
+}
+
+TEST(ItTable, DuplicateInsertOverwrites)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed, 4, 4));
+    it.insert(key(Opcode::ADDQI, 8, 5, 1), true, 40, 2, false, false, 1);
+    it.insert(key(Opcode::ADDQI, 8, 5, 1), true, 41, 3, false, false, 2);
+    ITEntry *e = it.lookup(key(Opcode::ADDQI, 8, 5, 1));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->out, 41);
+    // Only one way consumed: the other three still hold nothing.
+    int valid = 0;
+    for (int i = 0; i < 4; ++i)
+        valid += it.lookup(key(Opcode::ADDQI, i + 100, 5, 1)) != nullptr;
+    EXPECT_EQ(valid, 0);
+}
+
+TEST(ItTable, BranchOutcomeHandle)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed));
+    ITKey k = key(Opcode::BEQ, 50, 5, 1);
+    ITHandle h = it.insert(k, false, invalidPhysReg, 0, false, true, 0);
+    ITEntry *e = it.lookup(k);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->isBranch);
+    EXPECT_FALSE(e->outcomeValid);
+    it.fillBranchOutcome(h, true);
+    e = it.lookup(k);
+    EXPECT_TRUE(e->outcomeValid);
+    EXPECT_TRUE(e->taken);
+}
+
+TEST(ItTable, StaleHandleIgnored)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed, 4, 4));
+    ITKey k = key(Opcode::BEQ, 50, 5, 1);
+    ITHandle h = it.insert(k, false, invalidPhysReg, 0, false, true, 0);
+    // Evict by filling the (single) set with four other entries.
+    for (int i = 0; i < 4; ++i)
+        it.insert(key(Opcode::ADDQI, i, 5, 1), true, PhysReg(i), 0,
+                  false, false, 0);
+    it.fillBranchOutcome(h, true); // must not corrupt a reused slot
+    EXPECT_EQ(it.at(h), nullptr);
+}
+
+TEST(ItTable, InvalidateByHandle)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed));
+    ITKey k = key(Opcode::LDQ, 16, 30, 0);
+    ITHandle h = it.insert(k, true, 77, 0, false, false, 0);
+    EXPECT_NE(it.lookup(k), nullptr);
+    it.invalidate(h);
+    EXPECT_EQ(it.lookup(k), nullptr);
+}
+
+TEST(ItTable, ReverseEntriesCoexist)
+{
+    IntegrationTable it(params(IntegrationMode::Reverse));
+    // A store creates the complementary load's entry.
+    ITKey rk = key(Opcode::LDQ, 8, /*base sp preg*/ 31, 0);
+    it.insert(rk, true, /*data preg*/ 20, 1, /*reverse=*/true, false, 5);
+    ITEntry *e = it.lookup(rk);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->reverse);
+    EXPECT_EQ(e->out, 20);
+}
+
+TEST(ItTable, FullyAssociativeSingleSet)
+{
+    IntegrationTable it(params(IntegrationMode::OpcodeIndexed, 16, 16));
+    EXPECT_EQ(it.numSets(), 1u);
+    for (int i = 0; i < 16; ++i)
+        it.insert(key(Opcode::ADDQI, i, 5, 1), true, PhysReg(i), 0,
+                  false, false, 0);
+    int found = 0;
+    for (int i = 0; i < 16; ++i)
+        found += it.lookup(key(Opcode::ADDQI, i, 5, 1)) != nullptr;
+    EXPECT_EQ(found, 16);
+}
+
+TEST(ItTable, CallDepthIndexSpreadsDenseImmediates)
+{
+    // The motivation for the call-depth mix: dense stack-frame
+    // immediates (0, 8, 16, ...) with one opcode must spread over more
+    // sets when depths vary.
+    IntegrationParams p = params(IntegrationMode::OpcodeIndexed, 256, 1);
+    IntegrationTable with_cd(p);
+    p.useCallDepthIndex = false;
+    IntegrationTable without_cd(p);
+    std::set<u32> s_with, s_without;
+    for (unsigned d = 0; d < 8; ++d) {
+        for (s32 imm = 0; imm < 32; imm += 8) {
+            s_with.insert(with_cd.index(key(Opcode::LDQ, imm, 1, 0, 0, d)));
+            s_without.insert(
+                without_cd.index(key(Opcode::LDQ, imm, 1, 0, 0, d)));
+        }
+    }
+    EXPECT_GT(s_with.size(), s_without.size());
+}
+
+TEST(LispTest, SuppressAfterTraining)
+{
+    Lisp lisp(64, 2);
+    EXPECT_FALSE(lisp.suppress(123));
+    lisp.trainMisintegration(123);
+    EXPECT_TRUE(lisp.suppress(123));
+    EXPECT_FALSE(lisp.suppress(124));
+    EXPECT_EQ(lisp.trainings(), 1u);
+    EXPECT_GE(lisp.suppressions(), 1u);
+}
+
+TEST(LispTest, OverbiasedNeverForgets)
+{
+    Lisp lisp(64, 2);
+    lisp.trainMisintegration(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(lisp.suppress(5));
+}
+
+TEST(LispTest, LruWithinSet)
+{
+    Lisp lisp(2, 2); // one set, two ways
+    lisp.trainMisintegration(1);
+    lisp.trainMisintegration(2);
+    lisp.suppress(1); // touch
+    lisp.trainMisintegration(3); // evicts 2
+    EXPECT_TRUE(lisp.suppress(1));
+    EXPECT_FALSE(lisp.suppress(2));
+    EXPECT_TRUE(lisp.suppress(3));
+}
+
+TEST(LispTest, ResetClears)
+{
+    Lisp lisp(64, 2);
+    lisp.trainMisintegration(9);
+    lisp.reset();
+    EXPECT_FALSE(lisp.suppress(9));
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ISA tests: opcode traits, instruction classification and helpers,
+ * 64-bit encode/decode round-trips (parameterized over every opcode),
+ * and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "isa/inst.hh"
+
+using namespace rix;
+
+TEST(Opcode, NamesRoundTrip)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        const Opcode op = Opcode(i);
+        EXPECT_EQ(opFromName(opName(op)), op) << opName(op);
+    }
+    EXPECT_EQ(opFromName("bogus"), Opcode::NUM_OPCODES);
+}
+
+TEST(Opcode, ClassPredicates)
+{
+    EXPECT_TRUE(isLoadOp(Opcode::LDQ));
+    EXPECT_TRUE(isLoadOp(Opcode::LDL));
+    EXPECT_FALSE(isLoadOp(Opcode::STQ));
+    EXPECT_TRUE(isStoreOp(Opcode::STL));
+    EXPECT_EQ(memAccessSize(Opcode::LDQ), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::LDL), 4u);
+    EXPECT_EQ(memAccessSize(Opcode::STQ), 8u);
+    EXPECT_EQ(inverseOfStore(Opcode::STQ), Opcode::LDQ);
+    EXPECT_EQ(inverseOfStore(Opcode::STL), Opcode::LDL);
+    EXPECT_TRUE(hasArithmeticInverse(Opcode::LDA));
+    EXPECT_TRUE(hasArithmeticInverse(Opcode::ADDQI));
+    EXPECT_FALSE(hasArithmeticInverse(Opcode::MULQ));
+}
+
+TEST(Opcode, Latencies)
+{
+    EXPECT_EQ(opTraits(Opcode::ADDQ).latency, 1u);
+    EXPECT_EQ(opTraits(Opcode::MULQ).latency, 3u);
+    EXPECT_EQ(opTraits(Opcode::DIVQ).latency, 12u);
+    EXPECT_EQ(opTraits(Opcode::FMUL).latency, 4u);
+}
+
+TEST(Instruction, SourceDestConventions)
+{
+    Instruction add = makeRR(Opcode::ADDQ, 3, 1, 2);
+    EXPECT_TRUE(add.writesReg());
+    EXPECT_EQ(add.src1(), 1);
+    EXPECT_EQ(add.src2(), 2);
+
+    Instruction ld = makeLoad(Opcode::LDQ, 5, 16, 7);
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_EQ(ld.src1(), 7);
+    EXPECT_FALSE(ld.hasSrc2());
+    EXPECT_EQ(ld.accessSize(), 8u);
+
+    Instruction st = makeStore(Opcode::STL, 4, 8, 9);
+    EXPECT_TRUE(st.isStore());
+    EXPECT_FALSE(st.writesReg());
+    EXPECT_EQ(st.src1(), 9); // base
+    EXPECT_EQ(st.src2(), 4); // data
+    EXPECT_EQ(st.accessSize(), 4u);
+
+    Instruction br = makeBranch(Opcode::BEQ, 2, 100);
+    EXPECT_TRUE(br.isCondBranch());
+    EXPECT_TRUE(br.isControl());
+    EXPECT_FALSE(br.writesReg());
+
+    Instruction call = makeCall(50);
+    EXPECT_TRUE(call.isCall());
+    EXPECT_TRUE(call.writesReg());
+    EXPECT_EQ(call.rc, regRa);
+
+    Instruction ret = makeIndirect(Opcode::RET, regRa);
+    EXPECT_TRUE(ret.isReturn());
+    EXPECT_TRUE(ret.isControl());
+}
+
+TEST(Instruction, ZeroRegisterWritesDiscarded)
+{
+    Instruction i = makeRI(Opcode::ADDQI, regZero, 1, 5);
+    EXPECT_FALSE(i.writesReg());
+}
+
+TEST(Instruction, ControlClassification)
+{
+    EXPECT_TRUE(makeJump(3).isDirectJump());
+    EXPECT_TRUE(makeJump(3).isControl());
+    EXPECT_FALSE(makeNop().isControl());
+    EXPECT_TRUE(makeHalt().isHalt());
+    EXPECT_TRUE(makeSyscall(1).isSyscall());
+}
+
+TEST(Disassemble, Formats)
+{
+    EXPECT_EQ(disassemble(makeRR(Opcode::ADDQ, 3, 1, 2)),
+              "addq r3, r1, r2");
+    EXPECT_EQ(disassemble(makeRI(Opcode::ADDQI, 3, 1, -5)),
+              "addqi r3, r1, -5");
+    EXPECT_EQ(disassemble(makeLoad(Opcode::LDQ, 5, 16, 30)),
+              "ldq r5, 16(r30)");
+    EXPECT_EQ(disassemble(makeStore(Opcode::STQ, 4, 8, 30)),
+              "stq r4, 8(r30)");
+    EXPECT_EQ(disassemble(makeRI(Opcode::LDA, 30, 30, -32)),
+              "lda r30, -32(r30)");
+    EXPECT_EQ(disassemble(makeBranch(Opcode::BNE, 2, 7)), "bne r2, @7");
+    EXPECT_EQ(disassemble(makeHalt()), "halt");
+}
+
+// Parameterized encode/decode round trip over every opcode.
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EncodingRoundTrip, RoundTrips)
+{
+    Instruction i;
+    i.op = Opcode(GetParam());
+    i.ra = 31;
+    i.rb = 17;
+    i.rc = 1;
+    i.imm = -123456;
+    bool ok = false;
+    Instruction d = decode(encode(i), &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(d, i);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip,
+                         ::testing::Range(0u, numOpcodes));
+
+TEST(Encoding, ImmediateExtremes)
+{
+    for (s32 imm : {0, 1, -1, INT32_MAX, INT32_MIN}) {
+        Instruction i = makeRI(Opcode::ADDQI, 2, 3, imm);
+        bool ok = false;
+        EXPECT_EQ(decode(encode(i), &ok).imm, imm);
+        EXPECT_TRUE(ok);
+    }
+}
+
+TEST(Encoding, InvalidOpcodeRejected)
+{
+    bool ok = true;
+    Instruction d = decode(~u64(0), &ok);
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(d.isNop());
+}
+
+TEST(Regs, Conventions)
+{
+    EXPECT_EQ(regZero, 31);
+    EXPECT_EQ(regSp, 30);
+    EXPECT_EQ(regRa, 26);
+    EXPECT_TRUE(isCalleeSaved(9));
+    EXPECT_TRUE(isCalleeSaved(15));
+    EXPECT_FALSE(isCalleeSaved(8));
+    EXPECT_FALSE(isCalleeSaved(16));
+}

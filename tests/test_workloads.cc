@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Workload-suite tests, parameterized over all 16 benchmark instances:
+ * programs build, halt on the functional emulator within budget, emit a
+ * checksum, are deterministic, and scale with the scale parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "workload/workload.hh"
+
+using namespace rix;
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSuite, BuildsAndHalts)
+{
+    Program p = buildWorkload(GetParam(), 1);
+    EXPECT_FALSE(p.code.empty());
+    Emulator e(p);
+    e.run(30'000'000);
+    ASSERT_TRUE(e.halted()) << GetParam();
+    EXPECT_GT(e.instsExecuted(), 10'000u) << "suspiciously small";
+    EXPECT_LT(e.instsExecuted(), 5'000'000u) << "suspiciously large";
+}
+
+TEST_P(WorkloadSuite, EmitsChecksum)
+{
+    Program p = buildWorkload(GetParam(), 1);
+    Emulator e(p);
+    e.run(30'000'000);
+    ASSERT_TRUE(e.halted());
+    EXPECT_FALSE(e.output().empty());
+}
+
+TEST_P(WorkloadSuite, Deterministic)
+{
+    Program p1 = buildWorkload(GetParam(), 1);
+    Program p2 = buildWorkload(GetParam(), 1);
+    Emulator a(p1), b(p2);
+    a.run(30'000'000);
+    b.run(30'000'000);
+    EXPECT_EQ(a.instsExecuted(), b.instsExecuted());
+    EXPECT_EQ(a.output(), b.output());
+}
+
+TEST_P(WorkloadSuite, ScaleGrowsWork)
+{
+    Program p1 = buildWorkload(GetParam(), 1);
+    Program p2 = buildWorkload(GetParam(), 2);
+    Emulator a(p1), b(p2);
+    a.run(60'000'000);
+    b.run(60'000'000);
+    ASSERT_TRUE(a.halted());
+    ASSERT_TRUE(b.halted());
+    EXPECT_GT(b.instsExecuted(), a.instsExecuted() * 3 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSuite, ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+TEST(WorkloadRegistry, SixteenBenchmarks)
+{
+    EXPECT_EQ(allWorkloads().size(), 16u);
+    // Paper reporting order: bzip2 first, vpr.r last.
+    EXPECT_EQ(workloadNames().front(), "bzip2");
+    EXPECT_EQ(workloadNames().back(), "vpr.r");
+}
+
+TEST(WorkloadRegistry, DescriptionsPresent)
+{
+    for (const auto &w : allWorkloads())
+        EXPECT_GT(strlen(w.description), 10u) << w.name;
+}
+
+TEST(WorkloadCharacter, EonIsMemoryHeavy)
+{
+    // The paper singles out eon's load/store mix (45% on real SPEC;
+    // the synthetic trace keeps it the most memory-op-dense of the
+    // loop benchmarks).
+    auto mem_rate = [](const char *name) {
+        Program p = buildWorkload(name, 1);
+        Emulator e(p);
+        u64 mem = 0, total = 0;
+        while (!e.halted() && total < 5'000'000) {
+            StepResult r = e.step();
+            ++total;
+            mem += r.inst.isMem();
+        }
+        return double(mem) / double(total);
+    };
+    const double eon = mem_rate("eon.c");
+    EXPECT_GT(eon, 0.27);
+    EXPECT_GT(eon, mem_rate("crafty"));
+}
+
+TEST(WorkloadCharacter, CallIntensityOrdering)
+{
+    // vortex must be much more call-intensive than gzip.
+    auto call_rate = [](const char *name) {
+        Program p = buildWorkload(name, 1);
+        Emulator e(p);
+        u64 calls = 0, total = 0;
+        while (!e.halted() && total < 5'000'000) {
+            StepResult r = e.step();
+            ++total;
+            calls += r.inst.isCall();
+        }
+        return double(calls) / double(total);
+    };
+    EXPECT_GT(call_rate("vortex"), 10 * call_rate("gzip") + 1e-9);
+}
+
+TEST(WorkloadCharacter, McfTouchesLargeFootprint)
+{
+    Program p = buildWorkload("mcf", 1);
+    // 2MB arcs + 2MB costs: the image alone busts the 2MB L2.
+    EXPECT_GT(p.data.size(), 3u * 1024 * 1024);
+}
+
+TEST(WorkloadRegistry, UnknownNameDies)
+{
+    EXPECT_DEATH(buildWorkload("nonexistent"), "unknown workload");
+}
