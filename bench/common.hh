@@ -16,6 +16,7 @@
 #ifndef RIX_BENCH_COMMON_HH
 #define RIX_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <array>
@@ -59,7 +60,25 @@ benchList()
             cur += *p;
         }
     }
-    return out.empty() ? all : out;
+    // A selection that names no valid workload would silently run an
+    // empty (or full) set; reject unknown names loudly instead.
+    for (const std::string &name : out) {
+        if (std::find(all.begin(), all.end(), name) == all.end()) {
+            fprintf(stderr,
+                    "RIX_BENCH: unknown workload '%s'; valid names:",
+                    name.c_str());
+            for (const auto &n : all)
+                fprintf(stderr, " %s", n.c_str());
+            fprintf(stderr, "\n");
+            exit(1);
+        }
+    }
+    if (out.empty()) {
+        fprintf(stderr,
+                "RIX_BENCH is set but selects no workloads ('%s')\n", sel);
+        exit(1);
+    }
+    return out;
 }
 
 /** Cache of built programs (mcf's data image is 4MB; build once). */

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulation-throughput harness: how fast does the simulator itself
+ * run, in simulated kilo-instructions retired per wall-clock second
+ * (KIPS)?
+ *
+ * Unlike the figure benches (which report simulated IPC and
+ * integration behaviour), this binary exists to give the repository a
+ * regression trajectory for host-side performance work: every
+ * optimization PR quotes its per-workload and aggregate KIPS against
+ * the previous run.
+ *
+ * Output: one single-line JSON object per workload, then one aggregate
+ * line, each of the form
+ *
+ *   {"bench": "gzip", "kips": 1234.5, "cycles": 567890,
+ *    "retired": 123456, "ipc": 0.87, "wall_s": 0.100}
+ *
+ * The aggregate line uses "bench": "aggregate"; its kips is total
+ * retired instructions over total wall time, so it weights long
+ * workloads proportionally. Redirect to BENCH_throughput.json to
+ * archive a trajectory point.
+ *
+ * Knobs: RIX_SCALE / RIX_BENCH as in every bench binary. The machine
+ * configuration is the paper's full integration setup (reverse
+ * entries, realistic LISP) so the rename/IT/memory hot paths are all
+ * exercised.
+ */
+
+#include <chrono>
+
+#include "bench/common.hh"
+
+using namespace rixbench;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void
+printLine(const std::string &name, double kips, u64 cycles, u64 retired,
+          double ipc, double wall)
+{
+    printf("{\"bench\": \"%s\", \"kips\": %.1f, \"cycles\": %llu, "
+           "\"retired\": %llu, \"ipc\": %.4f, \"wall_s\": %.3f}\n",
+           name.c_str(), kips, (unsigned long long)cycles,
+           (unsigned long long)retired, ipc, wall);
+}
+
+} // namespace
+
+int
+main()
+{
+    const CoreParams params = integrationParams(IntegrationMode::Reverse);
+
+    u64 total_retired = 0;
+    u64 total_cycles = 0;
+    double total_wall = 0.0;
+
+    for (const auto &bm : benchList()) {
+        // Build (and cache) the program outside the timed region: we
+        // are measuring the simulator, not the workload generators.
+        program(bm);
+
+        const auto t0 = Clock::now();
+        const SimReport rep = run(bm, params);
+        const double wall = secondsSince(t0);
+
+        const u64 retired = rep.core.retired;
+        const double kips = wall > 0 ? retired / 1000.0 / wall : 0.0;
+        printLine(bm, kips, rep.core.cycles, retired, rep.ipc(), wall);
+        fflush(stdout);
+
+        total_retired += retired;
+        total_cycles += rep.core.cycles;
+        total_wall += wall;
+    }
+
+    const double agg_kips =
+        total_wall > 0 ? total_retired / 1000.0 / total_wall : 0.0;
+    const double agg_ipc =
+        total_cycles ? double(total_retired) / double(total_cycles) : 0.0;
+    printLine("aggregate", agg_kips, total_cycles, total_retired, agg_ipc,
+              total_wall);
+    return 0;
+}

@@ -13,7 +13,13 @@ InstAddr
 BranchPredictorUnit::predict(const Instruction &inst, InstAddr pc,
                              BranchPrediction *out)
 {
-    BranchPrediction p;
+    // Fill the caller's record in place (it is 56 bytes; a local copy
+    // would be written twice for every fetched instruction).
+    BranchPrediction local;
+    BranchPrediction &p = out ? *out : local;
+    p.isControl = false;
+    p.predTaken = false;
+    p.predTarget = 0;
     p.rasBefore = ras.save();
     p.callDepth = ras.depth();
     p.dir.historyBefore = hybrid.history();
@@ -58,8 +64,6 @@ BranchPredictorUnit::predict(const Instruction &inst, InstAddr pc,
       default:
         break;
     }
-    if (out)
-        *out = p;
     return next;
 }
 

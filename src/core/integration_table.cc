@@ -6,6 +6,21 @@
 namespace rix
 {
 
+namespace
+{
+
+constexpr u64 laneValidBit = u64(1) << 63;
+
+/** Bit layout of the packed input-compare word. */
+constexpr unsigned in2Shift = 16;
+constexpr unsigned gen1Shift = 32;
+constexpr unsigned gen2Shift = 40;
+constexpr unsigned has1Shift = 48;
+constexpr unsigned has2Shift = 49;
+constexpr u64 genBits = (u64(0xff) << gen1Shift) | (u64(0xff) << gen2Shift);
+
+} // namespace
+
 IntegrationTable::IntegrationTable(const IntegrationParams &p) : params(p)
 {
     if (p.itEntries == 0 || !isPow2(p.itEntries))
@@ -15,7 +30,14 @@ IntegrationTable::IntegrationTable(const IntegrationParams &p) : params(p)
     if (!isPow2(sets))
         rix_fatal("IT sets must be a power of two (entries %u / assoc %u)",
                   p.itEntries, p.itAssoc);
-    table.resize(size_t(sets) * assoc);
+    pcTagged = !modeHasOpcodeIndex(params.mode);
+    inputGenMask = params.useGenCounters ? ~u64(0) : ~genBits;
+
+    const size_t n = size_t(sets) * assoc;
+    table.resize(n);
+    tagLane.assign(n, 0);
+    pcLane.assign(n, 0);
+    inputLane.assign(n, 0);
 }
 
 u32
@@ -23,7 +45,7 @@ IntegrationTable::index(const ITKey &key) const
 {
     if (sets == 1)
         return 0;
-    if (!modeHasOpcodeIndex(params.mode)) {
+    if (pcTagged) {
         // PC indexing: the PC distributes entries evenly by itself.
         return u32(key.pc) & (sets - 1);
     }
@@ -40,46 +62,62 @@ IntegrationTable::index(const ITKey &key) const
     return u32(ix) & (sets - 1);
 }
 
-bool
-IntegrationTable::tagMatch(const ITEntry &e, const ITKey &key) const
+u64
+IntegrationTable::packInputs(bool h1, bool h2, PhysReg in1, PhysReg in2,
+                             u8 g1, u8 g2) const
 {
-    if (e.op != key.op || e.imm != key.imm)
-        return false;
-    if (!modeHasOpcodeIndex(params.mode) && e.pcTag != key.pc)
-        return false;
-    return true;
+    // Canonical: operand fields contribute only when present, so the
+    // packed compare reproduces the original field-by-field semantics
+    // (absent operands match regardless of their register values).
+    u64 w = (u64(h1) << has1Shift) | (u64(h2) << has2Shift);
+    if (h1)
+        w |= u64(in1) | (u64(g1) << gen1Shift);
+    if (h2)
+        w |= (u64(in2) << in2Shift) | (u64(g2) << gen2Shift);
+    return w & inputGenMask;
 }
 
-bool
-IntegrationTable::inputsMatch(const ITEntry &e, const ITKey &key) const
+IntegrationTable::Probe
+IntegrationTable::makeProbe(const ITKey &key) const
 {
-    if (e.hasIn1 != key.hasIn1 || e.hasIn2 != key.hasIn2)
-        return false;
-    const bool check_gen = params.useGenCounters;
-    if (e.hasIn1 &&
-        (e.in1 != key.in1 || (check_gen && e.gen1 != key.gen1)))
-        return false;
-    if (e.hasIn2 &&
-        (e.in2 != key.in2 || (check_gen && e.gen2 != key.gen2)))
-        return false;
-    return true;
+    Probe pr;
+    pr.set = index(key);
+    pr.tag = laneValidBit | (u64(u8(key.op)) << 32) | u64(u32(key.imm));
+    pr.input = packInputs(key.hasIn1, key.hasIn2, key.in1, key.in2,
+                          key.gen1, key.gen2);
+    return pr;
+}
+
+void
+IntegrationTable::writeLanes(size_t idx, const ITEntry &e)
+{
+    tagLane[idx] = e.valid ? laneValidBit | (u64(u8(e.op)) << 32) |
+                                 u64(u32(e.imm))
+                           : 0;
+    pcLane[idx] = e.pcTag;
+    inputLane[idx] = packInputs(e.hasIn1, e.hasIn2, e.in1, e.in2, e.gen1,
+                                e.gen2);
 }
 
 ITEntry *
 IntegrationTable::lookup(const ITKey &key, ITHandle *handle)
 {
     ++nLookups;
-    const u32 set = index(key);
-    ITEntry *base = &table[size_t(set) * assoc];
+    const Probe pr = makeProbe(key);
+    const size_t base = size_t(pr.set) * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        ITEntry &e = base[w];
-        if (e.valid && tagMatch(e, key) && inputsMatch(e, key)) {
-            e.lruStamp = ++lruClock;
-            ++nHits;
-            if (handle)
-                *handle = ITHandle{set, w, e.id, true};
-            return &e;
-        }
+        const size_t i = base + w;
+        if (tagLane[i] != pr.tag || inputLane[i] != pr.input)
+            continue;
+        if (pcTagged && pcLane[i] != key.pc)
+            continue;
+        // Hit: only now touch the payload row.
+        ITEntry &e = table[i];
+        e.lruStamp = ++lruClock;
+        ++nHits;
+        if (handle)
+            *handle = ITHandle{e.id, pr.set, u16(w), true};
+        return &e;
     }
     return nullptr;
 }
@@ -90,40 +128,41 @@ IntegrationTable::insert(const ITKey &key, bool has_out, PhysReg out,
                          u64 create_seq)
 {
     ++nInserts;
-    const u32 set = index(key);
-    ITEntry *base = &table[size_t(set) * assoc];
+    const Probe pr = makeProbe(key);
+    const size_t base = size_t(pr.set) * assoc;
 
     // Prefer overwriting an exact duplicate, then an invalid way, then
     // the LRU victim.
     unsigned victim = 0;
-    u64 best = ~u64(0);
     bool found = false;
     for (unsigned w = 0; w < assoc && !found; ++w) {
-        ITEntry &e = base[w];
-        if (e.valid && tagMatch(e, key) && inputsMatch(e, key)) {
+        const size_t i = base + w;
+        if (tagLane[i] == pr.tag && inputLane[i] == pr.input &&
+            (!pcTagged || pcLane[i] == key.pc)) {
             victim = w;
             found = true;
         }
     }
     if (!found) {
         for (unsigned w = 0; w < assoc && !found; ++w) {
-            if (!base[w].valid) {
+            if (tagLane[base + w] == 0) {
                 victim = w;
                 found = true;
             }
         }
     }
     if (!found) {
+        u64 best = ~u64(0);
         for (unsigned w = 0; w < assoc; ++w) {
-            if (base[w].lruStamp < best) {
-                best = base[w].lruStamp;
+            if (table[base + w].lruStamp < best) {
+                best = table[base + w].lruStamp;
                 victim = w;
             }
         }
         ++nReplacements;
     }
 
-    ITEntry &e = base[victim];
+    ITEntry &e = table[base + victim];
     e.valid = true;
     e.reverse = reverse;
     e.op = key.op;
@@ -144,8 +183,9 @@ IntegrationTable::insert(const ITKey &key, bool has_out, PhysReg out,
     e.id = nextId++;
     e.createSeq = create_seq;
     e.lruStamp = ++lruClock;
+    writeLanes(base + victim, e);
 
-    return ITHandle{set, victim, e.id, true};
+    return ITHandle{e.id, pr.set, u16(victim), true};
 }
 
 ITEntry *
@@ -171,8 +211,10 @@ IntegrationTable::fillBranchOutcome(const ITHandle &h, bool taken)
 void
 IntegrationTable::invalidate(const ITHandle &h)
 {
-    if (ITEntry *e = at(h))
+    if (ITEntry *e = at(h)) {
         e->valid = false;
+        tagLane[size_t(h.set) * assoc + h.way] = 0;
+    }
 }
 
 void
@@ -180,6 +222,7 @@ IntegrationTable::invalidateAll()
 {
     for (auto &e : table)
         e.valid = false;
+    tagLane.assign(tagLane.size(), 0);
 }
 
 } // namespace rix

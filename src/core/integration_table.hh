@@ -66,12 +66,13 @@ struct ITEntry
     u64 lruStamp = 0;
 };
 
-/** Stable reference to an entry, validated by id on use. */
+/** Stable reference to an entry, validated by id on use. Packed to 16
+ *  bytes: two of these ride in every in-flight instruction record. */
 struct ITHandle
 {
-    u32 set = 0;
-    u32 way = 0;
     u64 id = 0;
+    u32 set = 0;
+    u16 way = 0;
     bool valid = false;
     // Pipelined-IT support: the entry is still in the write-stage
     // buffer; `id` then names the pending record instead.
@@ -136,13 +137,41 @@ class IntegrationTable
     u64 replacements() const { return nReplacements; }
 
   private:
-    bool tagMatch(const ITEntry &e, const ITKey &key) const;
-    bool inputsMatch(const ITEntry &e, const ITKey &key) const;
+    /**
+     * Everything one probe needs, computed once per key: the set index
+     * mix plus the packed tag/input compare words. Shared by lookup()
+     * and insert() so the mix is never recomputed for the same key.
+     */
+    struct Probe
+    {
+        u32 set;
+        u64 tag;   // valid bit | opcode | immediate
+        u64 input; // canonical in1/in2/gen1/gen2/has-flag pack
+    };
+
+    Probe makeProbe(const ITKey &key) const;
+    u64 packInputs(bool h1, bool h2, PhysReg in1, PhysReg in2, u8 g1,
+                   u8 g2) const;
+    void writeLanes(size_t idx, const ITEntry &e);
 
     const IntegrationParams params;
     unsigned sets;
     unsigned assoc;
-    std::vector<ITEntry> table; // sets x assoc, row-major
+    bool pcTagged;     // PC participates in the tag (PC indexing)
+    u64 inputGenMask;  // strips gen bits when gen counters are off
+
+    /**
+     * Probe lanes in structure-of-arrays form, row-major sets x assoc.
+     * lookup() scans only these three compact lanes; the fat payload
+     * row in `table` is touched on a hit (and on insert/victim scan).
+     * tagLane is 0 for an invalid way: a key word always carries the
+     * valid bit, so one compare covers validity and operation tag.
+     */
+    std::vector<u64> tagLane;
+    std::vector<u64> pcLane;
+    std::vector<u64> inputLane;
+
+    std::vector<ITEntry> table; // sets x assoc, row-major (payload)
     u64 lruClock = 0;
     u64 nextId = 1;
     u64 nLookups = 0, nHits = 0, nInserts = 0, nReplacements = 0;

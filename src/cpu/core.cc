@@ -10,7 +10,11 @@ Core::Core(const Program &program, const CoreParams &params)
       bpred(p.bpred), regState(p.integ), integ(p.integ, regState),
       writeBuffer(p.writeBufferEntries),
       cht(p.chtEntries, SatCounter(2, 0)),
-      pregValue(p.integ.numPhysRegs, 0)
+      pregValue(p.integ.numPhysRegs, 0),
+      pool(size_t(p.robSize) + p.fetchQueueSize + 1),
+      fetchQueue(p.fetchQueueSize), rob(p.robSize),
+      integWaiters(p.integ.numPhysRegs),
+      operandWaiters(p.integ.numPhysRegs)
 {
     // Pin the zero register's physical register.
     zeroPreg = regState.allocate();
@@ -38,11 +42,24 @@ Core::lookupMap(LogReg r) const
     return map[r];
 }
 
-DynInst *
-Core::findInst(InstSeqNum seq)
+const DynInst *
+Core::findInst(InstSeqNum seq) const
 {
-    auto it = robIndex.find(seq);
-    return it == robIndex.end() ? nullptr : it->second;
+    // The ROB holds strictly increasing sequence numbers (with gaps
+    // from squashes), so a handle-ring binary search replaces the old
+    // per-inst hash-map maintenance.
+    size_t lo = 0, hi = rob.size();
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        const DynInst &di = pool.get(rob[mid]);
+        if (di.seq == seq)
+            return &di;
+        if (di.seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return nullptr;
 }
 
 u64
@@ -101,8 +118,9 @@ Core::tick()
         rix_panic("watchdog: no retirement progress for %llu cycles "
                   "(pc=%llu rob=%zu)",
                   (unsigned long long)p.watchdogCycles,
-                  (unsigned long long)(rob.empty() ? fetchPc
-                                                   : rob.front()->pc),
+                  (unsigned long long)(rob.empty()
+                                           ? fetchPc
+                                           : pool.get(rob.front()).pc),
                   rob.size());
 }
 

@@ -32,14 +32,13 @@
 
 #include <array>
 #include <deque>
-#include <map>
-#include <memory>
-#include <unordered_map>
+#include <queue>
 #include <vector>
 
 #include "core/integration.hh"
 #include "cpu/core_stats.hh"
 #include "cpu/dyn_inst.hh"
+#include "cpu/dyn_inst_pool.hh"
 #include "cpu/params.hh"
 #include "emu/emulator.hh"
 #include "mem/write_buffer.hh"
@@ -89,9 +88,18 @@ class Core
         u8 gen = 0;
     };
 
+    /** Validated reference to a pooled instruction: live iff the pool
+     *  slot still carries the same sequence number. */
+    struct InstRef
+    {
+        InstHandle h = invalidInstHandle;
+        InstSeqNum seq = 0;
+    };
+
     struct SqEntry
     {
         InstSeqNum seq = 0;
+        InstHandle owner = invalidInstHandle;
         Addr addr = 0;
         unsigned size = 0;
         u64 data = 0;
@@ -101,6 +109,7 @@ class Core
     struct LqEntry
     {
         InstSeqNum seq = 0;
+        InstHandle owner = invalidInstHandle;
         Addr addr = 0;
         unsigned size = 0;
         bool resolved = false;
@@ -115,7 +124,7 @@ class Core
     void fetchStage();
 
     // ---- rename helpers ----
-    bool renameOne(std::unique_ptr<DynInst> &inst_ptr);
+    bool renameOne(InstHandle h);
     Mapping lookupMap(LogReg r) const;
     bool oracleWouldMisintegrate(const DynInst &di,
                                  const IntegrationResult &res) const;
@@ -123,7 +132,13 @@ class Core
     void finishRenameCommon(DynInst &di);
 
     // ---- execute helpers ----
-    bool operandsReady(const DynInst &di) const;
+    /** Issue-readiness check with wakeup registration: a candidate
+     *  blocked on a source register parks itself on that register's
+     *  waiter list (and leaves the scannable RS list) until writeback
+     *  wakes it; retry-backoff and CHT-blocked candidates return
+     *  false without parking and are re-polled. */
+    bool checkReadyOrPark(DynInst &di);
+    void wakeOperandWaiters(PhysReg preg);
     void executeAlu(DynInst &di);
     bool executeLoad(DynInst &di);
     void executeStore(DynInst &di);
@@ -151,7 +166,15 @@ class Core
 
     u64 readReg(PhysReg r) const { return pregValue[r]; }
 
-    DynInst *findInst(InstSeqNum seq);
+    /** ROB entry with sequence number @p seq, or nullptr (binary
+     *  search over the in-order ROB ring; no hash map). */
+    const DynInst *findInst(InstSeqNum seq) const;
+    DynInst *
+    findInst(InstSeqNum seq)
+    {
+        return const_cast<DynInst *>(
+            static_cast<const Core *>(this)->findInst(seq));
+    }
 
     // ---- configuration & substrates ----
     const Program &prog;
@@ -170,20 +193,67 @@ class Core
     PhysReg zeroPreg = invalidPhysReg;
 
     // ---- windows ----
-    std::deque<std::unique_ptr<DynInst>> fetchQueue;
-    std::deque<std::unique_ptr<DynInst>> rob;
-    std::unordered_map<InstSeqNum, DynInst *> robIndex;
+    // In-flight instructions live in the slab pool; the fetch queue
+    // and ROB are rings of handles into it (no per-inst heap traffic).
+    DynInstPool pool;
+    HandleRing fetchQueue;
+    HandleRing rob;
     std::deque<SqEntry> sq;
     std::deque<LqEntry> lq;
     unsigned rsBusy = 0;
 
     // ---- event plumbing ----
-    std::multimap<Cycle, InstSeqNum> completionEvents;
-    std::unordered_map<PhysReg, std::vector<InstSeqNum>> integWaiters;
+    // Min-heap ordered by (cycle, seq): pops oldest-first within a
+    // cycle and reuses its backing storage instead of allocating map
+    // nodes. Events carry a validated handle so firing one is O(1)
+    // (no ROB search). Note the deliberate tie-break: same-cycle
+    // events fire in age order (the seed's multimap fired them in
+    // scheduling order), so e.g. the older of two branches resolving
+    // in one cycle squashes the younger before it can resolve —
+    // deterministic, and squash/mispredict stats can differ from the
+    // seed in exactly these tie cases while cycle counts do not.
+    struct CompletionEvent
+    {
+        Cycle when = 0;
+        InstSeqNum seq = 0;
+        InstHandle h = invalidInstHandle;
+        bool
+        operator>(const CompletionEvent &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>>
+        completionEvents;
+    // Indexed by physical register; inner vectors are cleared (capacity
+    // kept) when drained.
+    std::vector<std::vector<InstRef>> integWaiters;
+    // RS instructions parked until a source register becomes ready
+    // (same indexing/validation discipline as integWaiters).
+    std::vector<std::vector<InstRef>> operandWaiters;
+    // Issue-candidate scratch, reused every cycle.
+    std::vector<InstRef> issuePrio, issueRest;
+    // Scannable reservation-station occupants in age order. Entries
+    // are seq-validated against the pool (squash/issue leaves stale
+    // pairs behind) and compacted during the per-cycle scan, so issue
+    // selection is O(RS) instead of O(ROB). Instructions parked on an
+    // operand are *removed* from this list (they live only on their
+    // register's waiter list) and merged back, still age-ordered, on
+    // wakeup — the scheduler never re-polls a parked instruction.
+    std::vector<InstRef> rsList;
+    std::vector<InstRef> wokenList; // woken this cycle, pending merge
+    std::vector<InstRef> rsScratch; // merge buffer, reused
 
     // ---- fetch state ----
     InstAddr fetchPc = 0;
     Cycle fetchStallUntil = 0;
+
+    // ---- issue state ----
+    // Oldest unresolved store-queue seq, recomputed once per issue
+    // cycle (sq cannot change during candidate collection) so the
+    // per-load collision check is O(1) instead of an SQ scan.
+    InstSeqNum oldestUnresolvedStore = ~InstSeqNum(0);
 
     // ---- bookkeeping ----
     InstSeqNum nextSeq = 1;

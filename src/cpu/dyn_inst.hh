@@ -24,64 +24,72 @@ enum class IntegStatus : u8
     ShadowSquash,  // result was unmapped (refcount 0) at integration
 };
 
+/**
+ * Fields are laid out for the per-cycle issue scan, not by pipeline
+ * stage: everything the scheduler reads while deciding whether this
+ * instruction can issue (seq validation, eligibility cycles, source
+ * registers, status flags) packs into the first 64 bytes, so scanning
+ * a reservation-station candidate touches one cache line. The record
+ * is reset and recycled once per fetched instruction, so total
+ * footprint is hot-loop traffic too.
+ */
 struct DynInst
 {
-    // Identity.
+    // ---- first cache line: issue-scan state ----
     InstSeqNum seq = 0;
-    InstAddr pc = 0;
-    Instruction inst;
-
-    // Front end.
-    BranchPrediction pred;
-    Cycle fetchCycle = 0;
-    Cycle renameReadyCycle = 0; // exits decode; eligible for rename
-
+    Cycle earliestIssue = 0;
+    Cycle retryCycle = 0;       // LSQ retry backoff
+    InstAddr pc = 0;            // identity; also the CHT index
+    PhysReg psrc1 = invalidPhysReg, psrc2 = invalidPhysReg;
+    PhysReg pdest = invalidPhysReg;
+    PhysReg oldDest = invalidPhysReg; // previous mapping of dest lreg
+    u8 gsrc1 = 0, gsrc2 = 0;
+    u8 gdest = 0;
+    u8 oldDestGen = 0;
+    u8 refcountAfter = 0;       // reference count after the increment
+    IntegStatus integStatus = IntegStatus::None;
     // Rename.
     bool renamed = false;
     bool hasSrc1 = false, hasSrc2 = false;
-    PhysReg psrc1 = invalidPhysReg, psrc2 = invalidPhysReg;
-    u8 gsrc1 = 0, gsrc2 = 0;
     bool hasDest = false;
-    PhysReg pdest = invalidPhysReg;
-    u8 gdest = 0;
-    PhysReg oldDest = invalidPhysReg; // previous mapping of dest lreg
-    u8 oldDestGen = 0;
     bool oldDestValid = false;
-    Cycle renameCycle = 0;
-
     // Integration.
     bool integrated = false;
     bool reverseIntegrated = false;
-    IntegStatus integStatus = IntegStatus::None;
-    u8 refcountAfter = 0;       // reference count after the increment
-    u64 producerSeq = 0;        // creator's rename-stream position
-    u64 renameStreamPos = 0;    // own rename-stream position
-    ITHandle createdEntry;      // branch-outcome entry this inst created
-    ITHandle sourceEntry;       // entry this inst integrated from
-
     // Execution state.
     bool needsRs = false;
     bool inRs = false;
     bool issued = false;
     bool completed = false;
-    Cycle earliestIssue = 0;
-    Cycle retryCycle = 0;       // LSQ retry backoff
-    Cycle issueCycle = 0;
-    Cycle completeCycle = 0;
-
+    bool waitingOperand = false; // parked on an operand-waiter list
     // Control outcome.
     bool isCtrl = false;
     bool resolved = false;
     bool actualTaken = false;
-    InstAddr actualTarget = 0;  // next PC when taken
     bool mispredicted = false;
-
     // Memory.
-    int lqIdx = -1, sqIdx = -1; // -1: no queue entry (integrated loads!)
     bool addrValid = false;
+    bool speculativePastStore = false;
+
+    // ---- remaining state ----
+    Instruction inst;
+    Cycle fetchCycle = 0;
+    Cycle renameReadyCycle = 0; // exits decode; eligible for rename
+    Cycle renameCycle = 0;
+    u64 producerSeq = 0;        // creator's rename-stream position
+    u64 renameStreamPos = 0;    // own rename-stream position
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+    InstAddr actualTarget = 0;  // next PC when taken
     Addr effAddr = 0;
     u64 storeData = 0;
-    bool speculativePastStore = false;
+
+    BranchPrediction pred;
+    ITHandle createdEntry;      // branch-outcome entry this inst created
+    ITHandle sourceEntry;       // entry this inst integrated from
+
+    u32 selfHandle = ~u32(0);   // own pool handle, set at allocation
+    int lqIdx = -1, sqIdx = -1; // -1: no queue entry (integrated loads!)
 
     bool isLoad() const { return inst.isLoad(); }
     bool isStore() const { return inst.isStore(); }

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Slab allocator and ring buffers for in-flight instructions.
+ *
+ * The rename-rate of the simulator is gated by how fast DynInst
+ * records can be produced and retired. The original pipeline paid one
+ * heap allocation per fetched instruction plus a pointer chase per
+ * window access (std::deque<std::unique_ptr<DynInst>>); here the
+ * records live in fixed slabs that are never freed while the core is
+ * alive, identified by dense 32-bit handles recycled through a free
+ * list. After the first few thousand instructions the simulator's
+ * fetch-to-retire loop performs no allocation at all.
+ *
+ * Slabs (not one growable array) keep every DynInst* stable: growing
+ * the pool appends a slab instead of reallocating, so raw pointers
+ * held across a grow (e.g. the instruction being renamed) stay valid.
+ */
+
+#ifndef RIX_CPU_DYN_INST_POOL_HH
+#define RIX_CPU_DYN_INST_POOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/dyn_inst.hh"
+
+namespace rix
+{
+
+/** Index-based reference to a pooled DynInst. */
+using InstHandle = u32;
+constexpr InstHandle invalidInstHandle = ~u32(0);
+
+class DynInstPool
+{
+  public:
+    static constexpr unsigned slabShift = 8;
+    static constexpr unsigned slabInsts = 1u << slabShift; // 256/slab
+
+    /** @p reserve in-flight instructions are pre-materialized. */
+    explicit DynInstPool(size_t reserve = 0)
+    {
+        while (slabs.size() * slabInsts < reserve)
+            addSlab();
+    }
+
+    /** Fresh (default-initialized) record. Never fails: the pool grows
+     *  by whole slabs when the free list runs dry. */
+    InstHandle
+    alloc()
+    {
+        if (freeList.empty())
+            addSlab();
+        const InstHandle h = freeList.back();
+        freeList.pop_back();
+        DynInst &di = get(h);
+        di = DynInst{};
+        di.selfHandle = h;
+        ++inUse_;
+        return h;
+    }
+
+    /** Recycle a record. The handle must come from alloc() and must
+     *  not be released twice. The slot's sequence number is zeroed so
+     *  any stale (handle, seq) reference held by an event queue or
+     *  waiter list fails its validation immediately — not just after
+     *  the slot is reused. */
+    void
+    release(InstHandle h)
+    {
+        get(h).seq = 0;
+        freeList.push_back(h);
+        --inUse_;
+    }
+
+    DynInst &
+    get(InstHandle h)
+    {
+        return slabs[h >> slabShift][h & (slabInsts - 1)];
+    }
+
+    const DynInst &
+    get(InstHandle h) const
+    {
+        return slabs[h >> slabShift][h & (slabInsts - 1)];
+    }
+
+    size_t capacity() const { return slabs.size() * slabInsts; }
+    size_t inUse() const { return inUse_; }
+
+  private:
+    void
+    addSlab()
+    {
+        const InstHandle base = InstHandle(slabs.size() * slabInsts);
+        slabs.push_back(std::make_unique<DynInst[]>(slabInsts));
+        // Stack the new slab's handles so the lowest index comes out
+        // first (purely cosmetic: keeps handles dense in traces).
+        for (unsigned i = slabInsts; i-- > 0;)
+            freeList.push_back(base + i);
+    }
+
+    std::vector<std::unique_ptr<DynInst[]>> slabs;
+    std::vector<InstHandle> freeList;
+    size_t inUse_ = 0;
+};
+
+/**
+ * Fixed-capacity FIFO of instruction handles with O(1) push/pop at
+ * both ends and random access from the front — the shape shared by
+ * the fetch queue and the ROB. Backed by one power-of-two array;
+ * never allocates after construction.
+ */
+class HandleRing
+{
+  public:
+    explicit HandleRing(size_t capacity) : cap(capacity)
+    {
+        size_t n = 1;
+        while (n < capacity)
+            n <<= 1;
+        buf.assign(n, invalidInstHandle);
+        mask = u32(n - 1);
+    }
+
+    size_t size() const { return count; }
+    size_t capacity() const { return cap; }
+    bool empty() const { return count == 0; }
+    bool full() const { return count >= cap; }
+
+    void
+    push_back(InstHandle h)
+    {
+        buf[(head + count) & mask] = h;
+        ++count;
+    }
+
+    void
+    push_front(InstHandle h)
+    {
+        head = (head - 1) & mask;
+        buf[head] = h;
+        ++count;
+    }
+
+    InstHandle
+    pop_front()
+    {
+        const InstHandle h = buf[head];
+        head = (head + 1) & mask;
+        --count;
+        return h;
+    }
+
+    InstHandle
+    pop_back()
+    {
+        --count;
+        return buf[(head + count) & mask];
+    }
+
+    InstHandle front() const { return buf[head]; }
+    InstHandle back() const { return buf[(head + count - 1) & mask]; }
+
+    /** @p i counted from the front (oldest). */
+    InstHandle operator[](size_t i) const
+    {
+        return buf[(head + i) & mask];
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<InstHandle> buf;
+    u32 mask = 0;
+    u32 head = 0;
+    u32 count = 0;
+    size_t cap = 0;
+};
+
+} // namespace rix
+
+#endif // RIX_CPU_DYN_INST_POOL_HH

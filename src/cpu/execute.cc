@@ -11,6 +11,9 @@
  * full squash on a memory-order violation.
  */
 
+#include <algorithm>
+#include <iterator>
+
 #include "base/log.hh"
 #include "cpu/core.hh"
 
@@ -62,33 +65,49 @@ rangesOverlap(Addr a, unsigned asize, Addr b, unsigned bsize)
 } // namespace
 
 bool
-Core::operandsReady(const DynInst &di) const
+Core::checkReadyOrPark(DynInst &di)
 {
-    if (di.hasSrc1 && !regState.ready(di.psrc1))
+    if (di.hasSrc1 && !regState.ready(di.psrc1)) {
+        di.waitingOperand = true;
+        operandWaiters[di.psrc1].push_back({di.selfHandle, di.seq});
         return false;
-    if (di.hasSrc2 && !regState.ready(di.psrc2))
+    }
+    if (di.hasSrc2 && !regState.ready(di.psrc2)) {
+        di.waitingOperand = true;
+        operandWaiters[di.psrc2].push_back({di.selfHandle, di.seq});
         return false;
+    }
     if (di.retryCycle > cycle)
         return false;
     if (di.isLoad()) {
-        // Collision-predicted loads wait for all older store addresses.
         const SatCounter &c = cht[di.pc & (cht.size() - 1)];
-        if (c.predictTaken()) {
-            for (const SqEntry &e : sq) {
-                if (e.seq >= di.seq)
-                    break;
-                if (!e.resolved)
-                    return false;
-            }
-        }
+        if (c.predictTaken() && oldestUnresolvedStore < di.seq)
+            return false;
     }
     return true;
 }
 
 void
+Core::wakeOperandWaiters(PhysReg preg)
+{
+    std::vector<InstRef> &waiters = operandWaiters[preg];
+    if (waiters.empty())
+        return;
+    for (const InstRef &r : waiters) {
+        DynInst &w = pool.get(r.h);
+        if (w.seq == r.seq && w.waitingOperand) {
+            w.waitingOperand = false;
+            wokenList.push_back(r); // merged back before the next scan
+        }
+    }
+    waiters.clear(); // keeps capacity for reuse
+}
+
+void
 Core::scheduleCompletion(DynInst &di, Cycle when)
 {
-    completionEvents.emplace(when > cycle ? when : cycle + 1, di.seq);
+    completionEvents.push(CompletionEvent{
+        when > cycle ? when : cycle + 1, di.seq, di.selfHandle});
 }
 
 void
@@ -208,8 +227,8 @@ Core::checkStoreViolation(DynInst &store_inst)
         if (e.forwardedFrom >= store_inst.seq)
             continue; // load already saw this store (or a younger one)
 
-        DynInst *ld = findInst(e.seq);
-        if (!ld)
+        DynInst *ld = &pool.get(e.owner);
+        if (ld->seq != e.seq)
             rix_panic("LQ entry without ROB entry (seq %llu)",
                       (unsigned long long)e.seq);
         ++stats_.memOrderViolations;
@@ -295,24 +314,66 @@ Core::issueStage()
         return true;
     };
 
-    // A store-set squash during issue invalidates the ROB iterators;
-    // collect candidates first, re-validate by sequence number.
-    std::vector<InstSeqNum> prio, rest;
-    for (const auto &up : rob) {
-        const DynInst &di = *up;
-        if (di.inRs && !di.issued && di.earliestIssue <= cycle &&
-            operandsReady(di))
-            (priorityClass(di.inst) ? prio : rest).push_back(di.seq);
+    // A store-set squash during issue invalidates ROB positions;
+    // collect candidates first, re-validate by sequence number. The
+    // scratch vectors are members reused every cycle (no allocation
+    // once their high-water capacity is reached). Candidates come from
+    // the age-ordered RS list, not a full ROB walk; entries that left
+    // the RS (issued or squashed, including recycled handles) are
+    // compacted away as the scan passes them.
+    std::vector<InstRef> &prio = issuePrio, &rest = issueRest;
+    prio.clear();
+    rest.clear();
+    oldestUnresolvedStore = ~InstSeqNum(0);
+    for (const SqEntry &e : sq) {
+        if (!e.resolved) {
+            oldestUnresolvedStore = e.seq; // sq is age-ordered
+            break;
+        }
+    }
+    // Fold instructions woken since the last scan back into the
+    // age-ordered list (both sides sorted by seq; merge is linear).
+    if (!wokenList.empty()) {
+        std::sort(wokenList.begin(), wokenList.end(),
+                  [](const InstRef &a, const InstRef &b) {
+                      return a.seq < b.seq;
+                  });
+        rsScratch.clear();
+        std::merge(rsList.begin(), rsList.end(), wokenList.begin(),
+                   wokenList.end(), std::back_inserter(rsScratch),
+                   [](const InstRef &a, const InstRef &b) {
+                       return a.seq < b.seq;
+                   });
+        rsList.swap(rsScratch);
+        wokenList.clear();
     }
 
-    for (const auto &bucket : {prio, rest}) {
-        for (InstSeqNum seq : bucket) {
+    size_t live = 0;
+    for (size_t i = 0, n = rsList.size(); i < n; ++i) {
+        const auto [h, seq] = rsList[i];
+        DynInst &di = pool.get(h);
+        if (di.seq != seq || !di.inRs || di.issued)
+            continue; // left the RS; drop the stale entry
+        if (di.earliestIssue <= cycle) {
+            if (checkReadyOrPark(di))
+                (priorityClass(di.inst) ? prio : rest).push_back({h, seq});
+            else if (di.waitingOperand)
+                continue; // parked: lives on a waiter list until woken
+        }
+        if (live != i)
+            rsList[live] = rsList[i];
+        ++live;
+    }
+    rsList.resize(live);
+
+    for (const auto *bucket : {&prio, &rest}) {
+        for (const InstRef &r : *bucket) {
             if (total == 0)
                 return;
-            DynInst *di = findInst(seq);
-            if (!di || di->issued || !di->inRs)
+            DynInst &di = pool.get(r.h);
+            if (di.seq != r.seq || di.issued || !di.inRs)
                 continue; // squashed meanwhile
-            if (!try_issue(*di))
+            if (!try_issue(di))
                 return;
         }
     }
@@ -337,26 +398,29 @@ void
 Core::writebackStage()
 {
     while (!completionEvents.empty() &&
-           completionEvents.begin()->first <= cycle) {
-        const auto [when, seq] = *completionEvents.begin();
-        completionEvents.erase(completionEvents.begin());
+           completionEvents.top().when <= cycle) {
+        const CompletionEvent ev = completionEvents.top();
+        const Cycle when = ev.when;
+        completionEvents.pop();
 
-        DynInst *di = findInst(seq);
-        if (!di)
-            continue; // squashed in flight
+        DynInst *di = &pool.get(ev.h);
+        if (di->seq != ev.seq)
+            continue; // squashed in flight (slot recycled)
 
         completeNow(*di, when > cycle ? when : cycle);
 
         if (di->hasDest && !di->integrated) {
             regState.markReady(di->pdest);
-            auto w = integWaiters.find(di->pdest);
-            if (w != integWaiters.end()) {
-                for (InstSeqNum ws : w->second) {
-                    DynInst *waiter = findInst(ws);
-                    if (waiter && waiter->integrated && !waiter->completed)
-                        completeNow(*waiter, cycle);
+            wakeOperandWaiters(di->pdest);
+            std::vector<InstRef> &waiters = integWaiters[di->pdest];
+            if (!waiters.empty()) {
+                for (const InstRef &r : waiters) {
+                    DynInst &waiter = pool.get(r.h);
+                    if (waiter.seq == r.seq && waiter.integrated &&
+                        !waiter.completed)
+                        completeNow(waiter, cycle);
                 }
-                integWaiters.erase(w);
+                waiters.clear(); // keeps capacity for reuse
             }
         }
 

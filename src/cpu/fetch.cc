@@ -38,22 +38,22 @@ Core::fetchStage()
     }
 
     unsigned fetched = 0;
-    while (fetched < p.fetchWidth &&
-           fetchQueue.size() < p.fetchQueueSize) {
-        auto di = std::make_unique<DynInst>();
-        di->seq = nextSeq++;
-        di->pc = fetchPc;
-        di->inst = prog.fetch(fetchPc);
-        di->fetchCycle = cycle;
-        di->renameReadyCycle = cycle + p.frontLatency();
-        di->isCtrl = di->inst.isControl();
+    while (fetched < p.fetchWidth && !fetchQueue.full()) {
+        const InstHandle h = pool.alloc();
+        DynInst &di = pool.get(h);
+        di.seq = nextSeq++;
+        di.pc = fetchPc;
+        di.inst = prog.fetch(fetchPc);
+        di.fetchCycle = cycle;
+        di.renameReadyCycle = cycle + p.frontLatency();
+        di.isCtrl = di.inst.isControl();
 
-        const InstAddr next = bpred.predict(di->inst, fetchPc, &di->pred);
+        const InstAddr next = bpred.predict(di.inst, fetchPc, &di.pred);
 
         ++fetched;
         ++stats_.fetched;
-        const bool taken_ctrl = di->pred.isControl && di->pred.predTaken;
-        fetchQueue.push_back(std::move(di));
+        const bool taken_ctrl = di.pred.isControl && di.pred.predTaken;
+        fetchQueue.push_back(h);
         fetchPc = next;
 
         if (taken_ctrl)

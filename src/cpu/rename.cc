@@ -66,10 +66,9 @@ Core::oracleWouldMisintegrate(const DynInst &di,
                 break;
             if (e.resolved)
                 continue;
-            auto it = robIndex.find(e.seq);
-            const DynInst *st =
-                it == robIndex.end() ? nullptr : it->second;
-            if (st && st->psrc1 == di.psrc1 && st->inst.imm == inst.imm)
+            const DynInst &st = pool.get(e.owner);
+            if (st.seq == e.seq && st.psrc1 == di.psrc1 &&
+                st.inst.imm == inst.imm)
                 return true;
         }
         if (!regState.ready(res.preg) || !regState.ready(di.psrc1))
@@ -136,9 +135,10 @@ Core::applyIntegration(DynInst &di, const IntegrationResult &res)
     if (regState.ready(res.preg)) {
         completeNow(di, cycle);
     } else {
-        integWaiters[res.preg].push_back(di.seq);
+        integWaiters[res.preg].push_back({di.selfHandle, di.seq});
     }
 }
+
 
 void
 Core::finishRenameCommon(DynInst &di)
@@ -151,9 +151,9 @@ Core::finishRenameCommon(DynInst &di)
 }
 
 bool
-Core::renameOne(std::unique_ptr<DynInst> &inst_ptr)
+Core::renameOne(InstHandle h)
 {
-    DynInst &di = *inst_ptr;
+    DynInst &di = pool.get(h);
     const Instruction &inst = di.inst;
 
     // ---- structural resource checks (stall = leave in fetch queue) ----
@@ -208,16 +208,14 @@ Core::renameOne(std::unique_ptr<DynInst> &inst_ptr)
 
         const bool redirect =
             di.resolved && di.actualNextPc() != di.predictedNextPc();
-        DynInst *raw = inst_ptr.get();
-        robIndex[di.seq] = raw;
-        rob.push_back(std::move(inst_ptr));
+        rob.push_back(h);
         if (redirect) {
             // Early (rename-time) branch resolution: the front end is
             // on the wrong path.
-            raw->mispredicted = true;
+            di.mispredicted = true;
             ++stats_.branchMispredicts;
-            squashFrom(*raw, /*include_boundary=*/false,
-                       raw->actualNextPc(), p.squashPenalty);
+            squashFrom(di, /*include_boundary=*/false, di.actualNextPc(),
+                       p.squashPenalty);
         }
         return true;
     }
@@ -248,14 +246,17 @@ Core::renameOne(std::unique_ptr<DynInst> &inst_ptr)
     if (di.needsRs) {
         ++rsBusy;
         di.inRs = true;
+        rsList.push_back({h, di.seq});
     }
 
     // Queue allocation for memory operations.
     if (inst.isLoad()) {
-        lq.push_back(LqEntry{di.seq, 0, inst.accessSize(), false, 0});
+        lq.push_back(
+            LqEntry{di.seq, di.selfHandle, 0, inst.accessSize(), false, 0});
         di.lqIdx = 0; // marker: owns an LQ entry
     } else if (inst.isStore()) {
-        sq.push_back(SqEntry{di.seq, 0, inst.accessSize(), 0, false});
+        sq.push_back(
+            SqEntry{di.seq, di.selfHandle, 0, inst.accessSize(), 0, false});
         di.sqIdx = 0; // marker: owns an SQ entry
     }
 
@@ -292,8 +293,7 @@ Core::renameOne(std::unique_ptr<DynInst> &inst_ptr)
         break;
     }
 
-    robIndex[di.seq] = inst_ptr.get();
-    rob.push_back(std::move(inst_ptr));
+    rob.push_back(h);
     return true;
 }
 
@@ -303,15 +303,15 @@ Core::renameStage()
     for (unsigned w = 0; w < p.renameWidth; ++w) {
         if (fetchQueue.empty())
             return;
-        if (fetchQueue.front()->renameReadyCycle > cycle)
+        if (pool.get(fetchQueue.front()).renameReadyCycle > cycle)
             return;
         // Detach the head so a rename-time redirect (which clears the
-        // fetch queue) cannot invalidate it mid-flight.
-        std::unique_ptr<DynInst> inst_ptr = std::move(fetchQueue.front());
-        fetchQueue.pop_front();
-        if (!renameOne(inst_ptr)) {
+        // fetch queue) cannot drop it: by the time a redirect squashes,
+        // the handle is already parked in the ROB.
+        const InstHandle h = fetchQueue.pop_front();
+        if (!renameOne(h)) {
             // Structural stall: put it back and stop renaming.
-            fetchQueue.push_front(std::move(inst_ptr));
+            fetchQueue.push_front(h);
             return;
         }
     }

@@ -52,16 +52,15 @@ Core::squashFrom(DynInst &boundary, bool include_boundary, InstAddr new_pc,
     const InstAddr boundary_pc = boundary.pc;
     const bool boundary_taken = boundary.actualTaken;
 
-    while (!rob.empty() && rob.back()->seq > bseq) {
-        DynInst &di = *rob.back();
-        undoRename(di);
-        robIndex.erase(di.seq);
+    while (!rob.empty() && pool.get(rob.back()).seq > bseq) {
+        undoRename(pool.get(rob.back()));
         ++stats_.squashedInsts;
-        rob.pop_back();
+        pool.release(rob.pop_back());
     }
 
     stats_.squashedInsts += fetchQueue.size();
-    fetchQueue.clear();
+    while (!fetchQueue.empty())
+        pool.release(fetchQueue.pop_front());
 
     while (!sq.empty() && sq.back().seq > bseq)
         sq.pop_back();
@@ -209,7 +208,7 @@ Core::retireStage()
     for (unsigned w = 0; w < p.retireWidth; ++w) {
         if (rob.empty())
             return;
-        DynInst &di = *rob.front();
+        DynInst &di = pool.get(rob.front());
         // DIVA + retire occupy the two in-order stages after writeback.
         if (!di.completed || di.completeCycle >= cycle)
             return;
@@ -270,8 +269,7 @@ Core::retireStage()
         recordRetireStats(di);
 
         const bool halt = di.inst.isHalt();
-        robIndex.erase(di.seq);
-        rob.pop_front();
+        pool.release(rob.pop_front());
         if (halt) {
             done = true;
             return;

@@ -5,38 +5,103 @@
 namespace rix
 {
 
-const Memory::Page *
-Memory::findPage(Addr addr) const
+namespace
 {
-    auto it = pages.find(addr / pageBytes);
-    return it == pages.end() ? nullptr : it->second.get();
+
+constexpr size_t minSlots = 64;
+
+} // namespace
+
+void
+Memory::resetTable()
+{
+    slots.assign(minSlots, Slot{});
+    mask = minSlots - 1;
+    store.clear();
+    used = 0;
+    invalidateCache();
+}
+
+void
+Memory::clear()
+{
+    resetTable();
+}
+
+Memory::Page *
+Memory::lookupPage(u64 pn) const
+{
+    // Linear probe; no deletions ever happen (clear() rebuilds), so an
+    // empty slot terminates the probe.
+    const u64 key = pn + 1;
+    for (size_t i = mix(pn) & mask;; i = (i + 1) & mask) {
+        const Slot &s = slots[i];
+        if (s.key == key)
+            return s.page;
+        if (s.key == 0)
+            return nullptr;
+    }
+}
+
+void
+Memory::grow()
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    mask = slots.size() - 1;
+    for (const Slot &s : old) {
+        if (s.key == 0)
+            continue;
+        size_t i = mix(s.key - 1) & mask;
+        while (slots[i].key != 0)
+            i = (i + 1) & mask;
+        slots[i] = s;
+    }
 }
 
 Memory::Page &
-Memory::touchPage(Addr addr)
+Memory::touchPage(u64 pn)
 {
-    auto &slot = pages[addr / pageBytes];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
-    }
-    return *slot;
+    if (Page *p = lookupPage(pn))
+        return *p;
+
+    // Materialize: pages are zero-filled on first touch.
+    if ((used + 1) * 2 > slots.size())
+        grow();
+    store.push_back(std::make_unique<Page>());
+    Page *p = store.back().get();
+    p->fill(0);
+
+    const u64 key = pn + 1;
+    size_t i = mix(pn) & mask;
+    while (slots[i].key != 0)
+        i = (i + 1) & mask;
+    slots[i] = Slot{key, p};
+    ++used;
+    invalidateCache();
+    return *p;
 }
 
 u64
 Memory::read(Addr addr, unsigned size) const
 {
-    u64 val = 0;
-    // Fast path: access within one page.
+    const u64 pn = addr / pageBytes;
     const unsigned off = addr % pageBytes;
+    u64 val = 0;
     if (off + size <= pageBytes) {
-        if (const Page *p = findPage(addr))
-            memcpy(&val, p->data() + off, size);
+        // Fast path: same page as the last read costs one compare.
+        if (lastRead.key != pn + 1) {
+            Page *p = lookupPage(pn);
+            if (!p)
+                return 0; // untouched memory reads as zero
+            lastRead = Slot{pn + 1, p};
+        }
+        memcpy(&val, lastRead.page->data() + off, size);
         return val;
     }
     for (unsigned i = 0; i < size; ++i) {
         const Addr a = addr + i;
-        if (const Page *p = findPage(a))
+        if (const Page *p = lookupPage(a / pageBytes))
             val |= u64((*p)[a % pageBytes]) << (8 * i);
     }
     return val;
@@ -45,14 +110,19 @@ Memory::read(Addr addr, unsigned size) const
 void
 Memory::write(Addr addr, u64 value, unsigned size)
 {
+    const u64 pn = addr / pageBytes;
     const unsigned off = addr % pageBytes;
     if (off + size <= pageBytes) {
-        memcpy(touchPage(addr).data() + off, &value, size);
+        if (lastWrite.key != pn + 1) {
+            Page *p = &touchPage(pn); // may invalidate the cache...
+            lastWrite = Slot{pn + 1, p}; // ...so (re)fill it after
+        }
+        memcpy(lastWrite.page->data() + off, &value, size);
         return;
     }
     for (unsigned i = 0; i < size; ++i) {
         const Addr a = addr + i;
-        touchPage(a)[a % pageBytes] = u8(value >> (8 * i));
+        touchPage(a / pageBytes)[a % pageBytes] = u8(value >> (8 * i));
     }
 }
 
@@ -67,11 +137,14 @@ bool
 Memory::contentEquals(const Memory &other) const
 {
     static const Page zeroPage = {};
-    auto covered = [&](const Memory &a, const Memory &b) {
-        for (const auto &[pn, page] : a.pages) {
-            auto it = b.pages.find(pn);
-            const Page &rhs = it == b.pages.end() ? zeroPage : *it->second;
-            if (memcmp(page->data(), rhs.data(), pageBytes) != 0)
+    auto covered = [](const Memory &a, const Memory &b) {
+        for (const Slot &s : a.slots) {
+            if (s.key == 0)
+                continue;
+            const Page *rhs = b.lookupPage(s.key - 1);
+            if (!rhs)
+                rhs = &zeroPage;
+            if (memcmp(s.page->data(), rhs->data(), pageBytes) != 0)
                 return false;
         }
         return true;

@@ -5,6 +5,16 @@
  * Backed by 4 KiB pages allocated on first touch; untouched memory reads
  * as zero. This makes wrong-path accesses (which may compute arbitrary
  * addresses) safe and deterministic.
+ *
+ * Hot-path layout: page lookup goes through a two-entry last-page
+ * cache (one slot for the read stream, one for the write stream — the
+ * I/D split of a real L0) in front of an open-addressed, power-of-two
+ * flat table mapping page number -> page. The common same-page access
+ * costs one compare plus the memcpy; a cache miss costs a short linear
+ * probe with no allocator traffic. Page storage itself is stable (the
+ * table rehash moves 16-byte slots, never the 4 KiB pages), so cached
+ * page pointers survive materialization of other pages; the cache is
+ * nevertheless invalidated on clear() and on every materialization.
  */
 
 #ifndef RIX_EMU_MEMORY_HH
@@ -12,7 +22,6 @@
 
 #include <array>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "base/types.hh"
@@ -24,6 +33,8 @@ class Memory
 {
   public:
     static constexpr unsigned pageBytes = 4096;
+
+    Memory() { resetTable(); }
 
     /** Read @p size (1/2/4/8) bytes, little-endian. */
     u64 read(Addr addr, unsigned size) const;
@@ -42,20 +53,50 @@ class Memory
     void writeBlock(Addr addr, const std::vector<u8> &bytes);
 
     /** Number of materialized pages. */
-    size_t numPages() const { return pages.size(); }
+    size_t numPages() const { return used; }
 
     /** Deep content comparison (only materialized, non-zero bytes). */
     bool contentEquals(const Memory &other) const;
 
-    void clear() { pages.clear(); }
+    void clear();
 
   private:
     using Page = std::array<u8, pageBytes>;
 
-    const Page *findPage(Addr addr) const;
-    Page &touchPage(Addr addr);
+    /** One open-addressing slot; key is pageNumber+1 so 0 means empty
+     *  (page 0 is a perfectly valid page). */
+    struct Slot
+    {
+        u64 key = 0;
+        Page *page = nullptr;
+    };
 
-    std::unordered_map<u64, std::unique_ptr<Page>> pages;
+    static u64
+    mix(u64 pn)
+    {
+        return (pn * 0x9e3779b97f4a7c15ull) >> 32;
+    }
+
+    Page *lookupPage(u64 pn) const;
+    Page &touchPage(u64 pn);
+    void resetTable();
+    void grow();
+
+    void
+    invalidateCache() const
+    {
+        lastRead.key = 0;
+        lastWrite.key = 0;
+    }
+
+    std::vector<Slot> slots; // power-of-two; load factor kept <= 1/2
+    std::vector<std::unique_ptr<Page>> store; // page ownership, stable
+    size_t mask = 0;
+    size_t used = 0;
+
+    // Last-page cache (mutable: read() is logically const).
+    mutable Slot lastRead;
+    mutable Slot lastWrite;
 };
 
 } // namespace rix

@@ -91,7 +91,13 @@ struct Instruction
     /** Memory access size; only valid for loads/stores. */
     unsigned accessSize() const { return memAccessSize(op); }
 
-    bool operator==(const Instruction &o) const = default;
+    bool
+    operator==(const Instruction &o) const
+    {
+        return op == o.op && ra == o.ra && rb == o.rb && rc == o.rc &&
+               imm == o.imm;
+    }
+    bool operator!=(const Instruction &o) const { return !(*this == o); }
 };
 
 /** Render one instruction as assembler text. */

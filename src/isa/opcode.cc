@@ -7,7 +7,7 @@
 namespace rix
 {
 
-namespace
+namespace detail
 {
 
 // Order must match the Opcode enumeration exactly.
@@ -61,16 +61,13 @@ const OpTraits traitsTable[numOpcodes] = {
     {"halt",    InstClass::Halt,        1, false, false, false, false},
 };
 
-} // namespace
-
-const OpTraits &
-opTraits(Opcode op)
+void
+badOpcode(unsigned idx)
 {
-    const auto idx = unsigned(op);
-    if (idx >= numOpcodes)
-        rix_panic("opTraits: bad opcode %u", idx);
-    return traitsTable[idx];
+    rix_panic("opTraits: bad opcode %u", idx);
 }
+
+} // namespace detail
 
 const char *
 opName(Opcode op)
@@ -82,7 +79,7 @@ Opcode
 opFromName(const char *name)
 {
     for (unsigned i = 0; i < numOpcodes; ++i) {
-        if (strcmp(traitsTable[i].mnemonic, name) == 0)
+        if (strcmp(detail::traitsTable[i].mnemonic, name) == 0)
             return Opcode(i);
     }
     return Opcode::NUM_OPCODES;

@@ -86,8 +86,22 @@ struct OpTraits
     bool hasImm;
 };
 
-/** Look up the traits of @p op. */
-const OpTraits &opTraits(Opcode op);
+namespace detail
+{
+extern const OpTraits traitsTable[numOpcodes];
+[[noreturn]] void badOpcode(unsigned idx);
+} // namespace detail
+
+/** Look up the traits of @p op (inline: this sits under every
+ *  cls()/isLoad()/latency query in the simulation hot loop). */
+inline const OpTraits &
+opTraits(Opcode op)
+{
+    const auto idx = unsigned(op);
+    if (idx >= numOpcodes)
+        detail::badOpcode(idx);
+    return detail::traitsTable[idx];
+}
 
 /** Mnemonic string of @p op. */
 const char *opName(Opcode op);

@@ -35,21 +35,12 @@ CacheAccessResult
 Cache::access(Addr addr, bool is_write, Cycle now,
               const MissHandler &on_miss, const WritebackHandler &on_wb)
 {
+    Cycle hit_ready;
+    if (tryHit(addr, is_write, now, &hit_ready))
+        return {hit_ready, true};
+
     const Addr la = lineAddrOf(addr);
     Line *base = &lines[size_t(setOf(la)) * p.assoc];
-
-    for (u32 w = 0; w < p.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tagOf(la)) {
-            line.lruStamp = ++lruClock;
-            if (is_write)
-                line.dirty = true;
-            ++nHits;
-            // Hit-under-fill: data not usable before the fill lands.
-            const Cycle start = now > line.fillDone ? now : line.fillDone;
-            return {start + p.hitLatency, true};
-        }
-    }
 
     ++nMisses;
 

@@ -67,6 +67,35 @@ class Cache
                              const MissHandler &on_miss,
                              const WritebackHandler &on_wb = nullptr);
 
+    /**
+     * Hit-only fast path: on a tag hit, applies the hit side effects
+     * (LRU, dirty marking, stats, hit-under-fill delay) and returns
+     * true with *ready set; on a miss returns false with no state
+     * change. access() delegates its hit path here; calling it
+     * directly lets callers skip constructing the miss/writeback
+     * closures on the overwhelmingly common hit path.
+     */
+    bool
+    tryHit(Addr addr, bool is_write, Cycle now, Cycle *ready)
+    {
+        const Addr la = lineAddrOf(addr);
+        Line *base = &lines[size_t(setOf(la)) * p.assoc];
+        for (u32 w = 0; w < p.assoc; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.tag == tagOf(la)) {
+                line.lruStamp = ++lruClock;
+                if (is_write)
+                    line.dirty = true;
+                ++nHits;
+                const Cycle start =
+                    now > line.fillDone ? now : line.fillDone;
+                *ready = start + p.hitLatency;
+                return true;
+            }
+        }
+        return false;
+    }
+
     /** True if @p addr currently hits (no state change; tests). */
     bool probe(Addr addr) const;
 

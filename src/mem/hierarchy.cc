@@ -47,6 +47,9 @@ MemHierarchy::ifetch(Addr addr, Cycle now)
 {
     const Cycle tlb_lat = itlbUnit.access(addr);
     const Cycle start = now + tlb_lat;
+    Cycle ready;
+    if (l1iCache.tryHit(addr, false, start, &ready))
+        return ready;
     auto miss = [this](Addr line, Cycle t) {
         return fillFromL2(line, t, p.l1i.lineBytes);
     };
@@ -62,6 +65,9 @@ MemHierarchy::read(Addr addr, Cycle now)
 {
     const Cycle tlb_lat = dtlbUnit.access(addr);
     const Cycle start = now + tlb_lat;
+    Cycle ready;
+    if (l1dCache.tryHit(addr, false, start, &ready))
+        return ready;
     auto miss = [this](Addr line, Cycle t) {
         return fillFromL2(line, t, p.l1d.lineBytes);
     };
@@ -77,6 +83,9 @@ MemHierarchy::write(Addr addr, Cycle now)
 {
     const Cycle tlb_lat = dtlbUnit.access(addr);
     const Cycle start = now + tlb_lat;
+    Cycle ready;
+    if (l1dCache.tryHit(addr, true, start, &ready))
+        return ready;
     auto miss = [this](Addr line, Cycle t) {
         return fillFromL2(line, t, p.l1d.lineBytes);
     };

@@ -30,21 +30,8 @@ Tlb::probe(Addr addr) const
 }
 
 Cycle
-Tlb::access(Addr addr)
+Tlb::fillOnMiss(u64 vpn, Entry *base, unsigned assoc)
 {
-    const u64 vpn = vpnOf(addr);
-    const unsigned assoc = unsigned(table.size()) / sets;
-    Entry *base = &table[size_t(setOf(vpn)) * assoc];
-
-    for (unsigned w = 0; w < assoc; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.vpn == vpn) {
-            e.lruStamp = ++lruClock;
-            ++nHits;
-            return 0;
-        }
-    }
-
     ++nMisses;
     unsigned victim = 0;
     u64 best = ~u64(0);

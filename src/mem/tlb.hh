@@ -32,9 +32,25 @@ class Tlb
     /**
      * Translate the page containing @p addr.
      * @return extra latency: 0 on hit, missLatency on miss (the entry
-     *         is filled).
+     *         is filled). Inline hit loop: this runs for every ifetch
+     *         group and every issued load/store.
      */
-    Cycle access(Addr addr);
+    Cycle
+    access(Addr addr)
+    {
+        const u64 vpn = vpnOf(addr);
+        const unsigned assoc = unsigned(table.size()) / sets;
+        Entry *base = &table[std::size_t(setOf(vpn)) * assoc];
+        for (unsigned w = 0; w < assoc; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.vpn == vpn) {
+                e.lruStamp = ++lruClock;
+                ++nHits;
+                return 0;
+            }
+        }
+        return fillOnMiss(vpn, base, assoc);
+    }
 
     bool probe(Addr addr) const;
 
@@ -53,6 +69,9 @@ class Tlb
 
     u64 vpnOf(Addr a) const { return a / p.pageBytes; }
     u32 setOf(u64 vpn) const { return u32(vpn) & (sets - 1); }
+
+    /** Miss path: victim selection and refill. */
+    Cycle fillOnMiss(u64 vpn, Entry *base, unsigned assoc);
 
     const TlbParams p;
     unsigned sets;

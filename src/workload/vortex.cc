@@ -31,6 +31,7 @@ buildVortex(const WorkloadParams &wp)
     const LogReg t0 = 1, t1 = 2, t2 = 3, t5 = 6, t6 = 7;
     const LogReg s0 = 9, s1 = 10, s4 = 13, s5 = 14;
     const LogReg a0 = 16, a1 = 17;
+    (void)a1;
 
     b.br("main");
 

@@ -28,6 +28,7 @@ buildVprPlace(const WorkloadParams &wp)
     const LogReg t0 = 1, t1 = 2, t2 = 3, t3 = 4, t6 = 7;
     const LogReg s0 = 9, s1 = 10, s4 = 13, s5 = 14;
     const LogReg a0 = 16, a1 = 17;
+    (void)s1;
     (void)ncells;
 
     b.br("main");

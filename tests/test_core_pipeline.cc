@@ -393,3 +393,98 @@ loop:   addqi t0, t0, 1
     EXPECT_FALSE(c.halted());
     EXPECT_GT(c.stats().retired, 1000u);
 }
+
+// ---- DynInst pool / handle machinery ----
+
+TEST(DynInstPool, ExhaustionGrowsAndRecycles)
+{
+    DynInstPool pool(8); // one pre-sized slab's worth
+    const size_t cap0 = pool.capacity();
+    std::vector<InstHandle> held;
+    // Exhaust the initial capacity and keep going: the pool must grow
+    // by whole slabs rather than fail.
+    for (size_t i = 0; i < cap0 + 3 * DynInstPool::slabInsts; ++i) {
+        const InstHandle h = pool.alloc();
+        pool.get(h).seq = InstSeqNum(i + 1);
+        held.push_back(h);
+    }
+    EXPECT_GT(pool.capacity(), cap0);
+    EXPECT_EQ(pool.inUse(), held.size());
+    // All handles are distinct live records.
+    for (size_t i = 0; i < held.size(); ++i)
+        EXPECT_EQ(pool.get(held[i]).seq, InstSeqNum(i + 1));
+
+    // Release everything; re-allocation recycles without growth.
+    const size_t cap1 = pool.capacity();
+    for (InstHandle h : held)
+        pool.release(h);
+    EXPECT_EQ(pool.inUse(), 0u);
+    for (size_t i = 0; i < cap1; ++i) {
+        const InstHandle h = pool.alloc();
+        // Recycled records come back fully reset.
+        EXPECT_EQ(pool.get(h).seq, 0u);
+        EXPECT_FALSE(pool.get(h).renamed);
+        EXPECT_EQ(pool.get(h).pdest, invalidPhysReg);
+        EXPECT_EQ(pool.get(h).selfHandle, h);
+    }
+    EXPECT_EQ(pool.capacity(), cap1); // no growth needed
+}
+
+TEST(DynInstPool, ReleaseInvalidatesStaleRefs)
+{
+    DynInstPool pool(4);
+    const InstHandle h = pool.alloc();
+    pool.get(h).seq = 42;
+    // A (handle, seq) pair held by an event queue validates while the
+    // record is live...
+    EXPECT_EQ(pool.get(h).seq, 42u);
+    pool.release(h);
+    // ...and must fail validation immediately after release, before
+    // the slot is ever reused (squash correctness depends on this).
+    EXPECT_NE(pool.get(h).seq, 42u);
+}
+
+TEST(DynInstPool, HandleStabilityAcrossGrowth)
+{
+    // Growing the pool appends slabs; records reachable through old
+    // handles must not move (raw pointers stay valid).
+    DynInstPool pool(1);
+    const InstHandle h = pool.alloc();
+    DynInst *before = &pool.get(h);
+    before->pc = 1234;
+    std::vector<InstHandle> more;
+    for (unsigned i = 0; i < 5 * DynInstPool::slabInsts; ++i)
+        more.push_back(pool.alloc());
+    EXPECT_EQ(&pool.get(h), before);
+    EXPECT_EQ(pool.get(h).pc, 1234u);
+}
+
+TEST(CorePipeline, PoolStableAcrossHeavySquashing)
+{
+    // A branchy, misprediction-heavy program at a tiny ROB: every
+    // squash releases and recycles pool records; architectural results
+    // must still match the emulator exactly (handle-validation bugs
+    // show up as DIVA panics or wrong outputs here).
+    CoreParams cp = baselineParams();
+    cp.robSize = 12;
+    cp.rsSize = 6;
+    cp.fetchQueueSize = 4;
+    expectMatchesEmulator(R"(
+        addqi t9, zero, 1500
+        addqi t0, zero, 0x9e3779b9
+        addqi s1, zero, 0
+loop:   mulqi t0, t0, 25214903
+        addqi t0, t0, 11
+        srli t1, t0, 13
+        andi t1, t1, 1
+        beq t1, skip
+        addqi s1, s1, 3
+        br join
+skip:   subqi s1, s1, 1
+join:   subqi t9, t9, 1
+        bne t9, loop
+        syscall 1, s1
+        halt
+    )",
+                          cp);
+}

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "emu/memory.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
@@ -244,4 +245,92 @@ TEST(Hierarchy, WritesAllocate)
     EXPECT_TRUE(h.l1d().probe(0x50000));
     Cycle t = h.write(0x50008, 1000);
     EXPECT_EQ(t, 1002u);
+}
+
+// ---- sparse simulated memory (emu/memory) ----
+
+TEST(SparseMemory, ZeroFillSemantics)
+{
+    Memory m;
+    // Untouched memory reads as zero at any size and address.
+    EXPECT_EQ(m.read64(0), 0u);
+    EXPECT_EQ(m.read(0xdeadbeef000, 8), 0u);
+    EXPECT_EQ(m.read8(~Addr(0)), 0u);
+    EXPECT_EQ(m.numPages(), 0u); // reads must not materialize pages
+
+    // A write materializes exactly one page; its untouched bytes are 0.
+    m.write64(0x1000, 0x1122334455667788ull);
+    EXPECT_EQ(m.numPages(), 1u);
+    EXPECT_EQ(m.read64(0x1000), 0x1122334455667788ull);
+    EXPECT_EQ(m.read64(0x1008), 0u);
+    EXPECT_EQ(m.read8(0x1fff), 0u);
+}
+
+TEST(SparseMemory, CrossPageStraddle)
+{
+    Memory m;
+    // An 8-byte write straddling a page boundary (4 KiB pages).
+    const Addr boundary = 3 * Memory::pageBytes;
+    const Addr addr = boundary - 4;
+    m.write64(addr, 0x0807060504030201ull);
+    EXPECT_EQ(m.numPages(), 2u);
+    EXPECT_EQ(m.read64(addr), 0x0807060504030201ull);
+    // Byte-wise split across the two pages, little-endian.
+    EXPECT_EQ(m.read32(addr), 0x04030201u);
+    EXPECT_EQ(m.read32(boundary), 0x08070605u);
+    // Straddling read where only one side is materialized.
+    Memory half;
+    half.write32(boundary, 0xaabbccddu);
+    EXPECT_EQ(half.read64(boundary - 4), 0xaabbccdd00000000ull);
+}
+
+TEST(SparseMemory, PageCacheAfterClearAndRetouch)
+{
+    Memory m;
+    m.write64(0x2000, 42);
+    m.write64(0x2000 + Memory::pageBytes, 43);
+    // Warm both read-cache and write-cache slots on page 2.
+    EXPECT_EQ(m.read64(0x2000), 42u);
+
+    m.clear();
+    // The last-page cache must not serve stale pages after clear().
+    EXPECT_EQ(m.numPages(), 0u);
+    EXPECT_EQ(m.read64(0x2000), 0u);
+
+    // Re-touch the same page: fresh zero-filled storage, and the cache
+    // serves the new page afterwards.
+    m.write64(0x2000, 99);
+    EXPECT_EQ(m.read64(0x2000), 99u);
+    EXPECT_EQ(m.read64(0x2008), 0u);
+    EXPECT_EQ(m.numPages(), 1u);
+}
+
+TEST(SparseMemory, CacheSurvivesMaterializationOfOtherPages)
+{
+    Memory m;
+    m.write64(0x5000, 7);
+    EXPECT_EQ(m.read64(0x5000), 7u);
+    // Materialize many fresh pages to force table growth/rehash while
+    // the read cache points at page 5's storage.
+    for (unsigned i = 0; i < 200; ++i)
+        m.write64(Addr(0x100000) + Addr(i) * Memory::pageBytes, i);
+    EXPECT_EQ(m.read64(0x5000), 7u);
+    for (unsigned i = 0; i < 200; ++i)
+        EXPECT_EQ(m.read64(Addr(0x100000) + Addr(i) * Memory::pageBytes),
+                  u64(i));
+    EXPECT_EQ(m.numPages(), 201u);
+}
+
+TEST(SparseMemory, ContentEqualsIgnoresZeroPages)
+{
+    Memory a, b;
+    a.write64(0x3000, 5);
+    b.write64(0x3000, 5);
+    // Materialized-but-zero pages must not break equality.
+    EXPECT_EQ(a.read64(0x9000), 0u);
+    b.write64(0x9000, 0);
+    EXPECT_TRUE(a.contentEquals(b));
+    EXPECT_TRUE(b.contentEquals(a));
+    b.write8(0x3001, 1);
+    EXPECT_FALSE(a.contentEquals(b));
 }
