@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_assembler "/root/repo/build/test_assembler")
+set_tests_properties(test_assembler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_base "/root/repo/build/test_base")
+set_tests_properties(test_base PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_bpred "/root/repo/build/test_bpred")
+set_tests_properties(test_bpred PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_core_pipeline "/root/repo/build/test_core_pipeline")
+set_tests_properties(test_core_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_emulator "/root/repo/build/test_emulator")
+set_tests_properties(test_emulator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_end_to_end "/root/repo/build/test_end_to_end")
+set_tests_properties(test_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration_behavior "/root/repo/build/test_integration_behavior")
+set_tests_properties(test_integration_behavior PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration_engine "/root/repo/build/test_integration_engine")
+set_tests_properties(test_integration_engine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration_table "/root/repo/build/test_integration_table")
+set_tests_properties(test_integration_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_isa "/root/repo/build/test_isa")
+set_tests_properties(test_isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_memory_system "/root/repo/build/test_memory_system")
+set_tests_properties(test_memory_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_random_programs "/root/repo/build/test_random_programs")
+set_tests_properties(test_random_programs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_reg_state "/root/repo/build/test_reg_state")
+set_tests_properties(test_reg_state PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;55;add_test;/root/repo/CMakeLists.txt;0;")
