@@ -7,10 +7,18 @@
  * cycle-level simulator over the 16 SPEC2000int-like workloads and
  * prints the same rows/series the paper reports.
  *
+ * Since PR 2 the benches are written against the parallel sweep
+ * engine: they enumerate every (workload, config) point into a Sweep,
+ * execute it once across the RIX_JOBS thread pool, and then print from
+ * the collected reports. Simulated results are bit-identical for any
+ * RIX_JOBS value; only wall-clock changes.
+ *
  * Environment knobs:
  *   RIX_SCALE  workload scale factor (default 1; paper-like curves
  *              stabilize around 4)
  *   RIX_BENCH  comma-separated subset of benchmark names to run
+ *   RIX_JOBS   simulation worker threads (default: hardware
+ *              concurrency; 1 = serial on the calling thread)
  */
 
 #ifndef RIX_BENCH_COMMON_HH
@@ -25,8 +33,8 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.hh"
-#include "workload/workload.hh"
+#include "sim/sweep.hh"
+#include "workload/program_cache.hh"
 
 namespace rixbench
 {
@@ -81,23 +89,59 @@ benchList()
     return out;
 }
 
-/** Cache of built programs (mcf's data image is 4MB; build once). */
+/** The shared read-only program for @p name at the RIX_SCALE scale. */
 inline const Program &
 program(const std::string &name)
 {
-    static std::map<std::string, Program> cache;
-    auto it = cache.find(name);
-    if (it == cache.end())
-        it = cache.emplace(name, buildWorkload(name, scaleFromEnv())).first;
-    return it->second;
+    return globalProgramCache().get(name, scaleFromEnv());
 }
 
+/** One serial simulation (ablation/micro benches; not a sweep). */
 inline SimReport
 run(const std::string &bench, const CoreParams &params)
 {
     return runSimulation(program(bench), params, 20'000'000,
                          200'000'000);
 }
+
+/**
+ * Figure-sweep front end: phase one registers every (workload, config)
+ * point and remembers its slot; then runAll() executes the whole plan
+ * across the RIX_JOBS pool; phase two reads reports by slot.
+ */
+class Sweep
+{
+  public:
+    /** Register a point; returns its slot for at()/wallSeconds(). */
+    size_t
+    add(const std::string &bench, const CoreParams &params)
+    {
+        SimJob job;
+        job.workload = bench;
+        job.scale = scaleFromEnv();
+        job.params = params;
+        jobs.push_back(std::move(job));
+        return jobs.size() - 1;
+    }
+
+    /** Execute every registered point (parallel per RIX_JOBS). */
+    void
+    runAll()
+    {
+        results = SweepRunner().run(jobs);
+    }
+
+    const SimReport &at(size_t slot) const { return results[slot].report; }
+    double wallSeconds(size_t slot) const
+    {
+        return results[slot].wallSeconds;
+    }
+    size_t size() const { return jobs.size(); }
+
+  private:
+    std::vector<SimJob> jobs;
+    std::vector<SimJobResult> results;
+};
 
 /** Percent speedup of @p x over baseline IPC @p base. */
 inline double

@@ -34,19 +34,33 @@ main()
         double rateReverse;
         double misintPerM;
     };
-    std::map<std::string, SimReport> base;
-    std::map<std::string, std::array<Cell, 4>> cells;
-    std::map<std::string, SimReport> reverseReal;
 
+    // Phase 1: enumerate every (workload, config) point of the figure,
+    // then execute the whole plan across the RIX_JOBS pool at once.
+    Sweep sweep;
+    std::map<std::string, size_t> baseSlot;
+    std::map<std::string, std::array<std::array<size_t, 2>, 4>> cellSlot;
     for (const auto &bm : benches) {
-        base[bm] = run(bm, baselineParams());
-        for (int m = 0; m < 4; ++m) {
-            Cell c{};
-            for (int l = 0; l < 2; ++l) {
-                SimReport r = run(
+        baseSlot[bm] = sweep.add(bm, baselineParams());
+        for (int m = 0; m < 4; ++m)
+            for (int l = 0; l < 2; ++l)
+                cellSlot[bm][m][l] = sweep.add(
                     bm, integrationParams(modes[m],
                                           l ? LispMode::Oracle
                                             : LispMode::Realistic));
+    }
+    sweep.runAll();
+
+    // Phase 2: fold the reports into the figure's cells.
+    std::map<std::string, SimReport> base;
+    std::map<std::string, std::array<Cell, 4>> cells;
+    std::map<std::string, SimReport> reverseReal;
+    for (const auto &bm : benches) {
+        base[bm] = sweep.at(baseSlot[bm]);
+        for (int m = 0; m < 4; ++m) {
+            Cell c{};
+            for (int l = 0; l < 2; ++l) {
+                const SimReport &r = sweep.at(cellSlot[bm][m][l]);
                 c.speedup[l] = speedupPct(base[bm].ipc(), r.ipc());
                 if (l == 0) {
                     c.rateDirect = 100.0 * r.core.integratedDirect /

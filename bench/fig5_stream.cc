@@ -60,9 +60,16 @@ int
 main()
 {
     const std::vector<std::string> benches = benchList();
+
+    Sweep sweep;
+    std::map<std::string, size_t> slot;
+    for (const auto &bm : benches)
+        slot[bm] = sweep.add(bm, integrationParams(IntegrationMode::Reverse));
+    sweep.runAll();
+
     std::map<std::string, SimReport> reports;
     for (const auto &bm : benches)
-        reports[bm] = run(bm, integrationParams(IntegrationMode::Reverse));
+        reports[bm] = sweep.at(slot[bm]);
 
     printf("All cells: percent of the benchmark's integration stream,\n"
            "direct/reverse (the paper's solid/striped split).\n");

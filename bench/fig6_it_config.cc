@@ -37,9 +37,50 @@ main()
 {
     const std::vector<std::string> benches = defaultColumns();
 
+    const unsigned assocs[4] = {1, 2, 4, 1024};
+    // The extra {4096, 8-bit} row quantifies a reproduction finding:
+    // in a 4K fully-associative table, entries outlive the 4-bit
+    // generation wrap (16 reallocations of a register), reintroducing
+    // the register mis-integrations of section 2.2; 8-bit counters
+    // restore the expected curve (EXPERIMENTS.md E8).
+    struct SizePoint { unsigned entries; unsigned genBits; };
+    const SizePoint sizes[5] = {
+        {64, 4}, {256, 4}, {1024, 4}, {4096, 4}, {4096, 8}};
+
+    // Phase 1: enumerate the whole figure, then run it as one sweep.
+    Sweep sweep;
+    std::map<std::string, size_t> baseSlot;
+    std::map<std::string, std::array<std::array<size_t, 2>, 4>> assocSlot;
+    std::map<std::string, std::array<std::array<size_t, 2>, 5>> sizeSlot;
+    for (const auto &bm : benches) {
+        baseSlot[bm] = sweep.add(bm, baselineParams());
+        for (int a = 0; a < 4; ++a)
+            for (int l = 0; l < 2; ++l) {
+                CoreParams cp = integrationParams(
+                    IntegrationMode::Reverse,
+                    l ? LispMode::Oracle : LispMode::Realistic);
+                cp.integ.itAssoc = assocs[a];
+                assocSlot[bm][a][l] = sweep.add(bm, cp);
+            }
+        for (int s = 0; s < 5; ++s)
+            for (int l = 0; l < 2; ++l) {
+                const SizePoint &pt = sizes[s];
+                CoreParams cp = integrationParams(
+                    IntegrationMode::Reverse,
+                    l ? LispMode::Oracle : LispMode::Realistic);
+                cp.integ.itEntries = pt.entries;
+                cp.integ.itAssoc = pt.entries; // fully associative
+                cp.integ.genBits = pt.genBits;
+                if (pt.entries == 4096)
+                    cp.integ.numPhysRegs = 4096;
+                sizeSlot[bm][s][l] = sweep.add(bm, cp);
+            }
+    }
+    sweep.runAll();
+
     std::map<std::string, double> baseIpc;
     for (const auto &bm : benches)
-        baseIpc[bm] = run(bm, baselineParams()).ipc();
+        baseIpc[bm] = sweep.at(baseSlot[bm]).ipc();
 
     printHeader("Figure 6 (left): IT associativity, speedup % "
                 "(realistic/oracle)");
@@ -47,20 +88,15 @@ main()
     for (const auto &bm : benches)
         printf(" %13s", bm.c_str());
     printf(" %13s\n", "GMean");
-    const unsigned assocs[4] = {1, 2, 4, 1024};
-    for (unsigned a : assocs) {
-        printf("%-10s", a >= 1024 ? "full" : strfmt("%u-way", a).c_str());
+    for (int a = 0; a < 4; ++a) {
+        const unsigned aw = assocs[a];
+        printf("%-10s", aw >= 1024 ? "full" : strfmt("%u-way", aw).c_str());
         std::vector<double> gp[2];
-        std::string row;
         for (const auto &bm : benches) {
             double sp[2];
             for (int l = 0; l < 2; ++l) {
-                CoreParams cp = integrationParams(
-                    IntegrationMode::Reverse,
-                    l ? LispMode::Oracle : LispMode::Realistic);
-                cp.integ.itAssoc = a;
-                SimReport r = run(bm, cp);
-                sp[l] = speedupPct(baseIpc[bm], r.ipc());
+                sp[l] = speedupPct(baseIpc[bm],
+                                   sweep.at(assocSlot[bm][a][l]).ipc());
                 gp[l].push_back(sp[l]);
             }
             printf(" %6.2f/%6.2f", sp[0], sp[1]);
@@ -75,33 +111,17 @@ main()
     for (const auto &bm : benches)
         printf(" %13s", bm.c_str());
     printf(" %13s\n", "GMean");
-    // The extra {4096, 8-bit} row quantifies a reproduction finding:
-    // in a 4K fully-associative table, entries outlive the 4-bit
-    // generation wrap (16 reallocations of a register), reintroducing
-    // the register mis-integrations of section 2.2; 8-bit counters
-    // restore the expected curve (EXPERIMENTS.md E8).
-    struct SizePoint { unsigned entries; unsigned genBits; };
-    const SizePoint sizes[5] = {
-        {64, 4}, {256, 4}, {1024, 4}, {4096, 4}, {4096, 8}};
-    for (const SizePoint &pt : sizes) {
-        const unsigned sz = pt.entries;
+    for (int s = 0; s < 5; ++s) {
+        const SizePoint &pt = sizes[s];
         printf("%-10s",
-               pt.genBits == 4 ? strfmt("%u", sz).c_str()
-                               : strfmt("%u/g8", sz).c_str());
+               pt.genBits == 4 ? strfmt("%u", pt.entries).c_str()
+                               : strfmt("%u/g8", pt.entries).c_str());
         std::vector<double> gp[2];
         for (const auto &bm : benches) {
             double sp[2];
             for (int l = 0; l < 2; ++l) {
-                CoreParams cp = integrationParams(
-                    IntegrationMode::Reverse,
-                    l ? LispMode::Oracle : LispMode::Realistic);
-                cp.integ.itEntries = sz;
-                cp.integ.itAssoc = sz; // fully associative
-                cp.integ.genBits = pt.genBits;
-                if (sz == 4096)
-                    cp.integ.numPhysRegs = 4096;
-                SimReport r = run(bm, cp);
-                sp[l] = speedupPct(baseIpc[bm], r.ipc());
+                sp[l] = speedupPct(baseIpc[bm],
+                                   sweep.at(sizeSlot[bm][s][l]).ipc());
                 gp[l].push_back(sp[l]);
             }
             printf(" %6.2f/%6.2f", sp[0], sp[1]);

@@ -43,9 +43,32 @@ main()
          }},
     };
 
+    // Phase 1: enumerate every point of the figure into one sweep.
+    Sweep sweep;
+    std::map<std::string, size_t> baseSlot;
+    std::map<std::string, std::array<std::array<size_t, 3>, 4>> cfgSlot;
+    for (const auto &bm : benches) {
+        baseSlot[bm] = sweep.add(bm, baselineParams());
+        for (int c = 0; c < 4; ++c) {
+            const CoreParams shape = configs[c].make(baselineParams());
+            for (int l = 0; l < 3; ++l) {
+                CoreParams cp = shape;
+                if (l == 0) {
+                    cp.integ.mode = IntegrationMode::Off;
+                } else {
+                    cp.integ.mode = IntegrationMode::Reverse;
+                    cp.integ.lisp =
+                        l == 1 ? LispMode::Realistic : LispMode::Oracle;
+                }
+                cfgSlot[bm][c][l] = sweep.add(bm, cp);
+            }
+        }
+    }
+    sweep.runAll();
+
     std::map<std::string, SimReport> baseNoInt;
     for (const auto &bm : benches)
-        baseNoInt[bm] = run(bm, baselineParams());
+        baseNoInt[bm] = sweep.at(baseSlot[bm]);
 
     printHeader("Figure 7: speedup % vs base/no-integration "
                 "(noint | +reverse realistic | oracle)");
@@ -60,18 +83,9 @@ main()
         printRowLabel(bm);
         printf(" %7.2f", baseNoInt[bm].ipc());
         for (int c = 0; c < 4; ++c) {
-            const CoreParams shape = configs[c].make(baselineParams());
             double sp[3];
             for (int l = 0; l < 3; ++l) {
-                CoreParams cp = shape;
-                if (l == 0) {
-                    cp.integ.mode = IntegrationMode::Off;
-                } else {
-                    cp.integ.mode = IntegrationMode::Reverse;
-                    cp.integ.lisp =
-                        l == 1 ? LispMode::Realistic : LispMode::Oracle;
-                }
-                SimReport r = run(bm, cp);
+                const SimReport &r = sweep.at(cfgSlot[bm][c][l]);
                 sp[l] = speedupPct(baseNoInt[bm].ipc(), r.ipc());
                 gm[c][l].push_back(sp[l]);
                 if (c == 0 && l == 1)

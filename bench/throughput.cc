@@ -21,10 +21,15 @@
  * workloads proportionally. Redirect to BENCH_throughput.json to
  * archive a trajectory point.
  *
- * Knobs: RIX_SCALE / RIX_BENCH as in every bench binary. The machine
- * configuration is the paper's full integration setup (reverse
- * entries, realistic LISP) so the rename/IT/memory hot paths are all
- * exercised.
+ * Knobs: RIX_SCALE / RIX_BENCH as in every bench binary, plus
+ * RIX_JOBS for the sweep engine's worker count. Per-workload kips and
+ * the aggregate's "kips"/"wall_s" are computed from per-job simulation
+ * time (summed), so they stay comparable across RIX_JOBS settings and
+ * with the historical serial trajectory; the aggregate additionally
+ * reports "elapsed_s", the actual wall clock of the whole (parallel)
+ * run. The machine configuration is the paper's full integration
+ * setup (reverse entries, realistic LISP) so the rename/IT/memory hot
+ * paths are all exercised.
  */
 
 #include <chrono>
@@ -60,24 +65,34 @@ int
 main()
 {
     const CoreParams params = integrationParams(IntegrationMode::Reverse);
+    const std::vector<std::string> benches = benchList();
+
+    // Build (and cache) the programs outside the timed region: we are
+    // measuring the simulator, not the workload generators.
+    for (const auto &bm : benches)
+        program(bm);
+
+    Sweep sweep;
+    std::vector<size_t> slots;
+    for (const auto &bm : benches)
+        slots.push_back(sweep.add(bm, params));
+
+    const auto t0 = Clock::now();
+    sweep.runAll();
+    const double elapsed = secondsSince(t0);
 
     u64 total_retired = 0;
     u64 total_cycles = 0;
     double total_wall = 0.0;
 
-    for (const auto &bm : benchList()) {
-        // Build (and cache) the program outside the timed region: we
-        // are measuring the simulator, not the workload generators.
-        program(bm);
-
-        const auto t0 = Clock::now();
-        const SimReport rep = run(bm, params);
-        const double wall = secondsSince(t0);
+    for (size_t i = 0; i < benches.size(); ++i) {
+        const SimReport &rep = sweep.at(slots[i]);
+        const double wall = sweep.wallSeconds(slots[i]);
 
         const u64 retired = rep.core.retired;
         const double kips = wall > 0 ? retired / 1000.0 / wall : 0.0;
-        printLine(bm, kips, rep.core.cycles, retired, rep.ipc(), wall);
-        fflush(stdout);
+        printLine(benches[i], kips, rep.core.cycles, retired, rep.ipc(),
+                  wall);
 
         total_retired += retired;
         total_cycles += rep.core.cycles;
@@ -88,7 +103,15 @@ main()
         total_wall > 0 ? total_retired / 1000.0 / total_wall : 0.0;
     const double agg_ipc =
         total_cycles ? double(total_retired) / double(total_cycles) : 0.0;
-    printLine("aggregate", agg_kips, total_cycles, total_retired, agg_ipc,
-              total_wall);
+    // Workers actually used: the runner never spawns more threads than
+    // there are jobs, and a single job runs inline.
+    const size_t jobs_used = std::max<size_t>(
+        1, std::min<size_t>(SweepRunner().threads(), benches.size()));
+    printf("{\"bench\": \"aggregate\", \"kips\": %.1f, \"cycles\": %llu, "
+           "\"retired\": %llu, \"ipc\": %.4f, \"wall_s\": %.3f, "
+           "\"elapsed_s\": %.3f, \"jobs\": %zu}\n",
+           agg_kips, (unsigned long long)total_cycles,
+           (unsigned long long)total_retired, agg_ipc, total_wall, elapsed,
+           jobs_used);
     return 0;
 }

@@ -1,0 +1,58 @@
+#include "base/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace rix
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = 1;
+    workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [this]() { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop();
+        }
+        // packaged_task catches the task's exceptions and stores them
+        // in the future; nothing escapes into the worker loop.
+        task();
+    }
+}
+
+unsigned
+jobsFromEnv()
+{
+    if (const char *s = getenv("RIX_JOBS")) {
+        const unsigned long n = strtoul(s, nullptr, 10);
+        return n == 0 ? 1 : unsigned(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace rix

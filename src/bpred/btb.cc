@@ -6,7 +6,10 @@
 namespace rix
 {
 
-Btb::Btb(unsigned entries, unsigned assoc_)
+Btb::Btb(unsigned entries, unsigned assoc_) { reset(entries, assoc_); }
+
+void
+Btb::reset(unsigned entries, unsigned assoc_)
 {
     if (!isPow2(entries))
         rix_fatal("BTB entries must be a power of two");
@@ -14,7 +17,9 @@ Btb::Btb(unsigned entries, unsigned assoc_)
     sets = entries / assoc;
     if (!isPow2(sets))
         rix_fatal("BTB sets must be a power of two");
-    table.resize(size_t(sets) * assoc);
+    table.assign(size_t(sets) * assoc, Entry{});
+    lruClock = 0;
+    nHits = nMisses = 0;
 }
 
 bool
@@ -65,6 +70,13 @@ Btb::update(InstAddr pc, InstAddr target)
 ReturnAddressStack::ReturnAddressStack(unsigned entries)
     : ring(entries, 0)
 {
+}
+
+void
+ReturnAddressStack::reset(unsigned entries)
+{
+    ring.assign(entries, 0);
+    tos = 0;
 }
 
 void

@@ -27,6 +27,9 @@ class Btb
   public:
     Btb(unsigned entries, unsigned assoc);
 
+    /** Reconfigure and return to the power-on state. */
+    void reset(unsigned entries, unsigned assoc);
+
     /** Look up a target for @p pc; returns false on miss. */
     bool lookup(InstAddr pc, InstAddr *target);
 
@@ -59,6 +62,9 @@ class ReturnAddressStack
 {
   public:
     explicit ReturnAddressStack(unsigned entries = 32);
+
+    /** Reconfigure and return to the power-on state. */
+    void reset(unsigned entries);
 
     void push(InstAddr return_pc);
     InstAddr pop();

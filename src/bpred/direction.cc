@@ -8,6 +8,12 @@ namespace rix
 
 BimodalPredictor::BimodalPredictor(unsigned entries, unsigned bits)
 {
+    reset(entries, bits);
+}
+
+void
+BimodalPredictor::reset(unsigned entries, unsigned bits)
+{
     if (!isPow2(entries))
         rix_fatal("bimodal entries must be a power of two");
     table.assign(entries, SatCounter(bits, (1u << bits) / 2));
@@ -28,10 +34,18 @@ BimodalPredictor::update(InstAddr pc, bool taken)
 GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits,
                                  unsigned bits)
 {
+    reset(entries, history_bits, bits);
+}
+
+void
+GsharePredictor::reset(unsigned entries, unsigned history_bits,
+                       unsigned bits)
+{
     if (!isPow2(entries))
         rix_fatal("gshare entries must be a power of two");
     table.assign(entries, SatCounter(bits, (1u << bits) / 2));
     historyMask = mask(history_bits);
+    ghr = 0;
 }
 
 bool
@@ -56,6 +70,16 @@ HybridPredictor::HybridPredictor(const Params &params)
     : bimodal(params.bimodalEntries),
       gshare(params.gshareEntries, params.historyBits)
 {
+    if (!isPow2(params.chooserEntries))
+        rix_fatal("chooser entries must be a power of two");
+    chooser.assign(params.chooserEntries, SatCounter(2, 2));
+}
+
+void
+HybridPredictor::reset(const Params &params)
+{
+    bimodal.reset(params.bimodalEntries);
+    gshare.reset(params.gshareEntries, params.historyBits);
     if (!isPow2(params.chooserEntries))
         rix_fatal("chooser entries must be a power of two");
     chooser.assign(params.chooserEntries, SatCounter(2, 2));

@@ -25,6 +25,9 @@ class BimodalPredictor
   public:
     explicit BimodalPredictor(unsigned entries, unsigned bits = 2);
 
+    /** Reconfigure and return to the power-on state. */
+    void reset(unsigned entries, unsigned bits = 2);
+
     bool predict(InstAddr pc) const;
     void update(InstAddr pc, bool taken);
 
@@ -41,6 +44,9 @@ class GsharePredictor
   public:
     explicit GsharePredictor(unsigned entries, unsigned history_bits,
                              unsigned bits = 2);
+
+    /** Reconfigure and return to the power-on state. */
+    void reset(unsigned entries, unsigned history_bits, unsigned bits = 2);
 
     bool predict(InstAddr pc) const;
     void update(InstAddr pc, u64 history_at_predict, bool taken);
@@ -86,6 +92,9 @@ class HybridPredictor
     };
 
     explicit HybridPredictor(const Params &params);
+
+    /** Reconfigure and return to the power-on state. */
+    void reset(const Params &params);
 
     /** Predict and speculatively update global history. */
     Prediction predict(InstAddr pc);

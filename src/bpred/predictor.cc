@@ -9,6 +9,14 @@ BranchPredictorUnit::BranchPredictorUnit(const BranchPredictorParams &params)
 {
 }
 
+void
+BranchPredictorUnit::reset(const BranchPredictorParams &params)
+{
+    hybrid.reset(params.hybrid);
+    btbUnit.reset(params.btbEntries, params.btbAssoc);
+    ras.reset(params.rasEntries);
+}
+
 InstAddr
 BranchPredictorUnit::predict(const Instruction &inst, InstAddr pc,
                              BranchPrediction *out)

@@ -38,6 +38,9 @@ class BranchPredictorUnit
   public:
     explicit BranchPredictorUnit(const BranchPredictorParams &params);
 
+    /** Reconfigure every component and return to the power-on state. */
+    void reset(const BranchPredictorParams &params);
+
     /**
      * Predict the next PC for @p inst at @p pc, applying speculative
      * RAS/history updates.

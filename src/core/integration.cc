@@ -12,6 +12,17 @@ IntegrationEngine::IntegrationEngine(const IntegrationParams &params,
 {
 }
 
+void
+IntegrationEngine::reset(const IntegrationParams &params)
+{
+    p = params;
+    it.reset(params);
+    lisp_.reset(params.lispEntries, params.lispAssoc);
+    pending.clear();
+    nextPendingId = 1;
+    nReverseEntries = nDirectEntries = 0;
+}
+
 bool
 IntegrationEngine::classIntegrates(const Instruction &inst)
 {

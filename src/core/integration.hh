@@ -75,6 +75,10 @@ class IntegrationEngine
     IntegrationEngine(const IntegrationParams &params,
                       RegStateVector &reg_state);
 
+    /** Reconfigure (same register-state binding) and return to the
+     *  power-on state: empty IT, cold LISP, no pending writes. */
+    void reset(const IntegrationParams &params);
+
     /** True when this instruction's class may integrate results. */
     static bool classIntegrates(const Instruction &inst);
 
@@ -145,7 +149,7 @@ class IntegrationEngine
                              u8 out_gen, bool reverse, bool is_branch,
                              u64 create_seq);
 
-    const IntegrationParams p;
+    IntegrationParams p;
     RegStateVector &regs;
     IntegrationTable it;
     Lisp lisp_;

@@ -21,8 +21,15 @@ constexpr u64 genBits = (u64(0xff) << gen1Shift) | (u64(0xff) << gen2Shift);
 
 } // namespace
 
-IntegrationTable::IntegrationTable(const IntegrationParams &p) : params(p)
+IntegrationTable::IntegrationTable(const IntegrationParams &p)
 {
+    reset(p);
+}
+
+void
+IntegrationTable::reset(const IntegrationParams &p)
+{
+    params = p;
     if (p.itEntries == 0 || !isPow2(p.itEntries))
         rix_fatal("IT entries must be a power of two (%u)", p.itEntries);
     assoc = p.itAssoc >= p.itEntries ? p.itEntries : p.itAssoc;
@@ -34,10 +41,13 @@ IntegrationTable::IntegrationTable(const IntegrationParams &p) : params(p)
     inputGenMask = params.useGenCounters ? ~u64(0) : ~genBits;
 
     const size_t n = size_t(sets) * assoc;
-    table.resize(n);
+    table.assign(n, ITEntry{});
     tagLane.assign(n, 0);
     pcLane.assign(n, 0);
     inputLane.assign(n, 0);
+    lruClock = 0;
+    nextId = 1;
+    nLookups = nHits = nInserts = nReplacements = 0;
 }
 
 u32

@@ -97,6 +97,14 @@ class IntegrationTable
     explicit IntegrationTable(const IntegrationParams &params);
 
     /**
+     * Reconfigure to @p params and return to the power-on state.
+     * Reuses the probe lanes and payload array when the geometry is
+     * unchanged (the long-lived-context reuse path of the sweep
+     * engine).
+     */
+    void reset(const IntegrationParams &params);
+
+    /**
      * Find an entry whose operation tag and inputs match @p key.
      * Updates LRU on hit. Returns nullptr on miss. The caller still
      * has to test output-register eligibility against the reference
@@ -154,7 +162,7 @@ class IntegrationTable
                    u8 g2) const;
     void writeLanes(size_t idx, const ITEntry &e);
 
-    const IntegrationParams params;
+    IntegrationParams params;
     unsigned sets;
     unsigned assoc;
     bool pcTagged;     // PC participates in the tag (PC indexing)

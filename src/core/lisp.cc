@@ -6,7 +6,10 @@
 namespace rix
 {
 
-Lisp::Lisp(unsigned entries, unsigned assoc_)
+Lisp::Lisp(unsigned entries, unsigned assoc_) { reset(entries, assoc_); }
+
+void
+Lisp::reset(unsigned entries, unsigned assoc_)
 {
     if (entries == 0 || !isPow2(entries))
         rix_fatal("LISP entries must be a power of two (%u)", entries);
@@ -14,7 +17,9 @@ Lisp::Lisp(unsigned entries, unsigned assoc_)
     sets = entries / assoc;
     if (!isPow2(sets))
         rix_fatal("LISP sets must be a power of two");
-    table.resize(size_t(sets) * assoc);
+    table.assign(size_t(sets) * assoc, Entry{});
+    lruClock = 0;
+    nSuppressions = nTrainings = 0;
 }
 
 bool

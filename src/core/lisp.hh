@@ -35,6 +35,9 @@ class Lisp
 
     void reset();
 
+    /** Reconfigure geometry and return to the power-on state. */
+    void reset(unsigned entries, unsigned assoc);
+
   private:
     struct Entry
     {

@@ -8,12 +8,19 @@ namespace rix
 {
 
 RegStateVector::RegStateVector(const IntegrationParams &params)
-    : entries(params.numPhysRegs),
-      maxCount(u8(mask(params.refBits))),
-      genMask(u8(mask(params.genBits)))
+{
+    reset(params);
+}
+
+void
+RegStateVector::reset(const IntegrationParams &params)
 {
     if (params.numPhysRegs < numLogRegs + 1)
         rix_fatal("too few physical registers (%u)", params.numPhysRegs);
+    entries.assign(params.numPhysRegs, Entry{});
+    maxCount = u8(mask(params.refBits));
+    genMask = u8(mask(params.genBits));
+    freeQueue.clear();
     for (PhysReg r = 0; r < entries.size(); ++r)
         freeQueue.push_back(r);
 }

@@ -46,6 +46,10 @@ class RegStateVector
   public:
     explicit RegStateVector(const IntegrationParams &params);
 
+    /** Reconfigure and return to the power-on state (all registers
+     *  free, counts zero, generations zero, FIFO queue rebuilt). */
+    void reset(const IntegrationParams &params);
+
     /** Total physical registers. */
     unsigned numRegs() const { return unsigned(entries.size()); }
 

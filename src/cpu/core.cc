@@ -6,7 +6,7 @@ namespace rix
 {
 
 Core::Core(const Program &program, const CoreParams &params)
-    : prog(program), p(params), golden_(program), mem(p.mem),
+    : prog(&program), p(params), golden_(program), mem(p.mem),
       bpred(p.bpred), regState(p.integ), integ(p.integ, regState),
       writeBuffer(p.writeBufferEntries),
       cht(p.chtEntries, SatCounter(2, 0)),
@@ -15,6 +15,64 @@ Core::Core(const Program &program, const CoreParams &params)
       fetchQueue(p.fetchQueueSize), rob(p.robSize),
       integWaiters(p.integ.numPhysRegs),
       operandWaiters(p.integ.numPhysRegs)
+{
+    initArchState();
+}
+
+void
+Core::reset(const Program &program, const CoreParams &params)
+{
+    prog = &program;
+    p = params;
+
+    // Substrates: reconfigure in place, reusing their arrays.
+    golden_.reset(program);
+    mem.reset(p.mem);
+    bpred.reset(p.bpred);
+    regState.reset(p.integ);
+    integ.reset(p.integ);
+    writeBuffer.reset(p.writeBufferEntries);
+    cht.assign(p.chtEntries, SatCounter(2, 0));
+
+    // Register state and windows.
+    pregValue.assign(p.integ.numPhysRegs, 0);
+    pool.reset(size_t(p.robSize) + p.fetchQueueSize + 1);
+    fetchQueue.reset(p.fetchQueueSize);
+    rob.reset(p.robSize);
+    sq.clear();
+    lq.clear();
+    rsBusy = 0;
+
+    // Event plumbing and issue scratch.
+    completionEvents = decltype(completionEvents)();
+    integWaiters.resize(p.integ.numPhysRegs);
+    for (auto &w : integWaiters)
+        w.clear();
+    operandWaiters.resize(p.integ.numPhysRegs);
+    for (auto &w : operandWaiters)
+        w.clear();
+    issuePrio.clear();
+    issueRest.clear();
+    rsList.clear();
+    wokenList.clear();
+    rsScratch.clear();
+
+    // Scalar bookkeeping back to the constructed defaults.
+    fetchPc = 0;
+    fetchStallUntil = 0;
+    oldestUnresolvedStore = ~InstSeqNum(0);
+    nextSeq = 1;
+    renameStreamPos = 0;
+    cycle = 0;
+    done = false;
+    lastProgressCycle = 0;
+    stats_ = CoreStats{};
+
+    initArchState();
+}
+
+void
+Core::initArchState()
 {
     // Pin the zero register's physical register.
     zeroPreg = regState.allocate();
@@ -33,7 +91,7 @@ Core::Core(const Program &program, const CoreParams &params)
         map[r] = {preg, regState.gen(preg)};
     }
 
-    fetchPc = prog.entry;
+    fetchPc = prog->entry;
 }
 
 Core::Mapping

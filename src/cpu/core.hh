@@ -51,6 +51,17 @@ class Core
   public:
     Core(const Program &prog, const CoreParams &params);
 
+    /**
+     * Rebind to a new program/configuration and return to the
+     * power-on state, producing bit-identical simulations to a
+     * freshly constructed Core. The expensive long-lived storage —
+     * instruction-pool slabs, sparse-memory pages, integration-table
+     * lanes, cache/predictor arrays — is reused instead of being
+     * reallocated, which is what makes a per-worker core context
+     * cheap to recycle across sweep jobs.
+     */
+    void reset(const Program &prog, const CoreParams &params);
+
     struct RunResult
     {
         u64 retired = 0;
@@ -176,9 +187,13 @@ class Core
             static_cast<const Core *>(this)->findInst(seq));
     }
 
+    /** Shared tail of construction and reset(): pin the zero register,
+     *  map the initial architectural registers, point fetch at entry. */
+    void initArchState();
+
     // ---- configuration & substrates ----
-    const Program &prog;
-    const CoreParams p;
+    const Program *prog; // never null; rebindable via reset()
+    CoreParams p;
     Emulator golden_;
     MemHierarchy mem;
     BranchPredictorUnit bpred;

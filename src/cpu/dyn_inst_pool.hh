@@ -38,11 +38,7 @@ class DynInstPool
     static constexpr unsigned slabInsts = 1u << slabShift; // 256/slab
 
     /** @p reserve in-flight instructions are pre-materialized. */
-    explicit DynInstPool(size_t reserve = 0)
-    {
-        while (slabs.size() * slabInsts < reserve)
-            addSlab();
-    }
+    explicit DynInstPool(size_t reserve = 0) { reset(reserve); }
 
     /** Fresh (default-initialized) record. Never fails: the pool grows
      *  by whole slabs when the free list runs dry. */
@@ -50,7 +46,7 @@ class DynInstPool
     alloc()
     {
         if (freeList.empty())
-            addSlab();
+            activateSlab();
         const InstHandle h = freeList.back();
         freeList.pop_back();
         DynInst &di = get(h);
@@ -88,20 +84,51 @@ class DynInstPool
     size_t capacity() const { return slabs.size() * slabInsts; }
     size_t inUse() const { return inUse_; }
 
-  private:
+    /**
+     * Return to the freshly-constructed state while keeping every
+     * already-materialized slab's storage. Only the slabs a fresh
+     * pool of this reserve would have materialized are put back on
+     * the free list; retained extra slabs are re-activated lazily in
+     * the same order alloc() would have created them — so the handle
+     * sequence handed out after a reset is identical to a brand-new
+     * pool's in every case, and reusing a context cannot perturb
+     * handle assignment. Any outstanding handles are invalidated (the
+     * caller must have dropped its references).
+     */
     void
-    addSlab()
+    reset(size_t reserve = 0)
     {
-        const InstHandle base = InstHandle(slabs.size() * slabInsts);
-        slabs.push_back(std::make_unique<DynInst[]>(slabInsts));
-        // Stack the new slab's handles so the lowest index comes out
+        // Zero every retained slot's seq so stale (handle, seq) pairs
+        // held anywhere fail validation immediately.
+        for (auto &slab : slabs)
+            for (unsigned i = 0; i < slabInsts; ++i)
+                slab[i].seq = 0;
+        freeList.clear();
+        activeSlabs = 0;
+        while (activeSlabs * slabInsts < reserve)
+            activateSlab();
+        inUse_ = 0;
+    }
+
+  private:
+    /** Put the next slab's handles on the free list, materializing it
+     *  only when no retained (post-reset) slab is available. */
+    void
+    activateSlab()
+    {
+        if (activeSlabs == slabs.size())
+            slabs.push_back(std::make_unique<DynInst[]>(slabInsts));
+        const InstHandle base = InstHandle(activeSlabs * slabInsts);
+        // Stack the slab's handles so the lowest index comes out
         // first (purely cosmetic: keeps handles dense in traces).
         for (unsigned i = slabInsts; i-- > 0;)
             freeList.push_back(base + i);
+        ++activeSlabs;
     }
 
     std::vector<std::unique_ptr<DynInst[]>> slabs;
     std::vector<InstHandle> freeList;
+    size_t activeSlabs = 0;
     size_t inUse_ = 0;
 };
 
@@ -171,6 +198,22 @@ class HandleRing
     void
     clear()
     {
+        head = 0;
+        count = 0;
+    }
+
+    /** Re-size to @p capacity and empty the ring; the backing array is
+     *  reused when the rounded power-of-two size is unchanged. */
+    void
+    reset(size_t capacity)
+    {
+        cap = capacity;
+        size_t n = 1;
+        while (n < capacity)
+            n <<= 1;
+        if (n != buf.size())
+            buf.assign(n, invalidInstHandle);
+        mask = u32(n - 1);
         head = 0;
         count = 0;
     }

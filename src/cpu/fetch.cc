@@ -43,7 +43,7 @@ Core::fetchStage()
         DynInst &di = pool.get(h);
         di.seq = nextSeq++;
         di.pc = fetchPc;
-        di.inst = prog.fetch(fetchPc);
+        di.inst = prog->fetch(fetchPc);
         di.fetchCycle = cycle;
         di.renameReadyCycle = cycle + p.frontLatency();
         di.isCtrl = di.inst.isControl();

@@ -77,7 +77,7 @@ branchTaken(const Instruction &inst, u64 a)
     }
 }
 
-Emulator::Emulator(const Program &p) : prog(p)
+Emulator::Emulator(const Program &p) : prog(&p)
 {
     reset();
 }
@@ -86,15 +86,22 @@ void
 Emulator::reset()
 {
     mem.clear();
-    mem.writeBlock(prog.dataBase, prog.data);
+    mem.writeBlock(prog->dataBase, prog->data);
     for (auto &r : regs)
         r = 0;
-    regs[regSp] = prog.stackBase;
-    regs[regGp] = prog.dataBase;
-    pcReg = prog.entry;
+    regs[regSp] = prog->stackBase;
+    regs[regGp] = prog->dataBase;
+    pcReg = prog->entry;
     isHalted = false;
     icount = 0;
     out.clear();
+}
+
+void
+Emulator::reset(const Program &p)
+{
+    prog = &p;
+    reset();
 }
 
 void
@@ -114,7 +121,7 @@ Emulator::preview() const
         return res;
     }
 
-    const Instruction inst = prog.fetch(pcReg);
+    const Instruction inst = prog->fetch(pcReg);
     res.inst = inst;
     InstAddr next = pcReg + 1;
 

@@ -56,6 +56,10 @@ class Emulator
     /** Reset architectural state to the program's initial image. */
     void reset();
 
+    /** Rebind to @p prog and reset — the reusable-context path: the
+     *  sparse memory's page allocations survive across programs. */
+    void reset(const Program &prog);
+
     /** Execute one instruction; no-op (halted result) after HALT. */
     StepResult step();
 
@@ -80,10 +84,10 @@ class Emulator
     /** Values emitted via SyscallCode::Emit, in order. */
     const std::vector<u64> &output() const { return out; }
 
-    const Program &program() const { return prog; }
+    const Program &program() const { return *prog; }
 
   private:
-    const Program &prog;
+    const Program *prog; // never null; rebindable via reset(Program)
     Memory mem;
     u64 regs[numLogRegs] = {};
     InstAddr pcReg = 0;

@@ -25,6 +25,11 @@ Memory::resetTable()
 void
 Memory::clear()
 {
+    // Recycle the materialized pages instead of freeing them; they are
+    // zero-filled again on re-touch, so a cleared Memory is
+    // indistinguishable from a fresh one.
+    for (auto &p : store)
+        freePages.push_back(std::move(p));
     resetTable();
 }
 
@@ -68,7 +73,12 @@ Memory::touchPage(u64 pn)
     // Materialize: pages are zero-filled on first touch.
     if ((used + 1) * 2 > slots.size())
         grow();
-    store.push_back(std::make_unique<Page>());
+    if (!freePages.empty()) {
+        store.push_back(std::move(freePages.back()));
+        freePages.pop_back();
+    } else {
+        store.push_back(std::make_unique<Page>());
+    }
     Page *p = store.back().get();
     p->fill(0);
 

@@ -91,6 +91,10 @@ class Memory
 
     std::vector<Slot> slots; // power-of-two; load factor kept <= 1/2
     std::vector<std::unique_ptr<Page>> store; // page ownership, stable
+    // Pages recycled by clear(): a reused simulation context touches
+    // roughly the same working set, so the 4 KiB allocations are kept
+    // and re-zeroed instead of going back to the heap per run.
+    std::vector<std::unique_ptr<Page>> freePages;
     size_t mask = 0;
     size_t used = 0;
 

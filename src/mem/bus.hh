@@ -26,6 +26,17 @@ class Bus
     {
     }
 
+    /** Reconfigure and return to the power-on state. */
+    void
+    reset(unsigned width_bytes, unsigned cycles_per_beat)
+    {
+        widthBytes = width_bytes;
+        cyclesPerBeat = cycles_per_beat;
+        nextFree = 0;
+        busyCycles = 0;
+        nTransfers = 0;
+    }
+
     /** Cycles needed to move @p bytes. */
     Cycle
     transferCycles(unsigned bytes) const

@@ -6,8 +6,12 @@
 namespace rix
 {
 
-Cache::Cache(const CacheParams &params) : p(params)
+Cache::Cache(const CacheParams &params) { reset(params); }
+
+void
+Cache::reset(const CacheParams &params)
 {
+    p = params;
     if (!isPow2(p.lineBytes) || !isPow2(p.sizeBytes))
         rix_fatal("%s: size and line must be powers of two",
                   p.name.c_str());
@@ -16,8 +20,10 @@ Cache::Cache(const CacheParams &params) : p(params)
         rix_fatal("%s: set count %u is not a power of two", p.name.c_str(),
                   sets);
     setShift = floorLog2(sets);
-    lines.resize(size_t(sets) * p.assoc);
-    mshrs.resize(p.numMshrs);
+    lines.assign(size_t(sets) * p.assoc, Line{});
+    mshrs.assign(p.numMshrs, Mshr{});
+    lruClock = 0;
+    nHits = nMisses = nMerges = nWritebacks = nMshrStallCycles = 0;
 }
 
 bool

@@ -56,6 +56,13 @@ class Cache
     explicit Cache(const CacheParams &params);
 
     /**
+     * Reconfigure to @p params and return to the power-on state
+     * (all lines invalid, counters zero). Reuses the line and MSHR
+     * arrays when the geometry is unchanged.
+     */
+    void reset(const CacheParams &params);
+
+    /**
      * Perform one access.
      * @param addr      byte address (the whole access must fit the line)
      * @param is_write  stores mark the line dirty (write-allocate)
@@ -129,7 +136,7 @@ class Cache
     u32 setOf(Addr line_addr) const { return u32(line_addr) & (sets - 1); }
     u64 tagOf(Addr line_addr) const { return line_addr >> setShift; }
 
-    const CacheParams p;
+    CacheParams p;
     u32 sets;
     u32 setShift;
     std::vector<Line> lines;

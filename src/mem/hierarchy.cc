@@ -11,6 +11,19 @@ MemHierarchy::MemHierarchy(const MemHierarchyParams &params)
 {
 }
 
+void
+MemHierarchy::reset(const MemHierarchyParams &params)
+{
+    p = params;
+    l1iCache.reset(p.l1i);
+    l1dCache.reset(p.l1d);
+    l2Cache.reset(p.l2);
+    itlbUnit.reset(p.itlb);
+    dtlbUnit.reset(p.dtlb);
+    backsideBus.reset(p.l2BusBytes, p.l2BusCyclesPerBeat);
+    memoryBus.reset(p.memBusBytes, p.memBusCyclesPerBeat);
+}
+
 Cycle
 MemHierarchy::fillFromMemory(Addr l2_line_addr, Cycle now)
 {

@@ -40,6 +40,9 @@ class MemHierarchy
   public:
     explicit MemHierarchy(const MemHierarchyParams &params);
 
+    /** Reconfigure every level and return to the power-on state. */
+    void reset(const MemHierarchyParams &params);
+
     /** Instruction fetch of the line containing @p addr. */
     Cycle ifetch(Addr addr, Cycle now);
 
@@ -66,7 +69,7 @@ class MemHierarchy
     /** L2 miss handler: access memory over the memory bus. */
     Cycle fillFromMemory(Addr l2_line_addr, Cycle now);
 
-    const MemHierarchyParams p;
+    MemHierarchyParams p;
     Cache l1iCache, l1dCache, l2Cache;
     Tlb itlbUnit, dtlbUnit;
     Bus backsideBus, memoryBus;

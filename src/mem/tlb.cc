@@ -6,15 +6,21 @@
 namespace rix
 {
 
-Tlb::Tlb(const TlbParams &params) : p(params)
+Tlb::Tlb(const TlbParams &params) { reset(params); }
+
+void
+Tlb::reset(const TlbParams &params)
 {
+    p = params;
     if (p.entries == 0 || p.assoc == 0)
         rix_fatal("TLB: bad geometry");
     unsigned a = p.assoc >= p.entries ? p.entries : p.assoc;
     sets = p.entries / a;
     if (!isPow2(sets))
         rix_fatal("TLB: set count must be a power of two");
-    table.resize(size_t(sets) * a);
+    table.assign(size_t(sets) * a, Entry{});
+    lruClock = 0;
+    nHits = nMisses = 0;
 }
 
 bool

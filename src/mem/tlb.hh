@@ -29,6 +29,9 @@ class Tlb
   public:
     explicit Tlb(const TlbParams &params);
 
+    /** Reconfigure and return to the power-on state. */
+    void reset(const TlbParams &params);
+
     /**
      * Translate the page containing @p addr.
      * @return extra latency: 0 on hit, missLatency on miss (the entry
@@ -73,7 +76,7 @@ class Tlb
     /** Miss path: victim selection and refill. */
     Cycle fillOnMiss(u64 vpn, Entry *base, unsigned assoc);
 
-    const TlbParams p;
+    TlbParams p;
     unsigned sets;
     std::vector<Entry> table;
     u64 lruClock = 0;

@@ -56,6 +56,15 @@ class WriteBuffer
 
     void clear() { q.clear(); }
 
+    /** Reconfigure and return to the power-on state. */
+    void
+    reset(unsigned capacity)
+    {
+        cap = capacity;
+        q.clear();
+        nPushes = nDrains = 0;
+    }
+
   private:
     struct Entry
     {

@@ -6,14 +6,10 @@ namespace rix
 {
 
 SimReport
-runSimulation(const Program &prog, const CoreParams &params,
-              u64 max_retired, Cycle max_cycles)
+collectReport(Core &core, const std::string &workload)
 {
-    Core core(prog, params);
-    core.run(max_retired, max_cycles);
-
     SimReport rep;
-    rep.workload = prog.name;
+    rep.workload = workload;
     rep.core = core.stats();
     rep.halted = core.halted();
     rep.l1dMisses = core.memHierarchy().l1d().misses();
@@ -22,6 +18,15 @@ runSimulation(const Program &prog, const CoreParams &params,
     rep.dtlbMisses = core.memHierarchy().dtlb().misses();
     rep.itlbMisses = core.memHierarchy().itlb().misses();
     return rep;
+}
+
+SimReport
+runSimulation(const Program &prog, const CoreParams &params,
+              u64 max_retired, Cycle max_cycles)
+{
+    Core core(prog, params);
+    core.run(max_retired, max_cycles);
+    return collectReport(core, prog.name);
 }
 
 std::string

@@ -27,6 +27,9 @@ struct SimReport
     double ipc() const { return core.ipc(); }
 };
 
+/** Snapshot the report of a finished (or stopped) core. */
+SimReport collectReport(Core &core, const std::string &workload);
+
 /**
  * Run @p prog on a core configured by @p params.
  * @param max_retired stop after this many retired instructions

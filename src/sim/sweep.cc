@@ -1,0 +1,95 @@
+#include "sim/sweep.hh"
+
+#include <chrono>
+
+#include "base/thread_pool.hh"
+#include "workload/program_cache.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+SimJobResult
+executeJob(SimContext &ctx, const SimJob &job)
+{
+    // The program is shared read-only across all jobs and threads;
+    // build (once) outside the timed region.
+    const Program &prog = globalProgramCache().get(job.workload, job.scale);
+
+    const auto t0 = Clock::now();
+    SimJobResult res;
+    res.report = ctx.run(prog, job.params, job.maxRetired, job.maxCycles);
+    res.wallSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    return res;
+}
+
+} // namespace
+
+SimContext::SimContext() = default;
+SimContext::~SimContext() = default;
+
+SimReport
+SimContext::run(const Program &prog, const CoreParams &params,
+                u64 max_retired, Cycle max_cycles)
+{
+    if (!core)
+        core = std::make_unique<Core>(prog, params);
+    else
+        core->reset(prog, params);
+    core->run(max_retired, max_cycles);
+    return collectReport(*core, prog.name);
+}
+
+SweepRunner::SweepRunner(unsigned num_threads)
+    : nThreads(num_threads ? num_threads : jobsFromEnv())
+{
+}
+
+std::vector<SimJobResult>
+SweepRunner::run(const std::vector<SimJob> &jobs)
+{
+    std::vector<SimJobResult> results(jobs.size());
+
+    if (nThreads <= 1 || jobs.size() <= 1) {
+        // Serial path: one context, inline on the calling thread.
+        SimContext ctx;
+        for (size_t i = 0; i < jobs.size(); ++i)
+            results[i] = executeJob(ctx, jobs[i]);
+        return results;
+    }
+
+    // One long-lived SimContext per worker thread: thread_local makes
+    // it worker-owned without the pool knowing about simulation types.
+    // The contexts die with the worker threads when the pool joins.
+    ThreadPool pool(unsigned(std::min<size_t>(nThreads, jobs.size())));
+    std::vector<std::future<void>> pendings;
+    pendings.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        pendings.push_back(pool.submit([&jobs, &results, i]() {
+            thread_local SimContext ctx;
+            results[i] = executeJob(ctx, jobs[i]);
+        }));
+    }
+
+    // Collect in submission order. Let every job finish before
+    // rethrowing a failure so no worker is left writing into a slot
+    // while an exception unwinds the result vector.
+    std::exception_ptr firstError;
+    for (std::future<void> &f : pendings) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace rix

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parallel sweep engine: runs independent simulation jobs (one
+ * workload x one machine configuration each) across a fixed-size
+ * thread pool and collects their reports in deterministic submission
+ * order.
+ *
+ * The paper's figure reproductions are sweeps — every (config,
+ * workload) point is an independent simulation — so the engine's only
+ * job is throughput, not cleverness:
+ *
+ *  - programs come from the process-wide ProgramCache and are shared
+ *    read-only by every job (built once per (name, scale));
+ *  - each worker thread owns one long-lived SimContext whose Core is
+ *    reset() between jobs, reusing the instruction-pool slabs, sparse
+ *    memory pages, IT lanes and predictor arrays instead of paying
+ *    construction per point;
+ *  - results land in a pre-sized slot per job, so the output vector
+ *    order equals the submission order no matter which worker finished
+ *    first, and RIX_JOBS=1 vs RIX_JOBS=N outputs are bit-identical.
+ *
+ * Worker count comes from the RIX_JOBS environment knob (default:
+ * hardware concurrency); RIX_JOBS=1 runs everything inline on the
+ * calling thread — exactly the historical serial path.
+ */
+
+#ifndef RIX_SIM_SWEEP_HH
+#define RIX_SIM_SWEEP_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace rix
+{
+
+/** One point of a sweep: workload x configuration x run limits. */
+struct SimJob
+{
+    std::string workload;       // program-cache key (with scale)
+    u64 scale = 1;
+    CoreParams params;
+    u64 maxRetired = 20'000'000;
+    Cycle maxCycles = 200'000'000;
+};
+
+/** A job's report plus the host wall time the simulation took. */
+struct SimJobResult
+{
+    SimReport report;
+    double wallSeconds = 0.0;
+};
+
+/**
+ * A reusable simulation context: one long-lived Core that is reset
+ * (not reconstructed) for every job it runs. Each sweep worker owns
+ * one; single runs can use one directly.
+ */
+class SimContext
+{
+  public:
+    SimContext();
+    ~SimContext();
+
+    /** Run one simulation, reusing this context's core. */
+    SimReport run(const Program &prog, const CoreParams &params,
+                  u64 max_retired, Cycle max_cycles);
+
+  private:
+    std::unique_ptr<Core> core;
+};
+
+class SweepRunner
+{
+  public:
+    /** @p num_threads 0 means "use jobsFromEnv()" (the RIX_JOBS knob). */
+    explicit SweepRunner(unsigned num_threads = 0);
+
+    /**
+     * Execute every job and return results in submission order.
+     * Programs are fetched from the global ProgramCache. A job that
+     * throws rethrows here, after all other jobs finished.
+     */
+    std::vector<SimJobResult> run(const std::vector<SimJob> &jobs);
+
+    unsigned threads() const { return nThreads; }
+
+  private:
+    unsigned nThreads;
+};
+
+} // namespace rix
+
+#endif // RIX_SIM_SWEEP_HH

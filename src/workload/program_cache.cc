@@ -1,0 +1,51 @@
+#include "workload/program_cache.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+Program
+defaultBuild(const std::string &name, u64 scale)
+{
+    return buildWorkload(name, scale);
+}
+
+} // namespace
+
+ProgramCache::ProgramCache(Builder b) : builder(b ? b : defaultBuild) {}
+
+const Program &
+ProgramCache::get(const std::string &name, u64 scale)
+{
+    Slot *slot;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        std::unique_ptr<Slot> &s = slots[{name, scale}];
+        if (!s)
+            s = std::make_unique<Slot>();
+        slot = s.get();
+    }
+    std::call_once(slot->once, [&]() {
+        slot->prog = builder(name, scale);
+        nBuilds.fetch_add(1, std::memory_order_relaxed);
+    });
+    return slot->prog;
+}
+
+size_t
+ProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return slots.size();
+}
+
+ProgramCache &
+globalProgramCache()
+{
+    static ProgramCache cache;
+    return cache;
+}
+
+} // namespace rix

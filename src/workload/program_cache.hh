@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Process-wide cache of built workload programs.
+ *
+ * A figure sweep runs the same workload under dozens of machine
+ * configurations; the Program (mcf's data image alone is ~4MB, and the
+ * generators are not free) is identical across all of them. This cache
+ * generates and assembles each (name, scale) program exactly once and
+ * hands out a const reference that every config point — on any thread —
+ * shares read-only.
+ *
+ * Concurrency: the slot map is guarded by a mutex held only for
+ * lookup/insert of the (small) slot record; the expensive build runs
+ * under a per-slot std::call_once, so two threads wanting *different*
+ * workloads build concurrently while two threads wanting the *same*
+ * workload build it once and share. Returned references are stable for
+ * the cache's lifetime (slots are heap-allocated and never erased).
+ */
+
+#ifndef RIX_WORKLOAD_PROGRAM_CACHE_HH
+#define RIX_WORKLOAD_PROGRAM_CACHE_HH
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+class ProgramCache
+{
+  public:
+    using Builder = Program (*)(const std::string &name, u64 scale);
+
+    /** @p builder defaults to buildWorkload; tests inject counters. */
+    explicit ProgramCache(Builder builder = nullptr);
+
+    /**
+     * The program for (name, scale), building it on first request.
+     * Thread-safe; the reference stays valid for the cache's lifetime.
+     */
+    const Program &get(const std::string &name, u64 scale);
+
+    /** Number of programs actually constructed (not lookups). */
+    u64 builds() const { return nBuilds.load(std::memory_order_relaxed); }
+
+    /** Number of distinct (name, scale) slots requested so far. */
+    size_t size() const;
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        Program prog;
+    };
+
+    Builder builder;
+    mutable std::mutex mu;
+    std::map<std::pair<std::string, u64>, std::unique_ptr<Slot>> slots;
+    std::atomic<u64> nBuilds{0};
+};
+
+/** The process-wide instance used by the sweep engine and benches. */
+ProgramCache &globalProgramCache();
+
+} // namespace rix
+
+#endif // RIX_WORKLOAD_PROGRAM_CACHE_HH

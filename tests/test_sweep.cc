@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sweep-engine tests: the serial-equivalence guarantee (RIX_JOBS=1 and
+ * RIX_JOBS=N produce bit-identical SimReports), submission-order
+ * result collection, and the Core reset() path producing simulations
+ * indistinguishable from a freshly constructed core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/presets.hh"
+#include "sim/sweep.hh"
+#include "workload/program_cache.hh"
+
+using namespace rix;
+
+namespace
+{
+
+/** Bit-exact comparison of everything simulated in a report. */
+void
+expectIdentical(const SimReport &a, const SimReport &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.halted, b.halted);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.retired, b.core.retired);
+    EXPECT_EQ(a.core.integratedDirect, b.core.integratedDirect);
+    EXPECT_EQ(a.core.integratedReverse, b.core.integratedReverse);
+    EXPECT_EQ(a.core.misintegrations, b.core.misintegrations);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.dtlbMisses, b.dtlbMisses);
+    // CoreStats is all plain counters: compare every field at once.
+    EXPECT_EQ(memcmp(&a.core, &b.core, sizeof(CoreStats)), 0)
+        << a.workload << ": some CoreStats field differs";
+}
+
+std::vector<SimJob>
+smallJobList()
+{
+    std::vector<SimJob> jobs;
+    for (const char *bm : {"gzip", "mcf", "crafty"}) {
+        for (int cfg = 0; cfg < 3; ++cfg) {
+            SimJob j;
+            j.workload = bm;
+            j.scale = 1;
+            j.params = cfg == 0 ? baselineParams()
+                       : cfg == 1
+                           ? integrationParams(IntegrationMode::Reverse)
+                           : integrationParams(IntegrationMode::General,
+                                               LispMode::Oracle);
+            jobs.push_back(j);
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(Sweep, ParallelBitIdenticalToSerial)
+{
+    const std::vector<SimJob> jobs = smallJobList();
+
+    SweepRunner serial(1);
+    SweepRunner parallel(4);
+    const auto a = serial.run(jobs);
+    const auto b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        expectIdentical(a[i].report, b[i].report);
+}
+
+TEST(Sweep, ResultsInSubmissionOrder)
+{
+    const std::vector<SimJob> jobs = smallJobList();
+    const auto res = SweepRunner(4).run(jobs);
+    ASSERT_EQ(res.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(res[i].report.workload, jobs[i].workload);
+        EXPECT_TRUE(res[i].report.halted);
+        EXPECT_GT(res[i].wallSeconds, 0.0);
+    }
+}
+
+TEST(Sweep, ReusedContextMatchesFreshCore)
+{
+    const Program &gzip = globalProgramCache().get("gzip", 1);
+    const Program &mcf = globalProgramCache().get("mcf", 1);
+
+    // Reference reports from fresh cores.
+    const SimReport fresh_gzip = runSimulation(
+        gzip, integrationParams(IntegrationMode::Reverse));
+    const SimReport fresh_mcf = runSimulation(mcf, baselineParams());
+
+    // One context recycled across programs AND configurations
+    // (baseline vs reverse changes IT geometry use, mcf's memory image
+    // dwarfs gzip's): every run must match its fresh-core reference.
+    SimContext ctx;
+    const SimReport r1 = ctx.run(gzip,
+                                 integrationParams(IntegrationMode::Reverse),
+                                 20'000'000, 200'000'000);
+    const SimReport r2 =
+        ctx.run(mcf, baselineParams(), 20'000'000, 200'000'000);
+    const SimReport r3 = ctx.run(gzip,
+                                 integrationParams(IntegrationMode::Reverse),
+                                 20'000'000, 200'000'000);
+
+    expectIdentical(r1, fresh_gzip);
+    expectIdentical(r2, fresh_mcf);
+    expectIdentical(r3, fresh_gzip); // reuse after a different config
+}
+
+TEST(Sweep, GeometryChangesAcrossReuse)
+{
+    // The fig6 pattern: the same context cycles through IT geometries
+    // and physical-register counts. Each point must equal a fresh run.
+    const Program &gzip = globalProgramCache().get("gzip", 1);
+
+    CoreParams big = integrationParams(IntegrationMode::Reverse);
+    big.integ.itEntries = 4096;
+    big.integ.itAssoc = 4096;
+    big.integ.numPhysRegs = 4096;
+
+    CoreParams tiny = integrationParams(IntegrationMode::Reverse);
+    tiny.integ.itEntries = 64;
+    tiny.integ.itAssoc = 64;
+
+    const SimReport fresh_big = runSimulation(gzip, big);
+    const SimReport fresh_tiny = runSimulation(gzip, tiny);
+
+    SimContext ctx;
+    const SimReport r_big = ctx.run(gzip, big, 20'000'000, 200'000'000);
+    const SimReport r_tiny = ctx.run(gzip, tiny, 20'000'000, 200'000'000);
+    const SimReport r_big2 = ctx.run(gzip, big, 20'000'000, 200'000'000);
+
+    expectIdentical(r_big, fresh_big);
+    expectIdentical(r_tiny, fresh_tiny);
+    expectIdentical(r_big2, fresh_big);
+}

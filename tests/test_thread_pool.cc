@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the fixed-size thread pool behind the sweep engine:
+ * submission-order result collection, exception propagation through
+ * futures, drain-on-destruction shutdown, and the RIX_JOBS knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.hh"
+
+using namespace rix;
+
+TEST(ThreadPool, ResultsCollectInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futs;
+    // Make early tasks slow so later tasks finish first; the futures
+    // must still deliver each task's own value in submission order.
+    for (int i = 0; i < 32; ++i) {
+        futs.push_back(pool.submit([i]() {
+            if (i < 4)
+                std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCollector)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("job exploded");
+    });
+    auto also_ok = pool.submit([]() { return 9; });
+
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not take its worker down with it.
+    EXPECT_EQ(also_ok.get(), 9);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran]() { ran.fetch_add(1); });
+        // No get() on purpose: destruction alone must run everything.
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    auto f = pool.submit([]() { return 42; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, JobsFromEnvKnob)
+{
+    setenv("RIX_JOBS", "3", 1);
+    EXPECT_EQ(jobsFromEnv(), 3u);
+    setenv("RIX_JOBS", "1", 1);
+    EXPECT_EQ(jobsFromEnv(), 1u);
+    setenv("RIX_JOBS", "0", 1); // nonsense clamps to serial
+    EXPECT_EQ(jobsFromEnv(), 1u);
+    unsetenv("RIX_JOBS");
+    EXPECT_GE(jobsFromEnv(), 1u);
+}
