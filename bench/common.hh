@@ -1,19 +1,16 @@
 /**
  * @file
- * Shared infrastructure for the figure-reproduction benchmark binaries.
+ * Shared infrastructure for the benchmark binaries.
  *
- * Each bench binary regenerates one table/figure of the paper's
- * evaluation (see DESIGN.md's per-experiment index): it runs the
- * cycle-level simulator over the 16 SPEC2000int-like workloads and
- * prints the same rows/series the paper reports.
+ * Since PR 3 the four figure reproductions are *scenario specs* under
+ * examples/scenarios/, replayed by the scenario subsystem (see
+ * src/sim/scenario.hh and the `rix` CLI); their bench binaries are
+ * one-line wrappers. This header keeps the helpers the remaining
+ * hand-written benches (throughput, ablations, micro) still use: the
+ * environment knobs, single-run and sweep front ends, and the table
+ * printing utilities.
  *
- * Since PR 2 the benches are written against the parallel sweep
- * engine: they enumerate every (workload, config) point into a Sweep,
- * execute it once across the RIX_JOBS thread pool, and then print from
- * the collected reports. Simulated results are bit-identical for any
- * RIX_JOBS value; only wall-clock changes.
- *
- * Environment knobs:
+ * Environment knobs (validated; 0 or garbage is fatal, not silent):
  *   RIX_SCALE  workload scale factor (default 1; paper-like curves
  *              stabilize around 4)
  *   RIX_BENCH  comma-separated subset of benchmark names to run
@@ -24,15 +21,13 @@
 #ifndef RIX_BENCH_COMMON_HH
 #define RIX_BENCH_COMMON_HH
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <array>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "base/env.hh"
+#include "sim/figures.hh"
+#include "sim/scenario.hh"
 #include "sim/sweep.hh"
 #include "workload/program_cache.hh"
 
@@ -41,52 +36,22 @@ namespace rixbench
 
 using namespace rix;
 
+/**
+ * The RIX_SCALE knob. Strictly validated: historically this accepted
+ * "0" and non-numeric garbage as zero, and a scale-0 workload silently
+ * ran 20M instructions to the retired cap instead of failing.
+ */
 inline u64
 scaleFromEnv()
 {
-    const char *s = getenv("RIX_SCALE");
-    return s ? strtoull(s, nullptr, 10) : 1;
+    return envPositiveCount("RIX_SCALE", 1);
 }
 
+/** The RIX_BENCH selection (validated), default: every workload. */
 inline std::vector<std::string>
 benchList()
 {
-    std::vector<std::string> all = workloadNames();
-    const char *sel = getenv("RIX_BENCH");
-    if (!sel)
-        return all;
-    std::vector<std::string> out;
-    std::string cur;
-    for (const char *p = sel;; ++p) {
-        if (*p == ',' || *p == '\0') {
-            if (!cur.empty())
-                out.push_back(cur);
-            cur.clear();
-            if (*p == '\0')
-                break;
-        } else {
-            cur += *p;
-        }
-    }
-    // A selection that names no valid workload would silently run an
-    // empty (or full) set; reject unknown names loudly instead.
-    for (const std::string &name : out) {
-        if (std::find(all.begin(), all.end(), name) == all.end()) {
-            fprintf(stderr,
-                    "RIX_BENCH: unknown workload '%s'; valid names:",
-                    name.c_str());
-            for (const auto &n : all)
-                fprintf(stderr, " %s", n.c_str());
-            fprintf(stderr, "\n");
-            exit(1);
-        }
-    }
-    if (out.empty()) {
-        fprintf(stderr,
-                "RIX_BENCH is set but selects no workloads ('%s')\n", sel);
-        exit(1);
-    }
-    return out;
+    return workloadSelectionFromEnv(workloadNames());
 }
 
 /** The shared read-only program for @p name at the RIX_SCALE scale. */
@@ -143,33 +108,19 @@ class Sweep
     std::vector<SimJobResult> results;
 };
 
-/** Percent speedup of @p x over baseline IPC @p base. */
-inline double
-speedupPct(double base, double x)
-{
-    return base > 0 ? (x / base - 1.0) * 100.0 : 0.0;
-}
+// speedupPct / gmeanSpeedupPct come from base/stats via `using
+// namespace rix` — the same single copy the figure renderers use.
 
 inline void
 printHeader(const char *title)
 {
-    printf("\n==== %s ====\n", title);
+    printTableHeader(stdout, title);
 }
 
 inline void
 printRowLabel(const std::string &name)
 {
-    printf("%-8s", name.c_str());
-}
-
-/** Geometric mean of speedup percentages (via ratios, paper style). */
-inline double
-gmeanSpeedupPct(const std::vector<double> &pcts)
-{
-    std::vector<double> ratios;
-    for (double p : pcts)
-        ratios.push_back(1.0 + p / 100.0);
-    return (geoMean(ratios) - 1.0) * 100.0;
+    printTableRowLabel(stdout, name);
 }
 
 } // namespace rixbench

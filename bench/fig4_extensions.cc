@@ -2,155 +2,16 @@
  * @file
  * Figure 4 reproduction (experiments E1/E2 in DESIGN.md).
  *
- * Top graph: per-benchmark percent speedup of the four cumulative
- * integration configurations (squash, +general, +opcode, +reverse),
- * each with a realistic LISP and with oracle mis-integration
- * suppression, relative to the same machine with integration off.
- *
- * Bottom graph: the corresponding integration rates, split into direct
- * and reverse integrations, with mis-integrations per million retired
- * instructions (realistic-LISP configuration).
- *
- * Section 3.2 diagnostics: mispredict resolution latency and fetched-
- * instruction deltas between the base machine and +reverse.
+ * The figure is now data, not code: the sweep grid lives in the
+ * committed scenario spec examples/scenarios/fig4.json, replayed here
+ * through the scenario subsystem (identical to `rix run` on the same
+ * spec). RIX_SCALE / RIX_BENCH / RIX_JOBS behave as before.
  */
 
-#include "bench/common.hh"
-
-using namespace rixbench;
+#include "sim/scenario.hh"
 
 int
 main()
 {
-    const std::vector<std::string> benches = benchList();
-    const IntegrationMode modes[4] = {
-        IntegrationMode::Squash, IntegrationMode::General,
-        IntegrationMode::OpcodeIndexed, IntegrationMode::Reverse};
-
-    struct Cell
-    {
-        double speedup[2];   // [realistic, oracle]
-        double rateDirect;
-        double rateReverse;
-        double misintPerM;
-    };
-
-    // Phase 1: enumerate every (workload, config) point of the figure,
-    // then execute the whole plan across the RIX_JOBS pool at once.
-    Sweep sweep;
-    std::map<std::string, size_t> baseSlot;
-    std::map<std::string, std::array<std::array<size_t, 2>, 4>> cellSlot;
-    for (const auto &bm : benches) {
-        baseSlot[bm] = sweep.add(bm, baselineParams());
-        for (int m = 0; m < 4; ++m)
-            for (int l = 0; l < 2; ++l)
-                cellSlot[bm][m][l] = sweep.add(
-                    bm, integrationParams(modes[m],
-                                          l ? LispMode::Oracle
-                                            : LispMode::Realistic));
-    }
-    sweep.runAll();
-
-    // Phase 2: fold the reports into the figure's cells.
-    std::map<std::string, SimReport> base;
-    std::map<std::string, std::array<Cell, 4>> cells;
-    std::map<std::string, SimReport> reverseReal;
-    for (const auto &bm : benches) {
-        base[bm] = sweep.at(baseSlot[bm]);
-        for (int m = 0; m < 4; ++m) {
-            Cell c{};
-            for (int l = 0; l < 2; ++l) {
-                const SimReport &r = sweep.at(cellSlot[bm][m][l]);
-                c.speedup[l] = speedupPct(base[bm].ipc(), r.ipc());
-                if (l == 0) {
-                    c.rateDirect = 100.0 * r.core.integratedDirect /
-                                   double(r.core.retired);
-                    c.rateReverse = 100.0 * r.core.integratedReverse /
-                                    double(r.core.retired);
-                    c.misintPerM = r.core.misintPerMillion();
-                    if (modes[m] == IntegrationMode::Reverse)
-                        reverseReal[bm] = r;
-                }
-            }
-            cells[bm][m] = c;
-        }
-    }
-
-    printHeader("Figure 4 (top): speedup % vs no-integration baseline");
-    printf("%-8s |", "bench");
-    for (int m = 0; m < 4; ++m)
-        printf(" %9s(real/orac) |", integrationModeName(modes[m]));
-    printf("\n");
-    std::vector<double> gm[4][2];
-    for (const auto &bm : benches) {
-        printRowLabel(bm);
-        printf(" |");
-        for (int m = 0; m < 4; ++m) {
-            const Cell &c = cells[bm][m];
-            printf("     %6.2f /%6.2f    |", c.speedup[0], c.speedup[1]);
-            gm[m][0].push_back(c.speedup[0]);
-            gm[m][1].push_back(c.speedup[1]);
-        }
-        printf("\n");
-    }
-    printRowLabel("GMean");
-    printf(" |");
-    for (int m = 0; m < 4; ++m)
-        printf("     %6.2f /%6.2f    |", gmeanSpeedupPct(gm[m][0]),
-               gmeanSpeedupPct(gm[m][1]));
-    printf("\n");
-
-    printHeader("Figure 4 (bottom): integration rate % "
-                "(direct+reverse) and mis-integrations per 1M retired");
-    printf("%-8s |", "bench");
-    for (int m = 0; m < 4; ++m)
-        printf(" %8s d+r (mi/M) |", integrationModeName(modes[m]));
-    printf("\n");
-    double am[4][3] = {};
-    for (const auto &bm : benches) {
-        printRowLabel(bm);
-        printf(" |");
-        for (int m = 0; m < 4; ++m) {
-            const Cell &c = cells[bm][m];
-            printf(" %5.1f+%4.1f (%6.0f) |", c.rateDirect, c.rateReverse,
-                   c.misintPerM);
-            am[m][0] += c.rateDirect;
-            am[m][1] += c.rateReverse;
-            am[m][2] += c.misintPerM;
-        }
-        printf("\n");
-    }
-    printRowLabel("AMean");
-    printf(" |");
-    for (int m = 0; m < 4; ++m)
-        printf(" %5.1f+%4.1f (%6.0f) |", am[m][0] / benches.size(),
-               am[m][1] / benches.size(), am[m][2] / benches.size());
-    printf("\n");
-
-    printHeader("Section 3.2 diagnostics (base vs +reverse, realistic)");
-    printf("%-8s %14s %14s %14s %14s\n", "bench", "resolve(base)",
-           "resolve(+rev)", "fetched-delta%", "rate%");
-    double rl0 = 0, rl1 = 0, fd = 0;
-    for (const auto &bm : benches) {
-        const SimReport &b = base[bm];
-        const SimReport &r = reverseReal[bm];
-        const double fdelta =
-            100.0 * (double(r.core.fetched) - double(b.core.fetched)) /
-            double(b.core.fetched);
-        printf("%-8s %14.1f %14.1f %14.2f %14.1f\n", bm.c_str(),
-               b.core.avgMispredResolveLat(),
-               r.core.avgMispredResolveLat(), fdelta,
-               100.0 * r.core.integrationRate());
-        rl0 += b.core.avgMispredResolveLat();
-        rl1 += r.core.avgMispredResolveLat();
-        fd += fdelta;
-    }
-    printf("%-8s %14.1f %14.1f %14.2f\n", "AMean", rl0 / benches.size(),
-           rl1 / benches.size(), fd / benches.size());
-
-    printf("\nPaper reference: integration rate 2%% -> 10%% -> 12.3%% -> "
-           "17%% across the four configurations; mean speedup 8%% "
-           "(+reverse, realistic), 9%% oracle; mispredict resolution "
-           "26 -> 23.5 cycles; fetched instructions -0.6%%.\n");
-    return 0;
+    return rix::runScenarioFile(rix::bundledScenarioPath("fig4"));
 }

@@ -1,117 +1,17 @@
 /**
  * @file
  * Figure 5 reproduction (experiments E3-E6): breakdowns of the
- * integration retirement stream under the baseline configuration
- * (1K-entry 4-way IT, +reverse, realistic LISP).
+ * integration retirement stream under the baseline configuration.
  *
- *  - Type: stack-pointer loads / other loads / ALU / branches / FP
- *  - Distance (renamed instructions between entry creation and use)
- *  - Status of the result when the integrating instruction renamed
- *  - Reference count after the integration's increment
- *
- * Every cell is printed as percent of that benchmark's integration
- * stream, split direct/reverse like the paper's solid/striped bars.
- * The per-benchmark integration rate is printed atop each column, as
- * in the figure.
+ * The experiment lives in the committed scenario spec
+ * examples/scenarios/fig5.json, replayed here through the scenario
+ * subsystem (identical to `rix run` on the same spec).
  */
 
-#include <array>
-
-#include "bench/common.hh"
-
-using namespace rixbench;
-
-namespace
-{
-
-template <size_t Rows>
-void
-printBreakdown(const char *title, const std::vector<std::string> &benches,
-               const std::map<std::string, SimReport> &reports,
-               const std::vector<const char *> &labels,
-               u64 (CoreStats::*field)[Rows][2])
-{
-    const size_t rows = Rows;
-    printHeader(title);
-    printf("%-11s", "");
-    for (const auto &bm : benches)
-        printf(" %11s", bm.c_str());
-    printf("\n%-11s", "rate%");
-    for (const auto &bm : benches)
-        printf(" %11.1f", 100.0 * reports.at(bm).core.integrationRate());
-    printf("\n");
-    for (size_t i = 0; i < rows; ++i) {
-        printf("%-11s", labels[i]);
-        for (const auto &bm : benches) {
-            const CoreStats &s = reports.at(bm).core;
-            const double total = double(s.integrated());
-            const u64 *cat = (s.*field)[i];
-            const double d = total ? 100.0 * cat[0] / total : 0.0;
-            const double r = total ? 100.0 * cat[1] / total : 0.0;
-            printf(" %5.1f/%5.1f", d, r);
-        }
-        printf("\n");
-    }
-}
-
-} // namespace
+#include "sim/scenario.hh"
 
 int
 main()
 {
-    const std::vector<std::string> benches = benchList();
-
-    Sweep sweep;
-    std::map<std::string, size_t> slot;
-    for (const auto &bm : benches)
-        slot[bm] = sweep.add(bm, integrationParams(IntegrationMode::Reverse));
-    sweep.runAll();
-
-    std::map<std::string, SimReport> reports;
-    for (const auto &bm : benches)
-        reports[bm] = sweep.at(slot[bm]);
-
-    printf("All cells: percent of the benchmark's integration stream,\n"
-           "direct/reverse (the paper's solid/striped split).\n");
-
-    printBreakdown("Figure 5 Type (load-sp / load / ALU / branch / FP)",
-                   benches, reports,
-                   {"load-sp", "load", "ALU", "branch", "FP"},
-                   &CoreStats::integByType);
-
-    printBreakdown("Figure 5 Distance (renamed insts creator->user)",
-                   benches, reports,
-                   {"<=4", "<=16", "<=64", "<=256", "<=1024", ">1024"},
-                   &CoreStats::integByDistance);
-
-    printBreakdown("Figure 5 Status at integration",
-                   benches, reports,
-                   {"rename", "issue", "retire", "shadow/sq"},
-                   &CoreStats::integByStatus);
-
-    printBreakdown("Figure 5 Refcount after integration",
-                   benches, reports,
-                   {"==1", "<=3", "<=7", "<=15"},
-                   &CoreStats::integByRefcount);
-
-    // Per-type integration coverage (paper: loads integrate at 27%,
-    // stack loads at 60%).
-    printHeader("Type coverage: integrated / retired within class");
-    printf("%-11s %10s %10s\n", "bench", "loads%", "sp-loads%");
-    for (const auto &bm : benches) {
-        const CoreStats &s = reports.at(bm).core;
-        const u64 ld = s.integByType[0][0] + s.integByType[0][1] +
-                       s.integByType[1][0] + s.integByType[1][1];
-        const u64 sp = s.integByType[0][0] + s.integByType[0][1];
-        printf("%-11s %10.1f %10.1f\n", bm.c_str(),
-               s.retiredLoads ? 100.0 * ld / s.retiredLoads : 0.0,
-               s.retiredSpLoads ? 100.0 * sp / s.retiredSpLoads : 0.0);
-    }
-
-    printf("\nPaper reference: fewer than 10%% of integrations within 4\n"
-           "instructions and fewer than 20%% within 16 (integration is\n"
-           "pipelinable); ~60%% of integrations find the result still\n"
-           "actively mapped (refcount >= 1 before increment); most\n"
-           "reverse integrations happen after the creator retired.\n");
-    return 0;
+    return rix::runScenarioFile(rix::bundledScenarioPath("fig5"));
 }

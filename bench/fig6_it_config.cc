@@ -3,137 +3,18 @@
  * Figure 6 reproduction (experiments E7/E8): sensitivity of the
  * +reverse configuration to integration-table geometry.
  *
- * Left: associativity sweep {1, 2, 4, full} at 1K entries / 1K
- * physical registers, realistic and oracle suppression.
- * Right: size sweep {64, 256, 1K, 4K} fully associative (the 4K point
- * uses 4K physical registers, as in the paper).
- *
- * Like the paper we show the eight "every other benchmark" columns by
- * default; set RIX_BENCH to change the selection.
+ * The sweep grid — including the reproduction's extra {4096, 8-bit
+ * generation} point (EXPERIMENTS.md E8) — lives in the committed
+ * scenario spec examples/scenarios/fig6.json, replayed here through
+ * the scenario subsystem (identical to `rix run` on the same spec).
+ * Like the paper, the spec selects the eight "every other benchmark"
+ * columns; set RIX_BENCH to change the selection.
  */
 
-#include "base/log.hh"
-
-#include "bench/common.hh"
-
-using namespace rixbench;
-
-namespace
-{
-
-std::vector<std::string>
-defaultColumns()
-{
-    if (getenv("RIX_BENCH"))
-        return benchList();
-    return {"crafty", "eon.k", "gap", "gzip",
-            "parser", "perl.s", "vortex", "vpr.r"};
-}
-
-} // namespace
+#include "sim/scenario.hh"
 
 int
 main()
 {
-    const std::vector<std::string> benches = defaultColumns();
-
-    const unsigned assocs[4] = {1, 2, 4, 1024};
-    // The extra {4096, 8-bit} row quantifies a reproduction finding:
-    // in a 4K fully-associative table, entries outlive the 4-bit
-    // generation wrap (16 reallocations of a register), reintroducing
-    // the register mis-integrations of section 2.2; 8-bit counters
-    // restore the expected curve (EXPERIMENTS.md E8).
-    struct SizePoint { unsigned entries; unsigned genBits; };
-    const SizePoint sizes[5] = {
-        {64, 4}, {256, 4}, {1024, 4}, {4096, 4}, {4096, 8}};
-
-    // Phase 1: enumerate the whole figure, then run it as one sweep.
-    Sweep sweep;
-    std::map<std::string, size_t> baseSlot;
-    std::map<std::string, std::array<std::array<size_t, 2>, 4>> assocSlot;
-    std::map<std::string, std::array<std::array<size_t, 2>, 5>> sizeSlot;
-    for (const auto &bm : benches) {
-        baseSlot[bm] = sweep.add(bm, baselineParams());
-        for (int a = 0; a < 4; ++a)
-            for (int l = 0; l < 2; ++l) {
-                CoreParams cp = integrationParams(
-                    IntegrationMode::Reverse,
-                    l ? LispMode::Oracle : LispMode::Realistic);
-                cp.integ.itAssoc = assocs[a];
-                assocSlot[bm][a][l] = sweep.add(bm, cp);
-            }
-        for (int s = 0; s < 5; ++s)
-            for (int l = 0; l < 2; ++l) {
-                const SizePoint &pt = sizes[s];
-                CoreParams cp = integrationParams(
-                    IntegrationMode::Reverse,
-                    l ? LispMode::Oracle : LispMode::Realistic);
-                cp.integ.itEntries = pt.entries;
-                cp.integ.itAssoc = pt.entries; // fully associative
-                cp.integ.genBits = pt.genBits;
-                if (pt.entries == 4096)
-                    cp.integ.numPhysRegs = 4096;
-                sizeSlot[bm][s][l] = sweep.add(bm, cp);
-            }
-    }
-    sweep.runAll();
-
-    std::map<std::string, double> baseIpc;
-    for (const auto &bm : benches)
-        baseIpc[bm] = sweep.at(baseSlot[bm]).ipc();
-
-    printHeader("Figure 6 (left): IT associativity, speedup % "
-                "(realistic/oracle)");
-    printf("%-10s", "assoc");
-    for (const auto &bm : benches)
-        printf(" %13s", bm.c_str());
-    printf(" %13s\n", "GMean");
-    for (int a = 0; a < 4; ++a) {
-        const unsigned aw = assocs[a];
-        printf("%-10s", aw >= 1024 ? "full" : strfmt("%u-way", aw).c_str());
-        std::vector<double> gp[2];
-        for (const auto &bm : benches) {
-            double sp[2];
-            for (int l = 0; l < 2; ++l) {
-                sp[l] = speedupPct(baseIpc[bm],
-                                   sweep.at(assocSlot[bm][a][l]).ipc());
-                gp[l].push_back(sp[l]);
-            }
-            printf(" %6.2f/%6.2f", sp[0], sp[1]);
-        }
-        printf(" %6.2f/%6.2f\n", gmeanSpeedupPct(gp[0]),
-               gmeanSpeedupPct(gp[1]));
-    }
-
-    printHeader("Figure 6 (right): IT size (fully assoc), speedup % "
-                "(realistic/oracle)");
-    printf("%-10s", "entries");
-    for (const auto &bm : benches)
-        printf(" %13s", bm.c_str());
-    printf(" %13s\n", "GMean");
-    for (int s = 0; s < 5; ++s) {
-        const SizePoint &pt = sizes[s];
-        printf("%-10s",
-               pt.genBits == 4 ? strfmt("%u", pt.entries).c_str()
-                               : strfmt("%u/g8", pt.entries).c_str());
-        std::vector<double> gp[2];
-        for (const auto &bm : benches) {
-            double sp[2];
-            for (int l = 0; l < 2; ++l) {
-                sp[l] = speedupPct(baseIpc[bm],
-                                   sweep.at(sizeSlot[bm][s][l]).ipc());
-                gp[l].push_back(sp[l]);
-            }
-            printf(" %6.2f/%6.2f", sp[0], sp[1]);
-        }
-        printf(" %6.2f/%6.2f\n", gmeanSpeedupPct(gp[0]),
-               gmeanSpeedupPct(gp[1]));
-    }
-
-    printf("\nPaper reference: speedup only drops to 7%% (2-way) and 6%%\n"
-           "(direct-mapped) from 8%% (4-way), and rises to just 10%% at\n"
-           "full associativity -- mis-integrations dampen associativity;\n"
-           "reverse integration is insensitive to associativity because\n"
-           "stack-frame offsets give a natural conflict-free indexing.\n");
-    return 0;
+    return rix::runScenarioFile(rix::bundledScenarioPath("fig6"));
 }

@@ -1,136 +1,18 @@
 /**
  * @file
  * Figure 7 reproduction (experiments E9/E10): trading integration for
- * execution-engine complexity.
+ * execution-engine complexity (reduced reservation stations, reduced
+ * issue width, both).
  *
- * Configurations:
- *   base  : 4-way issue, 40 reservation stations
- *   RS    : 4-way issue, 20 reservation stations
- *   IW    : 3-way issue, single shared load/store port
- *   IW+RS : both reductions
- *
- * Each runs without integration, with +reverse and a realistic LISP,
- * and with oracle suppression. Speedups are relative to base without
- * integration; the base-IPC row mirrors the numbers printed across the
- * top of the paper's figure.
- *
- * Section 3.5 diagnostics: executed-instruction and load-execution
- * reduction, and reservation-station occupancy with/without
- * integration.
+ * The configuration matrix lives in the committed scenario spec
+ * examples/scenarios/fig7.json, replayed here through the scenario
+ * subsystem (identical to `rix run` on the same spec).
  */
 
-#include "bench/common.hh"
-
-using namespace rixbench;
+#include "sim/scenario.hh"
 
 int
 main()
 {
-    const std::vector<std::string> benches = benchList();
-
-    struct Config
-    {
-        const char *name;
-        CoreParams (*make)(const CoreParams &);
-    };
-    const Config configs[4] = {
-        {"base", [](const CoreParams &b) { return b; }},
-        {"RS", [](const CoreParams &b) { return reducedRsParams(b); }},
-        {"IW", [](const CoreParams &b) { return reducedIssueParams(b); }},
-        {"IW+RS",
-         [](const CoreParams &b) {
-             return reducedRsParams(reducedIssueParams(b));
-         }},
-    };
-
-    // Phase 1: enumerate every point of the figure into one sweep.
-    Sweep sweep;
-    std::map<std::string, size_t> baseSlot;
-    std::map<std::string, std::array<std::array<size_t, 3>, 4>> cfgSlot;
-    for (const auto &bm : benches) {
-        baseSlot[bm] = sweep.add(bm, baselineParams());
-        for (int c = 0; c < 4; ++c) {
-            const CoreParams shape = configs[c].make(baselineParams());
-            for (int l = 0; l < 3; ++l) {
-                CoreParams cp = shape;
-                if (l == 0) {
-                    cp.integ.mode = IntegrationMode::Off;
-                } else {
-                    cp.integ.mode = IntegrationMode::Reverse;
-                    cp.integ.lisp =
-                        l == 1 ? LispMode::Realistic : LispMode::Oracle;
-                }
-                cfgSlot[bm][c][l] = sweep.add(bm, cp);
-            }
-        }
-    }
-    sweep.runAll();
-
-    std::map<std::string, SimReport> baseNoInt;
-    for (const auto &bm : benches)
-        baseNoInt[bm] = sweep.at(baseSlot[bm]);
-
-    printHeader("Figure 7: speedup % vs base/no-integration "
-                "(noint | +reverse realistic | oracle)");
-    printf("%-8s baseIPC", "bench");
-    for (const auto &c : configs)
-        printf(" | %22s", c.name);
-    printf("\n");
-
-    std::vector<double> gm[4][3];
-    std::map<std::string, SimReport> baseRev;
-    for (const auto &bm : benches) {
-        printRowLabel(bm);
-        printf(" %7.2f", baseNoInt[bm].ipc());
-        for (int c = 0; c < 4; ++c) {
-            double sp[3];
-            for (int l = 0; l < 3; ++l) {
-                const SimReport &r = sweep.at(cfgSlot[bm][c][l]);
-                sp[l] = speedupPct(baseNoInt[bm].ipc(), r.ipc());
-                gm[c][l].push_back(sp[l]);
-                if (c == 0 && l == 1)
-                    baseRev[bm] = r;
-            }
-            printf(" | %6.1f %6.1f %6.1f", sp[0], sp[1], sp[2]);
-        }
-        printf("\n");
-    }
-    printRowLabel("GMean");
-    printf("        ");
-    for (int c = 0; c < 4; ++c)
-        printf(" | %6.1f %6.1f %6.1f", gmeanSpeedupPct(gm[c][0]),
-               gmeanSpeedupPct(gm[c][1]), gmeanSpeedupPct(gm[c][2]));
-    printf("\n");
-
-    printHeader("Section 3.5 diagnostics: execution-stream compression "
-                "(base machine, +reverse)");
-    printf("%-8s %12s %12s %12s %12s\n", "bench", "exec-delta%",
-           "loads-delta%", "rsOcc(base)", "rsOcc(+rev)");
-    double ed = 0, ld = 0, r0 = 0, r1 = 0;
-    for (const auto &bm : benches) {
-        const CoreStats &b = baseNoInt[bm].core;
-        const CoreStats &r = baseRev[bm].core;
-        const double de =
-            100.0 * (double(r.issued) - double(b.issued)) /
-            double(b.issued);
-        const double dl =
-            100.0 * (double(r.issuedLoads) - double(b.issuedLoads)) /
-            double(b.issuedLoads);
-        printf("%-8s %12.1f %12.1f %12.1f %12.1f\n", bm.c_str(), de, dl,
-               b.avgRsOccupancy(), r.avgRsOccupancy());
-        ed += de;
-        ld += dl;
-        r0 += b.avgRsOccupancy();
-        r1 += r.avgRsOccupancy();
-    }
-    printf("%-8s %12.1f %12.1f %12.1f %12.1f\n", "AMean",
-           ed / benches.size(), ld / benches.size(), r0 / benches.size(),
-           r1 / benches.size());
-
-    printf("\nPaper reference: IW costs 12%% (eon hit hardest, -21%%),\n"
-           "integration recovers to within 2%% of base; RS costs 10%%,\n"
-           "integration recovers to within 1%%; IW+RS costs 18%%,\n"
-           "integration recovers to within 7%%. Executed instructions\n"
-           "-17%%, executed loads -27%%, RS occupancy 31 -> 27.\n");
-    return 0;
+    return rix::runScenarioFile(rix::bundledScenarioPath("fig7"));
 }

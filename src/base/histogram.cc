@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "base/log.hh"
+#include "base/stats.hh"
+
 namespace rix
 {
 
@@ -45,6 +48,18 @@ double
 Histogram::mean() const
 {
     return total_ == 0 ? 0.0 : sum_ / double(total_);
+}
+
+void
+Histogram::exportTo(StatSet &out, const std::string &prefix) const
+{
+    for (size_t i = 0; i < bounds_.size(); ++i)
+        out.set(prefix + strfmt(".le_%llu", (unsigned long long)bounds_[i]),
+                double(counts_[i]));
+    out.set(prefix + ".overflow",
+            counts_.empty() ? 0.0 : double(counts_.back()));
+    out.set(prefix + ".samples", double(total_));
+    out.set(prefix + ".mean", mean());
 }
 
 void

@@ -52,6 +52,13 @@ class Histogram
 
     void reset();
 
+    /**
+     * Export into the uniform stats namespace: "<prefix>.le_<bound>"
+     * per bucket, plus "<prefix>.overflow", "<prefix>.samples" and
+     * "<prefix>.mean".
+     */
+    void exportTo(class StatSet &out, const std::string &prefix) const;
+
   private:
     std::vector<u64> bounds_;
     std::vector<u64> counts_; // bounds_.size() + 1 entries

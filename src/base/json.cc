@@ -1,0 +1,393 @@
+#include "base/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+/** Recursive-descent parser over the raw document text. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : s(text.c_str()), end(text.c_str() + text.size()), err_(err)
+    {
+    }
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        if (failed)
+            return JsonValue{};
+        skipWs();
+        if (s != end) {
+            fail("trailing content after the document");
+            return JsonValue{};
+        }
+        return v;
+    }
+
+    bool ok() const { return !failed; }
+
+  private:
+    JsonValue
+    value()
+    {
+        skipWs();
+        if (s == end) {
+            fail("unexpected end of input");
+            return {};
+        }
+        switch (*s) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return keyword("true");
+          case 'f': return keyword("false");
+          case 'n': return keyword("null");
+          default: return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        ++s; // '{'
+        skipWs();
+        if (s != end && *s == '}') {
+            ++s;
+            return v;
+        }
+        while (!failed) {
+            skipWs();
+            if (s == end || *s != '"') {
+                fail("expected a string object key");
+                break;
+            }
+            JsonValue key = string();
+            if (failed)
+                break;
+            for (const auto &[k, unused] : v.obj) {
+                (void)unused;
+                if (k == key.strVal) {
+                    fail("duplicate object key '%s'", key.strVal.c_str());
+                    break;
+                }
+            }
+            if (failed)
+                break;
+            skipWs();
+            if (s == end || *s != ':') {
+                fail("expected ':' after object key");
+                break;
+            }
+            ++s;
+            JsonValue member = value();
+            if (failed)
+                break;
+            v.obj.emplace_back(std::move(key.strVal), std::move(member));
+            skipWs();
+            if (s != end && *s == ',') {
+                ++s;
+                continue;
+            }
+            if (s != end && *s == '}') {
+                ++s;
+                return v;
+            }
+            fail("expected ',' or '}' in object");
+        }
+        return {};
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        ++s; // '['
+        skipWs();
+        if (s != end && *s == ']') {
+            ++s;
+            return v;
+        }
+        while (!failed) {
+            JsonValue item = value();
+            if (failed)
+                break;
+            v.arr.push_back(std::move(item));
+            skipWs();
+            if (s != end && *s == ',') {
+                ++s;
+                continue;
+            }
+            if (s != end && *s == ']') {
+                ++s;
+                return v;
+            }
+            fail("expected ',' or ']' in array");
+        }
+        return {};
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        ++s; // opening quote
+        while (s != end && *s != '"') {
+            unsigned char c = (unsigned char)*s;
+            if (c < 0x20) {
+                fail("unescaped control character in string");
+                return {};
+            }
+            if (c != '\\') {
+                v.strVal += *s++;
+                continue;
+            }
+            ++s;
+            if (s == end)
+                break;
+            switch (*s) {
+              case '"': v.strVal += '"'; break;
+              case '\\': v.strVal += '\\'; break;
+              case '/': v.strVal += '/'; break;
+              case 'b': v.strVal += '\b'; break;
+              case 'f': v.strVal += '\f'; break;
+              case 'n': v.strVal += '\n'; break;
+              case 'r': v.strVal += '\r'; break;
+              case 't': v.strVal += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      ++s;
+                      if (s == end || !isxdigit((unsigned char)*s)) {
+                          fail("bad \\u escape");
+                          return {};
+                      }
+                      const char c2 = *s;
+                      cp = cp * 16 +
+                           unsigned(c2 <= '9'   ? c2 - '0'
+                                    : c2 <= 'F' ? c2 - 'A' + 10
+                                                : c2 - 'a' + 10);
+                  }
+                  // UTF-8 encode (BMP only; specs are ASCII anyway).
+                  if (cp < 0x80) {
+                      v.strVal += char(cp);
+                  } else if (cp < 0x800) {
+                      v.strVal += char(0xC0 | (cp >> 6));
+                      v.strVal += char(0x80 | (cp & 0x3F));
+                  } else {
+                      v.strVal += char(0xE0 | (cp >> 12));
+                      v.strVal += char(0x80 | ((cp >> 6) & 0x3F));
+                      v.strVal += char(0x80 | (cp & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                fail("bad escape '\\%c'", *s);
+                return {};
+            }
+            ++s;
+        }
+        if (s == end) {
+            fail("unterminated string");
+            return {};
+        }
+        ++s; // closing quote
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        const char *start = s;
+        if (s != end && *s == '-')
+            ++s;
+        if (s == end || !isdigit((unsigned char)*s)) {
+            fail("invalid value");
+            return {};
+        }
+        while (s != end && isdigit((unsigned char)*s))
+            ++s;
+        bool integral = true;
+        if (s != end && *s == '.') {
+            integral = false;
+            ++s;
+            if (s == end || !isdigit((unsigned char)*s)) {
+                fail("digits must follow the decimal point");
+                return {};
+            }
+            while (s != end && isdigit((unsigned char)*s))
+                ++s;
+        }
+        if (s != end && (*s == 'e' || *s == 'E')) {
+            integral = false;
+            ++s;
+            if (s != end && (*s == '+' || *s == '-'))
+                ++s;
+            if (s == end || !isdigit((unsigned char)*s)) {
+                fail("digits must follow the exponent");
+                return {};
+            }
+            while (s != end && isdigit((unsigned char)*s))
+                ++s;
+        }
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        v.numVal = strtod(std::string(start, s).c_str(), nullptr);
+        v.integral = integral;
+        return v;
+    }
+
+    JsonValue
+    keyword(const char *word)
+    {
+        const size_t n = strlen(word);
+        if (size_t(end - s) < n || strncmp(s, word, n) != 0) {
+            fail("invalid value");
+            return {};
+        }
+        s += n;
+        JsonValue v;
+        if (word[0] == 't' || word[0] == 'f') {
+            v.kind_ = JsonValue::Kind::Bool;
+            v.boolVal = word[0] == 't';
+        }
+        return v;
+    }
+
+    void
+    skipWs()
+    {
+        while (s != end &&
+               (*s == ' ' || *s == '\t' || *s == '\n' || *s == '\r'))
+            ++s;
+    }
+
+    void
+    fail(const char *fmt, ...)
+    {
+        if (failed)
+            return;
+        failed = true;
+        if (!err_)
+            return;
+        // Compute line/column of the failure point.
+        unsigned line = 1, col = 1;
+        for (const char *p = begin_; p < s; ++p) {
+            if (*p == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        va_list ap;
+        va_start(ap, fmt);
+        char buf[256];
+        vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        *err_ = strfmt("line %u col %u: %s", line, col, buf);
+    }
+
+    const char *s;
+    const char *const end;
+    const char *const begin_ = s;
+    std::string *err_;
+    bool failed = false;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *err)
+{
+    if (err)
+        err->clear();
+    JsonParser p(text, err);
+    return p.document();
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+JsonValue::dump() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return boolVal ? "true" : "false";
+      case Kind::Number:
+        return jsonNumber(numVal);
+      case Kind::String:
+        return "\"" + jsonEscape(strVal) + "\"";
+      case Kind::Array: {
+          std::string out = "[";
+          for (size_t i = 0; i < arr.size(); ++i)
+              out += (i ? "," : "") + arr[i].dump();
+          return out + "]";
+      }
+      case Kind::Object: {
+          std::string out = "{";
+          for (size_t i = 0; i < obj.size(); ++i)
+              out += std::string(i ? "," : "") + "\"" +
+                     jsonEscape(obj[i].first) + "\":" + obj[i].second.dump();
+          return out + "}";
+      }
+    }
+    return "null";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += char(c);
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15)
+        return strfmt("%.0f", v);
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    return strfmt("%.17g", v);
+}
+
+} // namespace rix

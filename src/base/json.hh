@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal hand-rolled JSON reader for the scenario subsystem.
+ *
+ * Supports the full JSON value grammar (objects, arrays, strings with
+ * escapes, numbers, booleans, null) with two deliberate properties the
+ * scenario specs rely on:
+ *
+ *  - object members preserve their textual order (a grid axis declared
+ *    first varies slowest), and duplicate keys are a parse error;
+ *  - numbers remember whether they were written as integers, so
+ *    configuration fields can reject fractional values loudly instead
+ *    of truncating them.
+ *
+ * Parse errors carry line/column positions. No external dependencies.
+ */
+
+#ifndef RIX_BASE_JSON_HH
+#define RIX_BASE_JSON_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind : u8 { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    /**
+     * Parse @p text as one JSON document.
+     * @return the value; on malformed input, a Null value with a
+     *         "line L col C: ..." diagnostic in *err.
+     */
+    static JsonValue parse(const std::string &text, std::string *err);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return boolVal; }
+    double asNumber() const { return numVal; }
+    /** True when the literal had no fraction/exponent part. */
+    bool isIntegral() const { return kind_ == Kind::Number && integral; }
+    const std::string &asString() const { return strVal; }
+
+    const std::vector<JsonValue> &items() const { return arr; }
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return obj;
+    }
+
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Render back to compact JSON (tests, diagnostics). */
+    std::string dump() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool boolVal = false;
+    bool integral = false;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format @p v the way the stat emitters want it: integral values
+ * (within the exact double range) print with no fraction, everything
+ * else as shortest round-trippable decimal.
+ */
+std::string jsonNumber(double v);
+
+} // namespace rix
+
+#endif // RIX_BASE_JSON_HH

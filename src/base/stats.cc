@@ -1,7 +1,10 @@
 #include "base/stats.hh"
 
 #include <cmath>
+#include <set>
 #include <sstream>
+
+#include "base/json.hh"
 
 namespace rix
 {
@@ -20,6 +23,113 @@ StatSet::format() const
     for (const auto &[name, value] : vals_)
         os << name << " = " << value << "\n";
     return os.str();
+}
+
+StatRegistry::Row &
+StatRegistry::addRow()
+{
+    rows_.emplace_back();
+    return rows_.back();
+}
+
+void
+StatRegistry::writeJsonLines(FILE *out) const
+{
+    for (const Row &row : rows_) {
+        fputc('{', out);
+        bool first = true;
+        for (const auto &[key, value] : row.labels) {
+            fprintf(out, "%s\"%s\": \"%s\"", first ? "" : ", ",
+                    jsonEscape(key).c_str(), jsonEscape(value).c_str());
+            first = false;
+        }
+        for (const auto &[name, value] : row.stats.all()) {
+            fprintf(out, "%s\"%s\": %s", first ? "" : ", ",
+                    jsonEscape(name).c_str(), jsonNumber(value).c_str());
+            first = false;
+        }
+        fputs("}\n", out);
+    }
+}
+
+namespace
+{
+
+/** RFC-4180 quoting: fields with separators/quotes/newlines are
+ *  wrapped in double quotes with embedded quotes doubled. */
+void
+putCsvField(FILE *out, const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos) {
+        fputs(s.c_str(), out);
+        return;
+    }
+    fputc('"', out);
+    for (char c : s) {
+        if (c == '"')
+            fputc('"', out);
+        fputc(c, out);
+    }
+    fputc('"', out);
+}
+
+} // namespace
+
+void
+StatRegistry::writeCsv(FILE *out) const
+{
+    // Column plan: label keys in first-seen order, then the sorted
+    // union of stat names across every row.
+    std::vector<std::string> labelCols;
+    std::set<std::string> statCols;
+    for (const Row &row : rows_) {
+        for (const auto &[key, unused] : row.labels) {
+            (void)unused;
+            bool seen = false;
+            for (const auto &c : labelCols)
+                seen = seen || c == key;
+            if (!seen)
+                labelCols.push_back(key);
+        }
+        for (const auto &[name, unused] : row.stats.all()) {
+            (void)unused;
+            statCols.insert(name);
+        }
+    }
+
+    bool first = true;
+    for (const auto &c : labelCols) {
+        fputs(first ? "" : ",", out);
+        putCsvField(out, c);
+        first = false;
+    }
+    for (const auto &c : statCols) {
+        fputs(first ? "" : ",", out);
+        putCsvField(out, c);
+        first = false;
+    }
+    fputc('\n', out);
+
+    for (const Row &row : rows_) {
+        first = true;
+        for (const auto &c : labelCols) {
+            const std::string *v = nullptr;
+            for (const auto &[key, value] : row.labels)
+                if (key == c)
+                    v = &value;
+            fputs(first ? "" : ",", out);
+            if (v)
+                putCsvField(out, *v);
+            first = false;
+        }
+        for (const auto &c : statCols) {
+            fputs(first ? "" : ",", out);
+            if (row.stats.has(c))
+                fputs(jsonNumber(row.stats.get(c)).c_str(), out);
+            first = false;
+        }
+        fputc('\n', out);
+    }
 }
 
 double
@@ -42,6 +152,21 @@ geoMean(const std::vector<double> &xs)
     for (double x : xs)
         logsum += std::log(x);
     return std::exp(logsum / double(xs.size()));
+}
+
+double
+speedupPct(double base, double x)
+{
+    return base > 0 ? (x / base - 1.0) * 100.0 : 0.0;
+}
+
+double
+gmeanSpeedupPct(const std::vector<double> &pcts)
+{
+    std::vector<double> ratios;
+    for (double p : pcts)
+        ratios.push_back(1.0 + p / 100.0);
+    return (geoMean(ratios) - 1.0) * 100.0;
 }
 
 } // namespace rix

@@ -11,6 +11,8 @@
 #ifndef RIX_BASE_STATS_HH
 #define RIX_BASE_STATS_HH
 
+#include <cstdio>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -63,11 +65,58 @@ class StatSet
     std::map<std::string, double> vals_;
 };
 
+/**
+ * Row-oriented statistics registry: the uniform export path of the
+ * scenario subsystem. Each row is one simulation point, made of
+ * ordered string labels (scenario, workload, config, ...) plus a
+ * StatSet of numeric statistics, and the whole registry renders as
+ * JSON lines (one self-describing object per row) or CSV (label
+ * columns first, then the sorted union of stat names; absent cells
+ * are empty).
+ */
+class StatRegistry
+{
+  public:
+    struct Row
+    {
+        std::vector<std::pair<std::string, std::string>> labels;
+        StatSet stats;
+
+        void
+        label(const std::string &key, const std::string &value)
+        {
+            labels.emplace_back(key, value);
+        }
+    };
+
+    /** Append a row; the reference stays valid (deque-like growth). */
+    Row &addRow();
+
+    size_t numRows() const { return rows_.size(); }
+    const Row &row(size_t i) const { return rows_.at(i); }
+
+    /** One compact JSON object per row, labels first. */
+    void writeJsonLines(FILE *out) const;
+
+    /** Header + one line per row; fields containing separators,
+     *  quotes or newlines are RFC-4180 quoted. */
+    void writeCsv(FILE *out) const;
+
+  private:
+    std::deque<Row> rows_; // deque: addRow() must not move prior rows
+};
+
 /** Arithmetic mean of a range of doubles; 0 on empty input. */
 double arithMean(const std::vector<double> &xs);
 
 /** Geometric mean of positive doubles; 0 on empty input. */
 double geoMean(const std::vector<double> &xs);
+
+/** Percent speedup of @p x over baseline value @p base. */
+double speedupPct(double base, double x);
+
+/** Geometric mean of speedup percentages (via ratios, paper style). */
+double gmeanSpeedupPct(const std::vector<double> &pcts);
 
 } // namespace rix
 

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "base/env.hh"
+#include "base/log.hh"
+
 namespace rix
 {
 
@@ -47,12 +50,14 @@ ThreadPool::workerLoop()
 unsigned
 jobsFromEnv()
 {
-    if (const char *s = getenv("RIX_JOBS")) {
-        const unsigned long n = strtoul(s, nullptr, 10);
-        return n == 0 ? 1 : unsigned(n);
-    }
+    // Strictly validated: the historical strtoul parsing mapped "0"
+    // and garbage ("abc", "4x") to a silent serial fallback.
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    const u64 n = envPositiveCount("RIX_JOBS", hw == 0 ? 1 : hw);
+    if (n > 1024)
+        rix_fatal("RIX_JOBS: %llu workers is not a sane thread count "
+                  "(max 1024)", (unsigned long long)n);
+    return unsigned(n);
 }
 
 } // namespace rix

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * `rix` — the declarative scenario driver.
+ *
+ * Runs any experiment the simulator can express without recompiling:
+ * a JSON scenario spec names the workloads, scale, run limits, and a
+ * grid of machine-configuration overrides; rix expands it, executes it
+ * across the RIX_JOBS thread pool, and renders the results (generic
+ * JSON-lines/CSV stat rows, or one of the built-in paper-figure
+ * tables). The committed specs under examples/scenarios/ reproduce
+ * the four figure benches bit-identically.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/scenario.hh"
+#include "sim/validate.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+int
+usage(FILE *out)
+{
+    fprintf(out,
+            "rix — declarative simulation scenario driver\n"
+            "\n"
+            "usage:\n"
+            "  rix run <spec.json> [--out FILE]   run a scenario spec\n"
+            "  rix validate <spec.json>...        parse + validate only\n"
+            "  rix list-workloads                 registered workloads\n"
+            "  rix help                           this text\n"
+            "\n"
+            "environment (legacy overrides, validated):\n"
+            "  RIX_SCALE  workload scale factor (overrides the spec)\n"
+            "  RIX_BENCH  comma-separated workload subset\n"
+            "  RIX_JOBS   simulation worker threads (default: hardware\n"
+            "             concurrency; 1 = serial)\n"
+            "\n"
+            "spec format: see examples/scenarios/*.json and README.md\n");
+    return out == stderr ? 2 : 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    const char *specPath = nullptr;
+    const char *outPath = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        if (strcmp(argv[i], "--out") == 0) {
+            if (i + 1 >= argc) {
+                fprintf(stderr, "rix run: --out needs a file argument\n");
+                return 2;
+            }
+            outPath = argv[++i];
+        } else if (argv[i][0] == '-') {
+            fprintf(stderr, "rix run: unknown option '%s'\n", argv[i]);
+            return 2;
+        } else if (!specPath) {
+            specPath = argv[i];
+        } else {
+            fprintf(stderr, "rix run: exactly one spec file expected\n");
+            return 2;
+        }
+    }
+    if (!specPath) {
+        fprintf(stderr, "rix run: missing spec file\n");
+        return 2;
+    }
+
+    FILE *out = stdout;
+    if (outPath) {
+        out = fopen(outPath, "w");
+        if (!out) {
+            fprintf(stderr, "rix run: cannot write '%s'\n", outPath);
+            return 1;
+        }
+    }
+    const int rc = rix::runScenarioFile(specPath, out);
+    if (out != stdout)
+        fclose(out);
+    return rc;
+}
+
+int
+cmdValidate(int argc, char **argv)
+{
+    if (argc == 0) {
+        fprintf(stderr, "rix validate: missing spec file\n");
+        return 2;
+    }
+    for (int i = 0; i < argc; ++i) {
+        // parseScenario and requireValidCoreParams are fatal (exit 1)
+        // on any problem, naming the field; reaching the summary line
+        // means the spec is fully runnable.
+        const rix::ScenarioSpec spec =
+            rix::parseScenario(rix::readScenarioFile(argv[i]));
+        for (const rix::ScenarioConfig &cfg : spec.configs)
+            rix::requireValidCoreParams(cfg.params,
+                                        "config '" + cfg.label + "'");
+        printf("%s: OK: %zu workloads x %zu configs = %zu jobs "
+               "(scale %llu, render %s)\n",
+               argv[i], spec.workloads.size(), spec.configs.size(),
+               spec.workloads.size() * spec.configs.size(),
+               (unsigned long long)spec.scale, spec.render.c_str());
+    }
+    return 0;
+}
+
+int
+cmdListWorkloads()
+{
+    for (const rix::WorkloadInfo &w : rix::allWorkloads())
+        printf("%-10s %s\n", w.name, w.description);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    const std::string cmd = argv[1];
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "validate")
+        return cmdValidate(argc - 2, argv + 2);
+    if (cmd == "list-workloads")
+        return cmdListWorkloads();
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout);
+    fprintf(stderr, "rix: unknown command '%s'\n", cmd.c_str());
+    return usage(stderr);
+}

@@ -1,0 +1,695 @@
+#include "sim/scenario.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/env.hh"
+#include "base/log.hh"
+#include "sim/figures.hh"
+#include "sim/validate.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+// ---- value coercion -------------------------------------------------
+
+/** Store a non-negative integral JSON number into *out. */
+std::string
+coerceCount(const JsonValue &v, u64 max, u64 *out)
+{
+    if (!v.isNumber())
+        return "expected a number";
+    if (!v.isIntegral())
+        return "expected an integer (no fraction/exponent)";
+    const double d = v.asNumber();
+    if (d < 0)
+        return "must not be negative";
+    // 0x1p64 first: double(~u64(0)) rounds *up* to 2^64, so the
+    // max-comparison alone would let 2^64 through into a UB cast.
+    if (d >= 0x1p64 || d > double(max))
+        return strfmt("exceeds the maximum %llu", (unsigned long long)max);
+    *out = u64(d);
+    return "";
+}
+
+std::string
+coerceU32(const JsonValue &v, unsigned *out)
+{
+    u64 tmp;
+    const std::string err = coerceCount(v, ~u32(0), &tmp);
+    if (err.empty())
+        *out = unsigned(tmp);
+    return err;
+}
+
+std::string
+coerceBool(const JsonValue &v, bool *out)
+{
+    if (!v.isBool())
+        return "expected true or false";
+    *out = v.asBool();
+    return "";
+}
+
+std::string
+coerceIntegrationMode(const JsonValue &v, IntegrationMode *out)
+{
+    if (!v.isString())
+        return "expected a mode string";
+    const std::string &s = v.asString();
+    if (s == "off")
+        *out = IntegrationMode::Off;
+    else if (s == "squash")
+        *out = IntegrationMode::Squash;
+    else if (s == "general" || s == "+general")
+        *out = IntegrationMode::General;
+    else if (s == "opcode" || s == "+opcode")
+        *out = IntegrationMode::OpcodeIndexed;
+    else if (s == "reverse" || s == "+reverse")
+        *out = IntegrationMode::Reverse;
+    else
+        return "unknown integration mode '" + s +
+               "' (off|squash|general|opcode|reverse)";
+    return "";
+}
+
+std::string
+coerceLispMode(const JsonValue &v, LispMode *out)
+{
+    if (!v.isString())
+        return "expected a mode string";
+    const std::string &s = v.asString();
+    if (s == "off")
+        *out = LispMode::Off;
+    else if (s == "realistic")
+        *out = LispMode::Realistic;
+    else if (s == "oracle")
+        *out = LispMode::Oracle;
+    else
+        return "unknown LISP mode '" + s + "' (off|realistic|oracle)";
+    return "";
+}
+
+// ---- per-substructure key dispatch ----------------------------------
+
+std::string
+applyCacheKey(CacheParams &p, const std::string &field, const JsonValue &v)
+{
+    if (field == "size_bytes")
+        return coerceU32(v, &p.sizeBytes);
+    if (field == "line_bytes")
+        return coerceU32(v, &p.lineBytes);
+    if (field == "assoc")
+        return coerceU32(v, &p.assoc);
+    if (field == "hit_latency")
+        return coerceCount(v, ~u64(0), &p.hitLatency);
+    if (field == "mshrs")
+        return coerceU32(v, &p.numMshrs);
+    return "unknown cache field";
+}
+
+std::string
+applyTlbKey(TlbParams &p, const std::string &field, const JsonValue &v)
+{
+    if (field == "entries")
+        return coerceU32(v, &p.entries);
+    if (field == "assoc")
+        return coerceU32(v, &p.assoc);
+    if (field == "page_bytes")
+        return coerceU32(v, &p.pageBytes);
+    if (field == "miss_latency")
+        return coerceCount(v, ~u64(0), &p.missLatency);
+    return "unknown TLB field";
+}
+
+std::string
+applyIntegKey(IntegrationParams &p, const std::string &field,
+              const JsonValue &v)
+{
+    if (field == "mode")
+        return coerceIntegrationMode(v, &p.mode);
+    if (field == "it_entries")
+        return coerceU32(v, &p.itEntries);
+    if (field == "it_assoc")
+        return coerceU32(v, &p.itAssoc);
+    if (field == "num_phys_regs")
+        return coerceU32(v, &p.numPhysRegs);
+    if (field == "ref_bits")
+        return coerceU32(v, &p.refBits);
+    if (field == "gen_bits")
+        return coerceU32(v, &p.genBits);
+    if (field == "lisp")
+        return coerceLispMode(v, &p.lisp);
+    if (field == "lisp_entries")
+        return coerceU32(v, &p.lispEntries);
+    if (field == "lisp_assoc")
+        return coerceU32(v, &p.lispAssoc);
+    if (field == "use_call_depth_index")
+        return coerceBool(v, &p.useCallDepthIndex);
+    if (field == "use_gen_counters")
+        return coerceBool(v, &p.useGenCounters);
+    if (field == "it_write_delay")
+        return coerceU32(v, &p.itWriteDelay);
+    return "unknown integ field";
+}
+
+std::string
+applyBpredKey(BranchPredictorParams &p, const std::string &field,
+              const JsonValue &v)
+{
+    if (field == "btb_entries")
+        return coerceU32(v, &p.btbEntries);
+    if (field == "btb_assoc")
+        return coerceU32(v, &p.btbAssoc);
+    if (field == "ras_entries")
+        return coerceU32(v, &p.rasEntries);
+    if (field == "bimodal_entries")
+        return coerceU32(v, &p.hybrid.bimodalEntries);
+    if (field == "gshare_entries")
+        return coerceU32(v, &p.hybrid.gshareEntries);
+    if (field == "chooser_entries")
+        return coerceU32(v, &p.hybrid.chooserEntries);
+    if (field == "history_bits")
+        return coerceU32(v, &p.hybrid.historyBits);
+    return "unknown bpred field";
+}
+
+std::string
+applyMemKey(MemHierarchyParams &p, const std::string &field,
+            const JsonValue &v)
+{
+    const size_t dot = field.find('.');
+    if (dot != std::string::npos) {
+        const std::string unit = field.substr(0, dot);
+        const std::string sub = field.substr(dot + 1);
+        if (unit == "l1i")
+            return applyCacheKey(p.l1i, sub, v);
+        if (unit == "l1d")
+            return applyCacheKey(p.l1d, sub, v);
+        if (unit == "l2")
+            return applyCacheKey(p.l2, sub, v);
+        if (unit == "itlb")
+            return applyTlbKey(p.itlb, sub, v);
+        if (unit == "dtlb")
+            return applyTlbKey(p.dtlb, sub, v);
+        return "unknown memory unit '" + unit + "'";
+    }
+    if (field == "mem_latency")
+        return coerceCount(v, ~u64(0), &p.memLatency);
+    if (field == "l2_bus_bytes")
+        return coerceU32(v, &p.l2BusBytes);
+    if (field == "l2_bus_cycles_per_beat")
+        return coerceU32(v, &p.l2BusCyclesPerBeat);
+    if (field == "mem_bus_bytes")
+        return coerceU32(v, &p.memBusBytes);
+    if (field == "mem_bus_cycles_per_beat")
+        return coerceU32(v, &p.memBusCyclesPerBeat);
+    return "unknown mem field";
+}
+
+/** Render a grid value for use inside a point label. */
+std::string
+labelValue(const JsonValue &v)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Bool:
+        return v.asBool() ? "true" : "false";
+      case JsonValue::Kind::Number:
+        return jsonNumber(v.asNumber());
+      case JsonValue::Kind::String:
+        return v.asString();
+      default:
+        return v.dump();
+    }
+}
+
+/** Apply every member of @p set; fatal with context on a bad key. */
+void
+applyOverrideSet(CoreParams &p, const JsonValue &set,
+                 const std::string &where)
+{
+    if (!set.isObject())
+        rix_fatal("scenario %s: expected an object of parameter "
+                  "overrides", where.c_str());
+    for (const auto &[key, value] : set.members()) {
+        const std::string err = applyCoreParamOverride(p, key, value);
+        if (!err.empty())
+            rix_fatal("scenario %s: override '%s': %s", where.c_str(),
+                      key.c_str(), err.c_str());
+    }
+}
+
+} // namespace
+
+std::string
+applyCoreParamOverride(CoreParams &p, const std::string &key,
+                       const JsonValue &v)
+{
+    const size_t dot = key.find('.');
+    if (dot != std::string::npos) {
+        const std::string group = key.substr(0, dot);
+        const std::string field = key.substr(dot + 1);
+        std::string err;
+        if (group == "integ")
+            err = applyIntegKey(p.integ, field, v);
+        else if (group == "bpred")
+            err = applyBpredKey(p.bpred, field, v);
+        else if (group == "mem")
+            err = applyMemKey(p.mem, field, v);
+        else
+            return "unknown parameter group '" + group + "'";
+        return err.empty() ? "" : "'" + key + "': " + err;
+    }
+
+    if (key == "fetch_width")
+        return coerceU32(v, &p.fetchWidth);
+    if (key == "rename_width")
+        return coerceU32(v, &p.renameWidth);
+    if (key == "issue_width")
+        return coerceU32(v, &p.issueWidth);
+    if (key == "retire_width")
+        return coerceU32(v, &p.retireWidth);
+    if (key == "fetch_stages")
+        return coerceU32(v, &p.fetchStages);
+    if (key == "decode_stages")
+        return coerceU32(v, &p.decodeStages);
+    if (key == "sched_stages")
+        return coerceU32(v, &p.schedStages);
+    if (key == "reg_read_stages")
+        return coerceU32(v, &p.regReadStages);
+    if (key == "rob_size")
+        return coerceU32(v, &p.robSize);
+    if (key == "max_mem_ops")
+        return coerceU32(v, &p.maxMemOps);
+    if (key == "rs_size")
+        return coerceU32(v, &p.rsSize);
+    if (key == "fetch_queue_size")
+        return coerceU32(v, &p.fetchQueueSize);
+    if (key == "simple_int_slots")
+        return coerceU32(v, &p.simpleIntSlots);
+    if (key == "complex_slots")
+        return coerceU32(v, &p.complexSlots);
+    if (key == "load_slots")
+        return coerceU32(v, &p.loadSlots);
+    if (key == "store_slots")
+        return coerceU32(v, &p.storeSlots);
+    if (key == "shared_load_store_port")
+        return coerceBool(v, &p.sharedLoadStorePort);
+    if (key == "agen_latency")
+        return coerceU32(v, &p.agenLatency);
+    if (key == "store_forward_latency")
+        return coerceU32(v, &p.storeForwardLatency);
+    if (key == "write_buffer_entries")
+        return coerceU32(v, &p.writeBufferEntries);
+    if (key == "cht_entries")
+        return coerceU32(v, &p.chtEntries);
+    if (key == "squash_penalty")
+        return coerceU32(v, &p.squashPenalty);
+    if (key == "misint_penalty")
+        return coerceU32(v, &p.misintPenalty);
+    if (key == "watchdog_cycles")
+        return coerceCount(v, ~u64(0), &p.watchdogCycles);
+    return "unknown parameter '" + key + "'";
+}
+
+int
+ScenarioSpec::configIndex(const std::string &label) const
+{
+    for (size_t i = 0; i < configs.size(); ++i)
+        if (configs[i].label == label)
+            return int(i);
+    return -1;
+}
+
+std::vector<std::string>
+workloadSelectionFromEnv(std::vector<std::string> dflt)
+{
+    const char *sel = getenv("RIX_BENCH");
+    if (!sel)
+        return dflt;
+    const std::vector<std::string> all = workloadNames();
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = sel;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    // A selection that names no valid workload would silently run an
+    // empty (or full) set; reject unknown names loudly instead.
+    for (const std::string &name : out) {
+        if (std::find(all.begin(), all.end(), name) == all.end()) {
+            fprintf(stderr,
+                    "RIX_BENCH: unknown workload '%s'; valid names:",
+                    name.c_str());
+            for (const auto &n : all)
+                fprintf(stderr, " %s", n.c_str());
+            fprintf(stderr, "\n");
+            exit(1);
+        }
+    }
+    if (out.empty()) {
+        fprintf(stderr,
+                "RIX_BENCH is set but selects no workloads ('%s')\n", sel);
+        exit(1);
+    }
+    return out;
+}
+
+ScenarioSpec
+parseScenario(const std::string &json_text)
+{
+    std::string err;
+    const JsonValue doc = JsonValue::parse(json_text, &err);
+    if (!err.empty())
+        rix_fatal("scenario spec: %s", err.c_str());
+    if (!doc.isObject())
+        rix_fatal("scenario spec: top-level value must be an object");
+
+    static const char *const known[] = {
+        "name",    "description", "workloads", "scale",  "max_retired",
+        "max_cycles", "base",     "configs",   "grid",   "render"};
+    for (const auto &[key, unused] : doc.members()) {
+        (void)unused;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            rix_fatal("scenario spec: unknown top-level field '%s'",
+                      key.c_str());
+    }
+
+    ScenarioSpec spec;
+    if (const JsonValue *v = doc.find("name")) {
+        if (!v->isString())
+            rix_fatal("scenario spec: 'name' must be a string");
+        spec.name = v->asString();
+    }
+    if (const JsonValue *v = doc.find("description")) {
+        if (!v->isString())
+            rix_fatal("scenario spec: 'description' must be a string");
+        spec.description = v->asString();
+    }
+    if (const JsonValue *v = doc.find("render")) {
+        if (!v->isString())
+            rix_fatal("scenario spec: 'render' must be a string");
+        spec.render = v->asString();
+        static const char *const renders[] = {"jsonl", "csv",  "fig4",
+                                              "fig5",  "fig6", "fig7"};
+        bool ok = false;
+        for (const char *r : renders)
+            ok = ok || spec.render == r;
+        if (!ok)
+            rix_fatal("scenario spec: unknown render '%s' "
+                      "(jsonl|csv|fig4|fig5|fig6|fig7)",
+                      spec.render.c_str());
+    }
+
+    // Workload selection, then the legacy RIX_BENCH override.
+    spec.workloads = workloadNames();
+    if (const JsonValue *v = doc.find("workloads")) {
+        if (v->isString()) {
+            if (v->asString() != "all")
+                rix_fatal("scenario spec: 'workloads' must be \"all\" or "
+                          "an array of names");
+        } else if (v->isArray()) {
+            const std::vector<std::string> all = workloadNames();
+            spec.workloads.clear();
+            for (const JsonValue &item : v->items()) {
+                if (!item.isString())
+                    rix_fatal("scenario spec: 'workloads' entries must be "
+                              "strings");
+                const std::string &name = item.asString();
+                if (std::find(all.begin(), all.end(), name) == all.end())
+                    rix_fatal("scenario spec: unknown workload '%s'",
+                              name.c_str());
+                spec.workloads.push_back(name);
+            }
+            if (spec.workloads.empty())
+                rix_fatal("scenario spec: 'workloads' selects nothing");
+        } else {
+            rix_fatal("scenario spec: 'workloads' must be \"all\" or an "
+                      "array of names");
+        }
+    }
+    spec.workloads = workloadSelectionFromEnv(std::move(spec.workloads));
+
+    if (const JsonValue *v = doc.find("scale")) {
+        const std::string cerr = coerceCount(*v, ~u64(0), &spec.scale);
+        if (!cerr.empty() || spec.scale == 0)
+            rix_fatal("scenario spec: 'scale' must be a positive integer"
+                      "%s%s", cerr.empty() ? "" : ": ", cerr.c_str());
+    }
+    spec.scale = envPositiveCount("RIX_SCALE", spec.scale);
+
+    if (const JsonValue *v = doc.find("max_retired")) {
+        const std::string cerr = coerceCount(*v, ~u64(0), &spec.maxRetired);
+        if (!cerr.empty() || spec.maxRetired == 0)
+            rix_fatal("scenario spec: 'max_retired' must be a positive "
+                      "integer%s%s", cerr.empty() ? "" : ": ",
+                      cerr.c_str());
+    }
+    if (const JsonValue *v = doc.find("max_cycles")) {
+        const std::string cerr = coerceCount(*v, ~u64(0), &spec.maxCycles);
+        if (!cerr.empty() || spec.maxCycles == 0)
+            rix_fatal("scenario spec: 'max_cycles' must be a positive "
+                      "integer%s%s", cerr.empty() ? "" : ": ",
+                      cerr.c_str());
+    }
+
+    // Base parameters: machine defaults plus the spec's "base" set.
+    CoreParams base;
+    if (const JsonValue *v = doc.find("base"))
+        applyOverrideSet(base, *v, "'base'");
+
+    // Explicit configs (default: one unlabeled config of the base).
+    struct ProtoConfig
+    {
+        std::string label;
+        CoreParams params;
+    };
+    std::vector<ProtoConfig> protos;
+    if (const JsonValue *v = doc.find("configs")) {
+        if (!v->isArray())
+            rix_fatal("scenario spec: 'configs' must be an array");
+        for (const JsonValue &cfg : v->items()) {
+            if (!cfg.isObject())
+                rix_fatal("scenario spec: each config must be an object");
+            for (const auto &[key, unused] : cfg.members()) {
+                (void)unused;
+                if (key != "label" && key != "set")
+                    rix_fatal("scenario spec: unknown config field '%s'",
+                              key.c_str());
+            }
+            ProtoConfig proto;
+            proto.params = base;
+            const JsonValue *label = cfg.find("label");
+            if (!label || !label->isString() || label->asString().empty())
+                rix_fatal("scenario spec: every config needs a non-empty "
+                          "string 'label'");
+            proto.label = label->asString();
+            for (const ProtoConfig &prev : protos)
+                if (prev.label == proto.label)
+                    rix_fatal("scenario spec: duplicate config label '%s'",
+                              proto.label.c_str());
+            if (const JsonValue *set = cfg.find("set"))
+                applyOverrideSet(proto.params, *set,
+                                 "config '" + proto.label + "'");
+            protos.push_back(std::move(proto));
+        }
+        if (protos.empty())
+            rix_fatal("scenario spec: 'configs' must not be empty");
+    } else {
+        protos.push_back({"", base});
+    }
+
+    // Grid expansion: cross product of every "key: [values]" axis,
+    // first axis slowest, appended to every explicit config.
+    const JsonValue *grid = doc.find("grid");
+    if (grid) {
+        if (!grid->isObject() || grid->members().empty())
+            rix_fatal("scenario spec: 'grid' must be a non-empty object "
+                      "of \"key\": [values] axes");
+        for (const auto &[key, values] : grid->members()) {
+            if (!values.isArray() || values.items().empty())
+                rix_fatal("scenario spec: grid axis '%s' must be a "
+                          "non-empty array", key.c_str());
+        }
+    }
+
+    for (const ProtoConfig &proto : protos) {
+        if (!grid) {
+            if (proto.label.empty())
+                rix_fatal("scenario spec: a spec without 'configs' needs "
+                          "a 'grid'");
+            spec.configs.push_back({proto.label, proto.params});
+            continue;
+        }
+        const auto &axes = grid->members();
+        std::vector<size_t> idx(axes.size(), 0);
+        while (true) {
+            ScenarioConfig cfg;
+            cfg.label = proto.label;
+            cfg.params = proto.params;
+            for (size_t a = 0; a < axes.size(); ++a) {
+                const auto &[key, values] = axes[a];
+                const JsonValue &v = values.items()[idx[a]];
+                const std::string err2 =
+                    applyCoreParamOverride(cfg.params, key, v);
+                if (!err2.empty())
+                    rix_fatal("scenario spec: grid axis '%s': %s",
+                              key.c_str(), err2.c_str());
+                cfg.label += (cfg.label.empty() ? "" : ";") + key + "=" +
+                             labelValue(v);
+            }
+            if (spec.configIndex(cfg.label) >= 0)
+                rix_fatal("scenario spec: duplicate point label '%s'",
+                          cfg.label.c_str());
+            spec.configs.push_back(std::move(cfg));
+            // Odometer increment, last axis fastest.
+            size_t a = axes.size();
+            while (a > 0) {
+                --a;
+                if (++idx[a] < axes[a].second.items().size())
+                    break;
+                idx[a] = 0;
+                if (a == 0)
+                    goto gridDone;
+            }
+        }
+      gridDone:;
+    }
+
+    return spec;
+}
+
+ScenarioResults
+runScenario(const ScenarioSpec &spec)
+{
+    // Validate every point up front: one clear diagnostic naming the
+    // config and field, before any construction or simulation.
+    for (const ScenarioConfig &cfg : spec.configs)
+        requireValidCoreParams(cfg.params,
+                               "scenario '" + spec.name + "' config '" +
+                                   cfg.label + "'");
+
+    std::vector<SimJob> jobs;
+    jobs.reserve(spec.workloads.size() * spec.configs.size());
+    for (const std::string &w : spec.workloads) {
+        for (const ScenarioConfig &cfg : spec.configs) {
+            SimJob job;
+            job.workload = w;
+            job.scale = spec.scale;
+            job.params = cfg.params;
+            job.maxRetired = spec.maxRetired;
+            job.maxCycles = spec.maxCycles;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    ScenarioResults res;
+    res.numConfigs = spec.configs.size();
+    res.jobs = SweepRunner().run(jobs);
+    return res;
+}
+
+namespace
+{
+
+void
+renderRows(const ScenarioSpec &spec, const ScenarioResults &res, FILE *out,
+           bool csv)
+{
+    StatRegistry reg;
+    for (size_t w = 0; w < spec.workloads.size(); ++w) {
+        for (size_t c = 0; c < spec.configs.size(); ++c) {
+            StatRegistry::Row &row = reg.addRow();
+            if (!spec.name.empty())
+                row.label("scenario", spec.name);
+            row.label("workload", spec.workloads[w]);
+            row.label("config", spec.configs[c].label);
+            exportReport(res.report(w, c), row.stats);
+            row.stats.set("scale", double(spec.scale));
+            row.stats.set("wall_s", res.wallSeconds(w, c));
+        }
+    }
+    if (csv)
+        reg.writeCsv(out);
+    else
+        reg.writeJsonLines(out);
+}
+
+} // namespace
+
+void
+renderScenario(const ScenarioSpec &spec, const ScenarioResults &res,
+               FILE *out)
+{
+    if (spec.render == "jsonl")
+        renderRows(spec, res, out, false);
+    else if (spec.render == "csv")
+        renderRows(spec, res, out, true);
+    else if (spec.render == "fig4")
+        renderFig4(spec, res, out);
+    else if (spec.render == "fig5")
+        renderFig5(spec, res, out);
+    else if (spec.render == "fig6")
+        renderFig6(spec, res, out);
+    else if (spec.render == "fig7")
+        renderFig7(spec, res, out);
+    else
+        rix_fatal("unknown render '%s'", spec.render.c_str());
+}
+
+std::string
+readScenarioFile(const std::string &path)
+{
+    FILE *f = fopen(path.c_str(), "rb");
+    if (!f)
+        rix_fatal("cannot open scenario spec '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    const bool bad = ferror(f) != 0;
+    fclose(f);
+    if (bad)
+        rix_fatal("error reading scenario spec '%s'", path.c_str());
+    return text;
+}
+
+int
+runScenarioFile(const std::string &path, FILE *out)
+{
+    const ScenarioSpec spec = parseScenario(readScenarioFile(path));
+    const ScenarioResults res = runScenario(spec);
+    renderScenario(spec, res, out ? out : stdout);
+    return 0;
+}
+
+std::string
+bundledScenarioPath(const std::string &name)
+{
+    const char *dir = getenv("RIX_SCENARIO_DIR");
+#ifdef RIX_SCENARIO_DIR_DEFAULT
+    if (!dir)
+        dir = RIX_SCENARIO_DIR_DEFAULT;
+#endif
+    if (!dir)
+        dir = "examples/scenarios";
+    return std::string(dir) + "/" + name + ".json";
+}
+
+} // namespace rix

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Declarative scenario subsystem: a sweep described as data.
+ *
+ * A scenario spec is a small JSON document naming the workloads, the
+ * workload scale, the run limits, and a list of machine configurations
+ * (each a set of CoreParams overrides, optionally crossed with a grid
+ * of further overrides). The engine expands the spec into SimJobs,
+ * executes them on the parallel SweepRunner (sharing programs through
+ * the process-wide ProgramCache), and renders the results either
+ * generically — one row per (workload, config) point through the
+ * StatRegistry, as JSON lines or CSV — or through one of the built-in
+ * figure renderers that reproduce the paper's tables.
+ *
+ * Spec grammar (all fields optional unless noted):
+ *
+ *   {
+ *     "name":        "fig4",
+ *     "description": "free text",
+ *     "workloads":   "all" | ["mcf", "gcc", ...],
+ *     "scale":       1,            // RIX_SCALE env overrides
+ *     "max_retired": 20000000,
+ *     "max_cycles":  200000000,
+ *     "base":        { <param overrides applied to every config> },
+ *     "configs":     [ {"label": "base", "set": { ... }}, ... ],
+ *     "grid":        { "integ.it_assoc": [1, 2, 4], ... },
+ *     "render":      "jsonl" | "csv" | "fig4" | "fig5" | "fig6" | "fig7"
+ *   }
+ *
+ * Parameter override keys are dotted snake_case paths into CoreParams
+ * ("rs_size", "integ.mode", "mem.l1d.size_bytes", ...); unknown keys,
+ * type mismatches and malformed JSON are fatal with the position and
+ * field named. The grid's cross product (first key slowest) is
+ * appended to every config; point labels read "cfg;key=value;...".
+ *
+ * The legacy RIX_BENCH / RIX_SCALE environment knobs override the
+ * spec's workload selection and scale, so committed figure specs
+ * behave exactly like the historical bench binaries under CI's
+ * environment-driven harness.
+ */
+
+#ifndef RIX_SIM_SCENARIO_HH
+#define RIX_SIM_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "sim/sweep.hh"
+
+namespace rix
+{
+
+/** One machine configuration of a scenario (grid already expanded). */
+struct ScenarioConfig
+{
+    std::string label;
+    CoreParams params;
+};
+
+struct ScenarioSpec
+{
+    std::string name;
+    std::string description;
+    std::string render = "jsonl";
+    std::vector<std::string> workloads; // resolved names, ordered
+    u64 scale = 1;
+    u64 maxRetired = 20'000'000;
+    Cycle maxCycles = 200'000'000;
+    std::vector<ScenarioConfig> configs;
+
+    /** Index of the config labeled @p label, or -1. */
+    int configIndex(const std::string &label) const;
+};
+
+/**
+ * Apply one "key: value" CoreParams override.
+ * @return "" on success, else a diagnostic naming the key.
+ */
+std::string applyCoreParamOverride(CoreParams &p, const std::string &key,
+                                   const JsonValue &v);
+
+/**
+ * Parse and fully expand a scenario spec (fatal on malformed input),
+ * then apply the legacy RIX_SCALE / RIX_BENCH environment overrides.
+ */
+ScenarioSpec parseScenario(const std::string &json_text);
+
+/**
+ * The RIX_BENCH workload selection, validated against the registry;
+ * @p dflt when the variable is unset.
+ */
+std::vector<std::string>
+workloadSelectionFromEnv(std::vector<std::string> dflt);
+
+/** Results of a scenario run, indexed (workload, config). */
+struct ScenarioResults
+{
+    size_t numConfigs = 0;
+    std::vector<SimJobResult> jobs; // workload-major
+
+    const SimReport &
+    report(size_t w, size_t c) const
+    {
+        return jobs[w * numConfigs + c].report;
+    }
+
+    double
+    wallSeconds(size_t w, size_t c) const
+    {
+        return jobs[w * numConfigs + c].wallSeconds;
+    }
+};
+
+/**
+ * Validate every config (fatal with the config label on the first
+ * invalid one) and execute the whole scenario across the RIX_JOBS
+ * sweep pool.
+ */
+ScenarioResults runScenario(const ScenarioSpec &spec);
+
+/** Render per the spec's "render" field onto @p out. */
+void renderScenario(const ScenarioSpec &spec, const ScenarioResults &res,
+                    FILE *out);
+
+/** Slurp a spec file; fatal (naming the path) on open/read errors. */
+std::string readScenarioFile(const std::string &path);
+
+/**
+ * Parse, run and render the spec at @p path onto @p out (nullptr:
+ * stdout).
+ * @return process exit code (0 on success; spec problems are fatal).
+ */
+int runScenarioFile(const std::string &path, FILE *out = nullptr);
+
+/**
+ * Path of a committed scenario spec by name: $RIX_SCENARIO_DIR takes
+ * precedence, else the build-time examples/scenarios directory. Used
+ * by the thin figure-bench wrappers.
+ */
+std::string bundledScenarioPath(const std::string &name);
+
+} // namespace rix
+
+#endif // RIX_SIM_SCENARIO_HH

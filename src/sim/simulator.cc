@@ -1,9 +1,60 @@
 #include "sim/simulator.hh"
 
 #include "base/log.hh"
+#include "sim/validate.hh"
 
 namespace rix
 {
+
+namespace
+{
+
+/** Fig-5 style breakdown arrays, exported with self-describing names. */
+template <size_t Rows>
+void
+exportBreakdown(StatSet &out, const char *prefix,
+                const char *const (&labels)[Rows],
+                const u64 (&cells)[Rows][2])
+{
+    for (size_t i = 0; i < Rows; ++i) {
+        out.set(strfmt("%s_%s_direct", prefix, labels[i]),
+                double(cells[i][0]));
+        out.set(strfmt("%s_%s_reverse", prefix, labels[i]),
+                double(cells[i][1]));
+    }
+}
+
+} // namespace
+
+void
+exportReport(const SimReport &rep, StatSet &out)
+{
+    rep.core.exportTo(out);
+
+    // Substrate statistics the figure benches never printed.
+    out.set("halted", rep.halted ? 1.0 : 0.0);
+    out.set("l1d_misses", double(rep.l1dMisses));
+    out.set("l1i_misses", double(rep.l1iMisses));
+    out.set("l2_misses", double(rep.l2Misses));
+    out.set("dtlb_misses", double(rep.dtlbMisses));
+    out.set("itlb_misses", double(rep.itlbMisses));
+
+    // Figure 5 breakdowns.
+    out.set("retired_sp_loads", double(rep.core.retiredSpLoads));
+    static const char *const typeLabels[5] = {"load_sp", "load", "alu",
+                                              "branch", "fp"};
+    exportBreakdown(out, "integ_type", typeLabels, rep.core.integByType);
+    static const char *const distLabels[6] = {"le4",   "le16",   "le64",
+                                              "le256", "le1024", "gt1024"};
+    exportBreakdown(out, "integ_dist", distLabels, rep.core.integByDistance);
+    static const char *const statusLabels[4] = {"rename", "issue", "retire",
+                                                "shadow"};
+    exportBreakdown(out, "integ_status", statusLabels,
+                    rep.core.integByStatus);
+    static const char *const refLabels[4] = {"eq1", "le3", "le7", "le15"};
+    exportBreakdown(out, "integ_refcount", refLabels,
+                    rep.core.integByRefcount);
+}
 
 SimReport
 collectReport(Core &core, const std::string &workload)
@@ -24,6 +75,7 @@ SimReport
 runSimulation(const Program &prog, const CoreParams &params,
               u64 max_retired, Cycle max_cycles)
 {
+    requireValidCoreParams(params, "runSimulation(" + prog.name + ")");
     Core core(prog, params);
     core.run(max_retired, max_cycles);
     return collectReport(core, prog.name);

@@ -31,6 +31,13 @@ struct SimReport
 SimReport collectReport(Core &core, const std::string &workload);
 
 /**
+ * Export everything a report carries — the pipeline stats, the Figure-5
+ * breakdown arrays, and the substrate (cache/TLB) statistics — into the
+ * uniform named-stat namespace used by the scenario emitters.
+ */
+void exportReport(const SimReport &rep, StatSet &out);
+
+/**
  * Run @p prog on a core configured by @p params.
  * @param max_retired stop after this many retired instructions
  * @param max_cycles  hard cycle limit

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/thread_pool.hh"
+#include "sim/validate.hh"
 #include "workload/program_cache.hh"
 
 namespace rix
@@ -36,6 +37,7 @@ SimReport
 SimContext::run(const Program &prog, const CoreParams &params,
                 u64 max_retired, Cycle max_cycles)
 {
+    requireValidCoreParams(params, "SimContext(" + prog.name + ")");
     if (!core)
         core = std::make_unique<Core>(prog, params);
     else

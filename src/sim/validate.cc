@@ -1,0 +1,215 @@
+#include "sim/validate.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "base/bitutil.hh"
+#include "base/log.hh"
+#include "isa/regs.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+class Checker
+{
+  public:
+    void
+    require(bool ok, const char *field, const char *fmt, ...)
+        __attribute__((format(printf, 4, 5)))
+    {
+        if (ok)
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        char buf[256];
+        vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        problems.push_back(std::string(field) + ": " + buf);
+    }
+
+    /** entries must be a nonzero power of two, and after clamping
+     *  assoc to entries the set count must be a power of two. */
+    void
+    setAssocGeometry(const char *field_entries, const char *field_assoc,
+                     u64 entries, u64 assoc)
+    {
+        require(entries > 0 && isPow2(entries), field_entries,
+                "must be a nonzero power of two (got %llu)",
+                (unsigned long long)entries);
+        require(assoc > 0, field_assoc, "must be >= 1 (got %llu)",
+                (unsigned long long)assoc);
+        if (entries > 0 && isPow2(entries) && assoc > 0) {
+            const u64 a = assoc >= entries ? entries : assoc;
+            require(isPow2(entries / a), field_assoc,
+                    "%llu entries / %llu ways leaves a non-power-of-two "
+                    "set count",
+                    (unsigned long long)entries, (unsigned long long)a);
+        }
+    }
+
+    std::string
+    result() const
+    {
+        std::string out;
+        for (size_t i = 0; i < problems.size(); ++i)
+            out += (i ? "\n" : "") + problems[i];
+        return out;
+    }
+
+  private:
+    std::vector<std::string> problems;
+};
+
+void
+checkCache(Checker &c, const char *name, const CacheParams &p)
+{
+    const std::string f = std::string("mem.") + name;
+    c.require(p.lineBytes > 0 && isPow2(p.lineBytes),
+              (f + ".line_bytes").c_str(),
+              "must be a nonzero power of two (got %u)", p.lineBytes);
+    c.require(p.sizeBytes > 0 && isPow2(p.sizeBytes),
+              (f + ".size_bytes").c_str(),
+              "must be a nonzero power of two (got %u)", p.sizeBytes);
+    c.require(p.assoc > 0, (f + ".assoc").c_str(), "must be >= 1 (got %u)",
+              p.assoc);
+    if (p.lineBytes > 0 && p.sizeBytes > 0 && p.assoc > 0) {
+        const u64 sets = u64(p.sizeBytes) / (u64(p.lineBytes) * p.assoc);
+        c.require(sets > 0 && isPow2(sets), (f + ".assoc").c_str(),
+                  "%u bytes / (%u-byte lines x %u ways) leaves %llu sets; "
+                  "need a nonzero power of two", p.sizeBytes, p.lineBytes,
+                  p.assoc, (unsigned long long)sets);
+    }
+    c.require(p.numMshrs > 0, (f + ".mshrs").c_str(),
+              "must be >= 1 (got %u)", p.numMshrs);
+}
+
+void
+checkTlb(Checker &c, const char *name, const TlbParams &p)
+{
+    const std::string f = std::string("mem.") + name;
+    c.require(p.entries > 0, (f + ".entries").c_str(),
+              "must be >= 1 (got %u)", p.entries);
+    c.require(p.assoc > 0, (f + ".assoc").c_str(), "must be >= 1 (got %u)",
+              p.assoc);
+    if (p.entries > 0 && p.assoc > 0) {
+        const unsigned a = p.assoc >= p.entries ? p.entries : p.assoc;
+        c.require(isPow2(p.entries / a), (f + ".assoc").c_str(),
+                  "%u entries / %u ways leaves a non-power-of-two set "
+                  "count", p.entries, a);
+    }
+    c.require(p.pageBytes > 0 && isPow2(p.pageBytes),
+              (f + ".page_bytes").c_str(),
+              "must be a nonzero power of two (got %u)", p.pageBytes);
+}
+
+} // namespace
+
+std::string
+validateCoreParams(const CoreParams &p)
+{
+    Checker c;
+
+    // Pipeline widths and windows: a zero here does not crash
+    // construction, it deadlocks the pipeline until the watchdog
+    // panics, which is a far worse diagnostic.
+    c.require(p.fetchWidth > 0, "fetch_width", "must be >= 1");
+    c.require(p.renameWidth > 0, "rename_width", "must be >= 1");
+    c.require(p.issueWidth > 0, "issue_width", "must be >= 1");
+    c.require(p.retireWidth > 0, "retire_width", "must be >= 1");
+    c.require(p.robSize > 0, "rob_size", "must be >= 1");
+    c.require(p.rsSize > 0, "rs_size", "must be >= 1");
+    c.require(p.fetchQueueSize > 0, "fetch_queue_size", "must be >= 1");
+    c.require(p.maxMemOps > 0, "max_mem_ops", "must be >= 1");
+    c.require(p.writeBufferEntries > 0, "write_buffer_entries",
+              "must be >= 1");
+    c.require(p.watchdogCycles > 0, "watchdog_cycles", "must be >= 1");
+
+    // Issue ports: every instruction class must be able to issue.
+    c.require(p.simpleIntSlots + p.complexSlots > 0, "simple_int_slots",
+              "simple_int_slots + complex_slots must be >= 1");
+    c.require(p.loadSlots > 0, "load_slots", "must be >= 1 (got %u)",
+              p.loadSlots);
+    if (!p.sharedLoadStorePort)
+        c.require(p.storeSlots > 0, "store_slots",
+                  "must be >= 1 unless shared_load_store_port is set");
+
+    // Load-speculation collision history table: PC & (size-1) indexed.
+    c.require(p.chtEntries > 0 && isPow2(p.chtEntries), "cht_entries",
+              "must be a nonzero power of two (got %u)", p.chtEntries);
+
+    // Branch prediction substrates.
+    c.setAssocGeometry("bpred.btb_entries", "bpred.btb_assoc",
+                       p.bpred.btbEntries, p.bpred.btbAssoc);
+    c.require(p.bpred.rasEntries > 0, "bpred.ras_entries",
+              "must be >= 1 (got %u)", p.bpred.rasEntries);
+    c.require(p.bpred.hybrid.bimodalEntries > 0 &&
+                  isPow2(p.bpred.hybrid.bimodalEntries),
+              "bpred.bimodal_entries",
+              "must be a nonzero power of two (got %u)",
+              p.bpred.hybrid.bimodalEntries);
+    c.require(p.bpred.hybrid.gshareEntries > 0 &&
+                  isPow2(p.bpred.hybrid.gshareEntries),
+              "bpred.gshare_entries",
+              "must be a nonzero power of two (got %u)",
+              p.bpred.hybrid.gshareEntries);
+    c.require(p.bpred.hybrid.chooserEntries > 0 &&
+                  isPow2(p.bpred.hybrid.chooserEntries),
+              "bpred.chooser_entries",
+              "must be a nonzero power of two (got %u)",
+              p.bpred.hybrid.chooserEntries);
+    c.require(p.bpred.hybrid.historyBits >= 1 &&
+                  p.bpred.hybrid.historyBits <= 32,
+              "bpred.history_bits", "must be in [1, 32] (got %u)",
+              p.bpred.hybrid.historyBits);
+
+    // Memory hierarchy.
+    checkCache(c, "l1i", p.mem.l1i);
+    checkCache(c, "l1d", p.mem.l1d);
+    checkCache(c, "l2", p.mem.l2);
+    checkTlb(c, "itlb", p.mem.itlb);
+    checkTlb(c, "dtlb", p.mem.dtlb);
+    c.require(p.mem.l2BusBytes > 0, "mem.l2_bus_bytes", "must be >= 1");
+    c.require(p.mem.memBusBytes > 0, "mem.mem_bus_bytes", "must be >= 1");
+
+    // Integration machinery: the IT, LISP and register state vector
+    // are constructed for every mode (Off included), so their geometry
+    // must always be sound.
+    c.setAssocGeometry("integ.it_entries", "integ.it_assoc",
+                       p.integ.itEntries, p.integ.itAssoc);
+    c.setAssocGeometry("integ.lisp_entries", "integ.lisp_assoc",
+                       p.integ.lispEntries, p.integ.lispAssoc);
+    c.require(p.integ.refBits >= 1 && p.integ.refBits <= 8,
+              "integ.ref_bits", "must be in [1, 8] (got %u)",
+              p.integ.refBits);
+    c.require(p.integ.genBits >= 1 && p.integ.genBits <= 8,
+              "integ.gen_bits",
+              "must be in [1, 8] (got %u); generations are stored in "
+              "8-bit lanes", p.integ.genBits);
+    // Rename needs a free register per in-flight instruction on top of
+    // the committed map (and the pinned zero register); fewer physical
+    // registers than that deadlocks rename at full ROB occupancy.
+    c.require(p.integ.numPhysRegs >= numLogRegs + p.robSize + 1,
+              "integ.num_phys_regs",
+              "must be >= num_log_regs + rob_size + 1 = %u (got %u)",
+              numLogRegs + p.robSize + 1, p.integ.numPhysRegs);
+    c.require(p.integ.numPhysRegs <= 65535, "integ.num_phys_regs",
+              "must fit a 16-bit physical register id (got %u)",
+              p.integ.numPhysRegs);
+
+    return c.result();
+}
+
+void
+requireValidCoreParams(const CoreParams &p, const std::string &what)
+{
+    const std::string problems = validateCoreParams(p);
+    if (!problems.empty())
+        rix_fatal("%s: invalid configuration:\n%s", what.c_str(),
+                  problems.c_str());
+}
+
+} // namespace rix

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Whole-configuration validation of a CoreParams set.
+ *
+ * Historically a bad geometry (zero or non-power-of-two entries,
+ * impossible set counts) was only caught piecemeal by a rix_fatal deep
+ * inside whichever substrate was constructed first (Lisp,
+ * IntegrationTable, Cache, Tlb, Btb), so a bad CLI config died with a
+ * single low-level message and no indication of which field to fix.
+ * validateCoreParams() checks the entire parameter set up front and
+ * reports every violation at once, each naming the offending field.
+ * The substrate fatals remain as a defense-in-depth backstop.
+ */
+
+#ifndef RIX_SIM_VALIDATE_HH
+#define RIX_SIM_VALIDATE_HH
+
+#include <string>
+
+#include "cpu/params.hh"
+
+namespace rix
+{
+
+/**
+ * Validate @p p as a constructible, deadlock-free machine
+ * configuration.
+ * @return "" when valid; otherwise one "field: problem" diagnostic per
+ *         violation, newline-separated.
+ */
+std::string validateCoreParams(const CoreParams &p);
+
+/** validateCoreParams + rix_fatal on failure, prefixed with @p what. */
+void requireValidCoreParams(const CoreParams &p, const std::string &what);
+
+} // namespace rix
+
+#endif // RIX_SIM_VALIDATE_HH

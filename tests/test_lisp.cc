@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Load Integration Suppression Predictor unit tests: suppress/train,
+ * LRU replacement within a set, the deliberate never-age overbias, and
+ * reset(entries, assoc) geometry churn.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lisp.hh"
+
+using namespace rix;
+
+TEST(Lisp, MissUntilTrained)
+{
+    Lisp lisp(1024, 2);
+    EXPECT_FALSE(lisp.suppress(0x1000));
+    EXPECT_EQ(lisp.suppressions(), 0u);
+
+    lisp.trainMisintegration(0x1000);
+    EXPECT_EQ(lisp.trainings(), 1u);
+    EXPECT_TRUE(lisp.suppress(0x1000));
+    EXPECT_EQ(lisp.suppressions(), 1u);
+
+    // Other PCs (different sets and same set) still miss.
+    EXPECT_FALSE(lisp.suppress(0x1001));
+    EXPECT_FALSE(lisp.suppress(0x1000 + 512)); // same set, different tag
+}
+
+TEST(Lisp, SuppressOnlyCountsHits)
+{
+    Lisp lisp(64, 2);
+    for (InstAddr pc = 0; pc < 100; ++pc)
+        lisp.suppress(pc);
+    EXPECT_EQ(lisp.suppressions(), 0u);
+    // A probe miss must not insert.
+    for (InstAddr pc = 0; pc < 100; ++pc)
+        EXPECT_FALSE(lisp.suppress(pc));
+}
+
+TEST(Lisp, TrainingIsIdempotentPerPc)
+{
+    // 8 entries, 2-way -> 4 sets; PCs 0, 4, 8 all land in set 0.
+    Lisp lisp(8, 2);
+    lisp.trainMisintegration(0);
+    lisp.trainMisintegration(0); // already present: no second way used
+    lisp.trainMisintegration(4);
+    lisp.trainMisintegration(8); // must evict the LRU (pc 0), not pc 4
+    EXPECT_FALSE(lisp.suppress(0));
+    EXPECT_TRUE(lisp.suppress(4));
+    EXPECT_TRUE(lisp.suppress(8));
+}
+
+TEST(Lisp, LruReplacementFollowsUse)
+{
+    Lisp lisp(8, 2); // 4 sets, set 0 holds two of {0, 4, 8}
+    lisp.trainMisintegration(0);
+    lisp.trainMisintegration(4);
+    // Touch 0 so 4 becomes the LRU way.
+    EXPECT_TRUE(lisp.suppress(0));
+    lisp.trainMisintegration(8);
+    EXPECT_TRUE(lisp.suppress(0));
+    EXPECT_FALSE(lisp.suppress(4));
+    EXPECT_TRUE(lisp.suppress(8));
+}
+
+TEST(Lisp, NeverAgesExceptByReplacement)
+{
+    // The paper's overbias: an entry stays forever unless a conflicting
+    // training replaces it, no matter how much traffic goes by.
+    Lisp lisp(64, 2);
+    lisp.trainMisintegration(0x42);
+    for (int i = 0; i < 100000; ++i) {
+        lisp.suppress(InstAddr(7 + i * 8)); // misses elsewhere
+        lisp.suppress(0x42);                // periodic hits
+    }
+    EXPECT_TRUE(lisp.suppress(0x42));
+    EXPECT_EQ(lisp.trainings(), 1u);
+}
+
+TEST(Lisp, ResetClearsEntriesAndCounters)
+{
+    Lisp lisp(64, 2);
+    lisp.trainMisintegration(1);
+    EXPECT_TRUE(lisp.suppress(1));
+    lisp.reset();
+    EXPECT_FALSE(lisp.suppress(1));
+    EXPECT_EQ(lisp.suppressions(), 0u);
+    EXPECT_EQ(lisp.trainings(), 0u);
+}
+
+TEST(Lisp, GeometryChurnViaReset)
+{
+    // reset(entries, assoc) must fully adopt the new geometry, exactly
+    // like a fresh construction (the fig6-style reuse path).
+    Lisp lisp(1024, 2);
+    lisp.trainMisintegration(3);
+    EXPECT_TRUE(lisp.suppress(3));
+
+    // Shrink to a direct-mapped 4-entry table: old contents gone.
+    lisp.reset(4, 1);
+    EXPECT_FALSE(lisp.suppress(3));
+    // PCs 1 and 5 conflict (4 sets, direct-mapped).
+    lisp.trainMisintegration(1);
+    EXPECT_TRUE(lisp.suppress(1));
+    lisp.trainMisintegration(5);
+    EXPECT_FALSE(lisp.suppress(1));
+    EXPECT_TRUE(lisp.suppress(5));
+
+    // Grow to fully associative (assoc clamps to entries): 16 distinct
+    // conflicting PCs all fit.
+    lisp.reset(16, 64);
+    for (InstAddr pc = 0; pc < 16 * 8; pc += 8)
+        lisp.trainMisintegration(pc);
+    for (InstAddr pc = 0; pc < 16 * 8; pc += 8)
+        EXPECT_TRUE(lisp.suppress(pc)) << "pc " << pc;
+    // A 17th conflicting training evicts exactly one victim.
+    lisp.trainMisintegration(16 * 8);
+    unsigned present = 0;
+    for (InstAddr pc = 0; pc <= 16 * 8; pc += 8)
+        present += lisp.suppress(pc) ? 1 : 0;
+    EXPECT_EQ(present, 16u);
+}
+
+TEST(LispDeathTest, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Lisp(100, 2), ::testing::ExitedWithCode(1),
+                "LISP entries must be a power of two");
+    EXPECT_EXIT(Lisp(0, 2), ::testing::ExitedWithCode(1),
+                "LISP entries must be a power of two");
+}

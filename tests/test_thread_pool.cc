@@ -76,8 +76,28 @@ TEST(ThreadPool, JobsFromEnvKnob)
     EXPECT_EQ(jobsFromEnv(), 3u);
     setenv("RIX_JOBS", "1", 1);
     EXPECT_EQ(jobsFromEnv(), 1u);
-    setenv("RIX_JOBS", "0", 1); // nonsense clamps to serial
-    EXPECT_EQ(jobsFromEnv(), 1u);
     unsetenv("RIX_JOBS");
     EXPECT_GE(jobsFromEnv(), 1u);
+}
+
+TEST(ThreadPoolDeathTest, JobsFromEnvRejectsZeroAndGarbage)
+{
+    // Historically strtoul mapped "0" and garbage to a silent serial
+    // fallback; the strict parser must fail loudly instead.
+    setenv("RIX_JOBS", "0", 1);
+    EXPECT_EXIT(jobsFromEnv(), ::testing::ExitedWithCode(1),
+                "RIX_JOBS: must be >= 1");
+    setenv("RIX_JOBS", "abc", 1);
+    EXPECT_EXIT(jobsFromEnv(), ::testing::ExitedWithCode(1),
+                "RIX_JOBS: invalid value 'abc'");
+    setenv("RIX_JOBS", "4x", 1);
+    EXPECT_EXIT(jobsFromEnv(), ::testing::ExitedWithCode(1),
+                "RIX_JOBS: invalid value '4x'");
+    setenv("RIX_JOBS", "", 1);
+    EXPECT_EXIT(jobsFromEnv(), ::testing::ExitedWithCode(1),
+                "RIX_JOBS: empty value");
+    setenv("RIX_JOBS", "99999", 1);
+    EXPECT_EXIT(jobsFromEnv(), ::testing::ExitedWithCode(1),
+                "RIX_JOBS: 99999 workers");
+    unsetenv("RIX_JOBS");
 }
