@@ -390,4 +390,22 @@ jsonNumber(double v)
     return strfmt("%.17g", v);
 }
 
+std::string
+jsonCoerceCount(const JsonValue &v, u64 max, u64 *out)
+{
+    if (!v.isNumber())
+        return "expected a number";
+    if (!v.isIntegral())
+        return "expected an integer (no fraction/exponent)";
+    const double d = v.asNumber();
+    if (d < 0)
+        return "must not be negative";
+    // 0x1p64 first: double(~u64(0)) rounds *up* to 2^64, so the
+    // max-comparison alone would let 2^64 through into a UB cast.
+    if (d >= 0x1p64 || d > double(max))
+        return strfmt("exceeds the maximum %llu", (unsigned long long)max);
+    *out = u64(d);
+    return "";
+}
+
 } // namespace rix

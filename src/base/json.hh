@@ -93,6 +93,13 @@ std::string jsonEscape(const std::string &s);
  */
 std::string jsonNumber(double v);
 
+/**
+ * Coerce a JSON number into a non-negative integer count <= @p max
+ * (the shared field-coercion rule of the spec parsers).
+ * @return "" on success (with *out set), else a diagnostic.
+ */
+std::string jsonCoerceCount(const JsonValue &v, u64 max, u64 *out);
+
 } // namespace rix
 
 #endif // RIX_BASE_JSON_HH

@@ -12,9 +12,11 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "base/env.hh"
 #include "sim/scenario.hh"
 #include "sim/validate.hh"
 #include "workload/workload.hh"
@@ -29,10 +31,17 @@ usage(FILE *out)
             "rix — declarative simulation scenario driver\n"
             "\n"
             "usage:\n"
-            "  rix run <spec.json> [--out FILE]   run a scenario spec\n"
+            "  rix run <spec.json> [--out FILE] [--jobs N] [--scale S]\n"
+            "                                     run a scenario spec\n"
             "  rix validate <spec.json>...        parse + validate only\n"
             "  rix list-workloads                 registered workloads\n"
             "  rix help                           this text\n"
+            "\n"
+            "run options (strictly positive integers; garbage is fatal):\n"
+            "  --jobs N   simulation worker threads (overrides RIX_JOBS;\n"
+            "             1 = serial)\n"
+            "  --scale S  workload scale factor (overrides RIX_SCALE and\n"
+            "             the spec)\n"
             "\n"
             "environment (legacy overrides, validated):\n"
             "  RIX_SCALE  workload scale factor (overrides the spec)\n"
@@ -56,6 +65,23 @@ cmdRun(int argc, char **argv)
                 return 2;
             }
             outPath = argv[++i];
+        } else if (strcmp(argv[i], "--jobs") == 0 ||
+                   strcmp(argv[i], "--scale") == 0) {
+            // Same strict-positive contract as the RIX_* knobs: zero
+            // or garbage is fatal, naming the flag. The validated
+            // value is pushed into the environment variable it
+            // overrides, so every downstream reader (spec parsing,
+            // SweepRunner) sees one consistent setting.
+            const bool jobs = argv[i][2] == 'j';
+            if (i + 1 >= argc) {
+                fprintf(stderr, "rix run: %s needs a positive integer "
+                        "argument\n", argv[i]);
+                return 2;
+            }
+            const char *flag = jobs ? "rix run --jobs" : "rix run --scale";
+            rix::parsePositiveCount(flag, argv[i + 1]);
+            setenv(jobs ? "RIX_JOBS" : "RIX_SCALE", argv[++i],
+                   /*overwrite=*/1);
         } else if (argv[i][0] == '-') {
             fprintf(stderr, "rix run: unknown option '%s'\n", argv[i]);
             return 2;

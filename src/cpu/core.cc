@@ -22,11 +22,25 @@ Core::Core(const Program &program, const CoreParams &params)
 void
 Core::reset(const Program &program, const CoreParams &params)
 {
+    golden_.reset(program);
+    resetMicroarch(program, params);
+}
+
+void
+Core::reset(const Program &program, const CoreParams &params,
+            const Checkpoint &from)
+{
+    golden_.restore(program, from);
+    resetMicroarch(program, params);
+}
+
+void
+Core::resetMicroarch(const Program &program, const CoreParams &params)
+{
     prog = &program;
     p = params;
 
     // Substrates: reconfigure in place, reusing their arrays.
-    golden_.reset(program);
     mem.reset(p.mem);
     bpred.reset(p.bpred);
     regState.reset(p.integ);
@@ -61,6 +75,7 @@ Core::reset(const Program &program, const CoreParams &params)
     fetchPc = 0;
     fetchStallUntil = 0;
     oldestUnresolvedStore = ~InstSeqNum(0);
+    retireStopAt = ~u64(0);
     nextSeq = 1;
     renameStreamPos = 0;
     cycle = 0;
@@ -91,7 +106,12 @@ Core::initArchState()
         map[r] = {preg, regState.gen(preg)};
     }
 
-    fetchPc = prog->entry;
+    // Fetch starts wherever the golden (architectural) state stands:
+    // the program entry for a fresh run, the checkpoint PC for a
+    // sampled resume. A checkpoint taken at/after HALT leaves nothing
+    // to simulate.
+    fetchPc = golden_.pc();
+    done = golden_.halted();
 }
 
 Core::Mapping

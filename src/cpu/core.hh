@@ -62,6 +62,17 @@ class Core
      */
     void reset(const Program &prog, const CoreParams &params);
 
+    /**
+     * Reset as above, but resume from the architectural checkpoint
+     * @p from (taken on @p prog): the restored emulator becomes the
+     * DIVA golden state, fetch starts at the checkpoint PC, and the
+     * detailed simulation retires exactly the architectural stream
+     * from that point on. Statistics start at zero. A checkpoint
+     * taken at/after HALT yields an immediately-done core.
+     */
+    void reset(const Program &prog, const CoreParams &params,
+               const Checkpoint &from);
+
     struct RunResult
     {
         u64 retired = 0;
@@ -72,8 +83,24 @@ class Core
     /** Advance one cycle. */
     void tick();
 
-    /** Run until HALT retires or a limit is hit. */
+    /** Run until HALT retires or a limit is hit. Note run() is a stop
+     *  *condition* checked between cycles: the final cycle can retire
+     *  up to retire-width instructions past @p max_retired. */
     RunResult run(u64 max_retired = ~u64(0), Cycle max_cycles = ~Cycle(0));
+
+    /**
+     * Hard retirement boundary: retireStage() never retires the
+     * instruction that would make the retired count exceed
+     * @p absolute_retired (counted since reset). The sampled-interval
+     * driver uses this so warmup and measure windows end *exactly* on
+     * their budgets — adjacent intervals never double-count the
+     * stream through multi-wide retirement overshoot. Cleared (no
+     * boundary) by reset().
+     */
+    void setRetireStop(u64 absolute_retired)
+    {
+        retireStopAt = absolute_retired;
+    }
 
     bool halted() const { return done; }
     Cycle now() const { return cycle; }
@@ -187,8 +214,13 @@ class Core
             static_cast<const Core *>(this)->findInst(seq));
     }
 
+    /** Everything reset() does except the golden-state (re)binding —
+     *  shared by the fresh and from-checkpoint paths. */
+    void resetMicroarch(const Program &prog, const CoreParams &params);
+
     /** Shared tail of construction and reset(): pin the zero register,
-     *  map the initial architectural registers, point fetch at entry. */
+     *  map the architectural registers from the golden state, point
+     *  fetch at its PC. */
     void initArchState();
 
     // ---- configuration & substrates ----
@@ -271,6 +303,7 @@ class Core
     InstSeqNum oldestUnresolvedStore = ~InstSeqNum(0);
 
     // ---- bookkeeping ----
+    u64 retireStopAt = ~u64(0);
     InstSeqNum nextSeq = 1;
     u64 renameStreamPos = 0;
     Cycle cycle = 0;

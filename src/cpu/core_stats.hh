@@ -111,7 +111,79 @@ struct CoreStats
 
     /** Export everything into a named StatSet. */
     void exportTo(StatSet &out) const;
+
+    /**
+     * Apply @p op to every (a-field, b-field) counter pair — the one
+     * place the field list is spelled out, shared by the sampled-
+     * simulation delta (discard warmup stats) and merge (sum measured
+     * intervals) paths. Every field is a plain u64 counter/sum, so
+     * subtraction and addition are both exact.
+     */
+    template <class Op>
+    static void
+    zip(CoreStats &a, const CoreStats &b, Op op)
+    {
+        op(a.cycles, b.cycles);
+        op(a.fetched, b.fetched);
+        op(a.renamed, b.renamed);
+        op(a.issued, b.issued);
+        op(a.issuedLoads, b.issuedLoads);
+        op(a.retired, b.retired);
+        op(a.retiredLoads, b.retiredLoads);
+        op(a.retiredStores, b.retiredStores);
+        op(a.retiredBranches, b.retiredBranches);
+        op(a.integratedDirect, b.integratedDirect);
+        op(a.integratedReverse, b.integratedReverse);
+        for (int i = 0; i < 5; ++i)
+            for (int j = 0; j < 2; ++j)
+                op(a.integByType[i][j], b.integByType[i][j]);
+        for (int i = 0; i < 6; ++i)
+            for (int j = 0; j < 2; ++j)
+                op(a.integByDistance[i][j], b.integByDistance[i][j]);
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 2; ++j)
+                op(a.integByStatus[i][j], b.integByStatus[i][j]);
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 2; ++j)
+                op(a.integByRefcount[i][j], b.integByRefcount[i][j]);
+        op(a.retiredSpLoads, b.retiredSpLoads);
+        op(a.misintegrations, b.misintegrations);
+        op(a.misintLoads, b.misintLoads);
+        op(a.misintRegisters, b.misintRegisters);
+        op(a.misintBranches, b.misintBranches);
+        op(a.oracleSuppressions, b.oracleSuppressions);
+        op(a.lispFalseCandidates, b.lispFalseCandidates);
+        op(a.branchMispredicts, b.branchMispredicts);
+        op(a.retiredMispredicts, b.retiredMispredicts);
+        op(a.mispredResolveLatSum, b.mispredResolveLatSum);
+        op(a.memOrderViolations, b.memOrderViolations);
+        op(a.squashedInsts, b.squashedInsts);
+        op(a.squashesBranch, b.squashesBranch);
+        op(a.squashesMemOrder, b.squashesMemOrder);
+        op(a.squashesMisint, b.squashesMisint);
+        op(a.rsOccupancySum, b.rsOccupancySum);
+        op(a.robOccupancySum, b.robOccupancySum);
+    }
+
+    /** In-place a -= b (counters accumulated before @p b are kept). */
+    static void
+    subtract(CoreStats &a, const CoreStats &b)
+    {
+        zip(a, b, [](u64 &x, const u64 &y) { x -= y; });
+    }
+
+    /** In-place a += b. */
+    static void
+    accumulate(CoreStats &a, const CoreStats &b)
+    {
+        zip(a, b, [](u64 &x, const u64 &y) { x += y; });
+    }
 };
+
+// zip() must name every counter: adding a CoreStats field without
+// extending it would silently corrupt sampled-interval reports.
+static_assert(sizeof(CoreStats) == 66 * sizeof(u64),
+              "CoreStats changed: update CoreStats::zip()");
 
 } // namespace rix
 

@@ -206,6 +206,8 @@ void
 Core::retireStage()
 {
     for (unsigned w = 0; w < p.retireWidth; ++w) {
+        if (stats_.retired >= retireStopAt)
+            return; // exact interval boundary (see setRetireStop)
         if (rob.empty())
             return;
         DynInst &di = pool.get(rob.front());

@@ -104,6 +104,53 @@ Emulator::reset(const Program &p)
     reset();
 }
 
+Checkpoint
+Emulator::snapshot(bool diff_vs_image) const
+{
+    Checkpoint c;
+    c.icount = icount;
+    c.pc = pcReg;
+    c.halted = isHalted;
+    for (unsigned r = 0; r < numLogRegs; ++r)
+        c.regs[r] = regs[r];
+    c.output = out;
+    c.diffVsImage = diff_vs_image;
+    if (diff_vs_image) {
+        // Diff against the pristine post-reset image: pages the run
+        // never changed (the bulk of a large data segment) are
+        // omitted and come back from the image on restore.
+        c.pages = mem.exportPagesDiffImage(prog->dataBase, prog->data);
+    } else {
+        c.pages = mem.exportPages();
+    }
+    return c;
+}
+
+void
+Emulator::restore(const Checkpoint &c)
+{
+    if (c.diffVsImage) {
+        reset(); // reload the program image...
+        mem.importPages(c.pages); // ...then overlay the diff
+    } else {
+        mem.clear();
+        mem.importPages(c.pages);
+    }
+    for (unsigned r = 0; r < numLogRegs; ++r)
+        regs[r] = c.regs[r];
+    pcReg = c.pc;
+    isHalted = c.halted;
+    icount = c.icount;
+    out = c.output;
+}
+
+void
+Emulator::restore(const Program &p, const Checkpoint &c)
+{
+    prog = &p;
+    restore(c);
+}
+
 void
 Emulator::setReg(LogReg r, u64 v)
 {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "assembler/program.hh"
+#include "emu/checkpoint.hh"
 #include "emu/memory.hh"
 
 namespace rix
@@ -59,6 +60,25 @@ class Emulator
     /** Rebind to @p prog and reset — the reusable-context path: the
      *  sparse memory's page allocations survive across programs. */
     void reset(const Program &prog);
+
+    /**
+     * Capture the full architectural state at the current point.
+     * @param diff_vs_image  store only the memory pages that differ
+     *        from the program's initial data image (compact; the
+     *        default) instead of every materialized page
+     */
+    Checkpoint snapshot(bool diff_vs_image = true) const;
+
+    /**
+     * Resume from @p c (which must have been taken on this emulator's
+     * current program): subsequent steps are bit-identical to the run
+     * the snapshot was taken from.
+     */
+    void restore(const Checkpoint &c);
+
+    /** Rebind to @p prog, then restore — the reusable-context path
+     *  (a checkpoint taken on A stays restorable after reset(B)). */
+    void restore(const Program &prog, const Checkpoint &c);
 
     /** Execute one instruction; no-op (halted result) after HALT. */
     StepResult step();

@@ -1,5 +1,6 @@
 #include "emu/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace rix
@@ -139,8 +140,85 @@ Memory::write(Addr addr, u64 value, unsigned size)
 void
 Memory::writeBlock(Addr addr, const std::vector<u8> &bytes)
 {
-    for (size_t i = 0; i < bytes.size(); ++i)
-        write8(addr + i, bytes[i]);
+    // Page-wise memcpy: a multi-megabyte program image is reloaded on
+    // every emulator reset/restore, where the old per-byte write8()
+    // loop dominated checkpoint-restore time.
+    size_t i = 0;
+    while (i < bytes.size()) {
+        const Addr a = addr + i;
+        const unsigned off = a % pageBytes;
+        const size_t chunk =
+            std::min<size_t>(bytes.size() - i, pageBytes - off);
+        memcpy(touchPage(a / pageBytes).data() + off, bytes.data() + i,
+               chunk);
+        i += chunk;
+    }
+}
+
+std::vector<Memory::PageImage>
+Memory::exportMatching(
+    const std::function<bool(u64, const Page &)> &keep) const
+{
+    std::vector<PageImage> out;
+    out.reserve(used);
+    for (const Slot &s : slots) {
+        if (s.key == 0)
+            continue;
+        const u64 pn = s.key - 1;
+        if (!keep(pn, *s.page))
+            continue;
+        PageImage img;
+        img.pageNumber = pn;
+        memcpy(img.bytes.data(), s.page->data(), pageBytes);
+        out.push_back(std::move(img));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PageImage &a, const PageImage &b) {
+                  return a.pageNumber < b.pageNumber;
+              });
+    return out;
+}
+
+std::vector<Memory::PageImage>
+Memory::exportPages() const
+{
+    return exportMatching([](u64, const Page &) { return true; });
+}
+
+std::vector<Memory::PageImage>
+Memory::exportPagesDiffImage(Addr image_base,
+                             const std::vector<u8> &image) const
+{
+    static const Page zeroPage = {};
+    const auto allZero = [](const u8 *p, size_t n) {
+        return memcmp(p, zeroPage.data(), n) == 0;
+    };
+    // Pristine content of a page is the overlapping slice of the
+    // image, zero everywhere else — compared in place, with no
+    // reference page constructed.
+    return exportMatching([&](u64 pn, const Page &page) {
+        const Addr page_start = pn * u64(pageBytes);
+        const Addr lo = std::max(page_start, image_base);
+        const Addr hi =
+            std::min(page_start + pageBytes, image_base + image.size());
+        if (lo >= hi) // no image overlap
+            return !allZero(page.data(), pageBytes);
+        const size_t a = size_t(lo - page_start);
+        const size_t b = size_t(hi - page_start);
+        if (memcmp(page.data() + a, image.data() + (lo - image_base),
+                   b - a) != 0)
+            return true;
+        return !allZero(page.data(), a) ||
+               !allZero(page.data() + b, pageBytes - b);
+    });
+}
+
+void
+Memory::importPages(const std::vector<PageImage> &pages)
+{
+    for (const PageImage &img : pages)
+        memcpy(touchPage(img.pageNumber).data(), img.bytes.data(),
+               pageBytes);
 }
 
 bool

@@ -21,6 +21,7 @@
 #define RIX_EMU_MEMORY_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,13 @@ class Memory
 {
   public:
     static constexpr unsigned pageBytes = 4096;
+
+    /** One materialized page in an exported snapshot. */
+    struct PageImage
+    {
+        u64 pageNumber = 0;
+        std::array<u8, pageBytes> bytes{};
+    };
 
     Memory() { resetTable(); }
 
@@ -58,6 +66,27 @@ class Memory
     /** Deep content comparison (only materialized, non-zero bytes). */
     bool contentEquals(const Memory &other) const;
 
+    /**
+     * Export every materialized page, sorted by page number (so the
+     * result is deterministic regardless of touch order) — the full
+     * (self-contained) form of a checkpoint snapshot.
+     */
+    std::vector<PageImage> exportPages() const;
+
+    /**
+     * Export only the pages whose content differs from a pristine
+     * image of @p image loaded at @p image_base (bytes outside it
+     * compare as zero) — the compact diff-vs-image checkpoint form,
+     * computed in place without materializing a reference memory.
+     */
+    std::vector<PageImage>
+    exportPagesDiffImage(Addr image_base,
+                         const std::vector<u8> &image) const;
+
+    /** Overlay @p pages onto the current content (whole-page copies;
+     *  absent pages are untouched). */
+    void importPages(const std::vector<PageImage> &pages);
+
     void clear();
 
   private:
@@ -79,6 +108,11 @@ class Memory
 
     Page *lookupPage(u64 pn) const;
     Page &touchPage(u64 pn);
+
+    /** Shared export loop: copy out every materialized page @p keep
+     *  accepts, sorted by page number. */
+    std::vector<PageImage>
+    exportMatching(const std::function<bool(u64, const Page &)> &keep) const;
     void resetTable();
     void grow();
 

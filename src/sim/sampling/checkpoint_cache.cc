@@ -1,0 +1,88 @@
+#include "sim/sampling/checkpoint_cache.hh"
+
+#include "emu/emulator.hh"
+#include "workload/program_cache.hh"
+
+namespace rix
+{
+
+const Checkpoint *
+CheckpointCache::bestReadySeed(const std::string &workload, u64 scale,
+                               u64 icount) const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    const auto lo = slots.lower_bound(Key{workload, scale, 0});
+    const auto hi = slots.upper_bound(Key{workload, scale, icount});
+    const Checkpoint *best = nullptr;
+    for (auto it = lo; it != hi; ++it) {
+        // ready is set (release) after ckpt is fully written; the
+        // acquire load makes the snapshot safe to read here.
+        if (it->second->ready.load(std::memory_order_acquire))
+            best = &it->second->ckpt;
+    }
+    return best; // map is icount-ascending: the last ready one wins
+}
+
+const Checkpoint &
+CheckpointCache::get(const std::string &workload, u64 scale, u64 icount)
+{
+    Slot *slot;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        std::unique_ptr<Slot> &s = slots[Key{workload, scale, icount}];
+        if (!s)
+            s = std::make_unique<Slot>();
+        slot = s.get();
+    }
+    std::call_once(slot->once, [&]() {
+        const Program &prog = globalProgramCache().get(workload, scale);
+        Emulator emu(prog);
+        if (const Checkpoint *seed = bestReadySeed(workload, scale, icount))
+            emu.restore(*seed);
+        if (icount > emu.instsExecuted())
+            emu.run(icount - emu.instsExecuted());
+        slot->ckpt = emu.snapshot(/*diff_vs_image=*/true);
+        slot->ready.store(true, std::memory_order_release);
+        nBuilds.fetch_add(1, std::memory_order_relaxed);
+    });
+    return slot->ckpt;
+}
+
+u64
+CheckpointCache::totalInsts(const std::string &workload, u64 scale, u64 cap)
+{
+    CountSlot *slot;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        std::unique_ptr<CountSlot> &s = counts[Key{workload, scale, cap}];
+        if (!s)
+            s = std::make_unique<CountSlot>();
+        slot = s.get();
+    }
+    std::call_once(slot->once, [&]() {
+        const Program &prog = globalProgramCache().get(workload, scale);
+        Emulator emu(prog);
+        if (const Checkpoint *seed = bestReadySeed(workload, scale, cap))
+            emu.restore(*seed);
+        if (cap > emu.instsExecuted())
+            emu.run(cap - emu.instsExecuted());
+        slot->insts = emu.instsExecuted();
+    });
+    return slot->insts;
+}
+
+size_t
+CheckpointCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return slots.size();
+}
+
+CheckpointCache &
+globalCheckpointCache()
+{
+    static CheckpointCache cache;
+    return cache;
+}
+
+} // namespace rix

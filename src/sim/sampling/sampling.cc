@@ -1,0 +1,215 @@
+#include "sim/sampling/sampling.hh"
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+u64
+requireCount(const JsonValue &v, const char *field)
+{
+    u64 out = 0;
+    const std::string err = jsonCoerceCount(v, ~u64(0), &out);
+    if (!err.empty())
+        rix_fatal("scenario spec: 'sampling.%s': %s", field, err.c_str());
+    return out;
+}
+
+} // namespace
+
+u64
+SamplingPlan::plannedWarmup() const
+{
+    u64 sum = 0;
+    for (const SamplingInterval &iv : intervals)
+        sum += iv.warmup;
+    return sum;
+}
+
+u64
+SamplingPlan::plannedMeasure() const
+{
+    u64 sum = 0;
+    for (const SamplingInterval &iv : intervals)
+        sum += iv.measure;
+    return sum;
+}
+
+SamplingPlan
+makePeriodicPlan(u64 fast_forward, u64 warmup, u64 measure, u64 repeat)
+{
+    if (measure == 0)
+        rix_fatal("sampling plan: 'measure' must be >= 1");
+    if (repeat == 0)
+        rix_fatal("sampling plan: 'repeat' must be >= 1");
+    u64 period = 0;
+    if (__builtin_add_overflow(fast_forward, warmup, &period) ||
+        __builtin_add_overflow(period, measure, &period))
+        rix_fatal("sampling plan: interval period overflows");
+
+    SamplingPlan plan;
+    plan.intervals.reserve(repeat);
+    for (u64 k = 0; k < repeat; ++k) {
+        u64 start = 0;
+        if (__builtin_mul_overflow(k, period, &start) ||
+            __builtin_add_overflow(start, fast_forward, &start))
+            rix_fatal("sampling plan: interval %llu start overflows",
+                      (unsigned long long)k);
+        plan.intervals.push_back({start, warmup, measure});
+    }
+    return plan;
+}
+
+SamplingPlan
+parseSamplingBlock(const JsonValue &v)
+{
+    if (!v.isObject())
+        rix_fatal("scenario spec: 'sampling' must be an object");
+
+    static const char *const known[] = {"fast_forward", "warmup",
+                                        "measure", "repeat", "intervals"};
+    for (const auto &[key, unused] : v.members()) {
+        (void)unused;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            rix_fatal("scenario spec: unknown 'sampling' field '%s'",
+                      key.c_str());
+    }
+
+    const JsonValue *ivs = v.find("intervals");
+    if (ivs) {
+        // Explicit interval list: exclusive with the periodic fields.
+        for (const char *k : {"fast_forward", "warmup", "measure",
+                              "repeat"}) {
+            if (v.find(k))
+                rix_fatal("scenario spec: 'sampling.%s' cannot be "
+                          "combined with 'sampling.intervals'", k);
+        }
+        if (!ivs->isArray() || ivs->items().empty())
+            rix_fatal("scenario spec: 'sampling.intervals' must be a "
+                      "non-empty array");
+        SamplingPlan plan;
+        for (const JsonValue &item : ivs->items()) {
+            if (!item.isObject())
+                rix_fatal("scenario spec: each sampling interval must "
+                          "be an object");
+            for (const auto &[key, unused] : item.members()) {
+                (void)unused;
+                if (key != "start" && key != "warmup" && key != "measure")
+                    rix_fatal("scenario spec: unknown sampling interval "
+                              "field '%s'", key.c_str());
+            }
+            SamplingInterval iv;
+            const JsonValue *start = item.find("start");
+            if (!start)
+                rix_fatal("scenario spec: sampling interval needs a "
+                          "'start'");
+            iv.checkpointAt = requireCount(*start, "intervals[].start");
+            if (const JsonValue *w = item.find("warmup"))
+                iv.warmup = requireCount(*w, "intervals[].warmup");
+            const JsonValue *measure = item.find("measure");
+            if (!measure)
+                rix_fatal("scenario spec: sampling interval needs a "
+                          "'measure'");
+            iv.measure = requireCount(*measure, "intervals[].measure");
+            if (iv.measure == 0)
+                rix_fatal("scenario spec: 'sampling.intervals[].measure' "
+                          "must be >= 1");
+            // Intervals must not overlap: an interval starting inside
+            // the previous one's detailed (warmup+measure) window
+            // would double-count that stretch of the instruction
+            // stream and silently corrupt every sampled_* rollup.
+            if (!plan.intervals.empty()) {
+                const SamplingInterval &prev = plan.intervals.back();
+                u64 prev_end = prev.checkpointAt;
+                if (__builtin_add_overflow(prev_end, prev.warmup,
+                                           &prev_end) ||
+                    __builtin_add_overflow(prev_end, prev.measure,
+                                           &prev_end))
+                    rix_fatal("scenario spec: sampling interval at %llu "
+                              "overflows its detailed window",
+                              (unsigned long long)prev.checkpointAt);
+                if (iv.checkpointAt < prev_end)
+                    rix_fatal("scenario spec: 'sampling.intervals' must "
+                              "not overlap: start %llu lies inside the "
+                              "previous interval's detailed window "
+                              "(ends at %llu)",
+                              (unsigned long long)iv.checkpointAt,
+                              (unsigned long long)prev_end);
+            }
+            plan.intervals.push_back(iv);
+        }
+        return plan;
+    }
+
+    // Periodic form: measure is the one required field.
+    const JsonValue *measure = v.find("measure");
+    if (!measure)
+        rix_fatal("scenario spec: 'sampling' needs 'measure' (or an "
+                  "'intervals' list)");
+    u64 ff = 0, warmup = 0, repeat = 1;
+    const u64 m = requireCount(*measure, "measure");
+    if (m == 0)
+        rix_fatal("scenario spec: 'sampling.measure' must be >= 1");
+    if (const JsonValue *f = v.find("fast_forward"))
+        ff = requireCount(*f, "fast_forward");
+    if (const JsonValue *w = v.find("warmup"))
+        warmup = requireCount(*w, "warmup");
+    if (const JsonValue *r = v.find("repeat")) {
+        repeat = requireCount(*r, "repeat");
+        if (repeat == 0)
+            rix_fatal("scenario spec: 'sampling.repeat' must be >= 1");
+    }
+    return makePeriodicPlan(ff, warmup, m, repeat);
+}
+
+std::vector<SimJob>
+expandPlan(const SimJob &base, const SamplingPlan &plan)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(plan.intervals.size());
+    for (const SamplingInterval &iv : plan.intervals) {
+        SimJob job = base;
+        job.checkpointAt = iv.checkpointAt;
+        job.warmup = iv.warmup;
+        job.maxRetired = iv.measure;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+SampledSummary
+mergeIntervals(const SamplingPlan &plan, const SimJobResult *results,
+               u64 total_insts, SimJobResult *merged_out)
+{
+    SimJobResult merged;
+    for (size_t i = 0; i < plan.intervals.size(); ++i) {
+        accumulateReport(merged.report, results[i].report);
+        merged.wallSeconds += results[i].wallSeconds;
+    }
+
+    SampledSummary s;
+    s.intervals = plan.intervals.size();
+    s.measuredInsts = merged.report.core.retired;
+    s.measuredCycles = merged.report.core.cycles;
+    s.warmupInsts = plan.plannedWarmup();
+    s.totalInsts = total_insts;
+    // Exact == bit-identical to the full detailed run. That demands a
+    // run that *halted* inside the single from-0 interval: a run that
+    // stopped on the measure budget instead ended on the sampled
+    // path's exact retirement boundary, while a full run()'s stop
+    // condition overshoots by up to retire-width instructions.
+    s.exact = plan.intervals.size() == 1 &&
+              plan.intervals[0].checkpointAt == 0 &&
+              plan.intervals[0].warmup == 0 && merged.report.halted &&
+              s.measuredInsts == total_insts;
+    *merged_out = merged;
+    return s;
+}
+
+} // namespace rix

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Sampled simulation: run short detailed intervals of a long workload
+ * instead of the whole thing (the SimPoint/SMARTS idea, scoped to what
+ * this repository needs).
+ *
+ * A SamplingPlan names the detailed intervals of one run. Each
+ * interval is (checkpointAt, warmup, measure): fast-forward
+ * functionally to `checkpointAt` architectural instructions (via the
+ * CheckpointCache), run the detailed pipeline for `warmup`
+ * instructions with statistics discarded (caches, predictors and the
+ * integration table fill from the architecturally-correct state), then
+ * collect statistics for `measure` instructions. Intervals are
+ * independently schedulable SimJobs, so one long run parallelizes
+ * across the sweep pool exactly like unrelated configurations do.
+ *
+ * Scenario specs declare a plan in a "sampling" block, in one of two
+ * forms (counts are architectural instructions; unknown keys, zero
+ * measure/repeat and overlapping intervals are fatal, field named):
+ *
+ *   "sampling": {            // periodic: ff N, warm W, measure M, repeat
+ *     "fast_forward": 900000,    // skipped before each interval (>= 0)
+ *     "warmup": 10000,           // detailed, discarded (default 0)
+ *     "measure": 90000,          // detailed, measured (required, >= 1)
+ *     "repeat": 5                // number of intervals (default 1)
+ *   }
+ *
+ *   "sampling": {            // explicit interval list
+ *     "intervals": [
+ *       {"start": 0, "warmup": 0, "measure": 100000},
+ *       {"start": 4000000, "warmup": 20000, "measure": 100000}
+ *     ]
+ *   }
+ *
+ * Estimation contract: the merged measured windows give sampled IPC =
+ * sum(measured retired) / sum(measured cycles), and whole-run
+ * extrapolation multiplies by the (functionally counted) total
+ * instruction count. A plan whose single interval starts at 0 with no
+ * warmup and measures the entire run is *exact*: its merged report is
+ * bit-identical to the full detailed simulation (enforced in ctest).
+ * Every other plan is an estimate.
+ */
+
+#ifndef RIX_SIM_SAMPLING_SAMPLING_HH
+#define RIX_SIM_SAMPLING_SAMPLING_HH
+
+#include <vector>
+
+#include "base/json.hh"
+#include "sim/sweep.hh"
+
+namespace rix
+{
+
+/** One detailed interval of a sampled run. */
+struct SamplingInterval
+{
+    u64 checkpointAt = 0; // architectural insts skipped functionally
+    u64 warmup = 0;       // detailed insts, statistics discarded
+    u64 measure = 0;      // detailed insts, statistics collected
+};
+
+struct SamplingPlan
+{
+    /** Ascending by checkpointAt; detailed windows never overlap. */
+    std::vector<SamplingInterval> intervals;
+
+    bool empty() const { return intervals.empty(); }
+
+    /** Total detailed instructions the plan intends to discard/measure
+     *  (actual counts can be lower when the run ends early). */
+    u64 plannedWarmup() const;
+    u64 plannedMeasure() const;
+};
+
+/**
+ * Periodic plan: for each of @p repeat intervals, skip
+ * @p fast_forward instructions, warm up @p warmup, measure
+ * @p measure. Interval k starts at k*(ff+W+M) + ff.
+ */
+SamplingPlan makePeriodicPlan(u64 fast_forward, u64 warmup, u64 measure,
+                              u64 repeat);
+
+/** Parse a scenario spec's "sampling" block; fatal (naming the field)
+ *  on malformed input. */
+SamplingPlan parseSamplingBlock(const JsonValue &v);
+
+/**
+ * Expand @p plan into one SimJob per interval, each derived from
+ * @p base: checkpointAt/warmup come from the interval and maxRetired
+ * becomes the interval's measure budget (the single point where the
+ * plan-to-job contract lives — the scenario engine and the benches
+ * must agree on it).
+ */
+std::vector<SimJob> expandPlan(const SimJob &base,
+                               const SamplingPlan &plan);
+
+/** Per-point rollup of a sampled run (one (workload, config) pair). */
+struct SampledSummary
+{
+    u64 intervals = 0;
+    u64 measuredInsts = 0;  // actually retired in measured windows
+    u64 measuredCycles = 0;
+    u64 warmupInsts = 0;    // planned detailed warmup
+    u64 totalInsts = 0;     // whole-run architectural count (capped)
+    bool exact = false;     // merged report == full detailed run
+
+    /** Sampled IPC over the measured windows. */
+    double
+    ipc() const
+    {
+        return measuredCycles ? double(measuredInsts) /
+                                    double(measuredCycles)
+                              : 0.0;
+    }
+
+    /** Whole-run cycle estimate: totalInsts at the sampled IPC. */
+    double
+    cyclesExtrapolated() const
+    {
+        return measuredInsts ? double(totalInsts) *
+                                   double(measuredCycles) /
+                                   double(measuredInsts)
+                             : 0.0;
+    }
+
+    /** Fraction of the run measured in detail. */
+    double
+    coverage() const
+    {
+        return totalInsts ? double(measuredInsts) / double(totalInsts)
+                          : 0.0;
+    }
+};
+
+/**
+ * Merge the per-interval results of one (workload, config) point:
+ * counters are summed into @p merged_out (wall time too), and the
+ * rollup is returned. @p results must hold plan.intervals.size()
+ * entries in plan order.
+ */
+SampledSummary mergeIntervals(const SamplingPlan &plan,
+                              const SimJobResult *results,
+                              u64 total_insts, SimJobResult *merged_out);
+
+} // namespace rix
+
+#endif // RIX_SIM_SAMPLING_SAMPLING_HH

@@ -6,7 +6,9 @@
 
 #include "base/env.hh"
 #include "base/log.hh"
+#include "base/thread_pool.hh"
 #include "sim/figures.hh"
+#include "sim/sampling/checkpoint_cache.hh"
 #include "sim/validate.hh"
 #include "workload/workload.hh"
 
@@ -22,19 +24,7 @@ namespace
 std::string
 coerceCount(const JsonValue &v, u64 max, u64 *out)
 {
-    if (!v.isNumber())
-        return "expected a number";
-    if (!v.isIntegral())
-        return "expected an integer (no fraction/exponent)";
-    const double d = v.asNumber();
-    if (d < 0)
-        return "must not be negative";
-    // 0x1p64 first: double(~u64(0)) rounds *up* to 2^64, so the
-    // max-comparison alone would let 2^64 through into a UB cast.
-    if (d >= 0x1p64 || d > double(max))
-        return strfmt("exceeds the maximum %llu", (unsigned long long)max);
-    *out = u64(d);
-    return "";
+    return jsonCoerceCount(v, max, out);
 }
 
 std::string
@@ -379,7 +369,8 @@ parseScenario(const std::string &json_text)
 
     static const char *const known[] = {
         "name",    "description", "workloads", "scale",  "max_retired",
-        "max_cycles", "base",     "configs",   "grid",   "render"};
+        "max_cycles", "base",     "configs",   "grid",   "render",
+        "sampling"};
     for (const auto &[key, unused] : doc.members()) {
         (void)unused;
         bool ok = false;
@@ -467,6 +458,41 @@ parseScenario(const std::string &json_text)
                       "integer%s%s", cerr.empty() ? "" : ": ",
                       cerr.c_str());
     }
+
+    if (const JsonValue *v = doc.find("sampling"))
+        spec.sampling = parseSamplingBlock(*v);
+    // The plan's detailed windows must fit inside the run the spec
+    // actually simulates: a window past max_retired would measure
+    // instructions the whole-run count (capped at max_retired) never
+    // sees, silently producing coverage > 1 and a garbage
+    // extrapolation.
+    if (!spec.sampling.empty()) {
+        const SamplingInterval &last = spec.sampling.intervals.back();
+        u64 end = last.checkpointAt;
+        if (__builtin_add_overflow(end, last.warmup, &end) ||
+            __builtin_add_overflow(end, last.measure, &end))
+            rix_fatal("scenario spec: the sampling plan's last detailed "
+                      "window (start %llu + warmup %llu + measure %llu) "
+                      "overflows",
+                      (unsigned long long)last.checkpointAt,
+                      (unsigned long long)last.warmup,
+                      (unsigned long long)last.measure);
+        if (end > spec.maxRetired)
+            rix_fatal("scenario spec: the sampling plan's last detailed "
+                      "window ends at instruction %llu, past "
+                      "max_retired %llu",
+                      (unsigned long long)end,
+                      (unsigned long long)spec.maxRetired);
+    }
+    // The figure renderers print paper tables with no way to mark
+    // their inputs as estimates; letting a sampled run through them
+    // would present extrapolations as measurements. Only the generic
+    // row renders (which carry the sampled_* columns) may be sampled.
+    if (!spec.sampling.empty() && spec.render != "jsonl" &&
+        spec.render != "csv")
+        rix_fatal("scenario spec: render '%s' requires full detailed "
+                  "runs — sampled results are estimates; use \"jsonl\" "
+                  "or \"csv\"", spec.render.c_str());
 
     // Base parameters: machine defaults plus the spec's "base" set.
     CoreParams base;
@@ -584,8 +610,11 @@ runScenario(const ScenarioSpec &spec)
                                "scenario '" + spec.name + "' config '" +
                                    cfg.label + "'");
 
+    const size_t numIntervals =
+        spec.sampling.empty() ? 1 : spec.sampling.intervals.size();
     std::vector<SimJob> jobs;
-    jobs.reserve(spec.workloads.size() * spec.configs.size());
+    jobs.reserve(spec.workloads.size() * spec.configs.size() *
+                 numIntervals);
     for (const std::string &w : spec.workloads) {
         for (const ScenarioConfig &cfg : spec.configs) {
             SimJob job;
@@ -594,13 +623,99 @@ runScenario(const ScenarioSpec &spec)
             job.params = cfg.params;
             job.maxRetired = spec.maxRetired;
             job.maxCycles = spec.maxCycles;
-            jobs.push_back(std::move(job));
+            if (spec.sampling.empty()) {
+                jobs.push_back(std::move(job));
+                continue;
+            }
+            // One independently-schedulable job per detailed interval.
+            for (SimJob &ij : expandPlan(job, spec.sampling))
+                jobs.push_back(std::move(ij));
         }
     }
 
     ScenarioResults res;
     res.numConfigs = spec.configs.size();
-    res.jobs = SweepRunner().run(jobs);
+    if (spec.sampling.empty()) {
+        res.jobs = SweepRunner().run(jobs);
+        return res;
+    }
+
+    // Build every workload's checkpoints in *ascending* order plus its
+    // whole-run instruction count before the sweep — one functional
+    // pass per workload, each fast-forward seeding from the previous
+    // checkpoint. Dispatching the interval jobs cold instead would let
+    // a parallel pool race all K builders past bestReadySeed and
+    // fast-forward K times from instruction 0. Workloads are
+    // independent, so this phase parallelizes across them on the same
+    // RIX_JOBS knob.
+    std::vector<u64> totals(spec.workloads.size());
+    const auto prepareWorkload = [&](size_t w) {
+        for (const SamplingInterval &iv : spec.sampling.intervals)
+            globalCheckpointCache().get(spec.workloads[w], spec.scale,
+                                        iv.checkpointAt);
+        totals[w] = globalCheckpointCache().totalInsts(
+            spec.workloads[w], spec.scale, spec.maxRetired);
+    };
+    const size_t nWorkloads = spec.workloads.size();
+    const unsigned nThreads =
+        unsigned(std::min<size_t>(jobsFromEnv(), nWorkloads));
+    if (nThreads <= 1 || nWorkloads <= 1) {
+        for (size_t w = 0; w < nWorkloads; ++w)
+            prepareWorkload(w);
+    } else {
+        ThreadPool pool(nThreads);
+        std::vector<std::future<void>> pendings;
+        pendings.reserve(nWorkloads);
+        for (size_t w = 0; w < nWorkloads; ++w)
+            pendings.push_back(pool.submit([&prepareWorkload, w]() {
+                prepareWorkload(w);
+            }));
+        for (std::future<void> &f : pendings)
+            f.get();
+    }
+
+    res.intervalJobs = SweepRunner().run(jobs);
+
+    // Merge every point's intervals back into one row.
+    const size_t points = spec.workloads.size() * spec.configs.size();
+    res.jobs.resize(points);
+    res.sampled.resize(points);
+    for (size_t w = 0; w < spec.workloads.size(); ++w) {
+        // A plan tuned for one scale can land past another run's end;
+        // measuring *nothing* would silently extrapolate from zero.
+        bool warned = false;
+        for (size_t c = 0; c < spec.configs.size(); ++c) {
+            const size_t point = w * spec.configs.size() + c;
+            const SimJobResult *ivs =
+                &res.intervalJobs[point * numIntervals];
+            res.sampled[point] = mergeIntervals(spec.sampling, ivs,
+                                                totals[w],
+                                                &res.jobs[point]);
+            if (res.sampled[point].measuredInsts == 0)
+                rix_fatal("scenario '%s': the sampling plan measured "
+                          "nothing for workload '%s' — the run ends at "
+                          "instruction %llu, before the first interval "
+                          "(start %llu)",
+                          spec.name.c_str(), spec.workloads[w].c_str(),
+                          (unsigned long long)totals[w],
+                          (unsigned long long)
+                              spec.sampling.intervals[0].checkpointAt);
+            for (size_t k = 0; !warned && k < numIntervals; ++k) {
+                if (ivs[k].report.core.retired == 0) {
+                    rix_warn("scenario '%s': workload '%s' ends at "
+                             "instruction %llu, so sampling interval "
+                             "%zu (start %llu) measured nothing — "
+                             "coverage is below plan",
+                             spec.name.c_str(),
+                             spec.workloads[w].c_str(),
+                             (unsigned long long)totals[w], k,
+                             (unsigned long long)
+                                 spec.sampling.intervals[k].checkpointAt);
+                    warned = true;
+                }
+            }
+        }
+    }
     return res;
 }
 
@@ -622,6 +737,25 @@ renderRows(const ScenarioSpec &spec, const ScenarioResults &res, FILE *out,
             exportReport(res.report(w, c), row.stats);
             row.stats.set("scale", double(spec.scale));
             row.stats.set("wall_s", res.wallSeconds(w, c));
+            if (res.isSampled()) {
+                // Sampled rollup: how much was measured, how much the
+                // whole run is, and the extrapolated estimate. When
+                // sampled_exact is 1 the row IS the full detailed run.
+                const SampledSummary &s =
+                    res.sampled[w * spec.configs.size() + c];
+                row.stats.set("sampled", 1.0);
+                row.stats.set("sampled_intervals", double(s.intervals));
+                row.stats.set("sampled_measured_insts",
+                              double(s.measuredInsts));
+                row.stats.set("sampled_warmup_insts",
+                              double(s.warmupInsts));
+                row.stats.set("sampled_total_insts", double(s.totalInsts));
+                row.stats.set("sampled_coverage", s.coverage());
+                row.stats.set("sampled_ipc", s.ipc());
+                row.stats.set("sampled_cycles_extrapolated",
+                              s.cyclesExtrapolated());
+                row.stats.set("sampled_exact", s.exact ? 1.0 : 0.0);
+            }
         }
     }
     if (csv)

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "base/json.hh"
+#include "sim/sampling/sampling.hh"
 #include "sim/sweep.hh"
 
 namespace rix
@@ -68,6 +69,16 @@ struct ScenarioSpec
     u64 maxRetired = 20'000'000;
     Cycle maxCycles = 200'000'000;
     std::vector<ScenarioConfig> configs;
+
+    /**
+     * Sampled-simulation plan from the spec's "sampling" block (see
+     * sim/sampling/sampling.hh for the grammar). Empty: every point is
+     * one full detailed run. Non-empty: every (workload, config) point
+     * expands into one SimJob per interval — independently scheduled
+     * across the sweep pool — whose reports are merged back into one
+     * row per point, with the sampled_* rollup columns added.
+     */
+    SamplingPlan sampling;
 
     /** Index of the config labeled @p label, or -1. */
     int configIndex(const std::string &label) const;
@@ -97,7 +108,15 @@ workloadSelectionFromEnv(std::vector<std::string> dflt);
 struct ScenarioResults
 {
     size_t numConfigs = 0;
-    std::vector<SimJobResult> jobs; // workload-major
+    std::vector<SimJobResult> jobs; // workload-major; merged if sampled
+
+    // Sampled runs only: one rollup per (workload, config) point,
+    // same indexing as jobs, plus the raw per-interval results
+    // ((workload, config)-major, interval-minor).
+    std::vector<SampledSummary> sampled;
+    std::vector<SimJobResult> intervalJobs;
+
+    bool isSampled() const { return !sampled.empty(); }
 
     const SimReport &
     report(size_t w, size_t c) const

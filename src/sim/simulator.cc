@@ -72,6 +72,36 @@ collectReport(Core &core, const std::string &workload)
 }
 
 SimReport
+deltaReport(const SimReport &fin, const SimReport &base)
+{
+    SimReport d = fin;
+    CoreStats::subtract(d.core, base.core);
+    d.l1dMisses -= base.l1dMisses;
+    d.l1iMisses -= base.l1iMisses;
+    d.l2Misses -= base.l2Misses;
+    d.dtlbMisses -= base.dtlbMisses;
+    d.itlbMisses -= base.itlbMisses;
+    return d;
+}
+
+void
+accumulateReport(SimReport &into, const SimReport &part)
+{
+    if (into.workload.empty())
+        into.workload = part.workload;
+    else if (into.workload != part.workload)
+        rix_panic("accumulateReport: mixing workloads '%s' and '%s'",
+                  into.workload.c_str(), part.workload.c_str());
+    CoreStats::accumulate(into.core, part.core);
+    into.halted = into.halted || part.halted;
+    into.l1dMisses += part.l1dMisses;
+    into.l1iMisses += part.l1iMisses;
+    into.l2Misses += part.l2Misses;
+    into.dtlbMisses += part.dtlbMisses;
+    into.itlbMisses += part.itlbMisses;
+}
+
+SimReport
 runSimulation(const Program &prog, const CoreParams &params,
               u64 max_retired, Cycle max_cycles)
 {

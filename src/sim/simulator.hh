@@ -31,6 +31,18 @@ struct SimReport
 SimReport collectReport(Core &core, const std::string &workload);
 
 /**
+ * Counter-wise @p fin - @p base: the statistics accrued *after* the
+ * @p base snapshot was taken (the sampled-interval path uses this to
+ * discard detailed-warmup statistics). Non-counter fields (workload,
+ * halted) come from @p fin.
+ */
+SimReport deltaReport(const SimReport &fin, const SimReport &base);
+
+/** Counter-wise accumulation of @p part into @p into (interval
+ *  merging); halted is OR-ed, workload must match or be empty. */
+void accumulateReport(SimReport &into, const SimReport &part);
+
+/**
  * Export everything a report carries — the pipeline stats, the Figure-5
  * breakdown arrays, and the substrate (cache/TLB) statistics — into the
  * uniform named-stat namespace used by the scenario emitters.

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/thread_pool.hh"
+#include "sim/sampling/checkpoint_cache.hh"
 #include "sim/validate.hh"
 #include "workload/program_cache.hh"
 
@@ -17,13 +18,22 @@ using Clock = std::chrono::steady_clock;
 SimJobResult
 executeJob(SimContext &ctx, const SimJob &job)
 {
-    // The program is shared read-only across all jobs and threads;
-    // build (once) outside the timed region.
+    // The program — and for sampled jobs the checkpoint — is shared
+    // read-only across all jobs and threads; build (once) outside the
+    // timed region, like the program image.
     const Program &prog = globalProgramCache().get(job.workload, job.scale);
+    const Checkpoint *from =
+        job.sampled() ? &globalCheckpointCache().get(job.workload,
+                                                     job.scale,
+                                                     job.checkpointAt)
+                      : nullptr;
 
     const auto t0 = Clock::now();
     SimJobResult res;
-    res.report = ctx.run(prog, job.params, job.maxRetired, job.maxCycles);
+    res.report =
+        from ? ctx.runInterval(prog, *from, job.params, job.warmup,
+                               job.maxRetired, job.maxCycles)
+             : ctx.run(prog, job.params, job.maxRetired, job.maxCycles);
     res.wallSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
     return res;
 }
@@ -44,6 +54,37 @@ SimContext::run(const Program &prog, const CoreParams &params,
         core->reset(prog, params);
     core->run(max_retired, max_cycles);
     return collectReport(*core, prog.name);
+}
+
+SimReport
+SimContext::runInterval(const Program &prog, const Checkpoint &from,
+                        const CoreParams &params, u64 warmup, u64 measure,
+                        Cycle max_cycles)
+{
+    requireValidCoreParams(params, "SimContext(" + prog.name + ")");
+    if (!core)
+        core = std::make_unique<Core>(prog, params);
+    core->reset(prog, params, from);
+
+    // Detailed warmup: simulate but snapshot-and-subtract the
+    // statistics. Both phases end on an *exact* retired-instruction
+    // boundary (setRetireStop), so the interval covers precisely
+    // [checkpoint, checkpoint+warmup+measure) of the architectural
+    // stream and adjacent intervals never double-count instructions
+    // through multi-wide retirement overshoot.
+    SimReport warm;
+    if (warmup) {
+        core->setRetireStop(warmup);
+        core->run(warmup, max_cycles);
+    }
+    warm = collectReport(*core, prog.name);
+
+    const u64 warmed = core->stats().retired;
+    const u64 target =
+        measure > ~u64(0) - warmed ? ~u64(0) : warmed + measure;
+    core->setRetireStop(target);
+    core->run(target, max_cycles);
+    return deltaReport(collectReport(*core, prog.name), warm);
 }
 
 SweepRunner::SweepRunner(unsigned num_threads)

@@ -38,11 +38,26 @@ namespace rix
 /** One point of a sweep: workload x configuration x run limits. */
 struct SimJob
 {
+    static constexpr u64 noCheckpoint = ~u64(0);
+
     std::string workload;       // program-cache key (with scale)
     u64 scale = 1;
     CoreParams params;
     u64 maxRetired = 20'000'000;
     Cycle maxCycles = 200'000'000;
+
+    // Sampled-interval mode (checkpointAt != noCheckpoint): restore
+    // the architectural checkpoint taken at `checkpointAt` retired
+    // instructions (built once per (workload, scale, point) in the
+    // process-wide CheckpointCache), run `warmup` detailed
+    // instructions with statistics discarded, then measure for
+    // `maxRetired` instructions — so maxRetired is always the job's
+    // *reported* instruction budget. maxCycles caps warmup+measure
+    // together.
+    u64 checkpointAt = noCheckpoint;
+    u64 warmup = 0;
+
+    bool sampled() const { return checkpointAt != noCheckpoint; }
 };
 
 /** A job's report plus the host wall time the simulation took. */
@@ -66,6 +81,18 @@ class SimContext
     /** Run one simulation, reusing this context's core. */
     SimReport run(const Program &prog, const CoreParams &params,
                   u64 max_retired, Cycle max_cycles);
+
+    /**
+     * Run one sampled interval: resume the detailed pipeline from
+     * @p from, run @p warmup instructions discarding statistics, then
+     * measure @p measure instructions. The returned report covers
+     * exactly the measured window (warmup === 0 and a checkpoint at
+     * instruction 0 make it bit-identical to a full run() of the same
+     * budget).
+     */
+    SimReport runInterval(const Program &prog, const Checkpoint &from,
+                          const CoreParams &params, u64 warmup,
+                          u64 measure, Cycle max_cycles);
 
   private:
     std::unique_ptr<Core> core;

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Checkpoint determinism tests: restore(snapshot()) followed by N
+ * steps must be bit-identical — registers, memory, StepResults — to N
+ * continuous steps, in both memory-snapshot forms, across emulator
+ * reuse (reset to a different program in between), and through the
+ * detailed core's reset-from-checkpoint path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cpu/core.hh"
+#include "emu/emulator.hh"
+#include "sim/presets.hh"
+#include "sim/simulator.hh"
+#include "workload/workload.hh"
+
+using namespace rix;
+
+namespace
+{
+
+/** Field-wise StepResult equality (Instruction has no operator==). */
+void
+expectSameStep(const StepResult &a, const StepResult &b, u64 step)
+{
+    EXPECT_EQ(a.pc, b.pc) << "step " << step;
+    EXPECT_EQ(a.nextPc, b.nextPc) << "step " << step;
+    EXPECT_EQ(a.inst.op, b.inst.op) << "step " << step;
+    EXPECT_EQ(a.inst.ra, b.inst.ra) << "step " << step;
+    EXPECT_EQ(a.inst.rb, b.inst.rb) << "step " << step;
+    EXPECT_EQ(a.inst.rc, b.inst.rc) << "step " << step;
+    EXPECT_EQ(a.inst.imm, b.inst.imm) << "step " << step;
+    EXPECT_EQ(a.wroteReg, b.wroteReg) << "step " << step;
+    EXPECT_EQ(a.destReg, b.destReg) << "step " << step;
+    EXPECT_EQ(a.destValue, b.destValue) << "step " << step;
+    EXPECT_EQ(a.isMemAccess, b.isMemAccess) << "step " << step;
+    EXPECT_EQ(a.memAddr, b.memAddr) << "step " << step;
+    EXPECT_EQ(a.halted, b.halted) << "step " << step;
+}
+
+void
+expectSameArchState(const Emulator &a, const Emulator &b)
+{
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.halted(), b.halted());
+    EXPECT_EQ(a.instsExecuted(), b.instsExecuted());
+    for (unsigned r = 0; r < numLogRegs; ++r)
+        EXPECT_EQ(a.reg(LogReg(r)), b.reg(LogReg(r))) << "r" << r;
+    EXPECT_EQ(a.output(), b.output());
+    EXPECT_TRUE(a.memory().contentEquals(b.memory()));
+}
+
+/** Continue both emulators @p n steps and demand identical streams. */
+void
+expectSameContinuation(Emulator &ref, Emulator &resumed, u64 n)
+{
+    for (u64 i = 0; i < n; ++i)
+        expectSameStep(ref.step(), resumed.step(), i);
+    expectSameArchState(ref, resumed);
+}
+
+} // namespace
+
+TEST(Checkpoint, MemoryPageExportImportRoundTrip)
+{
+    Memory m;
+    // Scattered touches, including page 0 and a page-straddling write.
+    m.write64(0x0, 0x1122334455667788ull);
+    m.write64(0x10000, 42);
+    m.write8(0x10fff, 0xab);   // last byte of a page
+    m.write64(0x20ffc, ~u64(0)); // straddles two pages
+    m.write32(0x7fff0000, 7);
+
+    const auto pages = m.exportPages();
+    // Sorted by page number, no duplicates.
+    for (size_t i = 1; i < pages.size(); ++i)
+        EXPECT_LT(pages[i - 1].pageNumber, pages[i].pageNumber);
+
+    Memory n;
+    n.importPages(pages);
+    EXPECT_TRUE(m.contentEquals(n));
+    EXPECT_EQ(n.read64(0x20ffc), ~u64(0));
+}
+
+TEST(Checkpoint, MemoryExportDiffImageOmitsPristinePages)
+{
+    // Image: 8 KiB spanning two pages starting mid-page at 0x800.
+    std::vector<u8> image(0x2000);
+    for (size_t i = 0; i < image.size(); ++i)
+        image[i] = u8(i * 7 + 1);
+    const Addr base = 0x800;
+
+    Memory m;
+    m.writeBlock(base, image);
+    // Every touched page matches the pristine image: empty diff.
+    EXPECT_EQ(m.exportPagesDiffImage(base, image).size(), 0u);
+
+    m.write64(0x1000, ~u64(0)); // dirty a page inside the image
+    m.write64(0x9000, 3);       // dirty a page outside the image
+    m.write64(0xa000, 0);       // touch-only (all zero): still pristine
+    const auto diff = m.exportPagesDiffImage(base, image);
+    ASSERT_EQ(diff.size(), 2u);
+    EXPECT_EQ(diff[0].pageNumber, 0x1000u / Memory::pageBytes);
+    EXPECT_EQ(diff[1].pageNumber, 0x9000u / Memory::pageBytes);
+
+    // Bytes of a partially-covered page beyond the image end count as
+    // zero: writing there makes the page differ.
+    m.write8(base + image.size() + 16, 0xab);
+    EXPECT_EQ(m.exportPagesDiffImage(base, image).size(), 3u);
+}
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(CheckpointRoundTrip, ResumeBitIdentical)
+{
+    const bool diff = GetParam();
+    const Program prog = buildWorkload("gzip", 1);
+
+    Emulator ref(prog);
+    ref.run(10'000);
+    const Checkpoint ckpt = ref.snapshot(diff);
+    EXPECT_EQ(ckpt.icount, 10'000u);
+    EXPECT_EQ(ckpt.diffVsImage, diff);
+
+    Emulator resumed(prog);
+    resumed.run(123); // arbitrary garbage state; restore must erase it
+    resumed.restore(ckpt);
+    expectSameArchState(ref, resumed);
+    expectSameContinuation(ref, resumed, 20'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMemoryForms, CheckpointRoundTrip,
+                         ::testing::Bool());
+
+TEST(Checkpoint, DiffVsImageIsCompact)
+{
+    // mcf carries a multi-megabyte data image it only partially
+    // touches early on; the diff snapshot must not carry the image.
+    const Program prog = buildWorkload("mcf", 1);
+    Emulator emu(prog);
+    emu.run(5'000);
+
+    const Checkpoint full = emu.snapshot(/*diff_vs_image=*/false);
+    const Checkpoint diff = emu.snapshot(/*diff_vs_image=*/true);
+    EXPECT_LT(diff.pages.size(), full.pages.size() / 2)
+        << "diff " << diff.memoryBytes() << "B vs full "
+        << full.memoryBytes() << "B";
+
+    // Both restore to the same state.
+    Emulator a(prog), b(prog);
+    a.restore(full);
+    b.restore(diff);
+    expectSameArchState(a, b);
+    expectSameContinuation(a, b, 10'000);
+}
+
+TEST(Checkpoint, SurvivesEmulatorReuseAcrossPrograms)
+{
+    const Program progA = buildWorkload("gzip", 1);
+    const Program progB = buildWorkload("crafty", 1);
+
+    Emulator ref(progA);
+    ref.run(8'000);
+
+    Emulator reused(progA);
+    reused.run(8'000);
+    const Checkpoint ckpt = reused.snapshot();
+
+    // Recycle the emulator for a different program (the sweep-worker
+    // pattern), then come back.
+    reused.reset(progB);
+    reused.run(5'000);
+    reused.restore(progA, ckpt);
+
+    expectSameArchState(ref, reused);
+    expectSameContinuation(ref, reused, 15'000);
+}
+
+TEST(Checkpoint, HaltedCheckpointStaysHalted)
+{
+    const Program prog = buildWorkload("gzip", 1);
+    Emulator emu(prog);
+    emu.run(100'000'000);
+    ASSERT_TRUE(emu.halted());
+    const u64 total = emu.instsExecuted();
+
+    const Checkpoint ckpt = emu.snapshot();
+    EXPECT_TRUE(ckpt.halted);
+
+    Emulator resumed(prog);
+    resumed.restore(ckpt);
+    EXPECT_TRUE(resumed.halted());
+    EXPECT_EQ(resumed.instsExecuted(), total);
+    EXPECT_TRUE(resumed.step().halted); // stepping past HALT is a no-op
+    EXPECT_EQ(resumed.instsExecuted(), total);
+
+    // The detailed core from a halted checkpoint has nothing to run.
+    Core core(prog, baselineParams());
+    core.reset(prog, baselineParams(), ckpt);
+    EXPECT_TRUE(core.halted());
+    const Core::RunResult rr = core.run(1'000, 1'000'000);
+    EXPECT_EQ(rr.retired, 0u);
+    EXPECT_TRUE(rr.halted);
+}
+
+TEST(Checkpoint, CoreResetFromInitialCheckpointMatchesFreshRun)
+{
+    const Program prog = buildWorkload("mcf", 1);
+    const CoreParams params = integrationParams(IntegrationMode::Reverse);
+
+    SimReport fresh = runSimulation(prog, params);
+
+    Emulator emu(prog);
+    const Checkpoint start = emu.snapshot(); // at instruction 0
+
+    Core core(prog, params);
+    core.run(100, 10'000); // dirty the context first
+    core.reset(prog, params, start);
+    core.run(~u64(0), ~Cycle(0));
+    SimReport resumed = collectReport(core, prog.name);
+
+    EXPECT_EQ(fresh.halted, resumed.halted);
+    EXPECT_EQ(memcmp(&fresh.core, &resumed.core, sizeof(CoreStats)), 0)
+        << "CoreStats differ between fresh run and checkpoint-at-0 run";
+    EXPECT_EQ(fresh.l1dMisses, resumed.l1dMisses);
+    EXPECT_EQ(fresh.l1iMisses, resumed.l1iMisses);
+    EXPECT_EQ(fresh.l2Misses, resumed.l2Misses);
+    EXPECT_EQ(fresh.dtlbMisses, resumed.dtlbMisses);
+    EXPECT_EQ(fresh.itlbMisses, resumed.itlbMisses);
+}
+
+TEST(Checkpoint, CoreResumesMidRunAndFinishesTheArchitecturalStream)
+{
+    const Program prog = buildWorkload("gzip", 1);
+    const CoreParams params = integrationParams(IntegrationMode::Reverse);
+
+    // Reference: the whole run, detailed, plus the total inst count.
+    Core full(prog, params);
+    full.run(~u64(0), ~Cycle(0));
+    ASSERT_TRUE(full.halted());
+    const u64 total = full.stats().retired;
+
+    for (const u64 k : {u64(1), u64(5'000), total - 1}) {
+        Emulator ff(prog);
+        ff.run(k);
+        const Checkpoint ckpt = ff.snapshot();
+
+        Core core(prog, params);
+        core.reset(prog, params, ckpt);
+        core.run(~u64(0), ~Cycle(0));
+        EXPECT_TRUE(core.halted()) << "k=" << k;
+        // The detailed resume retires exactly the remaining stream...
+        EXPECT_EQ(core.stats().retired, total - k) << "k=" << k;
+        // ...and lands in the same architectural end state.
+        for (unsigned r = 0; r < numLogRegs; ++r)
+            EXPECT_EQ(core.golden().reg(LogReg(r)),
+                      full.golden().reg(LogReg(r)))
+                << "k=" << k << " r" << r;
+        EXPECT_EQ(core.golden().output(), full.golden().output())
+            << "k=" << k;
+        EXPECT_TRUE(core.golden().memory().contentEquals(
+            full.golden().memory()))
+            << "k=" << k;
+    }
+}

@@ -167,6 +167,68 @@ TEST_P(RandomPrograms, AllModesMatchEmulator)
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
                          ::testing::Range(u64(1), u64(21)));
 
+TEST(RandomProgramsCheckpoint, RandomizedResumePointsMatchFullRun)
+{
+    // Sampled-simulation invariant on arbitrary programs: a full
+    // detailed run and fast-forward-to-K + detailed-from-checkpoint
+    // retire identical instruction streams, for random programs and
+    // random K. The detailed resume's stream identity is enforced
+    // instruction-by-instruction by the DIVA checker (any divergence
+    // panics); here we additionally pin the endpoints: retired count,
+    // final architectural registers, memory and program output.
+    const CoreParams params = integrationParams(IntegrationMode::Reverse);
+    for (u64 seed = 300; seed < 305; ++seed) {
+        Program p = generate(seed);
+
+        Core full(p, params);
+        full.run(10'000'000, 50'000'000);
+        ASSERT_TRUE(full.halted()) << "seed " << seed;
+        const u64 total = full.stats().retired;
+        ASSERT_GT(total, 2u);
+
+        Rng rng(seed ^ 0xc0ffee);
+        for (int trial = 0; trial < 3; ++trial) {
+            const u64 k = 1 + rng.below(total - 2);
+
+            Emulator ff(p);
+            ff.run(k);
+            const Checkpoint ckpt = ff.snapshot();
+
+            // Functional resume tail == continuous functional stream.
+            Emulator cont(p);
+            cont.run(k);
+            Emulator resumed(p);
+            resumed.restore(ckpt);
+            for (u64 i = k; i < total; ++i) {
+                const StepResult a = cont.step();
+                const StepResult b = resumed.step();
+                ASSERT_EQ(a.pc, b.pc)
+                    << "seed " << seed << " k " << k << " step " << i;
+                ASSERT_EQ(a.nextPc, b.nextPc);
+                ASSERT_EQ(a.destValue, b.destValue);
+                ASSERT_EQ(a.halted, b.halted);
+            }
+
+            // Detailed resume retires exactly the remaining stream.
+            Core core(p, params);
+            core.reset(p, params, ckpt);
+            core.run(10'000'000, 50'000'000);
+            ASSERT_TRUE(core.halted()) << "seed " << seed << " k " << k;
+            EXPECT_EQ(core.stats().retired, total - k)
+                << "seed " << seed << " k " << k;
+            for (unsigned r = 0; r < numLogRegs; ++r)
+                EXPECT_EQ(core.golden().reg(LogReg(r)),
+                          full.golden().reg(LogReg(r)))
+                    << "seed " << seed << " k " << k << " r" << r;
+            EXPECT_EQ(core.golden().output(), full.golden().output())
+                << "seed " << seed << " k " << k;
+            EXPECT_TRUE(core.golden().memory().contentEquals(
+                full.golden().memory()))
+                << "seed " << seed << " k " << k;
+        }
+    }
+}
+
 TEST(RandomProgramsExtra, SmallWindowsStress)
 {
     // Tiny window + tiny IT: maximum squash/replacement churn.
