@@ -38,6 +38,11 @@ class JsonParser
     bool ok() const { return !failed; }
 
   private:
+    // Containers deeper than this are a parse error, not a stack
+    // overflow: the recursive-descent parser would otherwise crash on
+    // adversarial inputs like 100k open brackets.
+    static constexpr unsigned maxDepth = 128;
+
     JsonValue
     value()
     {
@@ -47,8 +52,17 @@ class JsonParser
             return {};
         }
         switch (*s) {
-          case '{': return object();
-          case '[': return array();
+          case '{':
+          case '[': {
+              if (depth >= maxDepth) {
+                  fail("nesting deeper than %u levels", maxDepth);
+                  return {};
+              }
+              ++depth;
+              JsonValue v = *s == '{' ? object() : array();
+              --depth;
+              return v;
+          }
           case '"': return string();
           case 't': return keyword("true");
           case 'f': return keyword("false");
@@ -219,6 +233,10 @@ class JsonParser
             fail("invalid value");
             return {};
         }
+        if (*s == '0' && s + 1 != end && isdigit((unsigned char)s[1])) {
+            fail("leading zeros are not allowed in numbers");
+            return {};
+        }
         while (s != end && isdigit((unsigned char)*s))
             ++s;
         bool integral = true;
@@ -248,6 +266,13 @@ class JsonParser
         v.kind_ = JsonValue::Kind::Number;
         v.numVal = strtod(std::string(start, s).c_str(), nullptr);
         v.integral = integral;
+        // strtod saturates huge literals ("1e999") to +-inf; letting
+        // that through would silently turn a typo'd config value into
+        // infinity downstream.
+        if (!std::isfinite(v.numVal)) {
+            fail("number overflows the representable range");
+            return {};
+        }
         return v;
     }
 
@@ -307,6 +332,7 @@ class JsonParser
     const char *const begin_ = s;
     std::string *err_;
     bool failed = false;
+    unsigned depth = 0;
 };
 
 JsonValue

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "base/env.hh"
+#include "sim/fuzz.hh"
 #include "sim/scenario.hh"
 #include "sim/validate.hh"
 #include "workload/workload.hh"
@@ -33,6 +34,7 @@ usage(FILE *out)
             "usage:\n"
             "  rix run <spec.json> [--out FILE] [--jobs N] [--scale S]\n"
             "                                     run a scenario spec\n"
+            "  rix fuzz [options]                 differential fuzzing\n"
             "  rix validate <spec.json>...        parse + validate only\n"
             "  rix list-workloads                 registered workloads\n"
             "  rix help                           this text\n"
@@ -42,6 +44,21 @@ usage(FILE *out)
             "             1 = serial)\n"
             "  --scale S  workload scale factor (overrides RIX_SCALE and\n"
             "             the spec)\n"
+            "\n"
+            "fuzz options:\n"
+            "  --seeds N        random programs to run (default 100)\n"
+            "  --first-seed S   first generator seed (default 1)\n"
+            "  --panel FILE     scenario spec supplying the config panel\n"
+            "                   (default: built-in 4-point panel)\n"
+            "  --config LABEL   restrict the panel to one point\n"
+            "  --out FILE       reproducer path on divergence\n"
+            "                   (default rix_fuzz_repro.txt)\n"
+            "  --max-retired N  per-run retired-instruction budget\n"
+            "  --no-minimize    skip shrinking the failing program\n"
+            "  --jobs N         worker threads (overrides RIX_JOBS)\n"
+            "  exit status: 0 no divergence; 1 divergence (reproducer\n"
+            "  written — its presence disambiguates from fatal\n"
+            "  configuration errors, which also exit 1); 2 usage error\n"
             "\n"
             "environment (legacy overrides, validated):\n"
             "  RIX_SCALE  workload scale factor (overrides the spec)\n"
@@ -112,6 +129,75 @@ cmdRun(int argc, char **argv)
 }
 
 int
+cmdFuzz(int argc, char **argv)
+{
+    rix::FuzzOptions opts;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto needValue = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                fprintf(stderr, "rix fuzz: %s needs an argument\n", what);
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            opts.seeds = rix::parsePositiveCount("rix fuzz --seeds",
+                                                 needValue("--seeds"));
+        } else if (arg == "--first-seed") {
+            opts.firstSeed = rix::parsePositiveCount(
+                "rix fuzz --first-seed", needValue("--first-seed"));
+        } else if (arg == "--panel") {
+            opts.panelPath = needValue("--panel");
+        } else if (arg == "--config") {
+            opts.onlyConfig = needValue("--config");
+        } else if (arg == "--out") {
+            opts.reproPath = needValue("--out");
+        } else if (arg == "--max-retired") {
+            opts.maxRetired = rix::parsePositiveCount(
+                "rix fuzz --max-retired", needValue("--max-retired"));
+        } else if (arg == "--no-minimize") {
+            opts.minimize = false;
+        } else if (arg == "--jobs") {
+            const char *v = needValue("--jobs");
+            rix::parsePositiveCount("rix fuzz --jobs", v);
+            setenv("RIX_JOBS", v, /*overwrite=*/1);
+        } else {
+            fprintf(stderr, "rix fuzz: unknown option '%s'\n",
+                    argv[i]);
+            return 2;
+        }
+    }
+
+    const rix::FuzzResult res = rix::runFuzz(opts);
+    if (res.failed) {
+        fprintf(stderr, "rix fuzz: seed %llu config '%s':\n%s",
+                (unsigned long long)res.failure.seed,
+                res.failure.configLabel.c_str(),
+                res.failure.report.format().c_str());
+        if (opts.minimize)
+            fprintf(stderr,
+                    "rix fuzz: minimized to %zu live instructions; "
+                    "reproducer written to %s\n",
+                    res.failure.liveInsts, res.reproFile.c_str());
+        else
+            fprintf(stderr,
+                    "rix fuzz: %zu live instructions (not minimized); "
+                    "reproducer written to %s\n",
+                    res.failure.liveInsts, res.reproFile.c_str());
+    }
+    printf("{\"fuzz\": \"rix\", \"seeds\": %llu, \"first_seed\": %llu, "
+           "\"points\": %zu, \"runs\": %llu, \"divergences\": %d, "
+           "\"truncated\": %llu, \"fault_injected\": %d}\n",
+           (unsigned long long)res.programs,
+           (unsigned long long)opts.firstSeed, res.points,
+           (unsigned long long)res.runs, res.failed ? 1 : 0,
+           (unsigned long long)res.truncated,
+           rix::buildHasInjectedFault() ? 1 : 0);
+    return res.failed ? 1 : 0;
+}
+
+int
 cmdValidate(int argc, char **argv)
 {
     if (argc == 0) {
@@ -154,6 +240,8 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
+    if (cmd == "fuzz")
+        return cmdFuzz(argc - 2, argv + 2);
     if (cmd == "validate")
         return cmdValidate(argc - 2, argv + 2);
     if (cmd == "list-workloads")

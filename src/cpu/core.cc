@@ -17,6 +17,7 @@ Core::Core(const Program &program, const CoreParams &params)
       operandWaiters(p.integ.numPhysRegs)
 {
     initArchState();
+    resetLockstep(nullptr);
 }
 
 void
@@ -24,6 +25,7 @@ Core::reset(const Program &program, const CoreParams &params)
 {
     golden_.reset(program);
     resetMicroarch(program, params);
+    resetLockstep(nullptr);
 }
 
 void
@@ -32,6 +34,22 @@ Core::reset(const Program &program, const CoreParams &params,
 {
     golden_.restore(program, from);
     resetMicroarch(program, params);
+    resetLockstep(&from);
+}
+
+void
+Core::resetLockstep(const Checkpoint *from)
+{
+    if (!p.check.lockstep && !lockstepCheckFromEnv()) {
+        lockstep_.reset();
+        return;
+    }
+    if (!lockstep_)
+        lockstep_ = std::make_unique<LockstepChecker>();
+    if (from)
+        lockstep_->reset(*prog, *from);
+    else
+        lockstep_->reset(*prog);
 }
 
 void
@@ -80,6 +98,7 @@ Core::resetMicroarch(const Program &program, const CoreParams &params)
     renameStreamPos = 0;
     cycle = 0;
     done = false;
+    diverged_ = false;
     lastProgressCycle = 0;
     stats_ = CoreStats{};
 

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "cpu/core_stats.hh"
 #include "cpu/dyn_inst.hh"
 #include "cpu/dyn_inst_pool.hh"
+#include "cpu/lockstep.hh"
 #include "cpu/params.hh"
 #include "emu/emulator.hh"
 #include "mem/write_buffer.hh"
@@ -102,13 +104,42 @@ class Core
         retireStopAt = absolute_retired;
     }
 
-    bool halted() const { return done; }
+    bool halted() const { return done && !diverged_; }
     Cycle now() const { return cycle; }
     const CoreStats &stats() const { return stats_; }
     const CoreParams &params() const { return p; }
 
     /** Committed architectural state (the DIVA golden model). */
     const Emulator &golden() const { return golden_; }
+
+    /**
+     * True when this core carries a lockstep checker (configured via
+     * CoreParams::check.lockstep or the RIX_CHECK=1 environment knob,
+     * re-evaluated at every reset).
+     */
+    bool lockstepEnabled() const { return lockstep_ != nullptr; }
+
+    /**
+     * Non-null after lockstep checking detected a divergence: the run
+     * stopped at the offending instruction (halted() stays false) and
+     * the report carries the architectural position, disassembly,
+     * mismatching values and both architectural states. Always null
+     * when lockstep checking is off — without it a divergence is a
+     * panic, exactly the historical behaviour.
+     */
+    const DivergenceReport *
+    divergence() const
+    {
+        return lockstep_ && lockstep_->diverged() ? &lockstep_->report()
+                                                  : nullptr;
+    }
+
+    /** The lockstep shadow emulator (tests); null when disabled. */
+    const Emulator *
+    shadowEmulator() const
+    {
+        return lockstep_ ? &lockstep_->shadow() : nullptr;
+    }
 
     IntegrationEngine &integration() { return integ; }
     RegStateVector &regStateVector() { return regState; }
@@ -218,6 +249,19 @@ class Core
      *  shared by the fresh and from-checkpoint paths. */
     void resetMicroarch(const Program &prog, const CoreParams &params);
 
+    /** (De)activate the lockstep checker per the current params/env
+     *  and seed its shadow emulator (from @p from when resuming a
+     *  checkpoint, else from the program start). */
+    void resetLockstep(const Checkpoint *from);
+
+    /** Stop the run after the lockstep checker recorded a divergence. */
+    void
+    stopDiverged()
+    {
+        diverged_ = true;
+        done = true;
+    }
+
     /** Shared tail of construction and reset(): pin the zero register,
      *  map the architectural registers from the golden state, point
      *  fetch at its PC. */
@@ -227,6 +271,9 @@ class Core
     const Program *prog; // never null; rebindable via reset()
     CoreParams p;
     Emulator golden_;
+    // Null when lockstep checking is off: the only hot-path cost of
+    // the disabled checker is a pointer test per retired instruction.
+    std::unique_ptr<LockstepChecker> lockstep_;
     MemHierarchy mem;
     BranchPredictorUnit bpred;
     RegStateVector regState;
@@ -308,6 +355,7 @@ class Core
     u64 renameStreamPos = 0;
     Cycle cycle = 0;
     bool done = false;
+    bool diverged_ = false;
     Cycle lastProgressCycle = 0;
     CoreStats stats_;
 };

@@ -137,8 +137,19 @@ Core::executeAlu(DynInst &di)
         di.resolved = true;
         break;
       default:
-        if (di.hasDest)
-            pregValue[di.pdest] = aluCompute(inst, a, b);
+        if (di.hasDest) {
+            u64 v = aluCompute(inst, a, b);
+#ifdef RIX_FAULT_INJECT_ADDQ
+            // Deliberate, build-time-gated execute-stage bug (cmake
+            // -DRIX_FAULT_INJECT=ON): flip one bit of every ADDQ
+            // result. Exists solely so the differential-verification
+            // subsystem can prove it actually detects and minimizes a
+            // real pipeline fault; never enabled in normal builds.
+            if (inst.op == Opcode::ADDQ)
+                v ^= u64(1) << 17;
+#endif
+            pregValue[di.pdest] = v;
+        }
         break;
     }
     scheduleCompletion(di, cycle + inst.traits().latency);

@@ -1,0 +1,192 @@
+#include "cpu/lockstep.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+bool
+lockstepCheckFromEnv()
+{
+    const char *v = getenv("RIX_CHECK");
+    if (!v)
+        return false;
+    if (strcmp(v, "0") == 0)
+        return false;
+    if (strcmp(v, "1") == 0)
+        return true;
+    rix_fatal("RIX_CHECK must be 0 or 1 (got '%s')", v);
+}
+
+std::string
+formatArchState(const Emulator &e)
+{
+    std::string out = strfmt("  pc=%llu icount=%llu halted=%d\n",
+                             (unsigned long long)e.pc(),
+                             (unsigned long long)e.instsExecuted(),
+                             e.halted() ? 1 : 0);
+    for (unsigned r = 0; r < numLogRegs; r += 4) {
+        out += " ";
+        for (unsigned i = r; i < r + 4; ++i)
+            out += strfmt(" r%-2u=%016llx", i,
+                          (unsigned long long)e.reg(LogReg(i)));
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+DivergenceReport::format() const
+{
+    if (!diverged)
+        return "no divergence";
+    std::string out;
+    out += strfmt("lockstep divergence (%s) at instruction %llu, pc %llu\n",
+                  kind.c_str(), (unsigned long long)icount,
+                  (unsigned long long)pc);
+    out += "  inst:   " + disasm + "\n";
+    out += "  reason: " + reason + "\n";
+    out += "golden (committed) architectural state:\n" + goldenState;
+    out += "shadow emulator architectural state:\n" + shadowState;
+    return out;
+}
+
+const Program &
+LockstepChecker::emptyProgram()
+{
+    static const Program empty;
+    return empty;
+}
+
+void
+LockstepChecker::reset(const Program &prog)
+{
+    shadow_.reset(prog);
+    report_ = DivergenceReport{};
+}
+
+void
+LockstepChecker::reset(const Program &prog, const Checkpoint &from)
+{
+    shadow_.restore(prog, from);
+    report_ = DivergenceReport{};
+}
+
+void
+LockstepChecker::finishReport(const Emulator &golden)
+{
+    report_.diverged = true;
+    report_.goldenState = formatArchState(golden);
+    report_.shadowState = formatArchState(shadow_);
+}
+
+void
+LockstepChecker::recordStreamMismatch(const DynInst &di,
+                                      const Emulator &golden)
+{
+    report_.kind = "pc-stream";
+    report_.icount = golden.instsExecuted();
+    report_.pc = di.pc;
+    report_.disasm = disassemble(di.inst);
+    report_.reason =
+        strfmt("pipeline retires pc %llu but the architectural stream "
+               "is at pc %llu",
+               (unsigned long long)di.pc,
+               (unsigned long long)golden.pc());
+    finishReport(golden);
+}
+
+void
+LockstepChecker::recordValueMismatch(const DynInst &di,
+                                     const StepResult &expected,
+                                     const Emulator &golden, u64 pipe_dest)
+{
+    report_.kind = "value";
+    report_.icount = golden.instsExecuted();
+    report_.pc = di.pc;
+    report_.disasm = disassemble(di.inst);
+
+    // Re-run the DIVA comparisons to name exactly what mismatched.
+    std::string why;
+    if (di.hasDest && pipe_dest != expected.destValue)
+        why = strfmt("destination value %016llx, architecturally %016llx",
+                     (unsigned long long)pipe_dest,
+                     (unsigned long long)expected.destValue);
+    else if (di.isStore() && di.effAddr != expected.memAddr)
+        why = strfmt("store address %llx, architecturally %llx",
+                     (unsigned long long)di.effAddr,
+                     (unsigned long long)expected.memAddr);
+    else if (di.isStore() && di.storeData != expected.destValue)
+        why = strfmt("store data %016llx, architecturally %016llx",
+                     (unsigned long long)di.storeData,
+                     (unsigned long long)expected.destValue);
+    else if (di.isLoad() && di.effAddr != expected.memAddr)
+        why = strfmt("load address %llx, architecturally %llx",
+                     (unsigned long long)di.effAddr,
+                     (unsigned long long)expected.memAddr);
+    else if (di.isCtrl && di.actualNextPc() != expected.nextPc)
+        why = strfmt("next pc %llu, architecturally %llu",
+                     (unsigned long long)di.actualNextPc(),
+                     (unsigned long long)expected.nextPc);
+    else
+        why = "DIVA mismatch (unclassified)";
+    report_.reason = "pipeline produced " + why;
+    finishReport(golden);
+}
+
+bool
+LockstepChecker::checkShadowStep(const StepResult &expected,
+                                 const Emulator &golden)
+{
+    // The shadow runs through its ordinary step() path — a fully
+    // independent second execution of the instruction the golden model
+    // just committed via preview()/commit().
+    const StepResult got = shadow_.step();
+
+    std::string why;
+    if (got.pc != expected.pc)
+        why = strfmt("stepped pc %llu, golden committed pc %llu",
+                     (unsigned long long)got.pc,
+                     (unsigned long long)expected.pc);
+    else if (got.nextPc != expected.nextPc)
+        why = strfmt("next pc %llu, golden %llu",
+                     (unsigned long long)got.nextPc,
+                     (unsigned long long)expected.nextPc);
+    else if (got.wroteReg != expected.wroteReg ||
+             (got.wroteReg && (got.destReg != expected.destReg ||
+                               got.destValue != expected.destValue)))
+        why = strfmt("dest r%u=%016llx, golden r%u=%016llx",
+                     unsigned(got.destReg),
+                     (unsigned long long)got.destValue,
+                     unsigned(expected.destReg),
+                     (unsigned long long)expected.destValue);
+    else if (got.isMemAccess != expected.isMemAccess ||
+             (got.isMemAccess &&
+              (got.memAddr != expected.memAddr ||
+               (got.inst.isStore() &&
+                got.destValue != expected.destValue))))
+        why = strfmt("memory access addr %llx data %016llx, golden addr "
+                     "%llx data %016llx",
+                     (unsigned long long)got.memAddr,
+                     (unsigned long long)got.destValue,
+                     (unsigned long long)expected.memAddr,
+                     (unsigned long long)expected.destValue);
+    else if (got.halted != expected.halted)
+        why = strfmt("halted=%d, golden halted=%d", got.halted ? 1 : 0,
+                     expected.halted ? 1 : 0);
+    else
+        return true;
+
+    report_.kind = "shadow";
+    report_.icount = golden.instsExecuted() - 1;
+    report_.pc = expected.pc;
+    report_.disasm = disassemble(expected.inst);
+    report_.reason = "shadow emulator " + why;
+    finishReport(golden);
+    return false;
+}
+
+} // namespace rix

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Retire-time lockstep checking: the differential-verification hook.
+ *
+ * The DIVA golden emulator already re-executes every retiring
+ * instruction architecturally; historically any mismatch on a
+ * non-integrated instruction (a genuine simulator bug, as opposed to a
+ * mis-integration) was a panic that aborted the process. The lockstep
+ * checker turns that abort into *data*: when enabled, the core carries
+ * a second, fully independent shadow Emulator that is stepped once per
+ * retired instruction through its ordinary step() path (exercising
+ * fetch/decode/execute/commit end to end, not the preview/commit split
+ * the DIVA checker uses), and every would-be panic — retire-stream PC
+ * divergence, a wrong destination value, wrong store traffic, a wrong
+ * branch target, or the shadow disagreeing with the committed golden
+ * stream — is captured as a DivergenceReport carrying the architectural
+ * instruction index, the disassembly, the mismatching values and both
+ * architectural register files, and the core stops instead of
+ * aborting. That report is what `rix fuzz` minimizes into a
+ * reproducer.
+ *
+ * Enablement: per-configuration via CoreParams::check.lockstep (spec
+ * key "check.lockstep") or process-wide via RIX_CHECK=1. When off the
+ * core carries no checker object at all — the only cost is a null
+ * pointer test per retired instruction.
+ *
+ * The checker composes with the sampled-simulation paths: resuming a
+ * core from an architectural checkpoint seeds the shadow emulator from
+ * the same checkpoint, and reused (reset) core contexts re-seed the
+ * shadow exactly like a freshly constructed one.
+ */
+
+#ifndef RIX_CPU_LOCKSTEP_HH
+#define RIX_CPU_LOCKSTEP_HH
+
+#include <string>
+
+#include "cpu/dyn_inst.hh"
+#include "emu/emulator.hh"
+
+namespace rix
+{
+
+/** First divergence found by the lockstep checker. */
+struct DivergenceReport
+{
+    bool diverged = false;
+
+    /** What diverged: "pc-stream", "value", or "shadow". */
+    std::string kind;
+
+    /**
+     * 0-based index of the diverging instruction in the architectural
+     * stream (counted from the program start — a core resumed from a
+     * checkpoint reports absolute positions, not window offsets).
+     */
+    u64 icount = 0;
+
+    InstAddr pc = 0;
+    std::string disasm;
+
+    /** Human-readable description of the mismatching values. */
+    std::string reason;
+
+    /** Committed architectural state (the DIVA golden emulator). */
+    std::string goldenState;
+
+    /** The independent shadow emulator's architectural state. */
+    std::string shadowState;
+
+    /** Multi-line human-readable rendering of the whole report. */
+    std::string format() const;
+};
+
+/**
+ * The RIX_CHECK environment knob: unset or "0" disables, "1" enables,
+ * anything else is fatal (same strictness as the other RIX_* knobs).
+ */
+bool lockstepCheckFromEnv();
+
+/** One-line-per-4-registers dump of @p e's architectural state. */
+std::string formatArchState(const Emulator &e);
+
+class LockstepChecker
+{
+  public:
+    /** (Re)seed the shadow from @p prog's initial state. */
+    void reset(const Program &prog);
+
+    /** (Re)seed the shadow from @p from (taken on @p prog) — the
+     *  checkpoint-resume path. */
+    void reset(const Program &prog, const Checkpoint &from);
+
+    /**
+     * Record the retire-stream check failure golden.pc() != di.pc
+     * (the pipeline is about to retire an instruction the
+     * architectural stream never reaches).
+     */
+    void recordStreamMismatch(const DynInst &di, const Emulator &golden);
+
+    /**
+     * Record a DIVA value-check failure on a non-integrated
+     * instruction: the pipeline-produced result (@p pipe_dest for
+     * register writers; di.effAddr / di.storeData / actualNextPc()
+     * for memory and control) disagrees with the golden preview
+     * @p expected.
+     */
+    void recordValueMismatch(const DynInst &di, const StepResult &expected,
+                             const Emulator &golden, u64 pipe_dest);
+
+    /**
+     * Step the shadow emulator once (the instruction the golden model
+     * just committed as @p expected) and cross-check pc / next pc /
+     * destination register / store traffic.
+     * @return true when the shadow agrees; false after recording a
+     *         divergence.
+     */
+    bool checkShadowStep(const StepResult &expected,
+                         const Emulator &golden);
+
+    bool diverged() const { return report_.diverged; }
+    const DivergenceReport &report() const { return report_; }
+    const Emulator &shadow() const { return shadow_; }
+
+  private:
+    void finishReport(const Emulator &golden);
+
+    Emulator shadow_{emptyProgram()};
+    DivergenceReport report_;
+
+    /** Placeholder program for the default-constructed shadow; every
+     *  use path reset()s onto a real program first. */
+    static const Program &emptyProgram();
+};
+
+} // namespace rix
+
+#endif // RIX_CPU_LOCKSTEP_HH

@@ -217,16 +217,34 @@ Core::retireStage()
         if (di.isStore() && writeBuffer.full())
             return;
 
-        if (golden_.pc() != di.pc)
+        if (golden_.pc() != di.pc) {
+            if (lockstep_) {
+                lockstep_->recordStreamMismatch(di, golden_);
+                stopDiverged();
+                return;
+            }
             rix_panic("retire stream diverged: pipeline pc=%llu golden "
                       "pc=%llu (%s)",
                       (unsigned long long)di.pc,
                       (unsigned long long)golden_.pc(),
                       disassemble(di.inst).c_str());
+        }
 
         const StepResult expected = golden_.preview();
         if (!divaCheck(di, expected)) {
-            if (!di.integrated)
+            if (!di.integrated) {
+                // A wrong result on a non-integrated instruction is a
+                // genuine execution bug. With the lockstep checker on
+                // it becomes a structured divergence report (the fuzz
+                // driver's raw material); without it, the historical
+                // panic.
+                if (lockstep_) {
+                    lockstep_->recordValueMismatch(
+                        di, expected, golden_,
+                        di.hasDest ? pregValue[di.pdest] : 0);
+                    stopDiverged();
+                    return;
+                }
                 rix_panic("DIVA mismatch on non-integrated '%s' at pc "
                           "%llu (pipeline value %llu, expected %llu)",
                           disassemble(di.inst).c_str(),
@@ -235,11 +253,16 @@ Core::retireStage()
                                                    ? pregValue[di.pdest]
                                                    : 0),
                           (unsigned long long)expected.destValue);
+            }
             handleMisintegration(di);
             return;
         }
 
         golden_.commit(expected);
+        if (lockstep_ && !lockstep_->checkShadowStep(expected, golden_)) {
+            stopDiverged();
+            return;
+        }
         lastProgressCycle = cycle;
 
         if (di.hasDest && di.oldDestValid)

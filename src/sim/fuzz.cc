@@ -1,0 +1,332 @@
+#include "sim/fuzz.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "base/log.hh"
+#include "base/thread_pool.hh"
+#include "sim/validate.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+/**
+ * The built-in configuration panel, expressed as a scenario spec so
+ * the label/set/grid expansion is exactly `rix run`'s: a baseline and
+ * a small-window/small-IT machine, each with integration off and with
+ * the full reverse mechanism — the four points where divergences have
+ * historically hidden (squash churn, IT replacement, misintegration
+ * recovery, plain pipeline).
+ */
+const char kBuiltinPanel[] = R"json({
+  "name": "fuzz-panel",
+  "workloads": ["gzip"],
+  "configs": [
+    {"label": "base", "set": {}},
+    {"label": "tiny", "set": {"rob_size": 16, "rs_size": 8,
+      "max_mem_ops": 8, "fetch_queue_size": 4, "integ.it_entries": 32,
+      "integ.it_assoc": 2, "integ.num_phys_regs": 128}}
+  ],
+  "grid": {"integ.mode": ["off", "reverse"]}
+})json";
+
+} // namespace
+
+bool
+buildHasInjectedFault()
+{
+#ifdef RIX_FAULT_INJECT_ADDQ
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::vector<ScenarioConfig>
+fuzzPanel(const std::string &panel_path, const std::string &only_config)
+{
+    const std::string text = panel_path.empty()
+                                 ? std::string(kBuiltinPanel)
+                                 : readScenarioFile(panel_path);
+    const ScenarioSpec spec = parseScenario(text);
+
+    std::vector<ScenarioConfig> points;
+    for (const ScenarioConfig &cfg : spec.configs) {
+        if (!only_config.empty() && cfg.label != only_config)
+            continue;
+        ScenarioConfig pt = cfg;
+        pt.params.check.lockstep = true;
+        requireValidCoreParams(pt.params,
+                               "fuzz panel config '" + pt.label + "'");
+        points.push_back(std::move(pt));
+    }
+    if (points.empty()) {
+        std::string labels;
+        for (const ScenarioConfig &cfg : spec.configs)
+            labels += " '" + cfg.label + "'";
+        rix_fatal("rix fuzz: --config '%s' matches no panel point; "
+                  "valid labels:%s", only_config.c_str(), labels.c_str());
+    }
+    return points;
+}
+
+size_t
+liveInstCount(const Program &p)
+{
+    size_t n = 0;
+    for (const Instruction &inst : p.code)
+        n += inst.isNop() ? 0 : 1;
+    return n;
+}
+
+Program
+minimizeProgram(const Program &p,
+                const std::function<bool(const Program &)> &still_fails,
+                u64 *runs)
+{
+    u64 local_runs = 0;
+    Program cur = p;
+    const size_t n = cur.code.size();
+
+    size_t chunk0 = 1;
+    while (chunk0 * 2 <= n)
+        chunk0 *= 2;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t chunk = chunk0; chunk >= 1; chunk /= 2) {
+            for (size_t start = 0; start < n; start += chunk) {
+                const size_t stop = std::min(n, start + chunk);
+                Program cand = cur;
+                bool any = false;
+                for (size_t i = start; i < stop; ++i) {
+                    if (!cand.code[i].isNop()) {
+                        cand.code[i] = makeNop();
+                        any = true;
+                    }
+                }
+                if (!any)
+                    continue;
+                ++local_runs;
+                if (still_fails(cand)) {
+                    cur = std::move(cand);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Out-of-range PCs fetch as NOPs on both the core and the
+    // emulator, so trailing NOP slots are semantically dead weight —
+    // drop them (keeping the entry slot in range).
+    while (!cur.code.empty() && cur.code.back().isNop() &&
+           cur.code.size() > cur.entry + 1)
+        cur.code.pop_back();
+
+    if (runs)
+        *runs += local_runs;
+    return cur;
+}
+
+namespace
+{
+
+std::string
+describeGenerator(const RandProgConfig &c)
+{
+    return strfmt("body_ops=[%u,%u] iters=[%u,%u] branch_weight=%u "
+                  "mem_weight=%u call_depth=%u mem_footprint=%u "
+                  "data_quads=%u",
+                  c.bodyOpsMin, c.bodyOpsMax, c.itersMin, c.itersMax,
+                  c.branchWeight, c.memWeight, c.callDepth,
+                  c.memFootprint, c.dataQuads);
+}
+
+void
+writeReproducer(const FuzzOptions &opts, const FuzzFailure &f)
+{
+    FILE *out = fopen(opts.reproPath.c_str(), "w");
+    if (!out)
+        rix_fatal("rix fuzz: cannot write reproducer '%s'",
+                  opts.reproPath.c_str());
+
+    fprintf(out, "# rix fuzz reproducer\n");
+    fprintf(out, "# seed: %llu\n", (unsigned long long)f.seed);
+    fprintf(out, "# config: %s\n", f.configLabel.c_str());
+    fprintf(out, "# panel: %s\n",
+            opts.panelPath.empty() ? "builtin" : opts.panelPath.c_str());
+    fprintf(out, "# generator: %s\n",
+            describeGenerator(opts.prog).c_str());
+    fprintf(out, "# replay: rix fuzz --seeds 1 --first-seed %llu "
+            "--config \"%s\"%s%s\n",
+            (unsigned long long)f.seed, f.configLabel.c_str(),
+            opts.panelPath.empty() ? "" : " --panel ",
+            opts.panelPath.c_str());
+    fprintf(out, "#\n# divergence:\n");
+    fprintf(out, "%s", f.report.format().c_str());
+    fprintf(out,
+            "\n# minimized program: %zu live instructions in %zu slots "
+            "(%llu shrink runs; NOP slots omitted), entry at slot %llu\n",
+            f.liveInsts, f.minimized.code.size(),
+            (unsigned long long)f.minimizeRuns,
+            (unsigned long long)f.minimized.entry);
+    for (size_t i = 0; i < f.minimized.code.size(); ++i) {
+        if (f.minimized.code[i].isNop())
+            continue;
+        fprintf(out, "%6zu: %s\n", i,
+                disassemble(f.minimized.code[i]).c_str());
+    }
+    fprintf(out, "# data segment: %zu bytes at 0x%llx\n",
+            f.minimized.data.size(),
+            (unsigned long long)f.minimized.dataBase);
+    fclose(out);
+}
+
+} // namespace
+
+FuzzResult
+runFuzz(const FuzzOptions &opts)
+{
+    if (opts.seeds == 0)
+        rix_fatal("rix fuzz: --seeds must be positive");
+    if (opts.seeds > 100'000'000)
+        rix_fatal("rix fuzz: --seeds %llu is unreasonably large",
+                  (unsigned long long)opts.seeds);
+    const std::string verr = validateRandProgConfig(opts.prog);
+    if (!verr.empty())
+        rix_fatal("rix fuzz: %s", verr.c_str());
+
+    const std::vector<ScenarioConfig> points =
+        fuzzPanel(opts.panelPath, opts.onlyConfig);
+
+    FuzzResult res;
+    res.programs = opts.seeds;
+    res.points = points.size();
+
+    const u64 total = opts.seeds * points.size();
+
+    struct Outcome
+    {
+        bool failed = false;
+        bool truncated = false; // budget hit before HALT: prefix-only
+        DivergenceReport report;
+    };
+
+    // One long-lived core per worker thread (and one on the calling
+    // thread for the serial path), reset per job — the same reusable-
+    // context discipline as the sweep engine.
+    const auto runJob = [&](u64 i) -> Outcome {
+        const u64 seed = opts.firstSeed + i / points.size();
+        const ScenarioConfig &pt = points[i % points.size()];
+        const Program prog = generateRandomProgram(seed, opts.prog);
+
+        thread_local std::unique_ptr<Core> core;
+        if (!core)
+            core = std::make_unique<Core>(prog, pt.params);
+        else
+            core->reset(prog, pt.params);
+        core->run(opts.maxRetired, opts.maxCycles);
+
+        Outcome o;
+        if (const DivergenceReport *d = core->divergence()) {
+            o.failed = true;
+            o.report = *d;
+        } else if (!core->halted()) {
+            o.truncated = true;
+        }
+        return o;
+    };
+
+    u64 failIdx = ~u64(0);
+    Outcome fail;
+    const unsigned nThreads =
+        unsigned(std::min<u64>(jobsFromEnv(), total));
+    if (nThreads <= 1) {
+        for (u64 i = 0; i < total; ++i) {
+            Outcome o = runJob(i);
+            ++res.runs;
+            res.truncated += o.truncated ? 1 : 0;
+            if (o.failed) {
+                failIdx = i;
+                fail = std::move(o);
+                break;
+            }
+        }
+    } else {
+        // Batches keep the first reported failure deterministic
+        // (seed-major, point-minor order) while bounding how much work
+        // runs past it.
+        ThreadPool pool(nThreads);
+        const u64 batch = std::max<u64>(u64(nThreads) * 8, 32);
+        for (u64 b0 = 0; b0 < total && failIdx == ~u64(0); b0 += batch) {
+            const u64 b1 = std::min(total, b0 + batch);
+            std::vector<std::future<Outcome>> futs;
+            futs.reserve(size_t(b1 - b0));
+            for (u64 i = b0; i < b1; ++i)
+                futs.push_back(pool.submit([&runJob, i]() {
+                    return runJob(i);
+                }));
+            for (u64 i = b0; i < b1; ++i) {
+                Outcome o = futs[size_t(i - b0)].get();
+                ++res.runs;
+                res.truncated += o.truncated ? 1 : 0;
+                if (o.failed && failIdx == ~u64(0)) {
+                    failIdx = i;
+                    fail = std::move(o);
+                }
+            }
+        }
+    }
+
+    if (res.truncated)
+        rix_warn("rix fuzz: %llu of %llu runs hit the retired/cycle "
+                 "budget before HALT — those verified only a prefix of "
+                 "their program (raise --max-retired for full coverage)",
+                 (unsigned long long)res.truncated,
+                 (unsigned long long)res.runs);
+
+    if (failIdx == ~u64(0))
+        return res;
+
+    res.failed = true;
+    FuzzFailure &f = res.failure;
+    f.seed = opts.firstSeed + failIdx / points.size();
+    const ScenarioConfig &pt = points[failIdx % points.size()];
+    f.configLabel = pt.label;
+    f.report = fail.report;
+    f.minimized = generateRandomProgram(f.seed, opts.prog);
+
+    if (opts.minimize) {
+        // Candidate budgets: divergence can only move modestly past the
+        // original position when instructions are neutralized, so cap
+        // each shrink run well below the full fuzz budget.
+        const u64 budget_retired =
+            std::min(opts.maxRetired, f.report.icount + 50'000);
+        const Cycle budget_cycles =
+            std::min<Cycle>(opts.maxCycles,
+                            budget_retired * 20 + 100'000);
+        std::unique_ptr<Core> mcore;
+        const auto stillFails = [&](const Program &cand) {
+            if (!mcore)
+                mcore = std::make_unique<Core>(cand, pt.params);
+            else
+                mcore->reset(cand, pt.params);
+            mcore->run(budget_retired, budget_cycles);
+            return mcore->divergence() != nullptr;
+        };
+        f.minimized =
+            minimizeProgram(f.minimized, stillFails, &f.minimizeRuns);
+        res.runs += f.minimizeRuns;
+    }
+    f.liveInsts = liveInstCount(f.minimized);
+
+    writeReproducer(opts, f);
+    res.reproFile = opts.reproPath;
+    return res;
+}
+
+} // namespace rix

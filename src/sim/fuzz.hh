@@ -1,0 +1,125 @@
+/**
+ * @file
+ * `rix fuzz` — differential fuzzing of the cycle-level core.
+ *
+ * Runs N seeded random programs (src/workload/randprog.hh) times a
+ * panel of core-parameter points (expanded through the scenario grid
+ * machinery) with retire-time lockstep checking forced on, in parallel
+ * on the sweep thread pool. Any divergence is shrunk by a
+ * delta-debugging minimizer — instruction ranges are neutralized to
+ * NOPs (code addresses never shift, so branch targets stay valid) and
+ * the failure re-checked — and written out as a replayable reproducer:
+ * the generator seed, the exact configuration point, the divergence
+ * report and the shrunken assembly listing.
+ */
+
+#ifndef RIX_SIM_FUZZ_HH
+#define RIX_SIM_FUZZ_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/lockstep.hh"
+#include "sim/scenario.hh"
+#include "workload/randprog.hh"
+
+namespace rix
+{
+
+struct FuzzOptions
+{
+    /** Number of random programs: seeds firstSeed .. firstSeed+seeds-1. */
+    u64 seeds = 100;
+    u64 firstSeed = 1;
+
+    /** Random-program shape. */
+    RandProgConfig prog;
+
+    /** Scenario spec supplying the configuration panel (its "configs"
+     *  and "grid" expand exactly like `rix run`; workloads/limits are
+     *  ignored). Empty: the built-in 4-point panel. */
+    std::string panelPath;
+
+    /** Restrict the panel to one point label (""; all points). */
+    std::string onlyConfig;
+
+    /** Per-run limits. */
+    u64 maxRetired = 10'000'000;
+    Cycle maxCycles = 50'000'000;
+
+    /** Where the reproducer is written on failure. */
+    std::string reproPath = "rix_fuzz_repro.txt";
+
+    /** Shrink the failing program before writing the reproducer. */
+    bool minimize = true;
+};
+
+struct FuzzFailure
+{
+    u64 seed = 0;
+    std::string configLabel;
+    DivergenceReport report;
+
+    /** The shrunken failing program (== the generated program when
+     *  minimization is off or made no progress). */
+    Program minimized;
+    /** Non-NOP instructions left in the shrunken program. */
+    size_t liveInsts = 0;
+    /** Candidate simulations the minimizer ran. */
+    u64 minimizeRuns = 0;
+};
+
+struct FuzzResult
+{
+    u64 programs = 0;
+    size_t points = 0;
+    u64 runs = 0;
+
+    /** Runs that hit the retired/cycle budget before HALT: those
+     *  verified only a prefix of the program, not the whole run.
+     *  Always 0 with the default budgets (generated programs halt
+     *  within randProgInstBudget()). */
+    u64 truncated = 0;
+
+    bool failed = false;
+    FuzzFailure failure;      // valid when failed
+    std::string reproFile;    // path written on failure
+};
+
+/**
+ * Expand the configuration panel: @p panel_path through the scenario
+ * parser (empty: the built-in panel), optionally filtered to
+ * @p only_config, with check.lockstep forced on and every point
+ * validated. Fatal on an empty selection, naming the valid labels.
+ */
+std::vector<ScenarioConfig> fuzzPanel(const std::string &panel_path,
+                                      const std::string &only_config);
+
+/** Non-NOP instruction count of @p p. */
+size_t liveInstCount(const Program &p);
+
+/**
+ * Delta-debugging shrink: repeatedly neutralize instruction ranges of
+ * @p p to NOPs (halving chunk sizes down to single instructions),
+ * keeping every candidate for which @p still_fails holds, until a
+ * fixed point; trailing NOPs are then trimmed. @p still_fails must be
+ * deterministic. @p runs (optional) counts predicate evaluations.
+ */
+Program minimizeProgram(const Program &p,
+                        const std::function<bool(const Program &)> &
+                            still_fails,
+                        u64 *runs = nullptr);
+
+/** Run the fuzz campaign; on divergence the first failure (in
+ *  deterministic seed-major, point-minor order) is minimized and a
+ *  reproducer written to opts.reproPath. */
+FuzzResult runFuzz(const FuzzOptions &opts);
+
+/** True when this build compiled in the deliberate execute-stage
+ *  fault (cmake -DRIX_FAULT_INJECT=ON; verification self-test). */
+bool buildHasInjectedFault();
+
+} // namespace rix
+
+#endif // RIX_SIM_FUZZ_HH

@@ -56,6 +56,13 @@ exportReport(const SimReport &rep, StatSet &out)
                     rep.core.integByRefcount);
 }
 
+void
+requireNoDivergence(const Core &core, const std::string &what)
+{
+    if (const DivergenceReport *d = core.divergence())
+        rix_fatal("%s: %s", what.c_str(), d->format().c_str());
+}
+
 SimReport
 collectReport(Core &core, const std::string &workload)
 {
@@ -108,6 +115,7 @@ runSimulation(const Program &prog, const CoreParams &params,
     requireValidCoreParams(params, "runSimulation(" + prog.name + ")");
     Core core(prog, params);
     core.run(max_retired, max_cycles);
+    requireNoDivergence(core, prog.name);
     return collectReport(core, prog.name);
 }
 
@@ -117,6 +125,8 @@ verifyAgainstEmulator(const Program &prog, const CoreParams &params,
 {
     Core core(prog, params);
     core.run(max_insts, max_cycles);
+    if (const DivergenceReport *d = core.divergence())
+        return d->format();
     if (!core.halted())
         return strfmt("core did not halt within %llu insts / %llu cycles "
                       "(retired %llu)",

@@ -31,6 +31,15 @@ struct SimReport
 SimReport collectReport(Core &core, const std::string &workload);
 
 /**
+ * Fatal — printing the full divergence report, prefixed with @p what —
+ * when @p core stopped on a lockstep divergence. Every driver that
+ * runs a core to completion and reports its statistics must call this
+ * (or inspect Core::divergence() itself, as the fuzz driver does)
+ * before trusting the report: a diverged core stopped mid-program.
+ */
+void requireNoDivergence(const Core &core, const std::string &what);
+
+/**
  * Counter-wise @p fin - @p base: the statistics accrued *after* the
  * @p base snapshot was taken (the sampled-interval path uses this to
  * discard detailed-warmup statistics). Non-counter fields (workload,

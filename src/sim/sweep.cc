@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "base/log.hh"
 #include "base/thread_pool.hh"
 #include "sim/sampling/checkpoint_cache.hh"
 #include "sim/validate.hh"
@@ -53,6 +54,7 @@ SimContext::run(const Program &prog, const CoreParams &params,
     else
         core->reset(prog, params);
     core->run(max_retired, max_cycles);
+    requireNoDivergence(*core, prog.name);
     return collectReport(*core, prog.name);
 }
 
@@ -84,6 +86,9 @@ SimContext::runInterval(const Program &prog, const Checkpoint &from,
         measure > ~u64(0) - warmed ? ~u64(0) : warmed + measure;
     core->setRetireStop(target);
     core->run(target, max_cycles);
+    requireNoDivergence(*core, strfmt("%s (interval from %llu)",
+                                      prog.name.c_str(),
+                                      (unsigned long long)from.icount));
     return deltaReport(collectReport(*core, prog.name), warm);
 }
 

@@ -1,0 +1,206 @@
+#include "workload/randprog.hh"
+
+#include <vector>
+
+#include "assembler/builder.hh"
+#include "base/bitutil.hh"
+#include "base/log.hh"
+
+namespace rix
+{
+
+std::string
+validateRandProgConfig(const RandProgConfig &c)
+{
+    if (c.bodyOpsMin == 0 || c.bodyOpsMin > c.bodyOpsMax)
+        return strfmt("body_ops range [%u, %u] is empty or zero",
+                      c.bodyOpsMin, c.bodyOpsMax);
+    if (c.bodyOpsMax > 100'000)
+        return strfmt("body_ops_max %u is unreasonably large "
+                      "(max 100000)", c.bodyOpsMax);
+    if (c.itersMin == 0 || c.itersMin > c.itersMax)
+        return strfmt("iters range [%u, %u] is empty or zero", c.itersMin,
+                      c.itersMax);
+    if (c.itersMax > 1'000'000)
+        return strfmt("iters_max %u is unreasonably large (max 1000000)",
+                      c.itersMax);
+    if (c.memFootprint < 16 || !isPow2(c.memFootprint))
+        return strfmt("mem_footprint must be a power of two >= 16 "
+                      "(got %u)", c.memFootprint);
+    if (c.memFootprint > (1u << 26))
+        return strfmt("mem_footprint %u is unreasonably large "
+                      "(max 64 MiB)", c.memFootprint);
+    if (c.dataQuads < 8)
+        return strfmt("data_quads must be >= 8 (got %u; the spill arm "
+                      "writes the first 8 quads)", c.dataQuads);
+    if (c.dataQuads > 1'000'000)
+        return strfmt("data_quads %u is unreasonably large "
+                      "(max 1000000)", c.dataQuads);
+    if (c.callDepth > 16)
+        return strfmt("call_depth %u too deep (max 16)", c.callDepth);
+    return "";
+}
+
+u64
+randProgInstBudget(const RandProgConfig &c)
+{
+    // Worst case per arm: the call arm runs the whole chain (~12
+    // instructions per level), every other arm emits at most 7.
+    const u64 perArm = 8 + 12ull * c.callDepth;
+    const u64 perIter = 4 + u64(c.bodyOpsMax) * perArm;
+    return 64 + u64(c.itersMax) * perIter;
+}
+
+Program
+generateRandomProgram(u64 seed, const RandProgConfig &cfg)
+{
+    const std::string verr = validateRandProgConfig(cfg);
+    if (!verr.empty())
+        rix_fatal("randprog: %s", verr.c_str());
+
+    Rng rng(seed);
+    Builder b(strfmt("rand%llu", (unsigned long long)seed));
+    b.randomQuads("data", cfg.dataQuads, rng);
+    b.space("scratch", cfg.memFootprint);
+    // Masking into [0, footprint) keeps every generated address inside
+    // the scratch region, 8-aligned.
+    const s32 scratchMask = s32(cfg.memFootprint - 8);
+
+    const LogReg regs[] = {1, 2, 3, 4, 5, 6, 7, 8, 16, 17, 22, 23};
+    auto reg = [&]() { return regs[rng.below(std::size(regs))]; };
+
+    b.br("main");
+
+    // A chain of functions with proper frames: fn0 calls fn1 calls ...
+    // fn(D-1); the body's call arm enters at fn0. Termination is
+    // structural — the chain is finite and acyclic.
+    for (unsigned d = 0; d < cfg.callDepth; ++d) {
+        b.bind(strfmt("fn%u", d));
+        b.lda(regSp, -16, regSp);
+        b.stq(regRa, 0, regSp);
+        const unsigned ops = 1 + unsigned(rng.below(3));
+        for (unsigned i = 0; i < ops; ++i)
+            b.emit(makeRI(Opcode::ADDQI, 16, 16, s32(rng.range(-9, 9))));
+        if (d + 1 < cfg.callDepth)
+            b.jsr(strfmt("fn%u", d + 1));
+        b.mulqi(0, 16, 3);
+        b.ldq(regRa, 0, regSp);
+        b.lda(regSp, 16, regSp);
+        b.ret();
+    }
+
+    b.bind("main");
+    // Outer bounded loop: the only back edge, so termination is
+    // structural.
+    const s32 iters =
+        s32(cfg.itersMin + rng.below(cfg.itersMax - cfg.itersMin + 1));
+    b.li(14, iters); // s5 = loop counter
+    b.li(13, 0);     // s4 = checksum
+    b.bind("top");
+
+    // Weighted arm lottery; the knobs are ticket counts.
+    enum class Arm : u8
+    {
+        AluRR, AluRI, Load, Store, Branch, Call, Spill, Checksum
+    };
+    std::vector<Arm> tickets;
+    for (int i = 0; i < 3; ++i)
+        tickets.push_back(Arm::AluRR);
+    for (int i = 0; i < 3; ++i)
+        tickets.push_back(Arm::AluRI);
+    for (unsigned i = 0; i < cfg.memWeight; ++i) {
+        tickets.push_back(Arm::Load);
+        tickets.push_back(Arm::Store);
+    }
+    for (unsigned i = 0; i < cfg.branchWeight; ++i)
+        tickets.push_back(Arm::Branch);
+    if (cfg.callDepth > 0)
+        tickets.push_back(Arm::Call);
+    tickets.push_back(Arm::Spill);
+    tickets.push_back(Arm::Checksum);
+
+    const unsigned body =
+        cfg.bodyOpsMin + unsigned(rng.below(cfg.bodyOpsMax -
+                                            cfg.bodyOpsMin + 1));
+    for (unsigned i = 0; i < body; ++i) {
+        switch (tickets[rng.below(tickets.size())]) {
+          case Arm::AluRR:
+          {
+            static const Opcode ops[] = {Opcode::ADDQ, Opcode::SUBQ,
+                                         Opcode::AND, Opcode::BIS,
+                                         Opcode::XOR, Opcode::CMPLT,
+                                         Opcode::MULQ};
+            b.emit(makeRR(ops[rng.below(std::size(ops))], reg(), reg(),
+                          reg()));
+            break;
+          }
+          case Arm::AluRI:
+          {
+            // Dense immediates stress the IT index.
+            static const Opcode ops[] = {Opcode::ADDQI, Opcode::SUBQI,
+                                         Opcode::ANDI, Opcode::XORI,
+                                         Opcode::SLLI, Opcode::SRLI};
+            Opcode op = ops[rng.below(std::size(ops))];
+            s32 imm = (op == Opcode::SLLI || op == Opcode::SRLI)
+                          ? s32(rng.below(63))
+                          : s32(rng.range(-64, 64));
+            b.emit(makeRI(op, reg(), reg(), imm));
+            break;
+          }
+          case Arm::Load:
+          {
+            LogReg addr = reg();
+            b.andi(addr, addr, scratchMask);
+            b.addqi(addr, addr, s32(b.dataAddr("scratch")));
+            b.ldq(reg(), 0, addr);
+            break;
+          }
+          case Arm::Store:
+          {
+            LogReg addr = reg();
+            b.andi(addr, addr, scratchMask);
+            b.addqi(addr, addr, s32(b.dataAddr("scratch")));
+            b.stq(reg(), 0, addr);
+            break;
+          }
+          case Arm::Branch: // forward data-dependent, reconvergent
+          {
+            const std::string skip = b.genLabel("skip");
+            LogReg c = reg();
+            b.andi(c, c, s32(1 + rng.below(3)));
+            switch (rng.below(4)) {
+              case 0: b.beq(c, skip); break;
+              case 1: b.bne(c, skip); break;
+              case 2: b.bgt(c, skip); break;
+              default: b.ble(c, skip); break;
+            }
+            for (unsigned k = 0; k < 1 + rng.below(4); ++k)
+                b.emit(makeRI(Opcode::ADDQI, reg(), reg(),
+                              s32(rng.range(-5, 5))));
+            b.bind(skip);
+            break;
+          }
+          case Arm::Call:
+            b.emit(makeRI(Opcode::ADDQI, 16, 16, 1));
+            b.jsr("fn0");
+            b.xor_(13, 13, 0);
+            break;
+          case Arm::Spill: // spill-slot style store+reload via gp
+            b.stq(reg(), s32(rng.below(8)) * 8, regGp);
+            b.ldq(reg(), s32(rng.below(8)) * 8, regGp);
+            break;
+          case Arm::Checksum:
+            b.xor_(13, 13, reg());
+            break;
+        }
+    }
+
+    b.subqi(14, 14, 1);
+    b.bne(14, "top");
+    b.syscall(s32(SyscallCode::Emit), 13);
+    b.halt();
+    b.entry("main");
+    return b.finish();
+}
+
+} // namespace rix

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Seeded random-program generator (the property-testing and fuzzing
+ * workload source).
+ *
+ * Emits random-but-well-formed programs: one structurally bounded
+ * outer loop, data-dependent forward branches, loads/stores confined
+ * to a scratch region, and a proper-frame call chain — so every
+ * generated program provably halts, while still sweeping arbitrary
+ * register dataflow, immediate mixes, reconvergence shapes and
+ * accidental integration-table collisions.
+ *
+ * Generation is a pure function of (seed, config): the same pair
+ * always yields a bit-identical Program, which is what makes fuzz
+ * reproducers replayable from just the seed. The config knobs change
+ * the program's *shape* — body size, trip count, branch density,
+ * call-chain depth, scratch footprint — and tests/test_randprog.cc
+ * pins each knob's observable effect.
+ */
+
+#ifndef RIX_WORKLOAD_RANDPROG_HH
+#define RIX_WORKLOAD_RANDPROG_HH
+
+#include <string>
+
+#include "assembler/program.hh"
+#include "base/types.hh"
+
+namespace rix
+{
+
+struct RandProgConfig
+{
+    /** Instruction-generating arms per loop iteration, drawn
+     *  uniformly from [bodyOpsMin, bodyOpsMax]. */
+    unsigned bodyOpsMin = 12;
+    unsigned bodyOpsMax = 31;
+
+    /** Outer-loop trip count, drawn uniformly from
+     *  [itersMin, itersMax]; the only back edge in the program. */
+    unsigned itersMin = 200;
+    unsigned itersMax = 499;
+
+    /** Branchiness: forward-branch tickets in the arm lottery
+     *  (0 disables data-dependent branches entirely). */
+    unsigned branchWeight = 2;
+
+    /** Scratch load/store tickets (each) in the arm lottery. */
+    unsigned memWeight = 2;
+
+    /** Depth of the proper-frame call chain (0: no calls at all). */
+    unsigned callDepth = 1;
+
+    /** Scratch-region size in bytes; must be a power of two >= 16
+     *  (all generated addresses are masked into it). */
+    unsigned memFootprint = 512;
+
+    /** Random 64-bit words in the initialized data segment (also the
+     *  gp-relative spill area; minimum 8). */
+    unsigned dataQuads = 64;
+};
+
+/** Config sanity check: "" when valid, else a diagnostic. */
+std::string validateRandProgConfig(const RandProgConfig &c);
+
+/**
+ * Upper bound on the architectural instructions any (seed, @p c)
+ * program executes before HALT — generated programs are structurally
+ * bounded, and tests enforce this budget.
+ */
+u64 randProgInstBudget(const RandProgConfig &c);
+
+/**
+ * Generate the program for (@p seed, @p cfg). Deterministic and
+ * bit-identical across calls; fatal on an invalid config.
+ */
+Program generateRandomProgram(u64 seed, const RandProgConfig &cfg = {});
+
+} // namespace rix
+
+#endif // RIX_WORKLOAD_RANDPROG_HH

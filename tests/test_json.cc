@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Malformed-input hardening of the hand-rolled JSON reader: fuzz-
+ * adjacent cases — truncation at every structural point, adversarial
+ * nesting depth, overflowing numbers, duplicate keys, leading zeros —
+ * must produce precise line/col diagnostics, never crashes or silent
+ * garbage values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+
+using namespace rix;
+
+namespace
+{
+
+std::string
+parseErr(const std::string &text)
+{
+    std::string err;
+    JsonValue::parse(text, &err);
+    return err;
+}
+
+} // namespace
+
+TEST(JsonMalformed, TruncationAtEveryStructuralPoint)
+{
+    const char *const cases[] = {
+        "",                 // empty document
+        "{",                // open object
+        "{\"a\"",           // key without colon
+        "{\"a\":",          // colon without value
+        "{\"a\":1",         // missing closing brace
+        "{\"a\":1,",        // trailing comma, then nothing
+        "[",                // open array
+        "[1,",              // array trailing comma
+        "[1",               // missing closing bracket
+        "\"abc",            // unterminated string
+        "\"ab\\",           // escape at end of input
+        "\"ab\\u12",        // truncated \u escape
+        "tru",              // truncated keyword
+        "-",                // sign without digits
+        "1.",               // decimal point without digits
+        "1e",               // exponent without digits
+        "1e+",              // signed exponent without digits
+    };
+    for (const char *text : cases) {
+        const std::string err = parseErr(text);
+        EXPECT_NE(err, "") << "'" << text << "' parsed successfully";
+        EXPECT_NE(err.find("line "), std::string::npos) << err;
+        EXPECT_NE(err.find("col "), std::string::npos) << err;
+    }
+}
+
+TEST(JsonMalformed, TrailingContentRejected)
+{
+    EXPECT_NE(parseErr("{} {}"), "");
+    EXPECT_NE(parseErr("1 2"), "");
+    EXPECT_EQ(parseErr("{}  \n\t "), "");
+}
+
+TEST(JsonMalformed, DeepNestingIsAnErrorNotAStackOverflow)
+{
+    // Comfortably inside the limit: fine.
+    {
+        std::string ok(100, '[');
+        ok += "1";
+        ok.append(100, ']');
+        EXPECT_EQ(parseErr(ok), "");
+    }
+    // Adversarial: tens of thousands of brackets must be a clean
+    // diagnostic (historically this recursed once per bracket and
+    // smashed the stack).
+    {
+        std::string deep(50'000, '[');
+        const std::string err = parseErr(deep);
+        ASSERT_NE(err, "");
+        EXPECT_NE(err.find("nesting deeper"), std::string::npos) << err;
+    }
+    // Same through objects.
+    {
+        std::string deep;
+        for (int i = 0; i < 5'000; ++i)
+            deep += "{\"k\":";
+        const std::string err = parseErr(deep);
+        ASSERT_NE(err, "");
+        EXPECT_NE(err.find("nesting deeper"), std::string::npos) << err;
+    }
+}
+
+TEST(JsonMalformed, OverflowingNumbersRejected)
+{
+    EXPECT_NE(parseErr("1e999"), "");
+    EXPECT_NE(parseErr("-1e999"), "");
+    EXPECT_NE(parseErr("{\"x\": 1e400}"), "");
+    // Huge but representable stays fine (range checks belong to the
+    // typed coercions).
+    EXPECT_EQ(parseErr("1e308"), "");
+    EXPECT_EQ(parseErr("123456789012345678901234567890"), "");
+}
+
+TEST(JsonMalformed, CoerceCountRejectsOutOfRange)
+{
+    std::string err;
+    u64 out = 0;
+
+    JsonValue v = JsonValue::parse("18446744073709551616", &err); // 2^64
+    ASSERT_EQ(err, "");
+    EXPECT_NE(jsonCoerceCount(v, ~u64(0), &out), "");
+
+    v = JsonValue::parse("1e20", &err);
+    ASSERT_EQ(err, "");
+    EXPECT_NE(jsonCoerceCount(v, ~u64(0), &out), ""); // non-integral
+
+    v = JsonValue::parse("-1", &err);
+    ASSERT_EQ(err, "");
+    EXPECT_NE(jsonCoerceCount(v, ~u64(0), &out), "");
+
+    v = JsonValue::parse("4096", &err);
+    ASSERT_EQ(err, "");
+    EXPECT_EQ(jsonCoerceCount(v, ~u64(0), &out), "");
+    EXPECT_EQ(out, 4096u);
+}
+
+TEST(JsonMalformed, DuplicateKeysRejectedAtAnyDepth)
+{
+    const std::string top = parseErr("{\"a\":1,\"a\":2}");
+    ASSERT_NE(top, "");
+    EXPECT_NE(top.find("duplicate"), std::string::npos) << top;
+
+    const std::string nested =
+        parseErr("{\"x\": {\"grid\": {\"k\": 1, \"k\": 2}}}");
+    ASSERT_NE(nested, "");
+    EXPECT_NE(nested.find("duplicate"), std::string::npos) << nested;
+
+    // Same key in *different* objects is fine.
+    EXPECT_EQ(parseErr("{\"x\": {\"k\": 1}, \"y\": {\"k\": 2}}"), "");
+}
+
+TEST(JsonMalformed, LeadingZerosRejected)
+{
+    EXPECT_NE(parseErr("01"), "");
+    EXPECT_NE(parseErr("-012"), "");
+    EXPECT_NE(parseErr("[00]"), "");
+    EXPECT_EQ(parseErr("0"), "");
+    EXPECT_EQ(parseErr("-0"), "");
+    EXPECT_EQ(parseErr("0.5"), "");
+    EXPECT_EQ(parseErr("0e3"), "");
+}
+
+TEST(JsonMalformed, ErrorPositionsAreprecise)
+{
+    // The failure is on line 3.
+    const std::string err = parseErr("{\n  \"a\": 1,\n  \"b\": tru\n}");
+    ASSERT_NE(err, "");
+    EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+
+    const std::string err2 = parseErr("{\"a\": \x01\"x\"}");
+    ASSERT_NE(err2, "");
+
+    const std::string err3 = parseErr("\"bad \x02 char\"");
+    ASSERT_NE(err3, "");
+    EXPECT_NE(err3.find("control character"), std::string::npos) << err3;
+}
+
+TEST(JsonMalformed, WellFormedInputStillParses)
+{
+    std::string err;
+    const JsonValue v = JsonValue::parse(
+        R"({"name": "x", "vals": [1, 2.5, -3, true, null],
+            "nested": {"deep": {"deeper": "A\n"}}})",
+        &err);
+    ASSERT_EQ(err, "");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.find("name")->asString(), "x");
+    EXPECT_EQ(v.find("vals")->items().size(), 5u);
+    EXPECT_TRUE(v.find("vals")->items()[0].isIntegral());
+    EXPECT_FALSE(v.find("vals")->items()[1].isIntegral());
+    EXPECT_EQ(v.find("nested")->find("deep")->find("deeper")->asString(),
+              "A\n");
+}

@@ -14,128 +14,22 @@
 
 #include <gtest/gtest.h>
 
-#include "assembler/builder.hh"
 #include "base/log.hh"
+#include "base/rng.hh"
 #include "sim/simulator.hh"
+#include "workload/randprog.hh"
 
 using namespace rix;
 
 namespace
 {
 
-/** Generate a random, halting program from @p seed. */
+/** The shared library generator with its default shape (the shape
+ *  this suite historically hand-rolled; see workload/randprog.hh). */
 Program
 generate(u64 seed)
 {
-    Rng rng(seed);
-    Builder b(strfmt("rand%llu", (unsigned long long)seed));
-    b.randomQuads("data", 64, rng);
-    b.space("scratch", 512);
-
-    const LogReg regs[] = {1, 2, 3, 4, 5, 6, 7, 8, 16, 17, 22, 23};
-    auto reg = [&]() { return regs[rng.below(std::size(regs))]; };
-
-    // A leaf function with a proper frame, used by call sites below.
-    b.br("main");
-    b.bind("leaf");
-    b.lda(regSp, -16, regSp);
-    b.stq(regRa, 0, regSp);
-    for (int i = 0; i < 3; ++i)
-        b.emit(makeRI(Opcode::ADDQI, 16, 16, s32(rng.range(-9, 9))));
-    b.mulqi(0, 16, 3);
-    b.ldq(regRa, 0, regSp);
-    b.lda(regSp, 16, regSp);
-    b.ret();
-
-    b.bind("main");
-    // Outer bounded loop: the only back edge, so termination is
-    // structural.
-    const s32 iters = s32(200 + rng.below(300));
-    b.li(14, iters); // s5 = loop counter
-    b.li(13, 0);     // s4 = checksum
-    b.bind("top");
-
-    const int body = 12 + int(rng.below(20));
-    for (int i = 0; i < body; ++i) {
-        switch (rng.below(10)) {
-          case 0:
-          case 1: // reg-reg ALU
-          {
-            static const Opcode ops[] = {Opcode::ADDQ, Opcode::SUBQ,
-                                         Opcode::AND, Opcode::BIS,
-                                         Opcode::XOR, Opcode::CMPLT,
-                                         Opcode::MULQ};
-            b.emit(makeRR(ops[rng.below(std::size(ops))], reg(), reg(),
-                          reg()));
-            break;
-          }
-          case 2:
-          case 3: // reg-imm ALU (dense immediates stress the IT index)
-          {
-            static const Opcode ops[] = {Opcode::ADDQI, Opcode::SUBQI,
-                                         Opcode::ANDI, Opcode::XORI,
-                                         Opcode::SLLI, Opcode::SRLI};
-            Opcode op = ops[rng.below(std::size(ops))];
-            s32 imm = (op == Opcode::SLLI || op == Opcode::SRLI)
-                          ? s32(rng.below(63))
-                          : s32(rng.range(-64, 64));
-            b.emit(makeRI(op, reg(), reg(), imm));
-            break;
-          }
-          case 4: // scratch load (bounded address)
-          {
-            LogReg addr = reg();
-            b.andi(addr, addr, 0x1f8); // 0..504, 8-aligned
-            b.addqi(addr, addr, s32(b.dataAddr("scratch")));
-            b.ldq(reg(), 0, addr);
-            break;
-          }
-          case 5: // scratch store
-          {
-            LogReg addr = reg();
-            b.andi(addr, addr, 0x1f8);
-            b.addqi(addr, addr, s32(b.dataAddr("scratch")));
-            b.stq(reg(), 0, addr);
-            break;
-          }
-          case 6: // forward data-dependent branch (reconvergent)
-          {
-            const std::string skip = b.genLabel("skip");
-            LogReg c = reg();
-            b.andi(c, c, s32(1 + rng.below(3)));
-            switch (rng.below(4)) {
-              case 0: b.beq(c, skip); break;
-              case 1: b.bne(c, skip); break;
-              case 2: b.bgt(c, skip); break;
-              default: b.ble(c, skip); break;
-            }
-            for (unsigned k = 0; k < 1 + rng.below(4); ++k)
-                b.emit(makeRI(Opcode::ADDQI, reg(), reg(),
-                              s32(rng.range(-5, 5))));
-            b.bind(skip);
-            break;
-          }
-          case 7: // call the leaf
-            b.emit(makeRI(Opcode::ADDQI, 16, 16, 1));
-            b.jsr("leaf");
-            b.xor_(13, 13, 0);
-            break;
-          case 8: // spill-slot style store+reload via gp
-            b.stq(reg(), s32(rng.below(8)) * 8, regGp);
-            b.ldq(reg(), s32(rng.below(8)) * 8, regGp);
-            break;
-          default: // fold into the checksum
-            b.xor_(13, 13, reg());
-            break;
-        }
-    }
-
-    b.subqi(14, 14, 1);
-    b.bne(14, "top");
-    b.syscall(s32(SyscallCode::Emit), 13);
-    b.halt();
-    b.entry("main");
-    return b.finish();
+    return generateRandomProgram(seed);
 }
 
 } // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The random-program generator library (src/workload/randprog.hh):
+ * structural halting within the declared budget, bit-identical
+ * regeneration from (seed, config), and the config knobs provably
+ * changing program shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "workload/randprog.hh"
+
+using namespace rix;
+
+namespace
+{
+
+size_t
+countOp(const Program &p, Opcode op)
+{
+    size_t n = 0;
+    for (const Instruction &inst : p.code)
+        n += inst.op == op ? 1 : 0;
+    return n;
+}
+
+size_t
+countCondBranches(const Program &p)
+{
+    size_t n = 0;
+    for (const Instruction &inst : p.code)
+        n += inst.isCondBranch() ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+TEST(RandProg, HaltsWithinDeclaredBudget)
+{
+    std::vector<RandProgConfig> shapes(3);
+    shapes[1].callDepth = 6;
+    shapes[1].branchWeight = 6;
+    shapes[2].callDepth = 0;
+    shapes[2].memWeight = 6;
+    shapes[2].memFootprint = 64;
+    shapes[2].bodyOpsMin = 40;
+    shapes[2].bodyOpsMax = 80;
+
+    for (size_t c = 0; c < shapes.size(); ++c) {
+        const u64 budget = randProgInstBudget(shapes[c]);
+        for (u64 seed = 1; seed <= 8; ++seed) {
+            const Program p = generateRandomProgram(seed, shapes[c]);
+            Emulator e(p);
+            e.run(budget);
+            EXPECT_TRUE(e.halted())
+                << "shape " << c << " seed " << seed << " did not halt "
+                << "within " << budget << " instructions";
+        }
+    }
+}
+
+TEST(RandProg, BitIdenticalRegeneration)
+{
+    RandProgConfig cfg;
+    cfg.callDepth = 3;
+    cfg.branchWeight = 4;
+    for (u64 seed : {u64(1), u64(17), u64(123456789)}) {
+        const Program a = generateRandomProgram(seed, cfg);
+        const Program b = generateRandomProgram(seed, cfg);
+        ASSERT_EQ(a.code.size(), b.code.size());
+        for (size_t i = 0; i < a.code.size(); ++i)
+            ASSERT_TRUE(a.code[i] == b.code[i]) << "slot " << i;
+        EXPECT_EQ(a.data, b.data);
+        EXPECT_EQ(a.entry, b.entry);
+        EXPECT_EQ(a.name, b.name);
+    }
+}
+
+TEST(RandProg, DifferentSeedsDiffer)
+{
+    const Program a = generateRandomProgram(1);
+    const Program b = generateRandomProgram(2);
+    bool differ = a.code.size() != b.code.size();
+    for (size_t i = 0; !differ && i < a.code.size(); ++i)
+        differ = !(a.code[i] == b.code[i]);
+    EXPECT_TRUE(differ);
+}
+
+TEST(RandProg, CallDepthKnobChangesShape)
+{
+    RandProgConfig flat;
+    flat.callDepth = 0;
+    const Program none = generateRandomProgram(5, flat);
+    EXPECT_EQ(countOp(none, Opcode::JSR), 0u);
+    EXPECT_EQ(countOp(none, Opcode::RET), 0u);
+
+    RandProgConfig deep;
+    deep.callDepth = 5;
+    const Program chain = generateRandomProgram(5, deep);
+    // One RET per chain level, and at least the chain's static JSRs.
+    EXPECT_EQ(countOp(chain, Opcode::RET), 5u);
+    EXPECT_GE(countOp(chain, Opcode::JSR), 4u);
+
+    // The chain actually executes nested calls.
+    Emulator e(chain);
+    e.run(randProgInstBudget(deep));
+    EXPECT_TRUE(e.halted());
+}
+
+TEST(RandProg, BranchWeightKnobChangesShape)
+{
+    RandProgConfig straight;
+    straight.branchWeight = 0;
+    const Program a = generateRandomProgram(6, straight);
+    // Only the loop back edge remains.
+    EXPECT_EQ(countCondBranches(a), 1u);
+
+    RandProgConfig branchy;
+    branchy.branchWeight = 8;
+    const Program b = generateRandomProgram(6, branchy);
+    EXPECT_GT(countCondBranches(b), 3u);
+}
+
+TEST(RandProg, MemFootprintKnobChangesShape)
+{
+    RandProgConfig small;
+    small.memFootprint = 64;
+    RandProgConfig big;
+    big.memFootprint = 4096;
+    const Program a = generateRandomProgram(8, small);
+    const Program b = generateRandomProgram(8, big);
+    // The scratch reservation is part of the data image.
+    EXPECT_GT(b.data.size(), a.data.size() + 3000);
+
+    // Both shapes still execute to completion.
+    Emulator ea(a), eb(b);
+    ea.run(randProgInstBudget(small));
+    eb.run(randProgInstBudget(big));
+    EXPECT_TRUE(ea.halted());
+    EXPECT_TRUE(eb.halted());
+}
+
+TEST(RandProg, InvalidConfigsRejected)
+{
+    RandProgConfig c;
+    c.memFootprint = 100; // not a power of two
+    EXPECT_NE(validateRandProgConfig(c), "");
+
+    c = RandProgConfig{};
+    c.bodyOpsMin = 0;
+    EXPECT_NE(validateRandProgConfig(c), "");
+
+    c = RandProgConfig{};
+    c.itersMin = 50;
+    c.itersMax = 10; // empty range
+    EXPECT_NE(validateRandProgConfig(c), "");
+
+    c = RandProgConfig{};
+    c.dataQuads = 4; // spill arm needs 8
+    EXPECT_NE(validateRandProgConfig(c), "");
+
+    // Unreasonably large shapes are rejected, not allocated.
+    c = RandProgConfig{};
+    c.bodyOpsMax = 1'000'000'000;
+    EXPECT_NE(validateRandProgConfig(c), "");
+
+    c = RandProgConfig{};
+    c.dataQuads = 500'000'000;
+    EXPECT_NE(validateRandProgConfig(c), "");
+
+    c = RandProgConfig{};
+    c.memFootprint = 1u << 30;
+    EXPECT_NE(validateRandProgConfig(c), "");
+
+    c = RandProgConfig{};
+    EXPECT_EQ(validateRandProgConfig(c), "");
+}
+
+TEST(RandProgDeath, GenerateRejectsInvalidConfig)
+{
+    RandProgConfig c;
+    c.memFootprint = 24;
+    EXPECT_EXIT({ generateRandomProgram(1, c); },
+                ::testing::ExitedWithCode(1), "mem_footprint");
+}
