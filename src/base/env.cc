@@ -9,20 +9,27 @@ namespace rix
 {
 
 u64
-parsePositiveCount(const char *what, const char *text)
+parseNonNegativeCount(const char *what, const char *text)
 {
     if (!text || !*text)
-        rix_fatal("%s: empty value; expected a positive integer", what);
+        rix_fatal("%s: empty value; expected an integer", what);
     u64 v = 0;
     for (const char *p = text; *p; ++p) {
         if (!isdigit((unsigned char)*p))
-            rix_fatal("%s: invalid value '%s'; expected a positive "
-                      "integer", what, text);
+            rix_fatal("%s: invalid value '%s'; expected an integer",
+                      what, text);
         const u64 digit = u64(*p - '0');
         if (v > (~u64(0) - digit) / 10)
             rix_fatal("%s: value '%s' overflows", what, text);
         v = v * 10 + digit;
     }
+    return v;
+}
+
+u64
+parsePositiveCount(const char *what, const char *text)
+{
+    const u64 v = parseNonNegativeCount(what, text);
     if (v == 0)
         rix_fatal("%s: must be >= 1 (got '%s'); zero would silently "
                   "configure a degenerate run", what, text);
@@ -34,6 +41,13 @@ envPositiveCount(const char *name, u64 dflt)
 {
     const char *s = getenv(name);
     return s ? parsePositiveCount(name, s) : dflt;
+}
+
+u64
+envNonNegativeCount(const char *name, u64 dflt)
+{
+    const char *s = getenv(name);
+    return s ? parseNonNegativeCount(name, s) : dflt;
 }
 
 } // namespace rix

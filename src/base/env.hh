@@ -32,6 +32,17 @@ u64 parsePositiveCount(const char *what, const char *text);
  */
 u64 envPositiveCount(const char *name, u64 dflt);
 
+/**
+ * Parse @p text as a non-negative decimal count (zero allowed — e.g.
+ * a retry budget of 0 is meaningful). Fatal on empty input,
+ * non-digits, trailing junk, or overflow, naming @p what.
+ */
+u64 parseNonNegativeCount(const char *what, const char *text);
+
+/** envPositiveCount's sibling for knobs where zero is meaningful
+ *  (RIX_RETRIES=0: never retry). Fatal on invalid values. */
+u64 envNonNegativeCount(const char *name, u64 dflt);
+
 } // namespace rix
 
 #endif // RIX_BASE_ENV_HH

@@ -1,0 +1,89 @@
+#include "base/fault.hh"
+
+#include "base/env.hh"
+#include "base/log.hh"
+
+namespace rix
+{
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Divergence:
+        return "divergence";
+      case JobStatus::Stuck:
+        return "stuck";
+      case JobStatus::Timeout:
+        return "timeout";
+      case JobStatus::Transient:
+        return "transient";
+      case JobStatus::Crash:
+        return "crash";
+      case JobStatus::Skipped:
+        return "skipped";
+      case JobStatus::Invalid:
+        return "invalid";
+    }
+    return "unknown";
+}
+
+bool
+jobStatusFromName(const std::string &name, JobStatus *out)
+{
+    static const JobStatus all[] = {
+        JobStatus::Ok,      JobStatus::Divergence, JobStatus::Stuck,
+        JobStatus::Timeout, JobStatus::Transient,  JobStatus::Crash,
+        JobStatus::Skipped, JobStatus::Invalid};
+    for (JobStatus s : all) {
+        if (name == jobStatusName(s)) {
+            *out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+jobStatusIsTransient(JobStatus s)
+{
+    // Wall-clock timeouts depend on host load, not on the job, so they
+    // are retryable; everything else that failed is a deterministic
+    // property of the job (divergence, stuck pipeline, crash) or of the
+    // request (invalid) and retrying would only repeat it.
+    return s == JobStatus::Transient || s == JobStatus::Timeout;
+}
+
+u64
+FaultPolicy::backoffMs(unsigned attempt) const
+{
+    if (attempt == 0 || backoffBaseMs == 0)
+        return 0;
+    u64 ms = backoffBaseMs;
+    for (unsigned i = 1; i < attempt && ms < backoffCapMs; ++i)
+        ms *= 2;
+    return ms < backoffCapMs ? ms : backoffCapMs;
+}
+
+FaultPolicy
+FaultPolicy::fromEnv(bool strict_dflt)
+{
+    FaultPolicy p;
+    p.strict = strict_dflt;
+    // Strict-validation policy: a mistyped knob must never silently
+    // run with a default (a sweep "with a timeout" that actually has
+    // none is exactly the silent misconfiguration class ISSUE 3
+    // eliminated). Zero is rejected for the timeout — a 0ms deadline
+    // would time every job out; use unset to disable the watchdog.
+    p.timeoutMs = envPositiveCount("RIX_TIMEOUT_MS", 0);
+    const u64 r = envNonNegativeCount("RIX_RETRIES", p.retries);
+    if (r > 100)
+        rix_fatal("RIX_RETRIES: %llu retries is not a sane budget "
+                  "(max 100)", (unsigned long long)r);
+    p.retries = unsigned(r);
+    return p;
+}
+
+} // namespace rix

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Ref-counted, byte-budgeted LRU cache — the bounded sharing layer of
+ * the `rix serve` daemon.
+ *
+ * The process-wide ProgramCache/CheckpointCache grow without bound,
+ * which is fine for a single sweep but fatal for a long-running daemon
+ * under sustained multi-tenant load. This cache keeps memory flat:
+ * entries are handed out as shared_ptr<const V> (so concurrent jobs
+ * share one build read-only), an entry is *pinned* while any caller
+ * still holds a reference (pinned entries are never evicted — a job
+ * can never have its program freed underneath it), and once the total
+ * footprint exceeds the byte budget, unpinned entries are evicted in
+ * least-recently-used order. Builders must be deterministic, so an
+ * evicted-and-rebuilt entry is bit-identical to the cold build (tests
+ * enforce this).
+ *
+ * Concurrency: one mutex guards the index; the (expensive) build runs
+ * outside it under a per-key "building" marker, so two threads wanting
+ * different keys build concurrently while two threads wanting the same
+ * key build it once and share (the ProgramCache's call_once discipline,
+ * plus eviction). A failed build erases the marker and rethrows, so a
+ * poisoned key can be retried.
+ *
+ * The budget is a hard bound on *unpinned* content: while every entry
+ * is pinned by in-flight jobs the total can exceed it (the alternative
+ * would be failing jobs that already hold references), but the moment
+ * pins are released the next insertion evicts back under budget.
+ */
+
+#ifndef RIX_BASE_LRU_CACHE_HH
+#define RIX_BASE_LRU_CACHE_HH
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/types.hh"
+
+namespace rix
+{
+
+template <typename Key, typename Value>
+class LruCache
+{
+  public:
+    using Ptr = std::shared_ptr<const Value>;
+    using Sizer = std::function<size_t(const Value &)>;
+
+    /** @p budget_bytes 0 means "cache nothing beyond pinned entries";
+     *  @p sizer reports an entry's footprint in bytes. */
+    LruCache(size_t budget_bytes, Sizer sizer)
+        : budget(budget_bytes), sizeOf(std::move(sizer))
+    {
+    }
+
+    /**
+     * The value for @p key, invoking @p build() on a miss. The
+     * returned pointer pins the entry until the caller drops it.
+     * @p build must return Value and be deterministic for @p key.
+     */
+    template <typename Builder>
+    Ptr
+    get(const Key &key, Builder &&build)
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        for (;;) {
+            auto it = index.find(key);
+            if (it == index.end())
+                break;
+            if (!it->second.building) {
+                ++nHits;
+                touch(it->second);
+                return it->second.value;
+            }
+            // Someone else is building this key; wait for it.
+            built.wait(lk);
+        }
+
+        Entry &e = index[key];
+        e.building = true;
+        ++nMisses;
+        lk.unlock();
+
+        Ptr v;
+        try {
+            v = std::make_shared<const Value>(build());
+        } catch (...) {
+            lk.lock();
+            index.erase(key);
+            built.notify_all();
+            throw;
+        }
+        const size_t bytes = sizeOf(*v);
+
+        lk.lock();
+        Entry &done = index[key]; // same slot: building entries are
+                                  // never erased except by this thread
+        done.value = v;
+        done.bytes = bytes;
+        done.building = false;
+        lru.push_back(key);
+        done.pos = std::prev(lru.end());
+        totalBytes += bytes;
+        evictToBudget();
+        built.notify_all();
+        return v;
+    }
+
+    /** Peek without building; null on miss (tests, stats). */
+    Ptr
+    peek(const Key &key) const
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        auto it = index.find(key);
+        return it != index.end() && !it->second.building
+                   ? it->second.value
+                   : Ptr();
+    }
+
+    u64 hits() const { return locked(&LruCache::nHits); }
+    u64 misses() const { return locked(&LruCache::nMisses); }
+    u64 evictions() const { return locked(&LruCache::nEvictions); }
+
+    /** Current footprint of cached (completed) entries. */
+    size_t
+    bytes() const
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return totalBytes;
+    }
+
+    /** Completed entries currently cached. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        size_t n = 0;
+        for (const auto &kv : index)
+            n += kv.second.building ? 0 : 1;
+        return n;
+    }
+
+    size_t budgetBytes() const { return budget; }
+
+  private:
+    struct Entry
+    {
+        Ptr value;
+        size_t bytes = 0;
+        bool building = false;
+        typename std::list<Key>::iterator pos{};
+    };
+
+    void
+    touch(Entry &e)
+    {
+        lru.splice(lru.end(), lru, e.pos);
+    }
+
+    /** Evict unpinned entries, LRU first, until under budget. Under
+     *  the mutex use_count()==1 proves only the cache holds the value
+     *  (no new reference can be taken without the mutex). */
+    void
+    evictToBudget()
+    {
+        auto it = lru.begin();
+        while (totalBytes > budget && it != lru.end()) {
+            auto slot = index.find(*it);
+            if (slot->second.value.use_count() == 1) {
+                totalBytes -= slot->second.bytes;
+                ++nEvictions;
+                it = lru.erase(it);
+                index.erase(slot);
+            } else {
+                ++it; // pinned by an in-flight job; never evict
+            }
+        }
+    }
+
+    u64
+    locked(u64 LruCache::*m) const
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return this->*m;
+    }
+
+    const size_t budget;
+    const Sizer sizeOf;
+
+    mutable std::mutex mu;
+    std::condition_variable built;
+    std::map<Key, Entry> index;
+    std::list<Key> lru; // front = least recently used
+    size_t totalBytes = 0;
+    u64 nHits = 0, nMisses = 0, nEvictions = 0;
+};
+
+} // namespace rix
+
+#endif // RIX_BASE_LRU_CACHE_HH

@@ -28,6 +28,21 @@ ThreadPool::~ThreadPool()
         t.join();
 }
 
+size_t
+ThreadPool::cancelPending()
+{
+    // Swap the queue out under the lock, destroy outside it: dropping
+    // a packaged_task abandons its shared state (broken_promise) and
+    // may run arbitrary captured destructors, which must not happen
+    // while holding the pool mutex.
+    std::queue<std::function<void()>> dropped;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        dropped.swap(queue);
+    }
+    return dropped.size();
+}
+
 void
 ThreadPool::workerLoop()
 {

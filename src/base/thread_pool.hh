@@ -61,6 +61,17 @@ class ThreadPool
         return fut;
     }
 
+    /**
+     * Drop every queued-but-not-yet-started task. Tasks already
+     * running finish normally; the dropped tasks' futures complete
+     * with std::future_error(broken_promise), which collectors treat
+     * as "skipped". Safe to call concurrently with submit() and with
+     * the destructor's drain (whichever takes the queue lock first
+     * wins each task).
+     * @return number of tasks dropped.
+     */
+    size_t cancelPending();
+
     unsigned size() const { return unsigned(workers.size()); }
 
   private:

@@ -17,6 +17,9 @@
 #include <string>
 
 #include "base/env.hh"
+#include "base/json.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/fuzz.hh"
 #include "sim/scenario.hh"
 #include "sim/validate.hh"
@@ -35,6 +38,8 @@ usage(FILE *out)
             "  rix run <spec.json> [--out FILE] [--jobs N] [--scale S]\n"
             "                                     run a scenario spec\n"
             "  rix fuzz [options]                 differential fuzzing\n"
+            "  rix serve <socket> [options]       simulation daemon\n"
+            "  rix submit <socket> [request...]   send requests to a daemon\n"
             "  rix validate <spec.json>...        parse + validate only\n"
             "  rix list-workloads                 registered workloads\n"
             "  rix help                           this text\n"
@@ -60,11 +65,30 @@ usage(FILE *out)
             "  written — its presence disambiguates from fatal\n"
             "  configuration errors, which also exit 1); 2 usage error\n"
             "\n"
+            "serve options (newline-delimited JSON protocol; see\n"
+            "serve/proto.hh and README.md):\n"
+            "  --jobs N         simulation worker threads\n"
+            "  --queue N        max outstanding jobs before backpressure\n"
+            "                   (default 64; excess gets 'overloaded')\n"
+            "  --cache-bytes N  program+checkpoint LRU byte budget\n"
+            "                   (default 256 MiB)\n"
+            "  --allow-inject   honor the 'inject' request field (fault\n"
+            "                   drills; otherwise rejected as invalid)\n"
+            "\n"
+            "submit: sends each argument as one request line (stdin when\n"
+            "  none), prints one response line each; exit 0 if every\n"
+            "  status is 'ok', 3 otherwise, 1 on connection failure\n"
+            "\n"
             "environment (legacy overrides, validated):\n"
-            "  RIX_SCALE  workload scale factor (overrides the spec)\n"
-            "  RIX_BENCH  comma-separated workload subset\n"
-            "  RIX_JOBS   simulation worker threads (default: hardware\n"
-            "             concurrency; 1 = serial)\n"
+            "  RIX_SCALE       workload scale factor (overrides the spec)\n"
+            "  RIX_BENCH       comma-separated workload subset\n"
+            "  RIX_JOBS        simulation worker threads (default:\n"
+            "                  hardware concurrency; 1 = serial)\n"
+            "  RIX_TIMEOUT_MS  per-job wall-clock watchdog (0 = off)\n"
+            "  RIX_RETRIES     retry budget for transient failures\n"
+            "                  (default 2)\n"
+            "  RIX_CACHE_BYTES serve cache budget\n"
+            "  RIX_QUEUE_DEPTH serve admission bound\n"
             "\n"
             "spec format: see examples/scenarios/*.json and README.md\n");
     return out == stderr ? 2 : 0;
@@ -75,8 +99,11 @@ cmdRun(int argc, char **argv)
 {
     const char *specPath = nullptr;
     const char *outPath = nullptr;
+    bool strict = false;
     for (int i = 0; i < argc; ++i) {
-        if (strcmp(argv[i], "--out") == 0) {
+        if (strcmp(argv[i], "--strict") == 0) {
+            strict = true;
+        } else if (strcmp(argv[i], "--out") == 0) {
             if (i + 1 >= argc) {
                 fprintf(stderr, "rix run: --out needs a file argument\n");
                 return 2;
@@ -122,7 +149,13 @@ cmdRun(int argc, char **argv)
             return 1;
         }
     }
-    const int rc = rix::runScenarioFile(specPath, out);
+    // Fault-contained by default for the row renders: K failing jobs
+    // leave the other N-K rows intact, each row carrying its status.
+    // --strict restores fail-fast; the figure renders always fail
+    // fast (runScenarioFile). RIX_TIMEOUT_MS / RIX_RETRIES configure
+    // the watchdog and retry budget (strictly validated).
+    const rix::FaultPolicy policy = rix::FaultPolicy::fromEnv(strict);
+    const int rc = rix::runScenarioFile(specPath, out, &policy);
     if (out != stdout)
         fclose(out);
     return rc;
@@ -198,6 +231,118 @@ cmdFuzz(int argc, char **argv)
 }
 
 int
+cmdServe(int argc, char **argv)
+{
+    // Environment first (fatal on garbage), flags override.
+    rix::ServeOptions opts = rix::ServeOptions::fromEnv();
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto needValue = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                fprintf(stderr, "rix serve: %s needs an argument\n", what);
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            opts.workers = unsigned(rix::parsePositiveCount(
+                "rix serve --jobs", needValue("--jobs")));
+        } else if (arg == "--queue") {
+            opts.queueDepth = size_t(rix::parsePositiveCount(
+                "rix serve --queue", needValue("--queue")));
+        } else if (arg == "--cache-bytes") {
+            opts.cacheBytes = size_t(rix::parsePositiveCount(
+                "rix serve --cache-bytes", needValue("--cache-bytes")));
+        } else if (arg == "--allow-inject") {
+            opts.allowInject = true;
+        } else if (arg[0] == '-') {
+            fprintf(stderr, "rix serve: unknown option '%s'\n", argv[i]);
+            return 2;
+        } else if (opts.socketPath.empty()) {
+            opts.socketPath = arg;
+        } else {
+            fprintf(stderr, "rix serve: exactly one socket path "
+                            "expected\n");
+            return 2;
+        }
+    }
+    if (opts.socketPath.empty()) {
+        fprintf(stderr, "rix serve: missing socket path\n");
+        return 2;
+    }
+    return rix::runServe(opts);
+}
+
+int
+cmdSubmit(int argc, char **argv)
+{
+    if (argc < 1) {
+        fprintf(stderr, "rix submit: missing socket path\n");
+        return 2;
+    }
+    rix::ServeClient client;
+    const std::string err = client.connect(argv[0]);
+    if (!err.empty()) {
+        // Diagnostic on stderr only: stdout carries response JSON or
+        // nothing at all, so `rix submit ... | jq` never sees a
+        // partial document.
+        fprintf(stderr, "rix submit: %s\n", err.c_str());
+        return 1;
+    }
+
+    // Pipeline every request, then collect exactly one response per
+    // request (responses may complete out of order; ids match them).
+    size_t sent = 0;
+    auto push = [&](const std::string &line) -> bool {
+        if (line.empty())
+            return true;
+        if (!client.sendLine(line)) {
+            fprintf(stderr, "rix submit: connection lost mid-send\n");
+            return false;
+        }
+        ++sent;
+        return true;
+    };
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            if (!push(argv[i]))
+                return 1;
+    } else {
+        std::string line;
+        int c;
+        while ((c = getchar()) != EOF) {
+            if (c == '\n') {
+                if (!push(line))
+                    return 1;
+                line.clear();
+            } else {
+                line += char(c);
+            }
+        }
+        if (!push(line))
+            return 1;
+    }
+
+    bool allOk = true;
+    for (size_t i = 0; i < sent; ++i) {
+        std::string resp;
+        if (!client.recvLine(&resp)) {
+            fprintf(stderr, "rix submit: daemon closed the connection "
+                            "after %zu of %zu responses\n", i, sent);
+            return 1;
+        }
+        printf("%s\n", resp.c_str());
+        std::string perr;
+        const rix::JsonValue doc = rix::JsonValue::parse(resp, &perr);
+        const rix::JsonValue *status =
+            perr.empty() && doc.isObject() ? doc.find("status") : nullptr;
+        if (!status || !status->isString() || status->asString() != "ok")
+            allOk = false;
+    }
+    return allOk ? 0 : 3;
+}
+
+int
 cmdValidate(int argc, char **argv)
 {
     if (argc == 0) {
@@ -242,6 +387,10 @@ main(int argc, char **argv)
         return cmdRun(argc - 2, argv + 2);
     if (cmd == "fuzz")
         return cmdFuzz(argc - 2, argv + 2);
+    if (cmd == "serve")
+        return cmdServe(argc - 2, argv + 2);
+    if (cmd == "submit")
+        return cmdSubmit(argc - 2, argv + 2);
     if (cmd == "validate")
         return cmdValidate(argc - 2, argv + 2);
     if (cmd == "list-workloads")

@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include <cstdio>
+
 #include "base/log.hh"
 
 namespace rix
@@ -99,6 +101,10 @@ Core::resetMicroarch(const Program &program, const CoreParams &params)
     cycle = 0;
     done = false;
     diverged_ = false;
+    stuck_ = false;
+    stuckReason_.clear();
+    cancel_ = nullptr;
+    cancelled_ = CancelReason::None;
     lastProgressCycle = 0;
     stats_ = CoreStats{};
 
@@ -211,22 +217,43 @@ Core::tick()
     ++cycle;
     ++stats_.cycles;
 
-    if (cycle - lastProgressCycle > p.watchdogCycles)
-        rix_panic("watchdog: no retirement progress for %llu cycles "
-                  "(pc=%llu rob=%zu)",
-                  (unsigned long long)p.watchdogCycles,
-                  (unsigned long long)(rob.empty()
-                                           ? fetchPc
-                                           : pool.get(rob.front()).pc),
-                  rob.size());
+    if (cycle - lastProgressCycle > p.watchdogCycles) {
+        // Contained failure, not process death: record why and stop.
+        // The job layer reports this core as "stuck"; other jobs in
+        // the same sweep (or daemon) are unaffected.
+        char buf[160];
+        snprintf(buf, sizeof(buf),
+                 "watchdog: no retirement progress for %llu cycles "
+                 "(pc=%llu rob=%zu)",
+                 (unsigned long long)p.watchdogCycles,
+                 (unsigned long long)(rob.empty()
+                                          ? fetchPc
+                                          : pool.get(rob.front()).pc),
+                 rob.size());
+        stuckReason_ = buf;
+        stuck_ = true;
+        done = true;
+    }
 }
 
 Core::RunResult
 Core::run(u64 max_retired, Cycle max_cycles)
 {
     while (!done && stats_.retired < max_retired &&
-           stats_.cycles < max_cycles)
+           stats_.cycles < max_cycles) {
+        // Cooperative cancellation: one pointer test per cycle when no
+        // token is attached; the (clock-reading) poll itself only every
+        // 1024 cycles. Cancellation stops *between* cycles, leaving the
+        // core mid-run with consistent state.
+        if (cancel_ && (stats_.cycles & 1023) == 0) {
+            const CancelReason why = cancel_->poll();
+            if (why != CancelReason::None) {
+                cancelled_ = why;
+                break;
+            }
+        }
         tick();
+    }
     return {stats_.retired, stats_.cycles, done};
 }
 

@@ -34,8 +34,10 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "base/cancel.hh"
 #include "core/integration.hh"
 #include "cpu/core_stats.hh"
 #include "cpu/dyn_inst.hh"
@@ -104,7 +106,7 @@ class Core
         retireStopAt = absolute_retired;
     }
 
-    bool halted() const { return done && !diverged_; }
+    bool halted() const { return done && !diverged_ && !stuck_; }
     Cycle now() const { return cycle; }
     const CoreStats &stats() const { return stats_; }
     const CoreParams &params() const { return p; }
@@ -133,6 +135,28 @@ class Core
         return lockstep_ && lockstep_->diverged() ? &lockstep_->report()
                                                   : nullptr;
     }
+
+    /**
+     * Attach a cooperative cancellation token polled by run() (every
+     * 1024 cycles, so the only cost when unset is one pointer test
+     * per cycle batch). When the token fires, run() stops between
+     * cycles with cancelled() reporting why; the core's state remains
+     * consistent (mid-run, not halted). Cleared by reset().
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
+    /** Why run() stopped early, or CancelReason::None. */
+    CancelReason cancelled() const { return cancelled_; }
+
+    /**
+     * True after the forward-progress watchdog tripped: no instruction
+     * retired for watchdogCycles cycles (a stuck simulation — e.g. a
+     * scheduling deadlock or a wrong-path livelock). The run stops
+     * (halted() stays false) instead of panicking, so a stuck job is
+     * a reportable per-job failure rather than process death.
+     */
+    bool stuck() const { return stuck_; }
+    const std::string &stuckReason() const { return stuckReason_; }
 
     /** The lockstep shadow emulator (tests); null when disabled. */
     const Emulator *
@@ -356,6 +380,10 @@ class Core
     Cycle cycle = 0;
     bool done = false;
     bool diverged_ = false;
+    bool stuck_ = false;
+    std::string stuckReason_;
+    const CancelToken *cancel_ = nullptr;
+    CancelReason cancelled_ = CancelReason::None;
     Cycle lastProgressCycle = 0;
     CoreStats stats_;
 };

@@ -269,11 +269,18 @@ Emulator::step()
 }
 
 u64
-Emulator::run(u64 max_steps)
+Emulator::run(u64 max_steps, const CancelToken *cancel)
 {
     const u64 start = icount;
-    while (!isHalted && icount - start < max_steps)
+    while (!isHalted && icount - start < max_steps) {
+        // ~4096-step poll granularity: functional stepping is orders
+        // of magnitude faster than detailed cycles, so the deadline
+        // check stays off the per-instruction path.
+        if (cancel && ((icount - start) & 4095) == 0 &&
+            cancel->poll() != CancelReason::None)
+            break;
         step();
+    }
     return icount - start;
 }
 

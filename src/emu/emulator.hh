@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "assembler/program.hh"
+#include "base/cancel.hh"
 #include "emu/checkpoint.hh"
 #include "emu/memory.hh"
 
@@ -90,8 +91,15 @@ class Emulator
     StepResult preview() const;
     void commit(const StepResult &res);
 
-    /** Run until HALT or @p max_steps; returns instructions executed. */
-    u64 run(u64 max_steps = 100'000'000);
+    /**
+     * Run until HALT or @p max_steps; returns instructions executed.
+     * When @p cancel is non-null it is polled every 4096 steps and a
+     * fired token stops the run early (the watchdog's grip on
+     * functional fast-forward, which can otherwise spin forever on a
+     * non-halting program). Check halted()/the token to distinguish.
+     */
+    u64 run(u64 max_steps = 100'000'000,
+            const CancelToken *cancel = nullptr);
 
     bool halted() const { return isHalted; }
     InstAddr pc() const { return pcReg; }

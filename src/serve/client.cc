@@ -1,0 +1,89 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rix
+{
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+std::string
+ServeClient::connect(const std::string &socketPath)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        return "socket path '" + socketPath + "' is too long";
+    memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return std::string("socket: ") + strerror(errno);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string err = "cannot connect to '" + socketPath +
+                                "': " + strerror(errno);
+        close();
+        return err;
+    }
+    return "";
+}
+
+bool
+ServeClient::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string data = line;
+    if (data.empty() || data.back() != '\n')
+        data += '\n';
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += size_t(n);
+    }
+    return true;
+}
+
+bool
+ServeClient::recvLine(std::string *out)
+{
+    for (;;) {
+        const size_t nl = pending_.find('\n');
+        if (nl != std::string::npos) {
+            *out = pending_.substr(0, nl);
+            pending_.erase(0, nl + 1);
+            return true;
+        }
+        if (fd_ < 0)
+            return false;
+        char buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return false;
+        pending_.append(buf, size_t(n));
+    }
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+} // namespace rix

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal blocking client for the `rix serve` protocol: connect to the
+ * daemon's Unix socket, send request lines, read response lines. Used
+ * by `rix submit` and by the serve tests; deliberately dependency-free
+ * so a shell script with `nc -U` remains an equally valid client.
+ */
+
+#ifndef RIX_SERVE_CLIENT_HH
+#define RIX_SERVE_CLIENT_HH
+
+#include <string>
+
+namespace rix
+{
+
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** @return "" on success, else a one-line diagnostic (no socket,
+     *          refused, path too long). */
+    std::string connect(const std::string &socketPath);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one request line (a trailing newline is appended when
+     *  missing). @return true when fully written. */
+    bool sendLine(const std::string &line);
+
+    /**
+     * Block until one full response line arrives.
+     * @return true and *out (newline stripped), false on EOF/error
+     *         (daemon gone).
+     */
+    bool recvLine(std::string *out);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string pending_;
+};
+
+} // namespace rix
+
+#endif // RIX_SERVE_CLIENT_HH

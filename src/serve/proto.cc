@@ -1,0 +1,164 @@
+#include "serve/proto.hh"
+
+#include "base/json.hh"
+#include "sim/scenario.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+std::string
+coerceCountField(const char *name, const JsonValue &v, u64 min, u64 *out)
+{
+    u64 tmp = 0;
+    const std::string err = jsonCoerceCount(v, ~u64(0), &tmp);
+    if (!err.empty())
+        return std::string("'") + name + "': " + err;
+    if (tmp < min)
+        return std::string("'") + name + "': must be >= " +
+               std::to_string(min);
+    *out = tmp;
+    return "";
+}
+
+} // namespace
+
+std::string
+parseServeRequest(const std::string &line, ServeRequest *out)
+{
+    std::string err;
+    const JsonValue doc = JsonValue::parse(line, &err);
+    if (!err.empty())
+        return err;
+    if (!doc.isObject())
+        return "request must be a JSON object";
+
+    const JsonValue *op = doc.find("op");
+    if (!op || !op->isString())
+        return "missing string 'op'";
+
+    *out = ServeRequest{};
+    if (const JsonValue *id = doc.find("id"))
+        out->id = id->dump();
+
+    const std::string &opName = op->asString();
+    if (opName == "ping") {
+        out->op = ServeRequest::Op::Ping;
+        return "";
+    }
+    if (opName == "stats") {
+        out->op = ServeRequest::Op::Stats;
+        return "";
+    }
+    if (opName == "shutdown") {
+        out->op = ServeRequest::Op::Shutdown;
+        return "";
+    }
+    if (opName != "run")
+        return "unknown op '" + opName + "' (ping|run|stats|shutdown)";
+
+    out->op = ServeRequest::Op::Run;
+    SimJob &job = out->job;
+    bool sawWorkload = false;
+    for (const auto &[key, v] : doc.members()) {
+        std::string ferr;
+        if (key == "op" || key == "id") {
+            // handled above
+        } else if (key == "workload") {
+            if (!v.isString())
+                return "'workload': expected a string";
+            job.workload = v.asString();
+            sawWorkload = true;
+        } else if (key == "scale") {
+            ferr = coerceCountField("scale", v, 1, &job.scale);
+        } else if (key == "max_retired") {
+            ferr = coerceCountField("max_retired", v, 1, &job.maxRetired);
+        } else if (key == "max_cycles") {
+            ferr = coerceCountField("max_cycles", v, 1, &job.maxCycles);
+        } else if (key == "checkpoint_at") {
+            ferr = coerceCountField("checkpoint_at", v, 0,
+                                    &job.checkpointAt);
+        } else if (key == "warmup") {
+            ferr = coerceCountField("warmup", v, 0, &job.warmup);
+        } else if (key == "timeout_ms") {
+            ferr = coerceCountField("timeout_ms", v, 1, &out->timeoutMs);
+            out->hasTimeoutMs = ferr.empty();
+        } else if (key == "retries") {
+            u64 tmp = 0;
+            ferr = coerceCountField("retries", v, 0, &tmp);
+            if (ferr.empty() && tmp > 100)
+                ferr = "'retries': more than 100 retries is not a sane "
+                       "budget";
+            out->retries = unsigned(tmp);
+            out->hasRetries = ferr.empty();
+        } else if (key == "inject") {
+            if (!v.isString() ||
+                !jobInjectFromName(v.asString(), &job.inject))
+                return "'inject': expected none|hang|crash|transient";
+        } else if (key == "config") {
+            if (!v.isObject())
+                return "'config': expected an object of parameter "
+                       "overrides";
+            for (const auto &[ck, cv] : v.members()) {
+                const std::string oerr =
+                    applyCoreParamOverride(job.params, ck, cv);
+                if (!oerr.empty())
+                    return "'config': " + oerr;
+            }
+        } else {
+            return "unknown field '" + key + "'";
+        }
+        if (!ferr.empty())
+            return ferr;
+    }
+    if (!sawWorkload)
+        return "run request needs a 'workload'";
+    return "";
+}
+
+std::string
+renderRunResponse(const std::string &id, const SimJob &job,
+                  const SimJobResult &r)
+{
+    std::string s = "{\"id\": " + id + ", \"status\": \"" +
+                    jobStatusName(r.status) + "\"";
+    s += ", \"workload\": \"" + jsonEscape(job.workload) + "\"";
+    if (r.ok()) {
+        const CoreStats &c = r.report.core;
+        s += ", \"retired\": " + std::to_string(c.retired);
+        s += ", \"cycles\": " + std::to_string(c.cycles);
+        s += ", \"ipc\": " + jsonNumber(c.ipc());
+        s += ", \"halted\": ";
+        s += r.report.halted ? "true" : "false";
+    } else {
+        s += ", \"error\": \"" + jsonEscape(r.error) + "\"";
+    }
+    s += ", \"attempts\": " + std::to_string(r.attempts);
+    s += ", \"wall_s\": " + jsonNumber(r.wallSeconds);
+    s += "}\n";
+    return s;
+}
+
+std::string
+renderErrorResponse(const std::string &id, const char *status,
+                    const std::string &error)
+{
+    std::string s = "{";
+    if (!id.empty())
+        s += "\"id\": " + id + ", ";
+    s += std::string("\"status\": \"") + status + "\"";
+    if (!error.empty())
+        s += ", \"error\": \"" + jsonEscape(error) + "\"";
+    s += "}\n";
+    return s;
+}
+
+std::string
+renderAckResponse(const char *op)
+{
+    return std::string("{\"status\": \"ok\", \"op\": \"") + op + "\"}\n";
+}
+
+} // namespace rix

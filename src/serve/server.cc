@@ -1,0 +1,455 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "base/env.hh"
+#include "base/log.hh"
+#include "base/stats.hh"
+#include "emu/emulator.hh"
+#include "workload/workload.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+/** Cap on one request line; a client streaming an unbounded "line"
+ *  must not be able to balloon the daemon's memory. */
+constexpr size_t maxLineBytes = 1 << 20;
+
+size_t
+programFootprint(const Program &p)
+{
+    return sizeof(Program) + p.code.size() * sizeof(Instruction) +
+           p.data.size() + p.name.size();
+}
+
+size_t
+checkpointFootprint(const Checkpoint &c)
+{
+    return sizeof(Checkpoint) + c.memoryBytes() +
+           c.output.size() * sizeof(u64);
+}
+
+} // namespace
+
+ServeOptions
+ServeOptions::fromEnv()
+{
+    ServeOptions o;
+    o.policy = FaultPolicy::fromEnv();
+    o.cacheBytes = size_t(envPositiveCount("RIX_CACHE_BYTES",
+                                           u64(o.cacheBytes)));
+    o.queueDepth = size_t(envPositiveCount("RIX_QUEUE_DEPTH",
+                                           u64(o.queueDepth)));
+    return o;
+}
+
+struct Server::Conn
+{
+    explicit Conn(int f) : fd(f) {}
+    ~Conn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    const int fd;
+    std::mutex writeMu;
+    std::atomic<bool> open{true};
+};
+
+Server::Server(const ServeOptions &options)
+    : opts(options),
+      progLru(options.cacheBytes / 2, programFootprint),
+      ckptLru(options.cacheBytes / 2, checkpointFootprint)
+{
+}
+
+Server::~Server()
+{
+    requestShutdown();
+    waitShutdown();
+    if (wakePipe[0] >= 0)
+        ::close(wakePipe[0]);
+    if (wakePipe[1] >= 0)
+        ::close(wakePipe[1]);
+    if (listenFd >= 0)
+        ::close(listenFd);
+    if (!opts.socketPath.empty())
+        ::unlink(opts.socketPath.c_str());
+}
+
+std::string
+Server::start()
+{
+    if (opts.socketPath.empty())
+        return "serve: socket path must not be empty";
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.size() >= sizeof(addr.sun_path))
+        return "serve: socket path '" + opts.socketPath + "' is too long "
+               "(max " + std::to_string(sizeof(addr.sun_path) - 1) +
+               " bytes)";
+    memcpy(addr.sun_path, opts.socketPath.c_str(),
+           opts.socketPath.size() + 1);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return std::string("serve: socket: ") + strerror(errno);
+    // The daemon owns its path: a stale file from a previous run (or
+    // a typo'd collision) is replaced, never silently served beside.
+    ::unlink(opts.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return "serve: cannot bind '" + opts.socketPath +
+               "': " + strerror(errno);
+    if (::listen(listenFd, 64) != 0)
+        return "serve: listen: " + std::string(strerror(errno));
+    if (::pipe(wakePipe) != 0)
+        return std::string("serve: pipe: ") + strerror(errno);
+
+    pool = std::make_unique<ThreadPool>(opts.workers ? opts.workers
+                                                     : jobsFromEnv());
+    acceptor = std::thread([this]() { acceptLoop(); });
+    return "";
+}
+
+void
+Server::requestShutdown()
+{
+    shuttingDown.store(true, std::memory_order_relaxed);
+    if (wakePipe[1] >= 0) {
+        // One async-signal-safe write; the accept loop does the rest.
+        const char b = 'q';
+        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &b, 1);
+    }
+}
+
+void
+Server::waitShutdown()
+{
+    if (acceptor.joinable())
+        acceptor.join();
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0}, {wakePipe[0], POLLIN, 0}};
+        const int n = ::poll(fds, 2, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents)
+            break; // shutdown requested
+        if (!(fds[0].revents))
+            continue;
+        const int cfd = ::accept(listenFd, nullptr, nullptr);
+        if (cfd < 0)
+            continue;
+        auto conn = std::make_shared<Conn>(cfd);
+        std::lock_guard<std::mutex> lk(connMu);
+        conns.push_back(conn);
+        handlers.emplace_back([this, conn]() { handleConn(conn); });
+    }
+
+    // Graceful drain. Order matters:
+    //  1. reject new work (shuttingDown is already set),
+    //  2. wake the connection readers (SHUT_RD delivers EOF without
+    //     closing the write side — completion responses still flow),
+    //  3. join the readers,
+    //  4. destroy the pool: its destructor runs every admitted job to
+    //     completion, each writing its response,
+    //  5. drop the connections (closes the sockets; clients see EOF
+    //     after the last response).
+    shuttingDown.store(true, std::memory_order_relaxed);
+    // Retire the listening socket now, not at destruction: a connect
+    // racing the drain must be refused, not parked forever in a
+    // backlog nobody will ever accept from.
+    ::close(listenFd);
+    listenFd = -1;
+    ::unlink(opts.socketPath.c_str());
+    std::vector<std::thread> hs;
+    {
+        std::lock_guard<std::mutex> lk(connMu);
+        for (const auto &c : conns)
+            ::shutdown(c->fd, SHUT_RD);
+        hs.swap(handlers);
+    }
+    for (std::thread &t : hs)
+        t.join();
+    pool.reset();
+    {
+        std::lock_guard<std::mutex> lk(connMu);
+        conns.clear();
+    }
+}
+
+void
+Server::handleConn(std::shared_ptr<Conn> conn)
+{
+    std::string pending;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        pending.append(buf, size_t(n));
+        size_t nl;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+            std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                handleLine(conn, line);
+        }
+        if (pending.size() > maxLineBytes) {
+            stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+            writeToConn(conn, renderErrorResponse(
+                                  "", "invalid",
+                                  "request line exceeds 1 MiB"));
+            break;
+        }
+    }
+    conn->open.store(false, std::memory_order_relaxed);
+}
+
+void
+Server::handleLine(const std::shared_ptr<Conn> &conn,
+                   const std::string &line)
+{
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    ServeRequest req;
+    const std::string err = parseServeRequest(line, &req);
+    if (!err.empty()) {
+        // A malformed request poisons only itself: respond and keep
+        // the connection (and daemon) alive.
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+        writeToConn(conn, renderErrorResponse(req.id, "invalid", err));
+        return;
+    }
+    switch (req.op) {
+      case ServeRequest::Op::Ping:
+        writeToConn(conn, renderAckResponse("ping"));
+        return;
+      case ServeRequest::Op::Stats:
+        writeToConn(conn, renderStats());
+        return;
+      case ServeRequest::Op::Shutdown:
+        writeToConn(conn, renderAckResponse("shutdown"));
+        requestShutdown();
+        return;
+      case ServeRequest::Op::Run:
+        submitRun(conn, req);
+        return;
+    }
+}
+
+void
+Server::submitRun(const std::shared_ptr<Conn> &conn, const ServeRequest &req)
+{
+    if (req.job.inject != JobInject::None && !opts.allowInject) {
+        writeToConn(conn, renderErrorResponse(
+                              req.id, "invalid",
+                              "fault injection is not enabled "
+                              "(start with --allow-inject)"));
+        return;
+    }
+    if (shuttingDown.load(std::memory_order_relaxed)) {
+        writeToConn(conn,
+                    renderErrorResponse(req.id, "shutting-down",
+                                        "daemon is draining"));
+        return;
+    }
+
+    // Bounded admission: claim a slot or reject immediately. The
+    // client owns the retry decision — the daemon's queue can never
+    // grow without limit.
+    const size_t prev = outstanding.fetch_add(1, std::memory_order_relaxed);
+    if (prev >= opts.queueDepth) {
+        outstanding.fetch_sub(1, std::memory_order_relaxed);
+        stats_.overloaded.fetch_add(1, std::memory_order_relaxed);
+        writeToConn(conn, renderErrorResponse(
+                              req.id, "overloaded",
+                              "job queue is full (" +
+                                  std::to_string(opts.queueDepth) +
+                                  " outstanding); resubmit later"));
+        return;
+    }
+    u64 peak = stats_.queuePeak.load(std::memory_order_relaxed);
+    while (prev + 1 > peak &&
+           !stats_.queuePeak.compare_exchange_weak(
+               peak, prev + 1, std::memory_order_relaxed))
+        ;
+    stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+
+    pool->submit([this, conn, req]() {
+        // One long-lived simulation context per pool worker, exactly
+        // the sweep engine's reuse discipline.
+        thread_local SimContext ctx;
+        FaultPolicy policy = opts.policy;
+        if (req.hasTimeoutMs)
+            policy.timeoutMs = req.timeoutMs;
+        if (req.hasRetries)
+            policy.retries = req.retries;
+        SimJobResult r;
+        try {
+            r = runJobContained(ctx, req.job, policy,
+                                [this](const SimJob &j) {
+                                    return acquireInputs(j);
+                                });
+        } catch (const std::exception &e) {
+            // runJobContained contains everything; this is the last
+            // line of defense so no exception can kill a pool worker.
+            r.status = JobStatus::Crash;
+            r.error = e.what();
+        }
+        stats_.completed.fetch_add(1, std::memory_order_relaxed);
+        stats_.byStatus[size_t(r.status) & 7].fetch_add(
+            1, std::memory_order_relaxed);
+        stats_.retries.fetch_add(r.attempts - 1,
+                                 std::memory_order_relaxed);
+        outstanding.fetch_sub(1, std::memory_order_relaxed);
+        writeToConn(conn, renderRunResponse(req.id, req.job, r));
+    });
+}
+
+PinnedJobInputs
+Server::acquireInputs(const SimJob &job)
+{
+    PinnedJobInputs in;
+    const std::string pkey =
+        job.workload + "@" + std::to_string(job.scale);
+    in.prog = progLru.get(pkey, [&job]() {
+        return buildWorkload(job.workload, job.scale);
+    });
+    if (job.sampled()) {
+        // Checkpoints are configuration-independent architectural
+        // state; key on (workload, scale, icount) and build by
+        // functional fast-forward on the pinned program.
+        const std::string ckey =
+            pkey + "@" + std::to_string(job.checkpointAt);
+        const std::shared_ptr<const Program> prog = in.prog;
+        const u64 at = job.checkpointAt;
+        in.from = ckptLru.get(ckey, [&prog, at]() {
+            Emulator emu(*prog);
+            emu.run(at);
+            return emu.snapshot();
+        });
+    }
+    return in;
+}
+
+std::string
+Server::renderStats()
+{
+    StatRegistry reg;
+    StatRegistry::Row &row = reg.addRow();
+    row.label("status", "ok");
+    row.label("op", "stats");
+    StatSet &s = row.stats;
+    s.set("requests", double(stats_.requests.load()));
+    s.set("malformed", double(stats_.malformed.load()));
+    s.set("admitted", double(stats_.admitted.load()));
+    s.set("overloaded", double(stats_.overloaded.load()));
+    s.set("completed", double(stats_.completed.load()));
+    s.set("retries", double(stats_.retries.load()));
+    for (size_t i = 0; i < 8; ++i)
+        s.set(std::string("jobs_") + jobStatusName(JobStatus(i)),
+              double(stats_.byStatus[i].load()));
+    s.set("queue_depth", double(outstanding.load()));
+    s.set("queue_peak", double(stats_.queuePeak.load()));
+    s.set("queue_limit", double(opts.queueDepth));
+    s.set("workers", double(pool ? pool->size() : 0));
+    s.set("prog_cache_hits", double(progLru.hits()));
+    s.set("prog_cache_misses", double(progLru.misses()));
+    s.set("prog_cache_evictions", double(progLru.evictions()));
+    s.set("prog_cache_bytes", double(progLru.bytes()));
+    s.set("ckpt_cache_hits", double(ckptLru.hits()));
+    s.set("ckpt_cache_misses", double(ckptLru.misses()));
+    s.set("ckpt_cache_evictions", double(ckptLru.evictions()));
+    s.set("ckpt_cache_bytes", double(ckptLru.bytes()));
+    s.set("cache_budget_bytes", double(opts.cacheBytes));
+
+    char *buf = nullptr;
+    size_t len = 0;
+    FILE *mem = open_memstream(&buf, &len);
+    if (!mem)
+        return renderErrorResponse("", "crash", "out of memory");
+    reg.writeJsonLines(mem);
+    fclose(mem);
+    std::string out(buf, len);
+    free(buf);
+    return out;
+}
+
+void
+Server::writeToConn(const std::shared_ptr<Conn> &conn,
+                    const std::string &data)
+{
+    std::lock_guard<std::mutex> lk(conn->writeMu);
+    if (!conn->open.load(std::memory_order_relaxed) && conn->fd < 0)
+        return;
+    size_t off = 0;
+    while (off < data.size()) {
+        // MSG_NOSIGNAL: a client that disconnected mid-job must not
+        // SIGPIPE the daemon; the write error is simply dropped (the
+        // job already ran; nobody is listening).
+        const ssize_t n = ::send(conn->fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += size_t(n);
+    }
+}
+
+int
+runServe(const ServeOptions &opts)
+{
+    static std::atomic<Server *> g_server{nullptr};
+
+    Server server(opts);
+    const std::string err = server.start();
+    if (!err.empty()) {
+        fprintf(stderr, "rix serve: %s\n", err.c_str());
+        return 1;
+    }
+    g_server.store(&server);
+
+    struct sigaction sa{};
+    sa.sa_handler = [](int) {
+        if (Server *s = g_server.load())
+            s->requestShutdown();
+    };
+    sigemptyset(&sa.sa_mask);
+    struct sigaction oldInt{}, oldTerm{};
+    sigaction(SIGINT, &sa, &oldInt);
+    sigaction(SIGTERM, &sa, &oldTerm);
+
+    fprintf(stderr, "rix serve: listening on %s (%u workers, queue %zu, "
+                    "cache %zu MiB)\n",
+            opts.socketPath.c_str(),
+            opts.workers ? opts.workers : jobsFromEnv(),
+            opts.queueDepth, opts.cacheBytes >> 20);
+    server.waitShutdown();
+
+    sigaction(SIGINT, &oldInt, nullptr);
+    sigaction(SIGTERM, &oldTerm, nullptr);
+    g_server.store(nullptr);
+    fprintf(stderr, "rix serve: drained, exiting\n");
+    return 0;
+}
+
+} // namespace rix

@@ -235,6 +235,16 @@ runFuzz(const FuzzOptions &opts)
         if (const DivergenceReport *d = core->divergence()) {
             o.failed = true;
             o.report = *d;
+        } else if (core->stuck()) {
+            // The forward-progress watchdog tripped: a scheduling
+            // deadlock or livelock the fuzzer provoked. As much a
+            // finding as a divergence — report and minimize it; it no
+            // longer kills the campaign.
+            o.failed = true;
+            o.report.diverged = true;
+            o.report.kind = "stuck";
+            o.report.icount = core->stats().retired;
+            o.report.reason = core->stuckReason();
         } else if (!core->halted()) {
             o.truncated = true;
         }
@@ -316,7 +326,9 @@ runFuzz(const FuzzOptions &opts)
             else
                 mcore->reset(cand, pt.params);
             mcore->run(budget_retired, budget_cycles);
-            return mcore->divergence() != nullptr;
+            // Shrink whichever failure we found: divergence or a
+            // tripped forward-progress watchdog.
+            return mcore->divergence() != nullptr || mcore->stuck();
         };
         f.minimized =
             minimizeProgram(f.minimized, stillFails, &f.minimizeRuns);

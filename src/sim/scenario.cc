@@ -610,11 +610,16 @@ parseScenario(const std::string &json_text)
     return spec;
 }
 
-ScenarioResults
-runScenario(const ScenarioSpec &spec)
+namespace
 {
-    // Validate every point up front: one clear diagnostic naming the
-    // config and field, before any construction or simulation.
+
+/** Expand the spec's (workload x config [x interval]) cross product
+ *  into the sweep's job list, after fatal up-front validation of every
+ *  point (one clear diagnostic naming the config and field, before any
+ *  construction or simulation). */
+std::vector<SimJob>
+expandScenarioJobs(const ScenarioSpec &spec)
+{
     for (const ScenarioConfig &cfg : spec.configs)
         requireValidCoreParams(cfg.params,
                                "scenario '" + spec.name + "' config '" +
@@ -642,6 +647,15 @@ runScenario(const ScenarioSpec &spec)
                 jobs.push_back(std::move(ij));
         }
     }
+    return jobs;
+}
+
+} // namespace
+
+ScenarioResults
+runScenario(const ScenarioSpec &spec)
+{
+    std::vector<SimJob> jobs = expandScenarioJobs(spec);
 
     ScenarioResults res;
     res.numConfigs = spec.configs.size();
@@ -649,6 +663,7 @@ runScenario(const ScenarioSpec &spec)
         res.jobs = SweepRunner().run(jobs);
         return res;
     }
+    const size_t numIntervals = spec.sampling.intervals.size();
 
     // Build every workload's checkpoints in *ascending* order plus its
     // whole-run instruction count before the sweep — one functional
@@ -729,6 +744,79 @@ runScenario(const ScenarioSpec &spec)
     return res;
 }
 
+ScenarioResults
+runScenario(const ScenarioSpec &spec, const FaultPolicy &policy)
+{
+    std::vector<SimJob> jobs = expandScenarioJobs(spec);
+
+    ScenarioResults res;
+    res.contained = true;
+    res.numConfigs = spec.configs.size();
+    if (spec.sampling.empty()) {
+        res.jobs = SweepRunner().run(jobs, policy);
+        return res;
+    }
+    const size_t numIntervals = spec.sampling.intervals.size();
+
+    // Checkpoint construction stays fail-fast even under containment:
+    // it is shared infrastructure (one functional pass per workload),
+    // not a per-job simulation — a workload whose checkpoints cannot
+    // be built poisons every point that needs them.
+    std::vector<u64> totals(spec.workloads.size());
+    for (size_t w = 0; w < spec.workloads.size(); ++w) {
+        for (const SamplingInterval &iv : spec.sampling.intervals)
+            globalCheckpointCache().get(spec.workloads[w], spec.scale,
+                                        iv.checkpointAt);
+        totals[w] = globalCheckpointCache().totalInsts(
+            spec.workloads[w], spec.scale, spec.maxRetired);
+    }
+
+    res.intervalJobs = SweepRunner().run(jobs, policy);
+
+    // Merge each point's intervals; a point with any failed interval
+    // fails as a whole (an extrapolation with a hole in it is not an
+    // estimate, it is a lie) but leaves its neighbours intact.
+    const size_t points = spec.workloads.size() * spec.configs.size();
+    res.jobs.resize(points);
+    res.sampled.resize(points);
+    for (size_t w = 0; w < spec.workloads.size(); ++w) {
+        for (size_t c = 0; c < spec.configs.size(); ++c) {
+            const size_t point = w * spec.configs.size() + c;
+            const SimJobResult *ivs =
+                &res.intervalJobs[point * numIntervals];
+            const SimJobResult *bad = nullptr;
+            unsigned attempts = 0;
+            for (size_t k = 0; k < numIntervals; ++k) {
+                if (!ivs[k].ok() && !bad)
+                    bad = &ivs[k];
+                attempts = std::max(attempts, ivs[k].attempts);
+            }
+            if (bad) {
+                res.jobs[point].status = bad->status;
+                res.jobs[point].error = bad->error;
+                res.jobs[point].divergence = bad->divergence;
+                res.jobs[point].attempts = bad->attempts;
+                continue;
+            }
+            res.sampled[point] = mergeIntervals(spec.sampling, ivs,
+                                                totals[w],
+                                                &res.jobs[point]);
+            res.jobs[point].attempts = attempts;
+            if (res.sampled[point].measuredInsts == 0) {
+                res.jobs[point].status = JobStatus::Invalid;
+                res.jobs[point].error = strfmt(
+                    "sampling plan measured nothing: the run ends at "
+                    "instruction %llu, before the first interval "
+                    "(start %llu)",
+                    (unsigned long long)totals[w],
+                    (unsigned long long)
+                        spec.sampling.intervals[0].checkpointAt);
+            }
+        }
+    }
+    return res;
+}
+
 namespace
 {
 
@@ -744,6 +832,16 @@ renderRows(const ScenarioSpec &spec, const ScenarioResults &res, FILE *out,
                 row.label("scenario", spec.name);
             row.label("workload", spec.workloads[w]);
             row.label("config", spec.configs[c].label);
+            if (res.contained) {
+                // Fault-contained runs carry the per-point outcome:
+                // failed points keep their row (zeroed simulation
+                // columns) so N-K healthy results are never hidden by
+                // K failures.
+                const SimJobResult &j = res.jobs[w * res.numConfigs + c];
+                row.label("status", jobStatusName(j.status));
+                row.label("error", j.error);
+                row.stats.set("attempts", double(j.attempts));
+            }
             exportReport(res.report(w, c), row.stats);
             row.stats.set("scale", double(spec.scale));
             row.stats.set("wall_s", res.wallSeconds(w, c));
@@ -815,12 +913,34 @@ readScenarioFile(const std::string &path)
 }
 
 int
-runScenarioFile(const std::string &path, FILE *out)
+runScenarioFile(const std::string &path, FILE *out, const FaultPolicy *policy)
 {
     const ScenarioSpec spec = parseScenario(readScenarioFile(path));
-    const ScenarioResults res = runScenario(spec);
-    renderScenario(spec, res, out ? out : stdout);
-    return 0;
+
+    // The figure renderers cannot represent a failed point (they print
+    // the paper's tables), so they always run fail-fast; containment
+    // applies to the generic row renders only.
+    const bool rowRender = spec.render == "jsonl" || spec.render == "csv";
+    const ScenarioResults res = policy && rowRender
+                                    ? runScenario(spec, *policy)
+                                    : runScenario(spec);
+
+    // Render into memory first and write in one piece: a consumer of
+    // stdout never sees a partial JSON/CSV document, whatever happens
+    // mid-render.
+    char *buf = nullptr;
+    size_t bufLen = 0;
+    FILE *mem = open_memstream(&buf, &bufLen);
+    if (!mem)
+        rix_fatal("cannot allocate render buffer");
+    renderScenario(spec, res, mem);
+    fclose(mem);
+    FILE *dst = out ? out : stdout;
+    fwrite(buf, 1, bufLen, dst);
+    fflush(dst);
+    free(buf);
+
+    return res.contained && res.failures() ? 3 : 0;
 }
 
 std::string

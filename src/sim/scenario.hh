@@ -110,6 +110,21 @@ struct ScenarioResults
     size_t numConfigs = 0;
     std::vector<SimJobResult> jobs; // workload-major; merged if sampled
 
+    /** True when the run was fault-contained: rows carry the
+     *  status/error/attempts columns and failed points have zeroed
+     *  reports instead of having killed the process. */
+    bool contained = false;
+
+    /** Number of points with status != ok (contained runs). */
+    size_t
+    failures() const
+    {
+        size_t n = 0;
+        for (const SimJobResult &j : jobs)
+            n += j.ok() ? 0 : 1;
+        return n;
+    }
+
     // Sampled runs only: one rollup per (workload, config) point,
     // same indexing as jobs, plus the raw per-interval results
     // ((workload, config)-major, interval-minor).
@@ -134,9 +149,22 @@ struct ScenarioResults
 /**
  * Validate every config (fatal with the config label on the first
  * invalid one) and execute the whole scenario across the RIX_JOBS
- * sweep pool.
+ * sweep pool. Historical fail-fast semantics: the first failing job
+ * kills the process.
  */
 ScenarioResults runScenario(const ScenarioSpec &spec);
+
+/**
+ * Fault-contained scenario execution: every (workload, config) point
+ * gets a structured status; K failing points leave the other N-K rows
+ * intact (a sampled point fails as a whole when any of its intervals
+ * does). Only the generic row renders may consume a contained result —
+ * the figure renderers have no way to mark holes, so the CLI forces
+ * the fail-fast path for them. policy.strict dies after all jobs
+ * finish, naming the first failure.
+ */
+ScenarioResults runScenario(const ScenarioSpec &spec,
+                            const FaultPolicy &policy);
 
 /** Render per the spec's "render" field onto @p out. */
 void renderScenario(const ScenarioSpec &spec, const ScenarioResults &res,
@@ -147,10 +175,20 @@ std::string readScenarioFile(const std::string &path);
 
 /**
  * Parse, run and render the spec at @p path onto @p out (nullptr:
- * stdout).
- * @return process exit code (0 on success; spec problems are fatal).
+ * stdout). The rendered document is buffered in memory and written in
+ * one piece, so a failure mid-run never leaves a partial JSON/CSV
+ * document on @p out — consumers see either the whole render or
+ * nothing plus a one-line stderr diagnostic.
+ *
+ * @p policy null: historical fail-fast semantics. Non-null: fault
+ * contained for the row renders (the figure renders always fail fast,
+ * see runScenario).
+ * @return process exit code: 0 when every job succeeded, 3 when the
+ *         sweep completed but some points failed (their rows carry
+ *         the status); spec problems are fatal.
  */
-int runScenarioFile(const std::string &path, FILE *out = nullptr);
+int runScenarioFile(const std::string &path, FILE *out = nullptr,
+                    const FaultPolicy *policy = nullptr);
 
 /**
  * Path of a committed scenario spec by name: $RIX_SCENARIO_DIR takes

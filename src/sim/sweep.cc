@@ -1,6 +1,8 @@
 #include "sim/sweep.hh"
 
 #include <chrono>
+#include <stdexcept>
+#include <thread>
 
 #include "base/log.hh"
 #include "base/thread_pool.hh"
@@ -11,62 +13,238 @@
 namespace rix
 {
 
+const char *
+jobInjectName(JobInject inject)
+{
+    switch (inject) {
+      case JobInject::None: return "none";
+      case JobInject::Hang: return "hang";
+      case JobInject::Crash: return "crash";
+      case JobInject::Transient: return "transient";
+    }
+    return "?";
+}
+
+bool
+jobInjectFromName(const std::string &name, JobInject *out)
+{
+    for (JobInject i : {JobInject::None, JobInject::Hang, JobInject::Crash,
+                        JobInject::Transient}) {
+        if (name == jobInjectName(i)) {
+            *out = i;
+            return true;
+        }
+    }
+    return false;
+}
+
 namespace
 {
 
 using Clock = std::chrono::steady_clock;
 
+/**
+ * One execution attempt. @p cancel (nullable) is the armed watchdog
+ * token; @p graceful routes simulation failures into the result's
+ * status instead of letting them become fatal. Exceptions escape only
+ * when !graceful (the historical fail-fast sweep).
+ */
 SimJobResult
-executeJob(SimContext &ctx, const SimJob &job)
+executeOnce(SimContext &ctx, const SimJob &job, const CancelToken *cancel,
+            bool graceful, unsigned attempt, const JobInputSource &inputs)
 {
-    // The program — and for sampled jobs the checkpoint — is shared
-    // read-only across all jobs and threads; build (once) outside the
-    // timed region, like the program image.
-    const Program &prog = globalProgramCache().get(job.workload, job.scale);
-    const Checkpoint *from =
-        job.sampled() ? &globalCheckpointCache().get(job.workload,
-                                                     job.scale,
-                                                     job.checkpointAt)
-                      : nullptr;
-
-    const auto t0 = Clock::now();
     SimJobResult res;
-    res.report =
-        from ? ctx.runInterval(prog, *from, job.params, job.warmup,
-                               job.maxRetired, job.maxCycles)
-             : ctx.run(prog, job.params, job.maxRetired, job.maxCycles);
+    const auto t0 = Clock::now();
+    try {
+        if (job.inject == JobInject::Crash)
+            throw std::runtime_error("injected crash");
+        if (job.inject == JobInject::Transient && attempt == 1)
+            throw TransientError("injected transient failure");
+        if (job.inject == JobInject::Hang) {
+            // A hung job: no forward progress, only the watchdog can
+            // reap it. Cooperative (polls the token) so the test
+            // proves the timeout path without leaking a real thread.
+            if (!cancel)
+                throw std::runtime_error(
+                    "injected hang with no watchdog armed");
+            while (cancel->poll() == CancelReason::None)
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            res.status = cancel->firedReason() == CancelReason::Deadline
+                             ? JobStatus::Timeout
+                             : JobStatus::Skipped;
+            res.error = job.workload + ": injected hang reaped by watchdog";
+        } else {
+            // The program — and for sampled jobs the checkpoint — is
+            // shared read-only across all jobs and threads; build
+            // (once) outside the timed region, like the program image.
+            // Default source: the process-wide unbounded caches,
+            // wrapped non-owning (their entries outlive every job).
+            PinnedJobInputs in;
+            if (inputs) {
+                in = inputs(job);
+            } else {
+                in.prog = std::shared_ptr<const Program>(
+                    &globalProgramCache().get(job.workload, job.scale),
+                    [](const Program *) {});
+                if (job.sampled())
+                    in.from = std::shared_ptr<const Checkpoint>(
+                        &globalCheckpointCache().get(job.workload,
+                                                     job.scale,
+                                                     job.checkpointAt),
+                        [](const Checkpoint *) {});
+            }
+            JobFault fault;
+            RunControl ctl;
+            ctl.cancel = cancel;
+            ctl.fault = graceful ? &fault : nullptr;
+            res.report =
+                in.from ? ctx.runInterval(*in.prog, *in.from, job.params,
+                                          job.warmup, job.maxRetired,
+                                          job.maxCycles, ctl)
+                        : ctx.run(*in.prog, job.params, job.maxRetired,
+                                  job.maxCycles, ctl);
+            if (graceful && fault.status != JobStatus::Ok) {
+                res.status = fault.status;
+                res.error = fault.message;
+                res.divergence = fault.divergence;
+            }
+        }
+    } catch (const TransientError &e) {
+        if (!graceful)
+            throw;
+        res.status = JobStatus::Transient;
+        res.error = e.what();
+    } catch (const std::exception &e) {
+        if (!graceful)
+            throw;
+        res.status = JobStatus::Crash;
+        res.error = e.what();
+    }
     res.wallSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
     return res;
 }
 
+/** Historical fail-fast execution: exceptions propagate, divergence
+ *  and stuck cores are fatal inside SimContext. */
+SimJobResult
+executeJob(SimContext &ctx, const SimJob &job)
+{
+    return executeOnce(ctx, job, nullptr, /*graceful=*/false,
+                       /*attempt=*/1, nullptr);
+}
+
 } // namespace
+
+/** Fault-contained execution under @p policy: pre-validate without
+ *  dying, arm the watchdog per attempt, retry transient failures with
+ *  exponential backoff. */
+SimJobResult
+runJobContained(SimContext &ctx, const SimJob &job,
+                const FaultPolicy &policy, const JobInputSource &inputs)
+{
+    // Reject un-runnable jobs up front with the non-fatal validators;
+    // SimContext's fatal checks then never fire on this path.
+    SimJobResult invalid;
+    invalid.status = JobStatus::Invalid;
+    if (!workloadExists(job.workload)) {
+        invalid.error = "unknown workload '" + job.workload + "'";
+        return invalid;
+    }
+    if (std::string verr = validateCoreParams(job.params); !verr.empty()) {
+        for (char &c : verr)
+            if (c == '\n')
+                c = ';';
+        invalid.error = job.workload + ": " + verr;
+        return invalid;
+    }
+    if (job.inject == JobInject::Hang && policy.timeoutMs == 0) {
+        invalid.status = JobStatus::Crash;
+        invalid.error = "injected hang with no watchdog armed";
+        return invalid;
+    }
+
+    // One token per worker thread, re-armed per attempt.
+    thread_local CancelToken token;
+    for (unsigned attempt = 1;; ++attempt) {
+        token.arm(policy.timeoutMs);
+        SimJobResult res = executeOnce(ctx, job, &token, /*graceful=*/true,
+                                       attempt, inputs);
+        res.attempts = attempt;
+        if (!jobStatusIsTransient(res.status) || attempt > policy.retries)
+            return res;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(policy.backoffMs(attempt)));
+    }
+}
 
 SimContext::SimContext() = default;
 SimContext::~SimContext() = default;
 
+namespace
+{
+
+/**
+ * Translate how the core stopped into either a JobFault (contained
+ * path) or the historical fatal (ctl.fault null). Divergence keeps its
+ * full lockstep report; stuck keeps the watchdog's diagnosis; a fired
+ * deadline is a timeout; an external cancel means the job was asked to
+ * stop (shutdown) and is reported skipped.
+ */
+void
+noteOutcome(const Core &core, const std::string &what, const RunControl &ctl)
+{
+    if (!ctl.fault) {
+        if (core.stuck())
+            rix_fatal("%s: %s", what.c_str(), core.stuckReason().c_str());
+        requireNoDivergence(core, what);
+        return;
+    }
+    JobFault &f = *ctl.fault;
+    if (const DivergenceReport *d = core.divergence()) {
+        f.status = JobStatus::Divergence;
+        f.message = what + ": divergence (" + d->kind + ") at icount " +
+                    std::to_string(d->icount);
+        f.divergence = *d;
+    } else if (core.stuck()) {
+        f.status = JobStatus::Stuck;
+        f.message = what + ": " + core.stuckReason();
+    } else if (core.cancelled() == CancelReason::Deadline) {
+        f.status = JobStatus::Timeout;
+        f.message = what + ": wall-clock timeout after " +
+                    std::to_string(core.stats().cycles) + " cycles";
+    } else if (core.cancelled() == CancelReason::External) {
+        f.status = JobStatus::Skipped;
+        f.message = what + ": cancelled";
+    }
+}
+
+} // namespace
+
 SimReport
 SimContext::run(const Program &prog, const CoreParams &params,
-                u64 max_retired, Cycle max_cycles)
+                u64 max_retired, Cycle max_cycles, const RunControl &ctl)
 {
     requireValidCoreParams(params, "SimContext(" + prog.name + ")");
     if (!core)
         core = std::make_unique<Core>(prog, params);
     else
         core->reset(prog, params);
+    core->setCancelToken(ctl.cancel);
     core->run(max_retired, max_cycles);
-    requireNoDivergence(*core, prog.name);
+    noteOutcome(*core, prog.name, ctl);
     return collectReport(*core, prog.name);
 }
 
 SimReport
 SimContext::runInterval(const Program &prog, const Checkpoint &from,
                         const CoreParams &params, u64 warmup, u64 measure,
-                        Cycle max_cycles)
+                        Cycle max_cycles, const RunControl &ctl)
 {
     requireValidCoreParams(params, "SimContext(" + prog.name + ")");
     if (!core)
         core = std::make_unique<Core>(prog, params);
     core->reset(prog, params, from);
+    core->setCancelToken(ctl.cancel);
 
     // Detailed warmup: simulate but snapshot-and-subtract the
     // statistics. Both phases end on an *exact* retired-instruction
@@ -86,9 +264,9 @@ SimContext::runInterval(const Program &prog, const Checkpoint &from,
         measure > ~u64(0) - warmed ? ~u64(0) : warmed + measure;
     core->setRetireStop(target);
     core->run(target, max_cycles);
-    requireNoDivergence(*core, strfmt("%s (interval from %llu)",
-                                      prog.name.c_str(),
-                                      (unsigned long long)from.icount));
+    noteOutcome(*core, strfmt("%s (interval from %llu)", prog.name.c_str(),
+                              (unsigned long long)from.icount),
+                ctl);
     return deltaReport(collectReport(*core, prog.name), warm);
 }
 
@@ -137,6 +315,56 @@ SweepRunner::run(const std::vector<SimJob> &jobs)
     }
     if (firstError)
         std::rethrow_exception(firstError);
+    return results;
+}
+
+std::vector<SimJobResult>
+SweepRunner::run(const std::vector<SimJob> &jobs, const FaultPolicy &policy)
+{
+    std::vector<SimJobResult> results(jobs.size());
+
+    if (nThreads <= 1 || jobs.size() <= 1) {
+        SimContext ctx;
+        for (size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runJobContained(ctx, jobs[i], policy);
+    } else {
+        ThreadPool pool(unsigned(std::min<size_t>(nThreads, jobs.size())));
+        std::vector<std::future<void>> pendings;
+        pendings.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            pendings.push_back(pool.submit([&jobs, &results, i, &policy]() {
+                thread_local SimContext ctx;
+                results[i] = runJobContained(ctx, jobs[i], policy);
+            }));
+        }
+        // Containment at the collection layer too: a cancelled task's
+        // broken promise becomes "skipped", anything else unexpected
+        // becomes "crash" — one bad job never voids its neighbours.
+        for (size_t i = 0; i < pendings.size(); ++i) {
+            try {
+                pendings[i].get();
+            } catch (const std::future_error &) {
+                results[i].status = JobStatus::Skipped;
+                results[i].error = "cancelled before starting";
+            } catch (const std::exception &e) {
+                results[i].status = JobStatus::Crash;
+                results[i].error = e.what();
+            }
+        }
+    }
+
+    if (policy.strict) {
+        // Fail-fast semantics restored — but only after every job
+        // finished, so the process never dies mid-sweep with workers
+        // writing into freed result slots.
+        for (size_t i = 0; i < results.size(); ++i) {
+            const SimJobResult &r = results[i];
+            if (!r.ok())
+                rix_fatal("strict: job %zu (%s) failed: %s: %s",
+                          i, jobs[i].workload.c_str(),
+                          jobStatusName(r.status), r.error.c_str());
+        }
+    }
     return results;
 }
 

@@ -27,13 +27,40 @@
 #ifndef RIX_SIM_SWEEP_HH
 #define RIX_SIM_SWEEP_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "base/cancel.hh"
+#include "base/fault.hh"
 #include "sim/simulator.hh"
 
 namespace rix
 {
+
+/**
+ * Test-only fault injection, settable per job: prove the containment
+ * machinery works (timeouts fire, retries recover, a poisoned job
+ * never takes the process down) without crafting a pathological
+ * workload. `None` for all real simulation.
+ */
+enum class JobInject : u8
+{
+    None = 0,
+    /** Busy-wait (polling the cancel token) instead of simulating:
+     *  a hung job. Requires an armed watchdog; fails Crash without
+     *  one rather than hanging the worker forever. */
+    Hang,
+    /** Throw a plain runtime_error from the job body: a permanent
+     *  crash, never retried. */
+    Crash,
+    /** Throw TransientError on the first attempt, succeed on retry:
+     *  a spurious infrastructure failure the retry policy absorbs. */
+    Transient,
+};
+
+const char *jobInjectName(JobInject inject);
+bool jobInjectFromName(const std::string &name, JobInject *out);
 
 /** One point of a sweep: workload x configuration x run limits. */
 struct SimJob
@@ -45,6 +72,8 @@ struct SimJob
     CoreParams params;
     u64 maxRetired = 20'000'000;
     Cycle maxCycles = 200'000'000;
+
+    JobInject inject = JobInject::None;
 
     // Sampled-interval mode (checkpointAt != noCheckpoint): restore
     // the architectural checkpoint taken at `checkpointAt` retired
@@ -60,11 +89,47 @@ struct SimJob
     bool sampled() const { return checkpointAt != noCheckpoint; }
 };
 
-/** A job's report plus the host wall time the simulation took. */
+/**
+ * A job's outcome: structured status instead of process death. `report`
+ * is meaningful only when ok(); on failure `error` carries a one-line
+ * diagnostic and — for divergences — `divergence` the full lockstep
+ * report. `attempts` counts executions including retries (1 = first
+ * try succeeded or failed permanently).
+ */
 struct SimJobResult
 {
     SimReport report;
     double wallSeconds = 0.0;
+    JobStatus status = JobStatus::Ok;
+    std::string error;
+    unsigned attempts = 1;
+    DivergenceReport divergence;
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
+/**
+ * A contained failure reported by SimContext::run/runInterval instead
+ * of rix_fatal: what went wrong, as a status plus a one-line message
+ * (plus the lockstep report for divergences).
+ */
+struct JobFault
+{
+    JobStatus status = JobStatus::Ok;
+    std::string message;
+    DivergenceReport divergence;
+};
+
+/**
+ * Optional per-run control for SimContext: a cancellation token the
+ * core polls (timeouts, shutdown) and a fault sink. With a null
+ * `fault`, failures are fatal — exactly the historical single-run
+ * semantics every existing caller keeps.
+ */
+struct RunControl
+{
+    const CancelToken *cancel = nullptr;
+    JobFault *fault = nullptr;
 };
 
 /**
@@ -78,9 +143,15 @@ class SimContext
     SimContext();
     ~SimContext();
 
-    /** Run one simulation, reusing this context's core. */
+    /**
+     * Run one simulation, reusing this context's core. With
+     * @p ctl.fault set, divergence/stuck/timeout outcomes land there
+     * (status != Ok, report still returned for whatever was simulated);
+     * without it they are fatal, the historical behaviour.
+     */
     SimReport run(const Program &prog, const CoreParams &params,
-                  u64 max_retired, Cycle max_cycles);
+                  u64 max_retired, Cycle max_cycles,
+                  const RunControl &ctl = {});
 
     /**
      * Run one sampled interval: resume the detailed pipeline from
@@ -88,15 +159,46 @@ class SimContext
      * measure @p measure instructions. The returned report covers
      * exactly the measured window (warmup === 0 and a checkpoint at
      * instruction 0 make it bit-identical to a full run() of the same
-     * budget).
+     * budget). @p ctl as for run().
      */
     SimReport runInterval(const Program &prog, const Checkpoint &from,
                           const CoreParams &params, u64 warmup,
-                          u64 measure, Cycle max_cycles);
+                          u64 measure, Cycle max_cycles,
+                          const RunControl &ctl = {});
 
   private:
     std::unique_ptr<Core> core;
 };
+
+/**
+ * A job's inputs, pinned for the duration of the run: holding the
+ * shared_ptrs keeps the program/checkpoint alive (and, for the serve
+ * daemon's bounded LRU caches, un-evictable) while the core uses them.
+ */
+struct PinnedJobInputs
+{
+    std::shared_ptr<const Program> prog;
+    std::shared_ptr<const Checkpoint> from; // null unless job.sampled()
+};
+
+/**
+ * Where a contained job gets its program/checkpoint. Null: the
+ * process-wide unbounded caches (sweeps). The serve daemon supplies
+ * its byte-budgeted LRU caches instead. Called once per attempt; may
+ * throw (reported as a crash status, retried only if TransientError).
+ */
+using JobInputSource = std::function<PinnedJobInputs(const SimJob &)>;
+
+/**
+ * Fault-contained execution of one job on the caller's context:
+ * non-fatal validation, watchdog armed from policy.timeoutMs per
+ * attempt, transient failures retried with exponential backoff. The
+ * building block of both SweepRunner::run(jobs, policy) and the serve
+ * daemon's request execution.
+ */
+SimJobResult runJobContained(SimContext &ctx, const SimJob &job,
+                             const FaultPolicy &policy,
+                             const JobInputSource &inputs = nullptr);
 
 class SweepRunner
 {
@@ -107,9 +209,23 @@ class SweepRunner
     /**
      * Execute every job and return results in submission order.
      * Programs are fetched from the global ProgramCache. A job that
-     * throws rethrows here, after all other jobs finished.
+     * throws rethrows here, after all other jobs finished — the
+     * historical fail-fast contract (bench drivers, figure sweeps).
      */
     std::vector<SimJobResult> run(const std::vector<SimJob> &jobs);
+
+    /**
+     * Fault-contained execution under @p policy: every job gets a
+     * structured status; K failing jobs leave the other N-K results
+     * intact. Transient failures (timeouts, injected transients) are
+     * retried with exponential backoff up to policy.retries; permanent
+     * ones (divergence, stuck, crash) are not. With policy.strict the
+     * whole sweep is fatal *after* all jobs finish, naming the first
+     * failure — fail-fast restored, but still never a partial result
+     * vector.
+     */
+    std::vector<SimJobResult> run(const std::vector<SimJob> &jobs,
+                                  const FaultPolicy &policy);
 
     unsigned threads() const { return nThreads; }
 

@@ -65,4 +65,13 @@ buildWorkload(const std::string &name, u64 scale)
     rix_fatal("unknown workload '%s'", name.c_str());
 }
 
+bool
+workloadExists(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (name == w.name)
+            return true;
+    return false;
+}
+
 } // namespace rix

@@ -51,6 +51,10 @@ std::vector<std::string> workloadNames();
 /** Build one workload by name; fatal on unknown names. */
 Program buildWorkload(const std::string &name, u64 scale = 1);
 
+/** True when @p name is a registered workload (the non-fatal check a
+ *  request validator runs before buildWorkload's fatal path). */
+bool workloadExists(const std::string &name);
+
 // Individual builders.
 Program buildBzip2(const WorkloadParams &);
 Program buildCrafty(const WorkloadParams &);

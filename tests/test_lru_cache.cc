@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Bounds tests for the byte-budgeted, ref-counted LRU cache behind
+ * `rix serve`: pinned entries survive any pressure, the budget holds
+ * under churn, and eviction is invisible to correctness — a rebuilt
+ * entry is bit-identical to the cold build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/lru_cache.hh"
+#include "emu/emulator.hh"
+#include "workload/workload.hh"
+
+using namespace rix;
+
+namespace
+{
+
+/** Payload with an explicit size so tests control the byte math. */
+struct Blob
+{
+    std::string body;
+    int generation = 0;
+};
+
+LruCache<int, Blob>
+makeCache(size_t budget)
+{
+    return LruCache<int, Blob>(
+        budget, [](const Blob &b) { return b.body.size(); });
+}
+
+Blob
+blob(int key, size_t bytes, int generation = 0)
+{
+    return Blob{std::string(bytes, char('a' + key % 26)), generation};
+}
+
+} // namespace
+
+TEST(LruCache, HitsShareOneBuild)
+{
+    auto cache = makeCache(1024);
+    int builds = 0;
+    auto build = [&]() {
+        ++builds;
+        return blob(1, 10);
+    };
+    auto a = cache.get(1, build);
+    auto b = cache.get(1, build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedFirstUnderBudget)
+{
+    auto cache = makeCache(100);
+    cache.get(1, [] { return blob(1, 40); });
+    cache.get(2, [] { return blob(2, 40); });
+    cache.get(1, [] { return blob(1, 40); }); // touch: 2 is now LRU
+    cache.get(3, [] { return blob(3, 40); }); // 120 bytes: evict 2
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_LE(cache.bytes(), 100u);
+    EXPECT_TRUE(cache.peek(1));
+    EXPECT_FALSE(cache.peek(2));
+    EXPECT_TRUE(cache.peek(3));
+}
+
+TEST(LruCache, PinnedEntriesAreNeverEvicted)
+{
+    auto cache = makeCache(100);
+    auto pinned = cache.get(1, [] { return blob(1, 80); });
+    // Churn far past the budget while key 1 stays referenced.
+    for (int k = 2; k < 30; ++k)
+        cache.get(k, [k] { return blob(k, 60); });
+    EXPECT_TRUE(cache.peek(1));
+    EXPECT_EQ(pinned->body, blob(1, 80).body);
+    // Once the pin drops, the next insertion brings totals back under
+    // budget (the budget is a hard bound on unpinned content).
+    pinned.reset();
+    cache.get(99, [] { return blob(99, 10); });
+    EXPECT_LE(cache.bytes(), 100u);
+}
+
+TEST(LruCache, ByteBudgetHoldsUnderChurn)
+{
+    auto cache = makeCache(1000);
+    for (int round = 0; round < 50; ++round)
+        for (int k = 0; k < 20; ++k)
+            cache.get(k, [k] { return blob(k, 90); });
+    // 20 live keys x 90 bytes = 1800 demanded, budget 1000: unpinned
+    // content must have been clamped every insertion.
+    EXPECT_LE(cache.bytes(), 1000u);
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_LE(cache.size(), 12u); // 1000 / 90
+}
+
+TEST(LruCache, ZeroBudgetCachesNothingButStillServes)
+{
+    auto cache = makeCache(0);
+    auto a = cache.get(1, [] { return blob(1, 10, 1); });
+    EXPECT_EQ(a->generation, 1);
+    a.reset();
+    // Eviction runs at insertion time: the next (unrelated) build
+    // sweeps out everything unpinned.
+    cache.get(2, [] { return blob(2, 10); });
+    EXPECT_FALSE(cache.peek(1));
+    auto b = cache.get(1, [] { return blob(1, 10, 2); });
+    EXPECT_EQ(b->generation, 2); // rebuilt: nothing was retained
+    EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(LruCache, FailedBuildIsRetryable)
+{
+    auto cache = makeCache(100);
+    EXPECT_THROW(cache.get(1,
+                           []() -> Blob {
+                               throw std::runtime_error("flaky build");
+                           }),
+                 std::runtime_error);
+    auto v = cache.get(1, [] { return blob(1, 10); });
+    EXPECT_TRUE(v);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(LruCache, ConcurrentSameKeyBuildsOnce)
+{
+    auto cache = makeCache(1 << 20);
+    std::atomic<int> builds{0};
+    std::vector<std::thread> threads;
+    std::vector<LruCache<int, Blob>::Ptr> got(8);
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t]() {
+            got[t] = cache.get(7, [&]() {
+                builds.fetch_add(1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                return blob(7, 100);
+            });
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(builds.load(), 1);
+    for (int t = 1; t < 8; ++t)
+        EXPECT_EQ(got[t].get(), got[0].get());
+}
+
+TEST(LruCache, ConcurrentDistinctKeysDontSerialize)
+{
+    auto cache = makeCache(1 << 20);
+    std::vector<std::thread> threads;
+    std::atomic<int> peak{0}, active{0};
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t]() {
+            cache.get(t, [&]() {
+                const int now = active.fetch_add(1) + 1;
+                int p = peak.load();
+                while (now > p && !peak.compare_exchange_weak(p, now))
+                    ;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(30));
+                active.fetch_sub(1);
+                return blob(t, 10);
+            });
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    // Builds of different keys run outside the cache mutex; with four
+    // threads sleeping 30 ms each, at least two must have overlapped.
+    EXPECT_GE(peak.load(), 2);
+}
+
+TEST(LruCache, EvictedProgramRebuildsBitIdentical)
+{
+    // The real daemon invariant: deterministic builders make eviction
+    // invisible. Build a workload program, force it out, rebuild, and
+    // compare every architectural byte.
+    LruCache<std::string, Program> cache(
+        1, [](const Program &p) {
+            return p.code.size() * sizeof(Instruction) + p.data.size();
+        });
+    auto build = []() { return buildWorkload("gzip", 1); };
+    auto first = cache.get("gzip@1", build);
+    const std::vector<Instruction> code = first->code;
+    const std::vector<u8> data = first->data;
+    const InstAddr entry = first->entry;
+    first.reset();
+    cache.get("other", [] { return buildWorkload("mcf", 1); });
+    ASSERT_FALSE(cache.peek("gzip@1")); // budget 1 byte: evicted
+
+    auto again = cache.get("gzip@1", build);
+    EXPECT_EQ(cache.misses(), 3u);
+    ASSERT_EQ(again->code.size(), code.size());
+    EXPECT_EQ(memcmp(again->code.data(), code.data(),
+                     code.size() * sizeof(Instruction)),
+              0);
+    EXPECT_EQ(again->data, data);
+    EXPECT_EQ(again->entry, entry);
+}
+
+TEST(LruCache, EvictedCheckpointRebuildsBitIdentical)
+{
+    LruCache<std::string, Checkpoint> cache(
+        1, [](const Checkpoint &c) { return c.memoryBytes(); });
+    const Program prog = buildWorkload("gzip", 1);
+    auto build = [&prog]() {
+        Emulator emu(prog);
+        emu.run(5000);
+        return emu.snapshot();
+    };
+    auto first = cache.get("ck", build);
+    const Checkpoint saved = *first;
+    first.reset();
+    cache.get("other", build);
+    ASSERT_FALSE(cache.peek("ck"));
+
+    auto again = cache.get("ck", build);
+    EXPECT_EQ(again->icount, saved.icount);
+    EXPECT_EQ(again->pc, saved.pc);
+    EXPECT_EQ(again->regs, saved.regs);
+    EXPECT_EQ(again->output, saved.output);
+    ASSERT_EQ(again->pages.size(), saved.pages.size());
+    for (size_t i = 0; i < saved.pages.size(); ++i) {
+        EXPECT_EQ(again->pages[i].pageNumber, saved.pages[i].pageNumber);
+        EXPECT_EQ(again->pages[i].bytes, saved.pages[i].bytes);
+    }
+}

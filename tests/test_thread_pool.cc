@@ -62,6 +62,104 @@ TEST(ThreadPool, DestructorDrainsQueuedWork)
     EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPool, ConcurrentExceptionsReachTheirOwnFutures)
+{
+    // Many tasks throwing at once from different workers: each
+    // exception must land in exactly its own future, with its own
+    // message, and every healthy task must still deliver its value.
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 64; ++i) {
+        futs.push_back(pool.submit([i]() -> int {
+            if (i % 3 == 0)
+                throw std::runtime_error("task " + std::to_string(i));
+            return i;
+        }));
+    }
+    for (int i = 0; i < 64; ++i) {
+        if (i % 3 == 0) {
+            try {
+                futs[i].get();
+                FAIL() << "task " << i << " should have thrown";
+            } catch (const std::runtime_error &e) {
+                EXPECT_EQ(std::string(e.what()),
+                          "task " + std::to_string(i));
+            }
+        } else {
+            EXPECT_EQ(futs[i].get(), i);
+        }
+    }
+}
+
+TEST(ThreadPool, CancelPendingBreaksFuturesOfDroppedTasks)
+{
+    ThreadPool pool(1);
+    std::atomic<bool> started{false}, release{false};
+    std::atomic<int> ran{0};
+    // Occupy the only worker so everything behind it stays queued.
+    auto gate = pool.submit([&]() {
+        started.store(true);
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return 0;
+    });
+    // Wait until the worker actually holds the gate task; otherwise
+    // cancelPending() could legitimately drop the gate itself.
+    while (!started.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::vector<std::future<int>> queued;
+    for (int i = 0; i < 8; ++i)
+        queued.push_back(pool.submit([&ran, i]() {
+            ran.fetch_add(1);
+            return i;
+        }));
+
+    const size_t dropped = pool.cancelPending();
+    release.store(true);
+    EXPECT_EQ(gate.get(), 0);
+    EXPECT_EQ(dropped, 8u);
+    EXPECT_EQ(ran.load(), 0);
+    // Dropped tasks' futures complete exceptionally (broken promise),
+    // never block: a collector sees "skipped", not a hang.
+    for (auto &f : queued)
+        EXPECT_THROW(f.get(), std::future_error);
+
+    // The pool remains fully usable after a cancellation.
+    auto after = pool.submit([]() { return 5; });
+    EXPECT_EQ(after.get(), 5);
+}
+
+TEST(ThreadPool, CancelDuringDestructorDrainIsRaceFree)
+{
+    // Hammer the cancel/drain race: one thread destroys the pool
+    // (draining the queue) while another calls cancelPending().
+    // Whatever the interleaving, every future must complete — by
+    // value or by broken promise — and nothing may crash or hang.
+    for (int round = 0; round < 20; ++round) {
+        std::vector<std::future<int>> futs;
+        std::thread canceller;
+        {
+            ThreadPool pool(2);
+            for (int i = 0; i < 32; ++i)
+                futs.push_back(pool.submit([i]() { return i; }));
+            canceller =
+                std::thread([&pool]() { pool.cancelPending(); });
+            // Pool destructor races the canceller here.
+        }
+        canceller.join();
+        int delivered = 0, broken = 0;
+        for (auto &f : futs) {
+            try {
+                f.get();
+                ++delivered;
+            } catch (const std::future_error &) {
+                ++broken;
+            }
+        }
+        EXPECT_EQ(delivered + broken, 32);
+    }
+}
+
 TEST(ThreadPool, ZeroThreadsClampsToOne)
 {
     ThreadPool pool(0);
