@@ -67,7 +67,11 @@ class ThreadPool
      * with std::future_error(broken_promise), which collectors treat
      * as "skipped". Safe to call concurrently with submit() and with
      * the destructor's drain (whichever takes the queue lock first
-     * wins each task).
+     * wins each task) — but, like any member call, only while the
+     * object is guaranteed alive: an external thread must not let the
+     * call race the destructor itself. A *task* may always call this
+     * on its own pool; the destructor joins only after every running
+     * task returns.
      * @return number of tasks dropped.
      */
     size_t cancelPending();

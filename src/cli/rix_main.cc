@@ -23,6 +23,8 @@
 #include "sim/fuzz.hh"
 #include "sim/scenario.hh"
 #include "sim/validate.hh"
+#include "store/compare.hh"
+#include "store/sweep_store.hh"
 #include "workload/workload.hh"
 
 namespace
@@ -36,7 +38,9 @@ usage(FILE *out)
             "\n"
             "usage:\n"
             "  rix run <spec.json> [--out FILE] [--jobs N] [--scale S]\n"
-            "                                     run a scenario spec\n"
+            "          [--store FILE]             run a scenario spec\n"
+            "  rix resume <store> [options]       finish a journaled sweep\n"
+            "  rix compare <A> <B> [options]      regression-gate two sweeps\n"
             "  rix fuzz [options]                 differential fuzzing\n"
             "  rix serve <socket> [options]       simulation daemon\n"
             "  rix submit <socket> [request...]   send requests to a daemon\n"
@@ -45,10 +49,32 @@ usage(FILE *out)
             "  rix help                           this text\n"
             "\n"
             "run options (strictly positive integers; garbage is fatal):\n"
-            "  --jobs N   simulation worker threads (overrides RIX_JOBS;\n"
-            "             1 = serial)\n"
-            "  --scale S  workload scale factor (overrides RIX_SCALE and\n"
-            "             the spec)\n"
+            "  --jobs N     simulation worker threads (overrides RIX_JOBS;\n"
+            "               1 = serial)\n"
+            "  --scale S    workload scale factor (overrides RIX_SCALE and\n"
+            "               the spec)\n"
+            "  --store FILE journal every completed job into a new\n"
+            "               crash-recoverable result store (file must not\n"
+            "               exist; jsonl/csv renders only)\n"
+            "\n"
+            "resume options:\n"
+            "  --out FILE     render destination (default stdout)\n"
+            "  --jobs N       simulation worker threads\n"
+            "  --ignore-rev   accept a store written by another revision\n"
+            "  a torn tail from a killed run is truncated on open; only\n"
+            "  the jobs missing from the journal are re-run, and the\n"
+            "  merged render is bit-identical to an uninterrupted run\n"
+            "\n"
+            "compare options (A = baseline store, B = candidate store):\n"
+            "  --tolerance F      allowed fractional aggregate-KIPS drift\n"
+            "                     (default 0.25)\n"
+            "  --sim-only         gate simulated fields only, skip the\n"
+            "                     throughput tier\n"
+            "  --require-complete demand every job journaled ok in both\n"
+            "  --out FILE         trajectory destination (default stdout)\n"
+            "  exit status: 0 identical within tolerance; 1 throughput\n"
+            "  drift; 2 simulated-field divergence; 3 operational error\n"
+            "  (including usage — 2 always means divergence)\n"
             "\n"
             "fuzz options:\n"
             "  --seeds N        random programs to run (default 100)\n"
@@ -77,7 +103,10 @@ usage(FILE *out)
             "\n"
             "submit: sends each argument as one request line (stdin when\n"
             "  none), prints one response line each; exit 0 if every\n"
-            "  status is 'ok', 3 otherwise, 1 on connection failure\n"
+            "  status is 'ok', 3 otherwise, 1 on connection failure;\n"
+            "  transient drops (ECONNRESET, daemon restarts) are retried\n"
+            "  with bounded exponential backoff, resending only the\n"
+            "  unanswered requests (at-least-once execution)\n"
             "\n"
             "environment (legacy overrides, validated):\n"
             "  RIX_SCALE       workload scale factor (overrides the spec)\n"
@@ -89,6 +118,9 @@ usage(FILE *out)
             "                  (default 2)\n"
             "  RIX_CACHE_BYTES serve cache budget\n"
             "  RIX_QUEUE_DEPTH serve admission bound\n"
+            "  RIX_STORE_DIR   serve: journal every completed run into a\n"
+            "                  result store under this directory (must\n"
+            "                  exist, be a directory, and be writable)\n"
             "\n"
             "spec format: see examples/scenarios/*.json and README.md\n");
     return out == stderr ? 2 : 0;
@@ -99,6 +131,7 @@ cmdRun(int argc, char **argv)
 {
     const char *specPath = nullptr;
     const char *outPath = nullptr;
+    const char *storePath = nullptr;
     bool strict = false;
     for (int i = 0; i < argc; ++i) {
         if (strcmp(argv[i], "--strict") == 0) {
@@ -109,6 +142,13 @@ cmdRun(int argc, char **argv)
                 return 2;
             }
             outPath = argv[++i];
+        } else if (strcmp(argv[i], "--store") == 0) {
+            if (i + 1 >= argc) {
+                fprintf(stderr,
+                        "rix run: --store needs a file argument\n");
+                return 2;
+            }
+            storePath = argv[++i];
         } else if (strcmp(argv[i], "--jobs") == 0 ||
                    strcmp(argv[i], "--scale") == 0) {
             // Same strict-positive contract as the RIX_* knobs: zero
@@ -155,7 +195,134 @@ cmdRun(int argc, char **argv)
     // fast (runScenarioFile). RIX_TIMEOUT_MS / RIX_RETRIES configure
     // the watchdog and retry budget (strictly validated).
     const rix::FaultPolicy policy = rix::FaultPolicy::fromEnv(strict);
-    const int rc = rix::runScenarioFile(specPath, out, &policy);
+    const int rc =
+        storePath
+            ? rix::runScenarioFileStored(specPath, storePath, out, policy)
+            : rix::runScenarioFile(specPath, out, &policy);
+    if (out != stdout)
+        fclose(out);
+    return rc;
+}
+
+int
+cmdResume(int argc, char **argv)
+{
+    const char *storePath = nullptr;
+    const char *outPath = nullptr;
+    rix::ResumeOptions opts;
+    for (int i = 0; i < argc; ++i) {
+        if (strcmp(argv[i], "--ignore-rev") == 0) {
+            opts.ignoreRev = true;
+        } else if (strcmp(argv[i], "--out") == 0) {
+            if (i + 1 >= argc) {
+                fprintf(stderr,
+                        "rix resume: --out needs a file argument\n");
+                return 2;
+            }
+            outPath = argv[++i];
+        } else if (strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                fprintf(stderr, "rix resume: --jobs needs a positive "
+                                "integer argument\n");
+                return 2;
+            }
+            rix::parsePositiveCount("rix resume --jobs", argv[i + 1]);
+            setenv("RIX_JOBS", argv[++i], /*overwrite=*/1);
+        } else if (argv[i][0] == '-') {
+            fprintf(stderr, "rix resume: unknown option '%s'\n", argv[i]);
+            return 2;
+        } else if (!storePath) {
+            storePath = argv[i];
+        } else {
+            fprintf(stderr, "rix resume: exactly one store expected\n");
+            return 2;
+        }
+    }
+    if (!storePath) {
+        fprintf(stderr, "rix resume: missing store file\n");
+        return 2;
+    }
+    FILE *out = stdout;
+    if (outPath) {
+        out = fopen(outPath, "w");
+        if (!out) {
+            fprintf(stderr, "rix resume: cannot write '%s'\n", outPath);
+            return 1;
+        }
+    }
+    // No --scale / RIX_SCALE override: the store pins the resolved
+    // scale and workloads, resume reinstalls them itself.
+    const rix::FaultPolicy policy = rix::FaultPolicy::fromEnv(false);
+    const int rc = rix::resumeStoreFile(storePath, out, policy, opts);
+    if (out != stdout)
+        fclose(out);
+    return rc;
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    // Usage errors exit 3, not the usual 2: in this one subcommand 2
+    // is the divergence verdict and must stay unambiguous for CI.
+    const char *pathA = nullptr;
+    const char *pathB = nullptr;
+    const char *outPath = nullptr;
+    rix::CompareOptions opts;
+    for (int i = 0; i < argc; ++i) {
+        if (strcmp(argv[i], "--sim-only") == 0) {
+            opts.simOnly = true;
+        } else if (strcmp(argv[i], "--require-complete") == 0) {
+            opts.requireComplete = true;
+        } else if (strcmp(argv[i], "--tolerance") == 0) {
+            if (i + 1 >= argc) {
+                fprintf(stderr, "rix compare: --tolerance needs a "
+                                "number argument\n");
+                return 3;
+            }
+            char *end = nullptr;
+            opts.tolerance = strtod(argv[++i], &end);
+            if (!end || *end != '\0' || end == argv[i] ||
+                !(opts.tolerance >= 0)) {
+                fprintf(stderr, "rix compare: --tolerance wants a "
+                                "non-negative number, got '%s'\n",
+                        argv[i]);
+                return 3;
+            }
+        } else if (strcmp(argv[i], "--out") == 0) {
+            if (i + 1 >= argc) {
+                fprintf(stderr,
+                        "rix compare: --out needs a file argument\n");
+                return 3;
+            }
+            outPath = argv[++i];
+        } else if (argv[i][0] == '-') {
+            fprintf(stderr, "rix compare: unknown option '%s'\n",
+                    argv[i]);
+            return 3;
+        } else if (!pathA) {
+            pathA = argv[i];
+        } else if (!pathB) {
+            pathB = argv[i];
+        } else {
+            fprintf(stderr,
+                    "rix compare: exactly two stores expected\n");
+            return 3;
+        }
+    }
+    if (!pathA || !pathB) {
+        fprintf(stderr, "rix compare: need a baseline store and a "
+                        "candidate store\n");
+        return 3;
+    }
+    FILE *out = stdout;
+    if (outPath) {
+        out = fopen(outPath, "w");
+        if (!out) {
+            fprintf(stderr, "rix compare: cannot write '%s'\n", outPath);
+            return 3;
+        }
+    }
+    const int rc = rix::compareStores(pathA, pathB, opts, out);
     if (out != stdout)
         fclose(out);
     return rc;
@@ -280,64 +447,58 @@ cmdSubmit(int argc, char **argv)
         fprintf(stderr, "rix submit: missing socket path\n");
         return 2;
     }
-    rix::ServeClient client;
-    const std::string err = client.connect(argv[0]);
-    if (!err.empty()) {
-        // Diagnostic on stderr only: stdout carries response JSON or
-        // nothing at all, so `rix submit ... | jq` never sees a
-        // partial document.
-        fprintf(stderr, "rix submit: %s\n", err.c_str());
-        return 1;
-    }
 
-    // Pipeline every request, then collect exactly one response per
-    // request (responses may complete out of order; ids match them).
-    size_t sent = 0;
-    auto push = [&](const std::string &line) -> bool {
-        if (line.empty())
-            return true;
-        if (!client.sendLine(line)) {
-            fprintf(stderr, "rix submit: connection lost mid-send\n");
-            return false;
-        }
-        ++sent;
-        return true;
-    };
+    // Collect the whole batch (arguments, or stdin lines), then hand
+    // it to submitBatch: transient transport failures — ECONNRESET, a
+    // daemon restart mid-batch, short writes — are absorbed by
+    // reconnect-with-backoff and resend of the unanswered requests,
+    // instead of failing the whole batch.
+    std::vector<std::string> lines;
     if (argc > 1) {
         for (int i = 1; i < argc; ++i)
-            if (!push(argv[i]))
-                return 1;
+            if (argv[i][0] != '\0')
+                lines.push_back(argv[i]);
     } else {
         std::string line;
         int c;
         while ((c = getchar()) != EOF) {
             if (c == '\n') {
-                if (!push(line))
-                    return 1;
+                if (!line.empty())
+                    lines.push_back(line);
                 line.clear();
             } else {
                 line += char(c);
             }
         }
-        if (!push(line))
-            return 1;
+        if (!line.empty())
+            lines.push_back(line);
     }
 
     bool allOk = true;
-    for (size_t i = 0; i < sent; ++i) {
-        std::string resp;
-        if (!client.recvLine(&resp)) {
-            fprintf(stderr, "rix submit: daemon closed the connection "
-                            "after %zu of %zu responses\n", i, sent);
-            return 1;
-        }
-        printf("%s\n", resp.c_str());
-        std::string perr;
-        const rix::JsonValue doc = rix::JsonValue::parse(resp, &perr);
-        const rix::JsonValue *status =
-            perr.empty() && doc.isObject() ? doc.find("status") : nullptr;
-        if (!status || !status->isString() || status->asString() != "ok")
-            allOk = false;
+    const rix::SubmitOutcome outcome = rix::submitBatch(
+        argv[0], lines, [&allOk](const std::string &resp) {
+            printf("%s\n", resp.c_str());
+            std::string perr;
+            const rix::JsonValue doc = rix::JsonValue::parse(resp, &perr);
+            const rix::JsonValue *status =
+                perr.empty() && doc.isObject() ? doc.find("status")
+                                               : nullptr;
+            if (!status || !status->isString() ||
+                status->asString() != "ok")
+                allOk = false;
+        });
+    if (outcome.reconnects)
+        fprintf(stderr, "rix submit: recovered from %u connection "
+                        "drop%s\n", outcome.reconnects,
+                outcome.reconnects == 1 ? "" : "s");
+    if (!outcome.complete) {
+        // Diagnostic on stderr only: stdout carries response JSON or
+        // nothing at all, so `rix submit ... | jq` never sees a
+        // partial document.
+        fprintf(stderr, "rix submit: %s (%zu of %zu responses "
+                        "received)\n", outcome.error.c_str(),
+                outcome.answered, lines.size());
+        return 1;
     }
     return allOk ? 0 : 3;
 }
@@ -385,6 +546,10 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
+    if (cmd == "resume")
+        return cmdResume(argc - 2, argv + 2);
+    if (cmd == "compare")
+        return cmdCompare(argc - 2, argv + 2);
     if (cmd == "fuzz")
         return cmdFuzz(argc - 2, argv + 2);
     if (cmd == "serve")

@@ -2,9 +2,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "base/json.hh"
 
 namespace rix
 {
@@ -49,6 +52,8 @@ ServeClient::sendLine(const std::string &line)
     while (off < data.size()) {
         const ssize_t n = ::send(fd_, data.data() + off,
                                  data.size() - off, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted, not broken: resume the write
         if (n <= 0)
             return false;
         off += size_t(n);
@@ -70,6 +75,8 @@ ServeClient::recvLine(std::string *out)
             return false;
         char buf[4096];
         const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0)
             return false;
         pending_.append(buf, size_t(n));
@@ -84,6 +91,122 @@ ServeClient::close()
         fd_ = -1;
     }
     pending_.clear();
+}
+
+SubmitOutcome
+submitBatch(const std::string &socket_path,
+            const std::vector<std::string> &lines,
+            const std::function<void(const std::string &)> &on_response,
+            const SubmitOptions &opts)
+{
+    // Each request's "id" (re-serialized JSON, "null" when absent or
+    // unparsable) — the daemon echoes it verbatim, so it matches a
+    // response back to the request it answers.
+    auto idOf = [](const std::string &line) -> std::string {
+        std::string err;
+        const JsonValue doc = JsonValue::parse(line, &err);
+        const JsonValue *id =
+            err.empty() && doc.isObject() ? doc.find("id") : nullptr;
+        return id ? id->dump() : "null";
+    };
+
+    struct Item
+    {
+        const std::string *line;
+        std::string id;
+        bool answered = false;
+    };
+    std::vector<Item> items;
+    items.reserve(lines.size());
+    for (const std::string &l : lines)
+        items.push_back(Item{&l, idOf(l), false});
+
+    SubmitOutcome out;
+    if (items.empty()) {
+        out.complete = true;
+        return out;
+    }
+
+    // Mark the first unanswered request carrying @p id answered; with
+    // no id match (a malformed request echoed back as id null, or
+    // duplicate ids) fall back to oldest-first — the daemon sends
+    // exactly one response per request, so the count still converges.
+    auto settle = [&](const std::string &id) {
+        for (Item &it : items)
+            if (!it.answered && it.id == id) {
+                it.answered = true;
+                return;
+            }
+        for (Item &it : items)
+            if (!it.answered) {
+                it.answered = true;
+                return;
+            }
+    };
+
+    ServeClient client;
+    unsigned failures = 0; // consecutive, reset by any response
+    unsigned backoffMs = opts.backoffStartMs;
+    bool everConnected = false;
+    size_t unanswered = items.size();
+    while (unanswered > 0) {
+        if (!client.connected()) {
+            if (failures >= opts.maxAttempts) {
+                if (out.error.empty())
+                    out.error = "gave up after " +
+                                std::to_string(failures) +
+                                " connection attempts";
+                return out;
+            }
+            if (failures > 0) {
+                // Bounded exponential backoff between attempts: give
+                // a restarting daemon time instead of hammering it.
+                struct timespec ts;
+                ts.tv_sec = backoffMs / 1000;
+                ts.tv_nsec = long(backoffMs % 1000) * 1000000L;
+                while (::nanosleep(&ts, &ts) != 0 && errno == EINTR)
+                    continue;
+                backoffMs = backoffMs < opts.backoffCapMs / 2
+                                ? backoffMs * 2
+                                : opts.backoffCapMs;
+            }
+            ++failures;
+            const std::string err = client.connect(socket_path);
+            if (!err.empty()) {
+                out.error = err;
+                continue;
+            }
+            if (everConnected)
+                ++out.reconnects;
+            everConnected = true;
+            // Re-send exactly the unanswered requests, in submission
+            // order. A send failure just drops us back into the
+            // reconnect path.
+            bool sendOk = true;
+            for (const Item &it : items)
+                if (!it.answered && !(sendOk = client.sendLine(*it.line)))
+                    break;
+            if (!sendOk) {
+                out.error = "connection lost mid-send";
+                client.close();
+                continue;
+            }
+        }
+        std::string resp;
+        if (!client.recvLine(&resp)) {
+            out.error = "connection lost awaiting a response";
+            client.close();
+            continue;
+        }
+        failures = 0;
+        backoffMs = opts.backoffStartMs;
+        settle(idOf(resp));
+        --unanswered;
+        ++out.answered;
+        on_response(resp);
+    }
+    out.complete = true;
+    return out;
 }
 
 } // namespace rix

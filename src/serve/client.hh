@@ -9,7 +9,9 @@
 #ifndef RIX_SERVE_CLIENT_HH
 #define RIX_SERVE_CLIENT_HH
 
+#include <functional>
 #include <string>
+#include <vector>
 
 namespace rix
 {
@@ -46,6 +48,47 @@ class ServeClient
     int fd_ = -1;
     std::string pending_;
 };
+
+/** Retry knobs for submitBatch: how hard to fight a flaky daemon
+ *  connection before giving the batch up. */
+struct SubmitOptions
+{
+    /** Consecutive failed connection attempts tolerated (including
+     *  the first connect); any received response resets the budget. */
+    unsigned maxAttempts = 5;
+    /** Backoff before the second attempt; doubles per consecutive
+     *  failure up to backoffCapMs. */
+    unsigned backoffStartMs = 10;
+    unsigned backoffCapMs = 1000;
+};
+
+/** What submitBatch managed to do. */
+struct SubmitOutcome
+{
+    size_t answered = 0;     // responses delivered to the callback
+    unsigned reconnects = 0; // successful re-connections after a drop
+    bool complete = false;   // every request got a response
+    std::string error;       // last failure when !complete
+};
+
+/**
+ * Send every request line pipelined and deliver one response per
+ * request to @p on_response (responses may arrive out of submission
+ * order; ids match them). Transient transport failures — ECONNRESET,
+ * EINTR, short writes, a daemon restart mid-batch — are absorbed by
+ * reconnecting with bounded exponential backoff and resending exactly
+ * the requests not yet answered, instead of failing the whole batch.
+ *
+ * Requests are matched to responses by their "id" member, so a
+ * request whose response was lost in a connection drop is submitted
+ * again: at-least-once execution. Simulation requests are idempotent,
+ * so the only observable effect is the duplicate daemon-side work.
+ */
+SubmitOutcome submitBatch(const std::string &socket_path,
+                          const std::vector<std::string> &lines,
+                          const std::function<void(const std::string &)>
+                              &on_response,
+                          const SubmitOptions &opts = {});
 
 } // namespace rix
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -50,6 +51,11 @@ ServeOptions::fromEnv()
                                            u64(o.cacheBytes)));
     o.queueDepth = size_t(envPositiveCount("RIX_QUEUE_DEPTH",
                                            u64(o.queueDepth)));
+    // Strictly validated: a set-but-unusable RIX_STORE_DIR is fatal
+    // (a daemon that silently ran unjournaled would defeat the knob).
+    const std::string storeDir = envStoreDir();
+    if (!storeDir.empty())
+        o.storePath = storeDir + "/serve.rixstore";
     return o;
 }
 
@@ -115,6 +121,35 @@ Server::start()
         return "serve: listen: " + std::string(strerror(errno));
     if (::pipe(wakePipe) != 0)
         return std::string("serve: pipe: ") + strerror(errno);
+
+    if (!opts.storePath.empty()) {
+        // Open-or-create the journal: a fresh daemon creates it, a
+        // restarted one resumes it — recovery truncates whatever torn
+        // tail the previous incarnation's death left — and record
+        // indices stay monotonic across the generations.
+        std::string err;
+        struct stat st;
+        if (::stat(opts.storePath.c_str(), &st) != 0) {
+            StoreMeta meta;
+            meta.kind = StoreKind::Serve;
+            meta.gitRev = buildGitRev();
+            meta.specName = "serve";
+            store_ = ResultStore::create(opts.storePath, meta, &err);
+        } else {
+            ResultStore::Recovery rec;
+            store_ = ResultStore::openForAppend(opts.storePath, &err,
+                                                &rec);
+            if (store_ && store_->meta().kind != StoreKind::Serve)
+                return "serve: journal '" + opts.storePath +
+                       "' is a sweep store, not a serve journal";
+        }
+        if (!store_)
+            return "serve: cannot open journal: " + err;
+        u64 next = 0;
+        for (const StoreRecord &r : store_->records())
+            next = std::max(next, r.jobIndex + 1);
+        journalIdx_.store(next, std::memory_order_relaxed);
+    }
 
     pool = std::make_unique<ThreadPool>(opts.workers ? opts.workers
                                                      : jobsFromEnv());
@@ -316,6 +351,23 @@ Server::submitRun(const std::shared_ptr<Conn> &conn, const ServeRequest &req)
             r.status = JobStatus::Crash;
             r.error = e.what();
         }
+        // Journal before answering: once the client hears "ok", the
+        // result is durable. Failures (worth a resubmit, not a
+        // tombstone) are not journaled; a failing append degrades to
+        // a warning — a full disk must not take the daemon down.
+        if (store_ && r.ok()) {
+            StoreRecord rec;
+            rec.jobIndex =
+                journalIdx_.fetch_add(1, std::memory_order_relaxed);
+            rec.configLabel = req.id;
+            rec.result = r;
+            const std::string jerr = store_->append(rec);
+            if (jerr.empty())
+                stats_.journaled.fetch_add(1, std::memory_order_relaxed);
+            else
+                rix_warn("serve: journal append failed: %s",
+                         jerr.c_str());
+        }
         stats_.completed.fetch_add(1, std::memory_order_relaxed);
         stats_.byStatus[size_t(r.status) & 7].fetch_add(
             1, std::memory_order_relaxed);
@@ -366,6 +418,7 @@ Server::renderStats()
     s.set("overloaded", double(stats_.overloaded.load()));
     s.set("completed", double(stats_.completed.load()));
     s.set("retries", double(stats_.retries.load()));
+    s.set("journaled", double(stats_.journaled.load()));
     for (size_t i = 0; i < 8; ++i)
         s.set(std::string("jobs_") + jobStatusName(JobStatus(i)),
               double(stats_.byStatus[i].load()));

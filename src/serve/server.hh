@@ -45,6 +45,7 @@
 #include "base/thread_pool.hh"
 #include "emu/checkpoint.hh"
 #include "serve/proto.hh"
+#include "store/result_store.hh"
 
 namespace rix
 {
@@ -73,6 +74,13 @@ struct ServeOptions
      *  otherwise injection requests are rejected as invalid). */
     bool allowInject = false;
 
+    /** Journal every ok run result into the crash-recoverable result
+     *  store at this path (created on first start, resumed — torn
+     *  tail truncated — on later ones). Empty: no journal. Set from
+     *  RIX_STORE_DIR (strictly validated) as
+     *  "$RIX_STORE_DIR/serve.rixstore". */
+    std::string storePath;
+
     /** Defaults with the environment knobs applied (fatal on invalid
      *  values, never silently defaulted). */
     static ServeOptions fromEnv();
@@ -90,6 +98,7 @@ struct ServeStats
     std::atomic<u64> retries{0};    // extra attempts beyond the first
     std::atomic<u64> byStatus[8]{}; // indexed by JobStatus
     std::atomic<u64> queuePeak{0};  // max outstanding observed
+    std::atomic<u64> journaled{0};  // ok results appended to the store
 };
 
 /**
@@ -163,6 +172,12 @@ class Server
 
     LruCache<std::string, Program> progLru;
     LruCache<std::string, Checkpoint> ckptLru;
+
+    // RIX_STORE_DIR journal: ok run results appended (fsync commit
+    // point) as they complete, indices monotonic across daemon
+    // restarts.
+    std::unique_ptr<ResultStore> store_;
+    std::atomic<u64> journalIdx_{0};
 };
 
 /**

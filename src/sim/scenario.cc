@@ -10,6 +10,7 @@
 #include "sim/figures.hh"
 #include "sim/sampling/checkpoint_cache.hh"
 #include "sim/validate.hh"
+#include "store/result_store.hh"
 #include "workload/workload.hh"
 
 namespace rix
@@ -610,9 +611,6 @@ parseScenario(const std::string &json_text)
     return spec;
 }
 
-namespace
-{
-
 /** Expand the spec's (workload x config [x interval]) cross product
  *  into the sweep's job list, after fatal up-front validation of every
  *  point (one clear diagnostic naming the config and field, before any
@@ -650,7 +648,14 @@ expandScenarioJobs(const ScenarioSpec &spec)
     return jobs;
 }
 
-} // namespace
+const std::string &
+scenarioJobConfigLabel(const ScenarioSpec &spec, size_t job_index)
+{
+    const size_t numIntervals =
+        spec.sampling.empty() ? 1 : spec.sampling.intervals.size();
+    const size_t point = job_index / numIntervals;
+    return spec.configs[point % spec.configs.size()].label;
+}
 
 ScenarioResults
 runScenario(const ScenarioSpec &spec)
@@ -747,31 +752,124 @@ runScenario(const ScenarioSpec &spec)
 ScenarioResults
 runScenario(const ScenarioSpec &spec, const FaultPolicy &policy)
 {
+    return runScenario(spec, policy, nullptr);
+}
+
+ScenarioResults
+runScenario(const ScenarioSpec &spec, const FaultPolicy &policy,
+            ResultStore *store)
+{
     std::vector<SimJob> jobs = expandScenarioJobs(spec);
+
+    // Load the journal: jobs already completed are done — their stored
+    // results are the results — and everything else still runs. A
+    // record that does not line up with the spec's expansion means the
+    // store belongs to a different sweep; refusing loudly beats
+    // silently merging apples into oranges.
+    std::vector<SimJobResult> all(jobs.size());
+    std::vector<char> have(jobs.size(), 0);
+    if (store) {
+        if (store->meta().kind != StoreKind::Sweep)
+            rix_fatal("store '%s' is a serve journal, not a sweep store",
+                      store->path().c_str());
+        if (store->meta().numJobs != jobs.size())
+            rix_fatal("store '%s' journals a sweep of %llu jobs but this "
+                      "spec expands to %zu — the spec or its overrides "
+                      "changed since the store was created",
+                      store->path().c_str(),
+                      (unsigned long long)store->meta().numJobs,
+                      jobs.size());
+        for (const StoreRecord &r : store->records()) {
+            if (r.jobIndex >= jobs.size())
+                rix_fatal("store '%s': record for job %llu is out of "
+                          "range (%zu jobs)",
+                          store->path().c_str(),
+                          (unsigned long long)r.jobIndex, jobs.size());
+            if (r.result.report.workload != jobs[r.jobIndex].workload)
+                rix_fatal("store '%s': job %llu is workload '%s' in the "
+                          "store but '%s' in the spec",
+                          store->path().c_str(),
+                          (unsigned long long)r.jobIndex,
+                          r.result.report.workload.c_str(),
+                          jobs[r.jobIndex].workload.c_str());
+            if (!r.result.ok())
+                continue; // failed attempts are journal noise: re-run
+            all[r.jobIndex] = r.result;
+            have[r.jobIndex] = 1;
+        }
+    }
+    std::vector<size_t> remainingIdx;
+    remainingIdx.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        if (!have[i])
+            remainingIdx.push_back(i);
+    std::vector<SimJob> remaining;
+    remaining.reserve(remainingIdx.size());
+    for (size_t i : remainingIdx)
+        remaining.push_back(jobs[i]);
 
     ScenarioResults res;
     res.contained = true;
     res.numConfigs = spec.configs.size();
-    if (spec.sampling.empty()) {
-        res.jobs = SweepRunner().run(jobs, policy);
-        return res;
-    }
-    const size_t numIntervals = spec.sampling.intervals.size();
 
     // Checkpoint construction stays fail-fast even under containment:
     // it is shared infrastructure (one functional pass per workload),
     // not a per-job simulation — a workload whose checkpoints cannot
-    // be built poisons every point that needs them.
+    // be built poisons every point that needs them. On resume, only
+    // workloads with jobs left to run need their checkpoints; the
+    // whole-run totals (merge denominators) are always needed and are
+    // deterministic, so recomputing them reproduces the original
+    // merge bit-identically.
     std::vector<u64> totals(spec.workloads.size());
-    for (size_t w = 0; w < spec.workloads.size(); ++w) {
-        for (const SamplingInterval &iv : spec.sampling.intervals)
-            globalCheckpointCache().get(spec.workloads[w], spec.scale,
-                                        iv.checkpointAt);
-        totals[w] = globalCheckpointCache().totalInsts(
-            spec.workloads[w], spec.scale, spec.maxRetired);
+    if (!spec.sampling.empty()) {
+        const size_t jobsPerWorkload =
+            spec.configs.size() * spec.sampling.intervals.size();
+        for (size_t w = 0; w < spec.workloads.size(); ++w) {
+            bool needed = false;
+            for (size_t i : remainingIdx)
+                needed = needed || i / jobsPerWorkload == w;
+            if (needed)
+                for (const SamplingInterval &iv : spec.sampling.intervals)
+                    globalCheckpointCache().get(spec.workloads[w],
+                                                spec.scale,
+                                                iv.checkpointAt);
+            totals[w] = globalCheckpointCache().totalInsts(
+                spec.workloads[w], spec.scale, spec.maxRetired);
+        }
     }
 
-    res.intervalJobs = SweepRunner().run(jobs, policy);
+    // Journal each job as it retires from the pool — the commit point
+    // (write + fsync) happens before the job counts as done, so a
+    // kill -9 loses at most the in-flight record, never a completed
+    // result. Only clean results are journaled: a failure is worth a
+    // retry on resume, not a durable tombstone.
+    SweepRetireHook onRetire;
+    if (store) {
+        onRetire = [&](size_t k, const SimJobResult &r) {
+            if (!r.ok())
+                return;
+            StoreRecord rec;
+            rec.jobIndex = remainingIdx[k];
+            rec.configLabel = scenarioJobConfigLabel(spec, rec.jobIndex);
+            rec.result = r;
+            const std::string err = store->append(rec);
+            if (!err.empty())
+                rix_fatal("cannot journal job %zu: %s", remainingIdx[k],
+                          err.c_str());
+        };
+    }
+
+    std::vector<SimJobResult> fresh =
+        SweepRunner().run(remaining, policy, onRetire);
+    for (size_t k = 0; k < remainingIdx.size(); ++k)
+        all[remainingIdx[k]] = std::move(fresh[k]);
+
+    if (spec.sampling.empty()) {
+        res.jobs = std::move(all);
+        return res;
+    }
+    const size_t numIntervals = spec.sampling.intervals.size();
+    res.intervalJobs = std::move(all);
 
     // Merge each point's intervals; a point with any failed interval
     // fails as a whole (an extrapolation with a hole in it is not an

@@ -52,6 +52,8 @@
 namespace rix
 {
 
+class ResultStore;
+
 /** One machine configuration of a scenario (grid already expanded). */
 struct ScenarioConfig
 {
@@ -165,6 +167,35 @@ ScenarioResults runScenario(const ScenarioSpec &spec);
  */
 ScenarioResults runScenario(const ScenarioSpec &spec,
                             const FaultPolicy &policy);
+
+/**
+ * Durable fault-contained execution: like runScenario(spec, policy),
+ * but bound to a crash-recoverable result store. Every job already
+ * journaled in @p store (matched by expanded job index, workload
+ * verified) is *not* re-run — its stored result is used verbatim — and
+ * every job that completes successfully is appended to the store, with
+ * an fsync commit point, as it retires from the pool. An empty store
+ * makes this a journaled fresh run; a partial store makes it a resume
+ * whose merged results (sampled rollups included) are bit-identical in
+ * every simulated field to an uninterrupted run. The store's meta must
+ * match the spec's expansion (job count; checked fatal).
+ */
+ScenarioResults runScenario(const ScenarioSpec &spec,
+                            const FaultPolicy &policy,
+                            ResultStore *store);
+
+/**
+ * Expand the spec's (workload x config [x sampling interval]) cross
+ * product into the sweep's job list, after fatal up-front validation
+ * of every point. Job order is workload-major, config-minor, interval
+ * innermost — the index a result store keys its records by.
+ */
+std::vector<SimJob> expandScenarioJobs(const ScenarioSpec &spec);
+
+/** The config label of expanded job @p job_index ("" for an unlabeled
+ *  single-config spec). */
+const std::string &scenarioJobConfigLabel(const ScenarioSpec &spec,
+                                          size_t job_index);
 
 /** Render per the spec's "render" field onto @p out. */
 void renderScenario(const ScenarioSpec &spec, const ScenarioResults &res,

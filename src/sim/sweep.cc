@@ -319,23 +319,32 @@ SweepRunner::run(const std::vector<SimJob> &jobs)
 }
 
 std::vector<SimJobResult>
-SweepRunner::run(const std::vector<SimJob> &jobs, const FaultPolicy &policy)
+SweepRunner::run(const std::vector<SimJob> &jobs, const FaultPolicy &policy,
+                 const SweepRetireHook &on_retire)
 {
     std::vector<SimJobResult> results(jobs.size());
 
     if (nThreads <= 1 || jobs.size() <= 1) {
         SimContext ctx;
-        for (size_t i = 0; i < jobs.size(); ++i)
+        for (size_t i = 0; i < jobs.size(); ++i) {
             results[i] = runJobContained(ctx, jobs[i], policy);
+            if (on_retire)
+                on_retire(i, results[i]);
+        }
     } else {
         ThreadPool pool(unsigned(std::min<size_t>(nThreads, jobs.size())));
         std::vector<std::future<void>> pendings;
         pendings.reserve(jobs.size());
         for (size_t i = 0; i < jobs.size(); ++i) {
-            pendings.push_back(pool.submit([&jobs, &results, i, &policy]() {
-                thread_local SimContext ctx;
-                results[i] = runJobContained(ctx, jobs[i], policy);
-            }));
+            pendings.push_back(
+                pool.submit([&jobs, &results, i, &policy, &on_retire]() {
+                    thread_local SimContext ctx;
+                    results[i] = runJobContained(ctx, jobs[i], policy);
+                    // Durability before completion: the job is not
+                    // "done" until its result is journaled.
+                    if (on_retire)
+                        on_retire(i, results[i]);
+                }));
         }
         // Containment at the collection layer too: a cancelled task's
         // broken promise becomes "skipped", anything else unexpected

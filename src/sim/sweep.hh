@@ -200,6 +200,17 @@ SimJobResult runJobContained(SimContext &ctx, const SimJob &job,
                              const FaultPolicy &policy,
                              const JobInputSource &inputs = nullptr);
 
+/**
+ * Called once per job as it retires from the pool, from whichever
+ * worker thread ran it (serialize internally if needed). The sweep's
+ * durability hook: the result-store journal appends from here, so a
+ * crashed process keeps every job that ever completed. Must not throw
+ * — a journaling failure that matters should be fatal in the hook
+ * itself, not misreported as a job crash.
+ */
+using SweepRetireHook = std::function<void(size_t job_index,
+                                           const SimJobResult &result)>;
+
 class SweepRunner
 {
   public:
@@ -222,10 +233,11 @@ class SweepRunner
      * ones (divergence, stuck, crash) are not. With policy.strict the
      * whole sweep is fatal *after* all jobs finish, naming the first
      * failure — fail-fast restored, but still never a partial result
-     * vector.
+     * vector. @p on_retire (nullable) fires once per completed job.
      */
     std::vector<SimJobResult> run(const std::vector<SimJob> &jobs,
-                                  const FaultPolicy &policy);
+                                  const FaultPolicy &policy,
+                                  const SweepRetireHook &on_retire = nullptr);
 
     unsigned threads() const { return nThreads; }
 

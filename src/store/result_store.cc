@@ -1,0 +1,489 @@
+#include "store/result_store.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/env.hh"
+#include "base/log.hh"
+
+namespace rix
+{
+
+namespace
+{
+
+constexpr char storeMagic[8] = {'R', 'I', 'X', 'S', 'T', 'O', 'R', '1'};
+
+// An individual record is one job's counters plus three short strings;
+// anything near this bound is a corrupt length field, not a record.
+constexpr u32 maxFrameBytes = u32(1) << 24;
+
+// ---- payload serialization ------------------------------------------
+//
+// Native-endian, explicitly offset (see the header comment): a fixed
+// numeric block first, variable-length strings after it.
+
+void
+putBytes(std::string &out, const void *p, size_t n)
+{
+    out.append(reinterpret_cast<const char *>(p), n);
+}
+
+void putU8(std::string &out, u8 v) { putBytes(out, &v, 1); }
+void putU16(std::string &out, u16 v) { putBytes(out, &v, 2); }
+void putU32(std::string &out, u32 v) { putBytes(out, &v, 4); }
+void putU64(std::string &out, u64 v) { putBytes(out, &v, 8); }
+void putF64(std::string &out, double v) { putBytes(out, &v, 8); }
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, u32(s.size()));
+    out.append(s);
+}
+
+/** Bounds-checked sequential reader over a payload. */
+struct Reader
+{
+    const char *p;
+    size_t left;
+    bool ok = true;
+
+    bool
+    take(void *dst, size_t n)
+    {
+        if (!ok || left < n) {
+            ok = false;
+            return false;
+        }
+        memcpy(dst, p, n);
+        p += n;
+        left -= n;
+        return true;
+    }
+
+    u8 getU8() { u8 v = 0; take(&v, 1); return v; }
+    u16 getU16() { u16 v = 0; take(&v, 2); return v; }
+    u32 getU32() { u32 v = 0; take(&v, 4); return v; }
+    u64 getU64() { u64 v = 0; take(&v, 8); return v; }
+    double getF64() { double v = 0; take(&v, 8); return v; }
+
+    std::string
+    getStr()
+    {
+        const u32 n = getU32();
+        if (!ok || left < n) {
+            ok = false;
+            return "";
+        }
+        std::string s(p, n);
+        p += n;
+        left -= n;
+        return s;
+    }
+};
+
+std::string
+serializeMeta(const StoreMeta &m)
+{
+    std::string out;
+    putU8(out, u8(m.kind));
+    putU64(out, m.specHash);
+    putU64(out, m.scale);
+    putU64(out, m.numJobs);
+    putStr(out, m.gitRev);
+    putStr(out, m.specName);
+    putStr(out, m.workloadsCsv);
+    putStr(out, m.specText);
+    return out;
+}
+
+bool
+parseMeta(const std::string &payload, StoreMeta *m)
+{
+    Reader r{payload.data(), payload.size()};
+    m->kind = StoreKind(r.getU8());
+    m->specHash = r.getU64();
+    m->scale = r.getU64();
+    m->numJobs = r.getU64();
+    m->gitRev = r.getStr();
+    m->specName = r.getStr();
+    m->workloadsCsv = r.getStr();
+    m->specText = r.getStr();
+    return r.ok && r.left == 0;
+}
+
+std::string
+serializeRecord(const StoreRecord &rec)
+{
+    const SimJobResult &res = rec.result;
+    std::string out;
+    putU64(out, rec.jobIndex);                       // off 0
+    putU32(out, res.attempts);                       // off 8
+    putU8(out, u8(res.status));                      // off 12
+    putU8(out, res.report.halted ? 1 : 0);           // off 13
+    putU16(out, 0);                                  // off 14 (reserved)
+    putF64(out, res.wallSeconds);                    // off 16
+    putU64(out, res.report.l1dMisses);               // off 24
+    putU64(out, res.report.l1iMisses);
+    putU64(out, res.report.l2Misses);
+    putU64(out, res.report.dtlbMisses);
+    putU64(out, res.report.itlbMisses);
+    // The raw counters, exactly as simulated (bit-exactness is the
+    // whole point of the store); the static_assert in core_stats.hh
+    // pins the layout to 66 plain u64 fields.
+    putBytes(out, &res.report.core, sizeof(CoreStats)); // off 64
+    putStr(out, res.report.workload);                // off 592
+    putStr(out, rec.configLabel);
+    putStr(out, res.error);
+    return out;
+}
+
+bool
+parseRecord(const std::string &payload, StoreRecord *rec)
+{
+    Reader r{payload.data(), payload.size()};
+    SimJobResult &res = rec->result;
+    rec->jobIndex = r.getU64();
+    res.attempts = r.getU32();
+    res.status = JobStatus(r.getU8());
+    res.report.halted = r.getU8() != 0;
+    r.getU16();
+    res.wallSeconds = r.getF64();
+    res.report.l1dMisses = r.getU64();
+    res.report.l1iMisses = r.getU64();
+    res.report.l2Misses = r.getU64();
+    res.report.dtlbMisses = r.getU64();
+    res.report.itlbMisses = r.getU64();
+    if (!r.take(&res.report.core, sizeof(CoreStats)))
+        return false;
+    res.report.workload = r.getStr();
+    rec->configLabel = r.getStr();
+    res.error = r.getStr();
+    return r.ok && r.left == 0;
+}
+
+/** One framed blob: u32 length, u32 crc32(payload), payload. */
+std::string
+frame(const std::string &payload)
+{
+    std::string out;
+    putU32(out, u32(payload.size()));
+    putU32(out, storeCrc32(payload.data(), payload.size()));
+    out += payload;
+    return out;
+}
+
+/**
+ * Unframe the blob at @p data[off..len): validate length and checksum.
+ * @return true and advances *off past the frame, with *payload set;
+ *         false on a torn/corrupt frame (*off untouched).
+ */
+bool
+unframe(const char *data, size_t len, size_t *off, std::string *payload)
+{
+    if (len - *off < 8)
+        return false;
+    u32 plen, crc;
+    memcpy(&plen, data + *off, 4);
+    memcpy(&crc, data + *off + 4, 4);
+    if (plen > maxFrameBytes || plen > len - *off - 8)
+        return false;
+    if (storeCrc32(data + *off + 8, plen) != crc)
+        return false;
+    payload->assign(data + *off + 8, plen);
+    *off += 8 + size_t(plen);
+    return true;
+}
+
+bool
+writeAll(int fd, const char *p, size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= size_t(w);
+    }
+    return true;
+}
+
+/** fsync the directory containing @p path, so a just-renamed or
+ *  just-created entry survives a crash of the whole machine. Best
+ *  effort: some filesystems refuse directory fsync. */
+void
+syncParentDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+} // namespace
+
+u32
+storeCrc32(const void *data, size_t len)
+{
+    static const auto table = []() {
+        std::array<u32, 256> t{};
+        for (u32 i = 0; i < 256; ++i) {
+            u32 c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c >> 1) ^ (0xEDB88320u & (~(c & 1) + 1));
+            t[i] = c;
+        }
+        return t;
+    }();
+    u32 crc = ~u32(0);
+    const u8 *p = static_cast<const u8 *>(data);
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+const char *
+buildGitRev()
+{
+#ifdef RIX_GIT_REV
+    return RIX_GIT_REV;
+#else
+    return "unknown";
+#endif
+}
+
+ResultStore::~ResultStore()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::create(const std::string &path, const StoreMeta &meta,
+                    std::string *err)
+{
+    err->clear();
+    if (::access(path.c_str(), F_OK) == 0) {
+        *err = "store '" + path + "' already exists (use `rix resume` "
+               "to continue it, or remove it first)";
+        return nullptr;
+    }
+
+    // Build the complete header in a temp file and commit it with an
+    // atomic rename: the store either exists fully formed or not at
+    // all — no reader ever sees a half-written header.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(u64(::getpid()));
+    const int tfd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) {
+        *err = "cannot create '" + tmp + "': " + strerror(errno);
+        return nullptr;
+    }
+    std::string head(storeMagic, sizeof(storeMagic));
+    const u32 ver = formatVersion;
+    putU32(head, ver);
+    head += frame(serializeMeta(meta));
+    const bool wrote = writeAll(tfd, head.data(), head.size()) &&
+                       ::fsync(tfd) == 0;
+    ::close(tfd);
+    if (!wrote || ::rename(tmp.c_str(), path.c_str()) != 0) {
+        *err = "cannot commit store '" + path + "': " + strerror(errno);
+        ::unlink(tmp.c_str());
+        return nullptr;
+    }
+    syncParentDir(path);
+
+    std::unique_ptr<ResultStore> s(new ResultStore);
+    s->path_ = path;
+    s->meta_ = meta;
+    s->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (s->fd_ < 0) {
+        *err = "cannot reopen store '" + path + "': " + strerror(errno);
+        return nullptr;
+    }
+    return s;
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::openImpl(const std::string &path, bool for_append,
+                      std::string *err, Recovery *rec)
+{
+    err->clear();
+    if (rec)
+        *rec = Recovery{};
+
+    FILE *f = fopen(path.c_str(), "rb");
+    if (!f) {
+        *err = "cannot open store '" + path + "': " + strerror(errno);
+        return nullptr;
+    }
+    std::string data;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    const bool readErr = ferror(f) != 0;
+    fclose(f);
+    if (readErr) {
+        *err = "error reading store '" + path + "'";
+        return nullptr;
+    }
+
+    // Header: the one part with nothing to recover from. An empty or
+    // foreign file, a wrong version, or a torn header are errors.
+    if (data.size() < sizeof(storeMagic) + 4 ||
+        memcmp(data.data(), storeMagic, sizeof(storeMagic)) != 0) {
+        *err = "'" + path + "' is not a rix result store (" +
+               (data.empty() ? "empty file" : "bad magic") + ")";
+        return nullptr;
+    }
+    u32 ver;
+    memcpy(&ver, data.data() + sizeof(storeMagic), 4);
+    if (ver != formatVersion) {
+        *err = strfmt("store '%s': wrong version header %u (this build "
+                      "reads version %u)",
+                      path.c_str(), ver, formatVersion);
+        return nullptr;
+    }
+    size_t off = sizeof(storeMagic) + 4;
+    std::string payload;
+    std::unique_ptr<ResultStore> s(new ResultStore);
+    if (!unframe(data.data(), data.size(), &off, &payload) ||
+        !parseMeta(payload, &s->meta_)) {
+        *err = "store '" + path + "': corrupt header";
+        return nullptr;
+    }
+
+    // Record stream: keep exactly the valid prefix. The first frame
+    // whose length, checksum or payload shape does not verify ends the
+    // stream — everything after it is unreachable (frame lengths chain
+    // the stream together) and is dropped, never fatal.
+    while (off < data.size()) {
+        const size_t frameStart = off;
+        StoreRecord r;
+        if (!unframe(data.data(), data.size(), &off, &payload) ||
+            !parseRecord(payload, &r)) {
+            off = frameStart;
+            break;
+        }
+        s->records_.push_back(std::move(r));
+    }
+    const u64 dropped = u64(data.size() - off);
+    if (rec) {
+        rec->validRecords = s->records_.size();
+        rec->droppedBytes = dropped;
+    }
+    if (dropped)
+        rix_warn("store '%s': dropped %llu torn/corrupt tail bytes; "
+                 "recovered %zu records",
+                 path.c_str(), (unsigned long long)dropped,
+                 s->records_.size());
+
+    s->path_ = path;
+    if (for_append) {
+        s->fd_ = ::open(path.c_str(), O_WRONLY);
+        if (s->fd_ < 0) {
+            *err =
+                "cannot append to store '" + path + "': " + strerror(errno);
+            return nullptr;
+        }
+        if (::ftruncate(s->fd_, off_t(off)) != 0 ||
+            ::lseek(s->fd_, 0, SEEK_END) < 0) {
+            *err = "cannot truncate torn tail of '" + path +
+                   "': " + strerror(errno);
+            return nullptr;
+        }
+    }
+    return s;
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::openForAppend(const std::string &path, std::string *err,
+                           Recovery *rec)
+{
+    return openImpl(path, /*for_append=*/true, err, rec);
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::openReadOnly(const std::string &path, std::string *err,
+                          Recovery *rec)
+{
+    return openImpl(path, /*for_append=*/false, err, rec);
+}
+
+std::string
+ResultStore::append(const StoreRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(appendMutex_);
+    if (fd_ < 0)
+        return "store '" + path_ + "' is read-only";
+    const std::string blob = frame(serializeRecord(rec));
+    if (!writeAll(fd_, blob.data(), blob.size()))
+        return "write to store '" + path_ + "' failed: " +
+               strerror(errno);
+    if (::fsync(fd_) != 0)
+        return "fsync of store '" + path_ + "' failed: " +
+               strerror(errno);
+    records_.push_back(rec);
+    return "";
+}
+
+std::string
+envStoreDir()
+{
+    const char *dir = getenv("RIX_STORE_DIR");
+    if (!dir)
+        return "";
+    if (!*dir)
+        rix_fatal("RIX_STORE_DIR: empty value; expected a writable "
+                  "directory");
+    struct stat st;
+    if (::stat(dir, &st) != 0)
+        rix_fatal("RIX_STORE_DIR: cannot access '%s': %s", dir,
+                  strerror(errno));
+    if (!S_ISDIR(st.st_mode))
+        rix_fatal("RIX_STORE_DIR: '%s' is not a directory", dir);
+    if (::access(dir, W_OK | X_OK) != 0)
+        rix_fatal("RIX_STORE_DIR: directory '%s' is not writable", dir);
+    return dir;
+}
+
+void
+requireStorePathUsable(const char *what, const std::string &path)
+{
+    if (path.empty())
+        rix_fatal("%s: empty path", what);
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+        rix_fatal("%s: '%s' is a directory, not a store file", what,
+                  path.c_str());
+    const size_t slash = path.find_last_of('/');
+    const std::string parent =
+        slash == std::string::npos
+            ? "."
+            : (slash == 0 ? "/" : path.substr(0, slash));
+    if (::stat(parent.c_str(), &st) != 0)
+        rix_fatal("%s: parent directory '%s' does not exist", what,
+                  parent.c_str());
+    if (!S_ISDIR(st.st_mode))
+        rix_fatal("%s: '%s' is not a directory", what, parent.c_str());
+    if (::access(parent.c_str(), W_OK | X_OK) != 0)
+        rix_fatal("%s: directory '%s' is not writable", what,
+                  parent.c_str());
+}
+
+} // namespace rix

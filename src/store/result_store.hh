@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Crash-recoverable sweep result store.
+ *
+ * An append-only, per-record-checksummed file of simulation results,
+ * keyed by (git revision, spec hash, config label, job index). The
+ * point is durability: `rix run --store` journals every completed job
+ * as it retires from the sweep pool, so a killed process loses at most
+ * the record being written — never the sweep — and `rix resume` /
+ * `rix compare` re-evaluate cheaply from the journal instead of
+ * re-simulating (FLOX's record-once replay/backtest split).
+ *
+ * On-disk format (single-host: native endianness, documented here and
+ * versioned so a reader never guesses):
+ *
+ *   magic   "RIXSTOR1"            8 bytes
+ *   version u32                   format version (currently 1)
+ *   header  u32 len, u32 crc32, payload   (StoreMeta, see below)
+ *   records u32 len, u32 crc32, payload   repeated, one per append()
+ *
+ * Durability contract:
+ *  - create() builds the header in a temp file, fsyncs it, and commits
+ *    it with an atomic rename — a store file either exists with a
+ *    fully valid header or does not exist at all;
+ *  - append() writes one framed record and fsyncs before returning —
+ *    the commit point; a `kill -9` at any byte offset leaves at worst
+ *    a torn tail that recovery truncates;
+ *  - open*() replays the record stream, stops at the first frame whose
+ *    length or checksum does not verify, and (for the append mode)
+ *    truncates the file back to the last valid record. Recovery keeps
+ *    exactly the valid prefix and is never fatal; only a missing or
+ *    unrecognizable header (empty file, wrong magic/version) is an
+ *    error, because there is nothing to recover from.
+ *
+ * Record payloads carry a fixed-offset numeric block first (status,
+ * wall time, substrate misses, the raw CoreStats counters) and the
+ * variable-length strings (workload, config label, error) after it, so
+ * external tools can patch or audit records without a full parser.
+ */
+
+#ifndef RIX_STORE_RESULT_STORE_HH
+#define RIX_STORE_RESULT_STORE_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace rix
+{
+
+/** What kind of job stream a store holds. */
+enum class StoreKind : u8
+{
+    /** A scenario sweep: numJobs fixed by the spec expansion, records
+     *  keyed by expanded job index (interval-level for sampled specs). */
+    Sweep = 0,
+    /** A serve daemon's journal: unbounded, indices monotonic. */
+    Serve = 1,
+};
+
+/** Store-wide metadata, written once at create(). */
+struct StoreMeta
+{
+    StoreKind kind = StoreKind::Sweep;
+    std::string gitRev;       // revision of the producing build
+    std::string specName;     // scenario name ("serve" for journals)
+    u64 specHash = 0;         // hash of (spec text, scale, workloads)
+    u64 scale = 1;            // resolved workload scale
+    std::string workloadsCsv; // resolved workload selection, ordered
+    u64 numJobs = 0;          // expanded job count (0: unbounded)
+    std::string specText;     // full spec JSON (resume re-expands it)
+};
+
+/** One journaled result. The workload name lives in
+ *  result.report.workload; configLabel is the scenario point label
+ *  (or the request id for serve journals). */
+struct StoreRecord
+{
+    u64 jobIndex = 0;
+    std::string configLabel;
+    SimJobResult result;
+};
+
+class ResultStore
+{
+  public:
+    static constexpr u32 formatVersion = 1;
+
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Create a new store at @p path (must not exist). The header is
+     * committed via write-then-fsync-then-atomic-rename.
+     * @return the store, or null with *err set to a one-line
+     *         diagnostic.
+     */
+    static std::unique_ptr<ResultStore> create(const std::string &path,
+                                               const StoreMeta &meta,
+                                               std::string *err);
+
+    /** Bytes of recovery detail from an open. */
+    struct Recovery
+    {
+        u64 validRecords = 0;
+        u64 droppedBytes = 0; // torn/corrupt tail discarded
+    };
+
+    /**
+     * Open an existing store for appending: replay the record stream,
+     * truncate any torn/corrupt tail back to the last valid record
+     * (never fatal), and position for append.
+     * @return null with *err on a missing/unrecognizable header.
+     */
+    static std::unique_ptr<ResultStore>
+    openForAppend(const std::string &path, std::string *err,
+                  Recovery *rec = nullptr);
+
+    /** Read-only open: same recovery semantics, but the file is left
+     *  untouched (the torn tail is ignored, not truncated). */
+    static std::unique_ptr<ResultStore>
+    openReadOnly(const std::string &path, std::string *err,
+                 Recovery *rec = nullptr);
+
+    const StoreMeta &meta() const { return meta_; }
+    const std::vector<StoreRecord> &records() const { return records_; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append one record and fsync — the commit point. Thread-safe
+     * (journaling happens from sweep workers as jobs retire).
+     * @return "" on success, else a one-line diagnostic; on failure
+     *         nothing was committed.
+     */
+    std::string append(const StoreRecord &rec);
+
+  private:
+    ResultStore() = default;
+
+    static std::unique_ptr<ResultStore> openImpl(const std::string &path,
+                                                 bool for_append,
+                                                 std::string *err,
+                                                 Recovery *rec);
+
+    std::string path_;
+    StoreMeta meta_;
+    std::vector<StoreRecord> records_;
+    int fd_ = -1; // < 0: read-only
+    std::mutex appendMutex_;
+};
+
+/** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of @p data. */
+u32 storeCrc32(const void *data, size_t len);
+
+/** The git revision this binary was built from ("unknown" outside a
+ *  git checkout). */
+const char *buildGitRev();
+
+/**
+ * Strict validation of the RIX_STORE_DIR knob, following the
+ * base/env.cc pattern: unset returns ""; set but empty, nonexistent,
+ * not a directory, or not writable is fatal with a one-line
+ * diagnostic naming the variable.
+ */
+std::string envStoreDir();
+
+/**
+ * Strict validation of a --store file path: fatal (naming @p what)
+ * when empty, an existing directory, or inside a missing/non-writable
+ * parent directory. Does not require the file itself to exist.
+ */
+void requireStorePathUsable(const char *what, const std::string &path);
+
+} // namespace rix
+
+#endif // RIX_STORE_RESULT_STORE_HH

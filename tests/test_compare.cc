@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Regression-gate tests: `rix compare` exit-code classification over
+ * synthetic stores — clean (0), throughput drift (1), simulated-field
+ * divergence (2, dominating drift), and operational errors (3) — plus
+ * the trajectory render's shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "store/compare.hh"
+#include "store/result_store.hh"
+
+using namespace rix;
+
+namespace
+{
+
+std::string
+tmpPath(const char *tag)
+{
+    return ::testing::TempDir() + "rix_cmp_" + tag + "_" +
+           std::to_string(getpid()) + ".rixstore";
+}
+
+StoreMeta
+gateMeta(const char *rev)
+{
+    StoreMeta m;
+    m.kind = StoreKind::Sweep;
+    m.gitRev = rev;
+    m.specName = "gate";
+    m.specHash = 0xfeedfacecafef00dull;
+    m.scale = 1;
+    m.workloadsCsv = "mcf,twolf";
+    m.numJobs = 4;
+    m.specText = "{}";
+    return m;
+}
+
+StoreRecord
+gateRecord(u64 i, double wallScale = 1.0, u64 counterNudge = 0)
+{
+    StoreRecord r;
+    r.jobIndex = i;
+    r.configLabel = i % 2 ? "reverse" : "base";
+    r.result.status = JobStatus::Ok;
+    r.result.wallSeconds = 0.1 * double(i + 1) * wallScale;
+    r.result.report.workload = i < 2 ? "mcf" : "twolf";
+    r.result.report.halted = true;
+    r.result.report.l1dMisses = 500 + i;
+    r.result.report.core.cycles = 100000 + i;
+    r.result.report.core.retired = 80000 + i;
+    r.result.report.core.misintegrations = 11 * i + counterNudge;
+    return r;
+}
+
+/** Build a store at a fresh path; records configured per test. */
+std::string
+buildStore(const char *tag, const char *rev, double wallScale = 1.0,
+           u64 counterNudge = 0, u64 numRecords = 4)
+{
+    const std::string path = tmpPath(tag);
+    ::remove(path.c_str());
+    std::string err;
+    auto store = ResultStore::create(path, gateMeta(rev), &err);
+    EXPECT_NE(store, nullptr) << err;
+    for (u64 i = 0; i < numRecords; ++i)
+        EXPECT_EQ(store->append(gateRecord(i, wallScale, counterNudge)),
+                  "");
+    return path;
+}
+
+/** Run compareStores with output captured; returns the exit code and
+ *  hands back the rendered trajectory. */
+int
+runCompare(const std::string &a, const std::string &b,
+           const CompareOptions &opts, std::string *trajectory = nullptr)
+{
+    char *buf = nullptr;
+    size_t len = 0;
+    FILE *out = open_memstream(&buf, &len);
+    EXPECT_NE(out, nullptr);
+    const int rc = compareStores(a, b, opts, out);
+    fclose(out);
+    if (trajectory)
+        trajectory->assign(buf, len);
+    free(buf);
+    return rc;
+}
+
+} // namespace
+
+TEST(Compare, IdenticalStoresExitZero)
+{
+    const std::string a = buildStore("id_a", "aaaaaaa");
+    const std::string b = buildStore("id_b", "bbbbbbb");
+    std::string traj;
+    EXPECT_EQ(runCompare(a, b, CompareOptions{}, &traj), 0);
+
+    // Trajectory: per-workload lines plus one aggregate per store,
+    // each tagged with the producing revision.
+    EXPECT_NE(traj.find("\"bench\": \"mcf\""), std::string::npos);
+    EXPECT_NE(traj.find("\"bench\": \"twolf\""), std::string::npos);
+    EXPECT_NE(traj.find("\"bench\": \"aggregate\""), std::string::npos);
+    EXPECT_NE(traj.find("\"rev\": \"aaaaaaa\""), std::string::npos);
+    EXPECT_NE(traj.find("\"rev\": \"bbbbbbb\""), std::string::npos);
+    ::remove(a.c_str());
+    ::remove(b.c_str());
+}
+
+TEST(Compare, ThroughputDriftBeyondToleranceExitOne)
+{
+    const std::string a = buildStore("dr_a", "aaaaaaa");
+    // Same counters, 2x the wall time: -50% KIPS.
+    const std::string b = buildStore("dr_b", "bbbbbbb", 2.0);
+
+    EXPECT_EQ(runCompare(a, b, CompareOptions{}), 1);
+
+    // A generous tolerance absorbs it...
+    CompareOptions loose;
+    loose.tolerance = 0.60;
+    EXPECT_EQ(runCompare(a, b, loose), 0);
+
+    // ...and --sim-only ignores the tier entirely.
+    CompareOptions simOnly;
+    simOnly.simOnly = true;
+    EXPECT_EQ(runCompare(a, b, simOnly), 0);
+    ::remove(a.c_str());
+    ::remove(b.c_str());
+}
+
+TEST(Compare, SimulatedFieldDivergenceExitTwoDominatesDrift)
+{
+    const std::string a = buildStore("dv_a", "aaaaaaa");
+    // One counter nudged AND massive wall drift: divergence wins.
+    const std::string b = buildStore("dv_b", "bbbbbbb", 10.0, 1);
+
+    EXPECT_EQ(runCompare(a, b, CompareOptions{}), 2);
+
+    // --sim-only still reports divergence: it skips drift, not bugs.
+    CompareOptions simOnly;
+    simOnly.simOnly = true;
+    EXPECT_EQ(runCompare(a, b, simOnly), 2);
+    ::remove(a.c_str());
+    ::remove(b.c_str());
+}
+
+TEST(Compare, SubstrateCounterDivergenceDetected)
+{
+    const std::string a = buildStore("sub_a", "aaaaaaa");
+    const std::string b = tmpPath("sub_b");
+    ::remove(b.c_str());
+    std::string err;
+    auto store = ResultStore::create(b, gateMeta("bbbbbbb"), &err);
+    ASSERT_NE(store, nullptr) << err;
+    for (u64 i = 0; i < 4; ++i) {
+        StoreRecord r = gateRecord(i);
+        if (i == 2)
+            r.result.report.dtlbMisses = 99999; // not in CoreStats
+        ASSERT_EQ(store->append(r), "");
+    }
+    store.reset();
+    EXPECT_EQ(runCompare(a, b, CompareOptions{}), 2);
+    ::remove(a.c_str());
+    ::remove(b.c_str());
+}
+
+TEST(Compare, MissingJobsCompareIntersectionUnlessCompleteRequired)
+{
+    const std::string a = buildStore("mi_a", "aaaaaaa");
+    const std::string b = buildStore("mi_b", "bbbbbbb", 1.0, 0,
+                                     /*numRecords=*/2);
+
+    // Intersection (jobs 0..1) is identical: clean.
+    EXPECT_EQ(runCompare(a, b, CompareOptions{}), 0);
+
+    CompareOptions strict;
+    strict.requireComplete = true;
+    EXPECT_EQ(runCompare(a, b, strict), 3);
+    ::remove(a.c_str());
+    ::remove(b.c_str());
+}
+
+TEST(Compare, OperationalErrorsExitThree)
+{
+    const std::string a = buildStore("op_a", "aaaaaaa");
+
+    // Unreadable candidate.
+    EXPECT_EQ(runCompare(a, tmpPath("op_missing"), CompareOptions{}), 3);
+
+    // Mismatched sweep identity.
+    const std::string other = tmpPath("op_other");
+    ::remove(other.c_str());
+    StoreMeta m = gateMeta("bbbbbbb");
+    m.specHash ^= 1;
+    std::string err;
+    auto store = ResultStore::create(other, m, &err);
+    ASSERT_NE(store, nullptr) << err;
+    store.reset();
+    EXPECT_EQ(runCompare(a, other, CompareOptions{}), 3);
+
+    // Nothing journaled ok on one side: nothing to compare.
+    const std::string empty = tmpPath("op_empty");
+    ::remove(empty.c_str());
+    auto e = ResultStore::create(empty, gateMeta("ccccccc"), &err);
+    ASSERT_NE(e, nullptr) << err;
+    e.reset();
+    EXPECT_EQ(runCompare(a, empty, CompareOptions{}), 3);
+
+    // Failed records are not comparable material either.
+    const std::string failed = tmpPath("op_failed");
+    ::remove(failed.c_str());
+    auto f = ResultStore::create(failed, gateMeta("ddddddd"), &err);
+    ASSERT_NE(f, nullptr) << err;
+    for (u64 i = 0; i < 4; ++i) {
+        StoreRecord r = gateRecord(i);
+        r.result.status = JobStatus::Crash;
+        r.result.error = "injected";
+        ASSERT_EQ(f->append(r), "");
+    }
+    f.reset();
+    EXPECT_EQ(runCompare(a, failed, CompareOptions{}), 3);
+
+    ::remove(a.c_str());
+    ::remove(other.c_str());
+    ::remove(empty.c_str());
+    ::remove(failed.c_str());
+}

@@ -58,7 +58,9 @@ TEST(FaultContainment, HealthyJobsCompleteAroundFailingOnes)
     };
     SweepRunner runner(4);
     FaultPolicy policy = quickPolicy();
-    policy.timeoutMs = 200;
+    // Long enough that a healthy job on an oversubscribed CI runner is
+    // never reaped; the hang still times out well inside the test.
+    policy.timeoutMs = 2000;
     policy.retries = 0;
     const auto res = runner.run(jobs, policy);
 

@@ -9,10 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -20,6 +24,7 @@
 #include "base/json.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
+#include "store/result_store.hh"
 
 using namespace rix;
 
@@ -40,7 +45,10 @@ testOptions(const char *tag)
     o.socketPath = socketPath(tag);
     o.workers = 2;
     o.allowInject = true;
-    o.policy.timeoutMs = 500;
+    // Generous: only a safety net. Tests that exercise the watchdog
+    // use a per-request timeout_ms (or their own policy) — a healthy
+    // job on an oversubscribed CI runner must never be reaped.
+    o.policy.timeoutMs = 10'000;
     o.policy.retries = 1;
     o.policy.backoffBaseMs = 1;
     o.policy.backoffCapMs = 2;
@@ -406,4 +414,228 @@ TEST(Serve, BadSocketPathFailsWithOneDiagnostic)
     longOpts.socketPath = "/tmp/" + std::string(200, 'x') + ".sock";
     Server longServer(longOpts);
     EXPECT_NE(longServer.start().find("too long"), std::string::npos);
+}
+
+// ---- RIX_STORE_DIR journaling ---------------------------------------
+
+TEST(Serve, JournalsOkResultsAcrossRestarts)
+{
+    const std::string journal = "/tmp/rix_test_journal_" +
+                                std::to_string(getpid()) + ".rixstore";
+    ::remove(journal.c_str());
+
+    ServeOptions opts = testOptions("journal");
+    opts.storePath = journal;
+    {
+        Server server(opts);
+        ASSERT_EQ(server.start(), "");
+        ServeClient client;
+        ASSERT_EQ(client.connect(opts.socketPath), "");
+
+        // Two clean runs and one injected crash: only ok results are
+        // journaled — failures are worth a resubmit, not a tombstone.
+        ASSERT_TRUE(client.sendLine(
+            "{\"op\": \"run\", \"id\": 1, \"workload\": \"gzip\", "
+            "\"max_retired\": 20000}"));
+        ASSERT_TRUE(client.sendLine(
+            "{\"op\": \"run\", \"id\": 2, \"workload\": \"mcf\", "
+            "\"max_retired\": 20000}"));
+        ASSERT_TRUE(client.sendLine(
+            "{\"op\": \"run\", \"id\": 3, \"workload\": \"gzip\", "
+            "\"inject\": \"crash\"}"));
+        std::string resp;
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(client.recvLine(&resp));
+        server.requestShutdown();
+        server.waitShutdown();
+        EXPECT_EQ(server.stats().journaled.load(), 2u);
+    }
+
+    std::string err;
+    auto store = ResultStore::openReadOnly(journal, &err);
+    ASSERT_NE(store, nullptr) << err;
+    EXPECT_EQ(store->meta().kind, StoreKind::Serve);
+    ASSERT_EQ(store->records().size(), 2u);
+    for (const StoreRecord &r : store->records()) {
+        EXPECT_TRUE(r.result.ok());
+        EXPECT_GT(r.result.report.core.retired, 0u);
+    }
+
+    // A restarted daemon resumes the same journal; indices stay
+    // monotonic across the generations.
+    const u64 maxBefore = std::max(store->records()[0].jobIndex,
+                                   store->records()[1].jobIndex);
+    store.reset();
+    {
+        Server server(opts);
+        ASSERT_EQ(server.start(), "");
+        ServeClient client;
+        ASSERT_EQ(client.connect(opts.socketPath), "");
+        ASSERT_TRUE(client.sendLine(
+            "{\"op\": \"run\", \"id\": 4, \"workload\": \"mcf\", "
+            "\"max_retired\": 20000}"));
+        std::string resp;
+        ASSERT_TRUE(client.recvLine(&resp));
+        EXPECT_EQ(statusOf(resp), "ok");
+        server.requestShutdown();
+        server.waitShutdown();
+    }
+    store = ResultStore::openReadOnly(journal, &err);
+    ASSERT_NE(store, nullptr) << err;
+    ASSERT_EQ(store->records().size(), 3u);
+    EXPECT_GT(store->records().back().jobIndex, maxBefore);
+    ::remove(journal.c_str());
+}
+
+// ---- submitBatch transient-failure retries --------------------------
+
+namespace
+{
+
+/**
+ * A deliberately flaky daemon facsimile: a raw AF_UNIX server whose
+ * first connection answers exactly one request and then slams the
+ * connection shut (the client sees ECONNRESET / EOF mid-batch); every
+ * later connection answers everything. Runs until the listener is
+ * closed.
+ */
+class FlakyServer
+{
+  public:
+    explicit FlakyServer(const std::string &path) : path_(path)
+    {
+        ::unlink(path_.c_str());
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+        EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)), 0);
+        EXPECT_EQ(::listen(fd_, 8), 0);
+        thread_ = std::thread([this]() { loop(); });
+    }
+
+    ~FlakyServer()
+    {
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        thread_.join();
+        ::unlink(path_.c_str());
+    }
+
+    int connections() const { return conns_.load(); }
+
+  private:
+    void
+    loop()
+    {
+        for (;;) {
+            const int c = ::accept(fd_, nullptr, nullptr);
+            if (c < 0)
+                return;
+            const int n = conns_.fetch_add(1) + 1;
+            serveConn(c, /*dropAfterOne=*/n == 1);
+            ::close(c);
+        }
+    }
+
+    void
+    serveConn(int c, bool dropAfterOne)
+    {
+        std::string pending;
+        int answered = 0;
+        char buf[4096];
+        for (;;) {
+            const size_t nl = pending.find('\n');
+            if (nl == std::string::npos) {
+                const ssize_t n = ::recv(c, buf, sizeof(buf), 0);
+                if (n <= 0)
+                    return;
+                pending.append(buf, size_t(n));
+                continue;
+            }
+            const std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            std::string err;
+            const JsonValue doc = JsonValue::parse(line, &err);
+            const JsonValue *id =
+                err.empty() && doc.isObject() ? doc.find("id") : nullptr;
+            const std::string resp = "{\"id\": " +
+                                     (id ? id->dump() : "null") +
+                                     ", \"status\": \"ok\"}\n";
+            if (::send(c, resp.data(), resp.size(), MSG_NOSIGNAL) < 0)
+                return;
+            if (dropAfterOne && ++answered >= 1)
+                return; // abrupt close mid-batch
+        }
+    }
+
+    std::string path_;
+    int fd_ = -1;
+    std::atomic<int> conns_{0};
+    std::thread thread_;
+};
+
+} // namespace
+
+TEST(SubmitBatch, ReconnectsAndResendsUnansweredRequests)
+{
+    const std::string path = socketPath("flaky");
+    FlakyServer flaky(path);
+
+    std::vector<std::string> lines = {
+        "{\"op\": \"ping\", \"id\": 1}",
+        "{\"op\": \"ping\", \"id\": 2}",
+        "{\"op\": \"ping\", \"id\": 3}",
+    };
+    SubmitOptions opts;
+    opts.maxAttempts = 5;
+    opts.backoffStartMs = 1;
+    opts.backoffCapMs = 4;
+
+    std::vector<std::string> responses;
+    const SubmitOutcome out = submitBatch(
+        path, lines,
+        [&responses](const std::string &r) { responses.push_back(r); },
+        opts);
+
+    EXPECT_TRUE(out.complete) << out.error;
+    EXPECT_EQ(out.answered, 3u);
+    EXPECT_GE(out.reconnects, 1u);
+    EXPECT_GE(flaky.connections(), 2);
+    ASSERT_EQ(responses.size(), 3u);
+    // Every id answered exactly once, whatever the arrival order.
+    std::map<std::string, int> seen;
+    for (const std::string &r : responses)
+        ++seen[r.substr(0, r.find(','))];
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(SubmitBatch, GivesUpAfterBoundedAttempts)
+{
+    SubmitOptions opts;
+    opts.maxAttempts = 3;
+    opts.backoffStartMs = 1;
+    opts.backoffCapMs = 2;
+
+    size_t delivered = 0;
+    const SubmitOutcome out = submitBatch(
+        "/tmp/rix_test_never_listening.sock",
+        {"{\"op\": \"ping\", \"id\": 1}"},
+        [&delivered](const std::string &) { ++delivered; }, opts);
+
+    EXPECT_FALSE(out.complete);
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(out.answered, 0u);
+    EXPECT_NE(out.error.find("connect"), std::string::npos)
+        << out.error;
+}
+
+TEST(SubmitBatch, EmptyBatchIsTriviallyComplete)
+{
+    const SubmitOutcome out = submitBatch(
+        "/tmp/rix_test_never_listening.sock", {},
+        [](const std::string &) {});
+    EXPECT_TRUE(out.complete);
+    EXPECT_EQ(out.answered, 0u);
 }

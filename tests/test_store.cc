@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Result-store tests: framed round-trips, the durability/recovery
+ * contract (torn tails truncated at *every* byte offset, bit flips
+ * isolating the valid prefix, empty/foreign/wrong-version files
+ * rejected), concurrent appends, and the strict validation of the
+ * store path knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/result_store.hh"
+
+using namespace rix;
+
+namespace
+{
+
+std::string
+tmpPath(const char *tag)
+{
+    return ::testing::TempDir() + "rix_store_" + tag + "_" +
+           std::to_string(getpid()) + ".rixstore";
+}
+
+StoreMeta
+testMeta(u64 numJobs)
+{
+    StoreMeta m;
+    m.kind = StoreKind::Sweep;
+    m.gitRev = "deadbee";
+    m.specName = "unit";
+    m.specHash = 0x1234567890abcdefull;
+    m.scale = 2;
+    m.workloadsCsv = "mcf,twolf";
+    m.numJobs = numJobs;
+    m.specText = "{\"name\": \"unit\"}";
+    return m;
+}
+
+/** A record whose every field is a recognizable function of @p i, so
+ *  a recovered record proves byte-exact round-tripping. */
+StoreRecord
+testRecord(u64 i)
+{
+    StoreRecord r;
+    r.jobIndex = i;
+    r.configLabel = "cfg" + std::to_string(i % 3);
+    r.result.status = JobStatus::Ok;
+    r.result.attempts = unsigned(1 + i % 2);
+    r.result.wallSeconds = 0.25 * double(i + 1);
+    r.result.report.workload = i % 2 ? "twolf" : "mcf";
+    r.result.report.halted = i % 2 == 0;
+    r.result.report.l1dMisses = 1000 + i;
+    r.result.report.l2Misses = 2000 + i;
+    r.result.report.dtlbMisses = 3000 + i;
+    r.result.report.core.cycles = 100000 + 7 * i;
+    r.result.report.core.retired = 50000 + 13 * i;
+    r.result.report.core.integratedDirect = 17 * i;
+    r.result.report.core.integByDistance[3][1] = 23 * i;
+    r.result.report.core.rsOccupancySum = 29 * i * i;
+    return r;
+}
+
+void
+expectRecordEqual(const StoreRecord &a, const StoreRecord &b)
+{
+    EXPECT_EQ(a.jobIndex, b.jobIndex);
+    EXPECT_EQ(a.configLabel, b.configLabel);
+    EXPECT_EQ(a.result.status, b.result.status);
+    EXPECT_EQ(a.result.attempts, b.result.attempts);
+    EXPECT_EQ(a.result.wallSeconds, b.result.wallSeconds);
+    EXPECT_EQ(a.result.error, b.result.error);
+    EXPECT_EQ(a.result.report.workload, b.result.report.workload);
+    EXPECT_EQ(a.result.report.halted, b.result.report.halted);
+    EXPECT_EQ(a.result.report.l1dMisses, b.result.report.l1dMisses);
+    EXPECT_EQ(a.result.report.dtlbMisses, b.result.report.dtlbMisses);
+    EXPECT_EQ(0, memcmp(&a.result.report.core, &b.result.report.core,
+                        sizeof(CoreStats)));
+}
+
+std::string
+slurp(const std::string &path)
+{
+    FILE *f = fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string data;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    fclose(f);
+    return data;
+}
+
+void
+spit(const std::string &path, const std::string &data)
+{
+    FILE *f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(fwrite(data.data(), 1, data.size(), f), data.size());
+    fclose(f);
+}
+
+/** Create a store with @p n test records and return its path. */
+std::string
+buildStore(const char *tag, u64 n)
+{
+    const std::string path = tmpPath(tag);
+    ::remove(path.c_str());
+    std::string err;
+    auto store = ResultStore::create(path, testMeta(n), &err);
+    EXPECT_NE(store, nullptr) << err;
+    for (u64 i = 0; i < n; ++i)
+        EXPECT_EQ(store->append(testRecord(i)), "");
+    return path;
+}
+
+} // namespace
+
+TEST(Store, CreateAppendReopenRoundTrip)
+{
+    const std::string path = buildStore("roundtrip", 5);
+
+    std::string err;
+    ResultStore::Recovery rec;
+    auto store = ResultStore::openReadOnly(path, &err, &rec);
+    ASSERT_NE(store, nullptr) << err;
+    EXPECT_EQ(rec.validRecords, 5u);
+    EXPECT_EQ(rec.droppedBytes, 0u);
+
+    const StoreMeta want = testMeta(5);
+    EXPECT_EQ(store->meta().kind, StoreKind::Sweep);
+    EXPECT_EQ(store->meta().gitRev, want.gitRev);
+    EXPECT_EQ(store->meta().specName, want.specName);
+    EXPECT_EQ(store->meta().specHash, want.specHash);
+    EXPECT_EQ(store->meta().scale, want.scale);
+    EXPECT_EQ(store->meta().workloadsCsv, want.workloadsCsv);
+    EXPECT_EQ(store->meta().numJobs, 5u);
+    EXPECT_EQ(store->meta().specText, want.specText);
+
+    ASSERT_EQ(store->records().size(), 5u);
+    for (u64 i = 0; i < 5; ++i)
+        expectRecordEqual(store->records()[i], testRecord(i));
+
+    ::remove(path.c_str());
+}
+
+TEST(Store, CreateRefusesExistingFile)
+{
+    const std::string path = buildStore("exists", 1);
+    std::string err;
+    EXPECT_EQ(ResultStore::create(path, testMeta(1), &err), nullptr);
+    EXPECT_NE(err.find("already exists"), std::string::npos) << err;
+    ::remove(path.c_str());
+}
+
+TEST(Store, ReadOnlyHandleRefusesAppend)
+{
+    const std::string path = buildStore("ro", 1);
+    std::string err;
+    auto store = ResultStore::openReadOnly(path, &err);
+    ASSERT_NE(store, nullptr) << err;
+    EXPECT_NE(store->append(testRecord(9)).find("read-only"),
+              std::string::npos);
+    ::remove(path.c_str());
+}
+
+// kill -9 can stop the writer at any byte offset. Truncate a valid
+// store at *every* possible length and demand: the open never fails,
+// recovery keeps exactly the complete records the prefix holds, and
+// the truncated (recovered) store accepts appends that a reopen then
+// sees — i.e. a torn tail costs at most the record being written.
+TEST(Store, TornTailRecoveredAtEveryByteOffset)
+{
+    const std::string path = buildStore("torn", 3);
+    const std::string data = slurp(path);
+    const std::string copy = tmpPath("torn_copy");
+
+    // Locate each record's end: frames chain from the end of the
+    // header frame (magic + version + framed meta).
+    std::vector<size_t> recordEnds;
+    {
+        std::string err;
+        auto full = ResultStore::openReadOnly(path, &err);
+        ASSERT_NE(full, nullptr);
+        ASSERT_EQ(full->records().size(), 3u);
+    }
+    const size_t headerEnd = [&]() {
+        u32 metaLen;
+        memcpy(&metaLen, data.data() + 12, 4);
+        return size_t(12 + 8 + metaLen);
+    }();
+    size_t off = headerEnd;
+    while (off < data.size()) {
+        u32 len;
+        memcpy(&len, data.data() + off, 4);
+        off += 8 + len;
+        recordEnds.push_back(off);
+    }
+    ASSERT_EQ(recordEnds.size(), 3u);
+    ASSERT_EQ(recordEnds.back(), data.size());
+
+    for (size_t cut = headerEnd; cut <= data.size(); ++cut) {
+        spit(copy, data.substr(0, cut));
+        std::string err;
+        ResultStore::Recovery rec;
+        auto store = ResultStore::openForAppend(copy, &err, &rec);
+        ASSERT_NE(store, nullptr)
+            << "cut at " << cut << " bytes: " << err;
+
+        size_t complete = 0;
+        while (complete < recordEnds.size() &&
+               recordEnds[complete] <= cut)
+            ++complete;
+        ASSERT_EQ(store->records().size(), complete)
+            << "cut at " << cut << " bytes";
+        for (size_t i = 0; i < complete; ++i)
+            expectRecordEqual(store->records()[i], testRecord(i));
+
+        // The recovered store keeps working: append once, reopen,
+        // and the stream is the valid prefix plus the new record.
+        ASSERT_EQ(store->append(testRecord(77)), "");
+        store.reset();
+        auto reopened = ResultStore::openReadOnly(copy, &err, &rec);
+        ASSERT_NE(reopened, nullptr) << err;
+        ASSERT_EQ(reopened->records().size(), complete + 1);
+        expectRecordEqual(reopened->records().back(), testRecord(77));
+        EXPECT_EQ(rec.droppedBytes, 0u) << "truncation left torn bytes";
+    }
+    ::remove(path.c_str());
+    ::remove(copy.c_str());
+}
+
+// A flipped bit anywhere in a record frame fails its checksum; the
+// stream ends there (frame lengths chain the records together), so
+// recovery keeps exactly the records before the corrupt one.
+TEST(Store, BitFlippedRecordIsolatesValidPrefix)
+{
+    const std::string path = buildStore("flip", 3);
+    const std::string data = slurp(path);
+    const std::string copy = tmpPath("flip_copy");
+
+    const size_t headerEnd = [&]() {
+        u32 metaLen;
+        memcpy(&metaLen, data.data() + 12, 4);
+        return size_t(12 + 8 + metaLen);
+    }();
+    // Frame boundaries of the three records.
+    std::vector<size_t> starts;
+    size_t off = headerEnd;
+    while (off < data.size()) {
+        starts.push_back(off);
+        u32 len;
+        memcpy(&len, data.data() + off, 4);
+        off += 8 + len;
+    }
+    ASSERT_EQ(starts.size(), 3u);
+
+    // Flip one bit inside record 1 (its length field, its checksum
+    // field, and a payload byte), expect exactly record 0 to survive.
+    for (const size_t target :
+         {starts[1], starts[1] + 4, starts[1] + 8 + 40}) {
+        std::string mutated = data;
+        mutated[target] = char(mutated[target] ^ 0x10);
+        spit(copy, mutated);
+
+        std::string err;
+        ResultStore::Recovery rec;
+        auto store = ResultStore::openReadOnly(copy, &err, &rec);
+        ASSERT_NE(store, nullptr) << err;
+        ASSERT_EQ(store->records().size(), 1u)
+            << "flip at offset " << target;
+        expectRecordEqual(store->records()[0], testRecord(0));
+        EXPECT_EQ(rec.droppedBytes, mutated.size() - starts[1]);
+    }
+    ::remove(path.c_str());
+    ::remove(copy.c_str());
+}
+
+TEST(Store, EmptyFileIsAnError)
+{
+    const std::string path = tmpPath("empty");
+    spit(path, "");
+    std::string err;
+    EXPECT_EQ(ResultStore::openForAppend(path, &err), nullptr);
+    EXPECT_NE(err.find("empty"), std::string::npos) << err;
+    ::remove(path.c_str());
+}
+
+TEST(Store, ForeignFileIsAnError)
+{
+    const std::string path = tmpPath("foreign");
+    spit(path, "definitely not a rix store\n");
+    std::string err;
+    EXPECT_EQ(ResultStore::openReadOnly(path, &err), nullptr);
+    EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+    ::remove(path.c_str());
+}
+
+TEST(Store, WrongVersionHeaderIsAnError)
+{
+    const std::string path = buildStore("version", 2);
+    std::string data = slurp(path);
+    const u32 bogus = ResultStore::formatVersion + 1;
+    memcpy(&data[8], &bogus, 4); // version field follows the magic
+    spit(path, data);
+
+    std::string err;
+    EXPECT_EQ(ResultStore::openForAppend(path, &err), nullptr);
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+    ::remove(path.c_str());
+}
+
+TEST(Store, CorruptHeaderIsAnError)
+{
+    const std::string path = buildStore("corrupthdr", 1);
+    std::string data = slurp(path);
+    data[14] = char(data[14] ^ 0x01); // inside the meta frame
+    spit(path, data);
+
+    std::string err;
+    EXPECT_EQ(ResultStore::openReadOnly(path, &err), nullptr);
+    EXPECT_NE(err.find("header"), std::string::npos) << err;
+    ::remove(path.c_str());
+}
+
+TEST(Store, ConcurrentAppendsAllSurvive)
+{
+    const std::string path = tmpPath("concurrent");
+    ::remove(path.c_str());
+    std::string err;
+    auto store = ResultStore::create(path, testMeta(100), &err);
+    ASSERT_NE(store, nullptr) << err;
+
+    // 4 writers x 25 appends through one handle — the sweep pool's
+    // retire-hook pattern.
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < 4; ++t)
+        writers.emplace_back([&store, t]() {
+            for (u64 i = 0; i < 25; ++i)
+                ASSERT_EQ(store->append(testRecord(t * 25 + i)), "");
+        });
+    for (std::thread &w : writers)
+        w.join();
+    store.reset();
+
+    ResultStore::Recovery rec;
+    auto reopened = ResultStore::openReadOnly(path, &err, &rec);
+    ASSERT_NE(reopened, nullptr) << err;
+    ASSERT_EQ(reopened->records().size(), 100u);
+    EXPECT_EQ(rec.droppedBytes, 0u);
+    std::vector<bool> seen(100, false);
+    for (const StoreRecord &r : reopened->records()) {
+        ASSERT_LT(r.jobIndex, 100u);
+        EXPECT_FALSE(seen[r.jobIndex]) << "duplicate " << r.jobIndex;
+        seen[r.jobIndex] = true;
+        expectRecordEqual(r, testRecord(r.jobIndex));
+    }
+    ::remove(path.c_str());
+}
+
+// ---- strict knob validation ----------------------------------------
+
+TEST(StoreKnobsDeathTest, EnvStoreDirValidation)
+{
+    unsetenv("RIX_STORE_DIR");
+    EXPECT_EQ(envStoreDir(), "");
+
+    setenv("RIX_STORE_DIR", "", 1);
+    EXPECT_DEATH(envStoreDir(), "RIX_STORE_DIR: empty value");
+
+    setenv("RIX_STORE_DIR", "/nonexistent/rix/store/dir", 1);
+    EXPECT_DEATH(envStoreDir(), "RIX_STORE_DIR: cannot access");
+
+    const std::string file = tmpPath("envfile");
+    spit(file, "x");
+    setenv("RIX_STORE_DIR", file.c_str(), 1);
+    EXPECT_DEATH(envStoreDir(), "is not a directory");
+    ::remove(file.c_str());
+
+    setenv("RIX_STORE_DIR", ::testing::TempDir().c_str(), 1);
+    EXPECT_EQ(envStoreDir(), ::testing::TempDir());
+    unsetenv("RIX_STORE_DIR");
+}
+
+TEST(StoreKnobsDeathTest, StorePathValidation)
+{
+    EXPECT_DEATH(requireStorePathUsable("rix run --store", ""),
+                 "empty path");
+    EXPECT_DEATH(
+        requireStorePathUsable("rix run --store", ::testing::TempDir()),
+        "is a directory, not a store file");
+    EXPECT_DEATH(requireStorePathUsable("rix run --store",
+                                        "/nonexistent/dir/a.rixstore"),
+                 "does not exist");
+    // A usable path (missing file, writable parent) passes silently.
+    requireStorePathUsable("rix run --store", tmpPath("usable"));
+}

@@ -131,22 +131,25 @@ TEST(ThreadPool, CancelPendingBreaksFuturesOfDroppedTasks)
 
 TEST(ThreadPool, CancelDuringDestructorDrainIsRaceFree)
 {
-    // Hammer the cancel/drain race: one thread destroys the pool
-    // (draining the queue) while another calls cancelPending().
-    // Whatever the interleaving, every future must complete — by
-    // value or by broken promise — and nothing may crash or hang.
+    // Hammer the cancel/drain race: cancelPending() runs concurrently
+    // with the destructor draining the queue. The cancel is issued
+    // from a task *on the pool* — unlike an external thread, a running
+    // task cannot outlive the object (the destructor joins only after
+    // every in-flight task returns), so this is the strongest race
+    // the API actually permits. Whatever the interleaving, every
+    // future must complete — by value or by broken promise — and
+    // nothing may crash or hang.
     for (int round = 0; round < 20; ++round) {
         std::vector<std::future<int>> futs;
-        std::thread canceller;
+        std::future<size_t> dropped;
         {
             ThreadPool pool(2);
+            dropped = pool.submit(
+                [&pool]() { return pool.cancelPending(); });
             for (int i = 0; i < 32; ++i)
                 futs.push_back(pool.submit([i]() { return i; }));
-            canceller =
-                std::thread([&pool]() { pool.cancelPending(); });
-            // Pool destructor races the canceller here.
+            // Pool destructor drains here, racing the cancel task.
         }
-        canceller.join();
         int delivered = 0, broken = 0;
         for (auto &f : futs) {
             try {
@@ -157,6 +160,7 @@ TEST(ThreadPool, CancelDuringDestructorDrainIsRaceFree)
             }
         }
         EXPECT_EQ(delivered + broken, 32);
+        EXPECT_EQ(size_t(broken), dropped.get());
     }
 }
 
