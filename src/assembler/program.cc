@@ -25,4 +25,23 @@ Program::dataSymbol(const std::string &sym) const
     return it->second;
 }
 
+std::shared_ptr<const DecodedProgram>
+Program::decodedShared() const
+{
+    Decoded cur = std::atomic_load_explicit(&decoded_,
+                                            std::memory_order_acquire);
+    if (cur && cur->size() == code.size())
+        return cur;
+    // (Re)build. Racing builders produce identical content; the CAS
+    // loop anchors exactly one of them in the member, and every caller
+    // leaves holding an anchored pointer.
+    const Decoded fresh = std::make_shared<const DecodedProgram>(*this);
+    while (true) {
+        if (std::atomic_compare_exchange_weak(&decoded_, &cur, fresh))
+            return fresh;
+        if (cur && cur->size() == code.size())
+            return cur;
+    }
+}
+
 } // namespace rix

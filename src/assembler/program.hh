@@ -10,9 +10,11 @@
 #define RIX_ASSEMBLER_PROGRAM_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "isa/decoded.hh"
 #include "isa/inst.hh"
 
 namespace rix
@@ -56,6 +58,74 @@ struct Program
 
     /** Look up a data symbol; fatal when missing. */
     Addr dataSymbol(const std::string &name) const;
+
+    // ---- pre-decoded form (see isa/decoded.hh) ----
+    //
+    // Built lazily, exactly once, and shared read-only by every
+    // emulator/core bound to this program; ProgramCache and the serve
+    // daemon decode eagerly at build/admission time so the sharing
+    // consumers never pay the one-time cost. Copies deliberately do
+    // NOT share or carry the cache: code paths that copy a Program do
+    // so to mutate the copy (the fuzz minimizer's NOP mutations), and
+    // a stale decoded form must never survive that.
+
+    Program() = default;
+    Program(const Program &o) { copyFields(o); }
+    Program &
+    operator=(const Program &o)
+    {
+        if (this != &o) {
+            copyFields(o);
+            invalidateDecoded();
+        }
+        return *this;
+    }
+    Program(Program &&) = default;
+    Program &operator=(Program &&) = default;
+
+    /**
+     * The decoded form, building it on first request (thread-safe).
+     * The reference stays valid while this Program is alive and
+     * neither mutated-and-invalidated nor assigned over; holders that
+     * outlive those events (or the Program) take decodedShared().
+     */
+    const DecodedProgram &decoded() const { return *decodedShared(); }
+
+    /** As decoded(), but sharing ownership. */
+    std::shared_ptr<const DecodedProgram> decodedShared() const;
+
+    /** Drop the decoded form after an in-place code mutation; the next
+     *  decoded() call rebuilds from the current code. */
+    void invalidateDecoded() { std::atomic_store(&decoded_, Decoded()); }
+
+    /** Decoded-form heap bytes (0 until built) for cache accounting. */
+    size_t
+    decodedBytes() const
+    {
+        const Decoded d = std::atomic_load(&decoded_);
+        return d ? d->bytes() : 0;
+    }
+
+  private:
+    using Decoded = std::shared_ptr<const DecodedProgram>;
+
+    void
+    copyFields(const Program &o)
+    {
+        name = o.name;
+        code = o.code;
+        data = o.data;
+        dataBase = o.dataBase;
+        stackBase = o.stackBase;
+        entry = o.entry;
+        codeSymbols = o.codeSymbols;
+        dataSymbols = o.dataSymbols;
+    }
+
+    /** The built decoded form; accessed only through the atomic
+     *  shared_ptr free functions (C++17's pre-atomic<shared_ptr>
+     *  idiom). */
+    mutable Decoded decoded_;
 };
 
 } // namespace rix

@@ -8,7 +8,8 @@ namespace rix
 {
 
 Core::Core(const Program &program, const CoreParams &params)
-    : prog(&program), p(params), golden_(program), mem(p.mem),
+    : prog(&program), deco_(program.decodedShared()), p(params),
+      golden_(program), mem(p.mem),
       bpred(p.bpred), regState(p.integ), integ(p.integ, regState),
       writeBuffer(p.writeBufferEntries),
       cht(p.chtEntries, SatCounter(2, 0)),
@@ -58,6 +59,7 @@ void
 Core::resetMicroarch(const Program &program, const CoreParams &params)
 {
     prog = &program;
+    deco_ = program.decodedShared();
     p = params;
 
     // Substrates: reconfigure in place, reusing their arrays.
@@ -163,14 +165,6 @@ Core::findInst(InstSeqNum seq) const
             hi = mid;
     }
     return nullptr;
-}
-
-u64
-Core::loadResult(const Instruction &inst, u64 raw) const
-{
-    if (inst.op == Opcode::LDL)
-        return u64(s64(s32(u32(raw))));
-    return raw;
 }
 
 u64

@@ -239,7 +239,6 @@ class Core
     void completeNow(DynInst &di, Cycle when);
     void resolveControl(DynInst &di);
     u64 memReadOverlay(Addr addr, unsigned size, InstSeqNum before) const;
-    u64 loadResult(const Instruction &inst, u64 raw) const;
     void checkStoreViolation(DynInst &store_inst);
 
     // ---- recovery ----
@@ -293,6 +292,12 @@ class Core
 
     // ---- configuration & substrates ----
     const Program *prog; // never null; rebindable via reset()
+    // The program's pre-decoded form: fetch hands each DynInst a
+    // pointer into it, and the pipeline stages read port/latency/
+    // operand metadata from there instead of re-deriving traits.
+    // Held unconditionally (RIX_DECODE gates only the Emulator's
+    // execution loop, not the pipeline's metadata source).
+    std::shared_ptr<const DecodedProgram> deco_;
     CoreParams p;
     Emulator golden_;
     // Null when lockstep checking is off: the only hot-path cost of

@@ -9,6 +9,7 @@
 
 #include "bpred/predictor.hh"
 #include "core/integration_table.hh"
+#include "isa/decoded.hh"
 #include "isa/inst.hh"
 
 namespace rix
@@ -73,6 +74,10 @@ struct DynInst
 
     // ---- remaining state ----
     Instruction inst;
+    // Pre-decoded metadata for this static instruction, set at fetch
+    // alongside inst; points into the program's shared DecodedProgram
+    // (kept alive by Core::deco_). Never null once fetched.
+    const DecodedInst *dec = nullptr;
     Cycle fetchCycle = 0;
     Cycle renameReadyCycle = 0; // exits decode; eligible for rename
     Cycle renameCycle = 0;

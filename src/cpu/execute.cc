@@ -23,39 +23,6 @@ namespace rix
 namespace
 {
 
-enum class Port : u8 { Simple, Complex, LoadP, StoreP };
-
-Port
-portOf(const Instruction &inst)
-{
-    switch (inst.cls()) {
-      case InstClass::ComplexInt:
-      case InstClass::FloatOp:
-        return Port::Complex;
-      case InstClass::Load:
-        return Port::LoadP;
-      case InstClass::Store:
-        return Port::StoreP;
-      default:
-        return Port::Simple; // ALU, branches, returns, indirect jumps
-    }
-}
-
-bool
-priorityClass(const Instruction &inst)
-{
-    switch (inst.cls()) {
-      case InstClass::Load:
-      case InstClass::Branch:
-      case InstClass::IndirectJump:
-      case InstClass::Return:
-      case InstClass::FloatOp:
-        return true;
-      default:
-        return false;
-    }
-}
-
 bool
 rangesOverlap(Addr a, unsigned asize, Addr b, unsigned bsize)
 {
@@ -152,7 +119,7 @@ Core::executeAlu(DynInst &di)
         }
         break;
     }
-    scheduleCompletion(di, cycle + inst.traits().latency);
+    scheduleCompletion(di, cycle + di.dec->latency);
 }
 
 bool
@@ -160,7 +127,7 @@ Core::executeLoad(DynInst &di)
 {
     const Instruction &inst = di.inst;
     const Addr addr = pregValue[di.psrc1] + u64(s64(inst.imm));
-    const unsigned size = inst.accessSize();
+    const unsigned size = di.dec->size;
 
     // Scan older stores, youngest first.
     bool unresolved_older = false;
@@ -198,7 +165,7 @@ Core::executeLoad(DynInst &di)
     di.addrValid = true;
     di.speculativePastStore = unresolved_older;
 
-    const u64 value = loadResult(inst, memReadOverlay(addr, size, di.seq));
+    const u64 value = loadValue(inst.op, memReadOverlay(addr, size, di.seq));
     if (di.hasDest)
         pregValue[di.pdest] = value;
 
@@ -231,8 +198,7 @@ Core::checkStoreViolation(DynInst &store_inst)
     for (const LqEntry &e : lq) {
         if (e.seq <= store_inst.seq || !e.resolved)
             continue;
-        if (!rangesOverlap(store_inst.effAddr, unsigned(store_inst.inst
-                                                            .accessSize()),
+        if (!rangesOverlap(store_inst.effAddr, store_inst.dec->size,
                            e.addr, e.size))
             continue;
         if (e.forwardedFrom >= store_inst.seq)
@@ -266,7 +232,7 @@ Core::executeStore(DynInst &di)
     for (auto &e : sq) {
         if (e.seq == di.seq) {
             e.addr = addr;
-            e.size = inst.accessSize();
+            e.size = di.dec->size;
             e.data = di.storeData;
             e.resolved = true;
             break;
@@ -290,11 +256,11 @@ Core::issueStage()
         if (total == 0)
             return false;
         unsigned *slot = nullptr;
-        switch (portOf(di.inst)) {
-          case Port::Simple: slot = &slots_simple; break;
-          case Port::Complex: slot = &slots_complex; break;
-          case Port::LoadP: slot = &slots_load; break;
-          case Port::StoreP:
+        switch (di.dec->issuePort()) {
+          case IssuePort::Simple: slot = &slots_simple; break;
+          case IssuePort::Complex: slot = &slots_complex; break;
+          case IssuePort::LoadP: slot = &slots_load; break;
+          case IssuePort::StoreP:
             slot = p.sharedLoadStorePort ? &slots_load : &slots_store;
             break;
         }
@@ -367,7 +333,7 @@ Core::issueStage()
             continue; // left the RS; drop the stale entry
         if (di.earliestIssue <= cycle) {
             if (checkReadyOrPark(di))
-                (priorityClass(di.inst) ? prio : rest).push_back({h, seq});
+                (di.dec->priority() ? prio : rest).push_back({h, seq});
             else if (di.waitingOperand)
                 continue; // parked: lives on a waiter list until woken
         }

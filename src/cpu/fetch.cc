@@ -16,7 +16,7 @@ namespace rix
 namespace
 {
 
-constexpr unsigned instBytes = 8;
+constexpr unsigned instBytes = instructionBytes;
 
 } // namespace
 
@@ -44,9 +44,10 @@ Core::fetchStage()
         di.seq = nextSeq++;
         di.pc = fetchPc;
         di.inst = prog->fetch(fetchPc);
+        di.dec = &deco_->fetch(fetchPc); // NOP sentinel when wrong-path
         di.fetchCycle = cycle;
         di.renameReadyCycle = cycle + p.frontLatency();
-        di.isCtrl = di.inst.isControl();
+        di.isCtrl = di.dec->isCtrl();
 
         const InstAddr next = bpred.predict(di.inst, fetchPc, &di.pred);
 

@@ -18,32 +18,6 @@
 namespace rix
 {
 
-namespace
-{
-
-/** Does this instruction occupy a reservation station? */
-bool
-needsReservationStation(const Instruction &inst)
-{
-    switch (inst.cls()) {
-      case InstClass::SimpleInt:
-      case InstClass::ComplexInt:
-      case InstClass::FloatOp:
-      case InstClass::Load:
-      case InstClass::Store:
-      case InstClass::Branch:
-      case InstClass::IndirectJump:
-      case InstClass::Return:
-        return true;
-      default:
-        // Direct jumps and calls execute for free at decode; nops,
-        // halts and syscalls never enter the window.
-        return false;
-    }
-}
-
-} // namespace
-
 bool
 Core::oracleWouldMisintegrate(const DynInst &di,
                               const IntegrationResult &res) const
@@ -74,8 +48,8 @@ Core::oracleWouldMisintegrate(const DynInst &di,
         if (!regState.ready(res.preg) || !regState.ready(di.psrc1))
             return false;
         const Addr addr = pregValue[di.psrc1] + u64(s64(inst.imm));
-        const u64 correct = loadResult(
-            inst, memReadOverlay(addr, inst.accessSize(), di.seq));
+        const u64 correct = loadValue(
+            inst.op, memReadOverlay(addr, di.dec->size, di.seq));
         return correct != pregValue[res.preg];
     }
 
@@ -155,23 +129,24 @@ Core::renameOne(InstHandle h)
 {
     DynInst &di = pool.get(h);
     const Instruction &inst = di.inst;
+    const DecodedInst &dec = *di.dec;
 
     // ---- structural resource checks (stall = leave in fetch queue) ----
     if (rob.size() >= p.robSize)
         return false;
-    if (inst.isMem() && lq.size() + sq.size() >= p.maxMemOps)
+    if (dec.isMem() && lq.size() + sq.size() >= p.maxMemOps)
         return false;
 
-    // ---- source mapping ----
-    di.hasSrc1 = inst.hasSrc1();
-    di.hasSrc2 = inst.hasSrc2();
+    // ---- source mapping (operands pre-resolved at decode) ----
+    di.hasSrc1 = dec.readsRa();
+    di.hasSrc2 = dec.readsRb();
     if (di.hasSrc1) {
-        const Mapping m = lookupMap(inst.src1());
+        const Mapping m = lookupMap(LogReg(dec.src1));
         di.psrc1 = m.preg;
         di.gsrc1 = m.gen;
     }
     if (di.hasSrc2) {
-        const Mapping m = lookupMap(inst.src2());
+        const Mapping m = lookupMap(LogReg(dec.src2));
         di.psrc2 = m.preg;
         di.gsrc2 = m.gen;
     }
@@ -221,13 +196,13 @@ Core::renameOne(InstHandle h)
     }
 
     // ---- normal rename path ----
-    di.needsRs = needsReservationStation(inst);
+    di.needsRs = dec.needsRs();
     if (di.needsRs && rsBusy >= p.rsSize)
         return false;
-    if (inst.writesReg() && !regState.canAllocate())
+    if (dec.writesReg() && !regState.canAllocate())
         return false;
 
-    if (inst.writesReg()) {
+    if (dec.writesReg()) {
         const LogReg dst = inst.rc;
         di.hasDest = true;
         di.pdest = regState.allocate();
@@ -250,18 +225,18 @@ Core::renameOne(InstHandle h)
     }
 
     // Queue allocation for memory operations.
-    if (inst.isLoad()) {
+    if (dec.isLoad()) {
         lq.push_back(
-            LqEntry{di.seq, di.selfHandle, 0, inst.accessSize(), false, 0});
+            LqEntry{di.seq, di.selfHandle, 0, dec.size, false, 0});
         di.lqIdx = 0; // marker: owns an LQ entry
-    } else if (inst.isStore()) {
+    } else if (dec.isStore()) {
         sq.push_back(
-            SqEntry{di.seq, di.selfHandle, 0, inst.accessSize(), 0, false});
+            SqEntry{di.seq, di.selfHandle, 0, dec.size, 0, false});
         di.sqIdx = 0; // marker: owns an SQ entry
     }
 
     // Instructions that never enter the execution engine.
-    switch (inst.cls()) {
+    switch (dec.instClass()) {
       case InstClass::Jump:
         di.resolved = true;
         di.actualTaken = true;

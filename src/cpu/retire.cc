@@ -259,6 +259,16 @@ Core::retireStage()
         }
 
         golden_.commit(expected);
+        if (golden_.faulted()) {
+            // The retiring store landed in the immutable text segment:
+            // a structured, contained per-job failure (the program is
+            // faulty, not the simulator), reported like a watchdog
+            // stop rather than a panic.
+            stuckReason_ = golden_.fault().describe();
+            stuck_ = true;
+            done = true;
+            return;
+        }
         if (lockstep_ && !lockstep_->checkShadowStep(expected, golden_)) {
             stopDiverged();
             return;

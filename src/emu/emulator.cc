@@ -5,76 +5,14 @@
 namespace rix
 {
 
-u64
-aluCompute(const Instruction &inst, u64 a, u64 b)
+std::string
+EmuFault::describe() const
 {
-    const s64 sa = s64(a);
-    const s64 sb = s64(b);
-    const s64 imm = inst.imm;
-    switch (inst.op) {
-      case Opcode::ADDQ: return a + b;
-      case Opcode::SUBQ: return a - b;
-      case Opcode::AND: return a & b;
-      case Opcode::BIS: return a | b;
-      case Opcode::XOR: return a ^ b;
-      case Opcode::SLL: return a << (b & 63);
-      case Opcode::SRL: return a >> (b & 63);
-      case Opcode::SRA: return u64(sa >> (b & 63));
-      case Opcode::CMPEQ: return a == b;
-      case Opcode::CMPLT: return sa < sb;
-      case Opcode::CMPLE: return sa <= sb;
-      case Opcode::ADDQI: return a + u64(imm);
-      case Opcode::SUBQI: return a - u64(imm);
-      case Opcode::ANDI: return a & u64(imm);
-      case Opcode::BISI: return a | u64(imm);
-      case Opcode::XORI: return a ^ u64(imm);
-      case Opcode::SLLI: return a << (imm & 63);
-      case Opcode::SRLI: return a >> (imm & 63);
-      case Opcode::SRAI: return u64(sa >> (imm & 63));
-      case Opcode::CMPEQI: return sa == imm;
-      case Opcode::CMPLTI: return sa < imm;
-      case Opcode::CMPLEI: return sa <= imm;
-      case Opcode::LDA: return a + u64(imm);
-      case Opcode::MULQ: return a * b;
-      case Opcode::MULQI: return a * u64(imm);
-      case Opcode::DIVQ:
-        if (sb == 0)
-            return 0;
-        if (sa == INT64_MIN && sb == -1)
-            return a;
-        return u64(sa / sb);
-      // FP-class: fixed-point substitutes (documented in DESIGN.md).
-      case Opcode::FADD: return a + b;
-      case Opcode::FMUL: return u64((sa * sb) >> 8);
-      case Opcode::FDIV:
-        if (sb == 0)
-            return 0;
-        if (sa == INT64_MIN && sb == -1)
-            return a;
-        return u64((sa << 8) / sb);
-      case Opcode::JSR: return 0; // link value is PC-relative, set by caller
-      case Opcode::SYSCALL: return 0;
-      default:
-        rix_panic("aluCompute: %s has no ALU function",
-                  opName(inst.op));
-    }
-}
-
-bool
-branchTaken(const Instruction &inst, u64 a)
-{
-    const s64 sa = s64(a);
-    switch (inst.op) {
-      case Opcode::BEQ: return sa == 0;
-      case Opcode::BNE: return sa != 0;
-      case Opcode::BLT: return sa < 0;
-      case Opcode::BGE: return sa >= 0;
-      case Opcode::BGT: return sa > 0;
-      case Opcode::BLE: return sa <= 0;
-      default:
-        rix_panic("branchTaken: %s is not a conditional branch",
-                  opName(inst.op));
-    }
+    if (!faulted)
+        return "no fault";
+    return strfmt("text-write fault: store to 0x%llx at pc %llu (the "
+                  "program image is immutable)",
+                  (unsigned long long)addr, (unsigned long long)pc);
 }
 
 Emulator::Emulator(const Program &p) : prog(&p)
@@ -93,8 +31,13 @@ Emulator::reset()
     regs[regGp] = prog->dataBase;
     pcReg = prog->entry;
     isHalted = false;
+    fault_ = EmuFault{};
     icount = 0;
     out.clear();
+    textLimit_ = Addr(prog->code.size()) * instructionBytes;
+    // The RIX_DECODE escape hatch is re-evaluated at every reset, like
+    // RIX_CHECK: a reusable context honors the current environment.
+    dec_ = emulatorDecodeFromEnv() ? prog->decodedShared() : nullptr;
 }
 
 void
@@ -135,6 +78,9 @@ Emulator::restore(const Checkpoint &c)
     } else {
         mem.clear();
         mem.importPages(c.pages);
+        textLimit_ = Addr(prog->code.size()) * instructionBytes;
+        dec_ = emulatorDecodeFromEnv() ? prog->decodedShared() : nullptr;
+        fault_ = EmuFault{};
     }
     for (unsigned r = 0; r < numLogRegs; ++r)
         regs[r] = c.regs[r];
@@ -158,8 +104,29 @@ Emulator::setReg(LogReg r, u64 v)
         regs[r] = v;
 }
 
+void
+Emulator::raiseTextFault(InstAddr at, Addr addr)
+{
+    fault_.faulted = true;
+    fault_.pc = at;
+    fault_.addr = addr;
+}
+
+// ---------------------------------------------------------------------
+// Preview/commit: the DIVA split. preview() computes one step's
+// effects, commit() applies them; both run on the decoded form by
+// default, with the legacy trait-deriving preview kept under
+// RIX_DECODE=0. The two previews are bit-identical field for field.
+// ---------------------------------------------------------------------
+
 StepResult
 Emulator::preview() const
+{
+    return dec_ ? previewDecoded() : previewLegacy();
+}
+
+StepResult
+Emulator::previewDecoded() const
 {
     StepResult res;
     res.pc = pcReg;
@@ -167,6 +134,85 @@ Emulator::preview() const
         res.halted = true;
         return res;
     }
+    if (fault_.faulted)
+        return res;
+
+    const DecodedInst &d = dec_->fetch(pcReg);
+    res.inst = d.inst;
+    InstAddr next = pcReg + 1;
+
+    // Pre-resolved sources: unused sources read the (never-written)
+    // zero register, so no trait checks are needed.
+    const u64 a = regs[d.src1];
+    const u64 b = regs[d.src2];
+
+    switch (InstClass(d.cls)) {
+      case InstClass::SimpleInt:
+      case InstClass::ComplexInt:
+      case InstClass::FloatOp:
+        res.destValue = aluCompute(d.inst, a, b);
+        res.wroteReg = d.writesReg();
+        break;
+      case InstClass::Load: {
+        const Addr addr = a + u64(s64(d.imm));
+        res.isMemAccess = true;
+        res.memAddr = addr;
+        res.destValue = loadValue(d.inst.op, mem.read(addr, d.size));
+        res.wroteReg = d.writesReg();
+        break;
+      }
+      case InstClass::Store: {
+        const Addr addr = a + u64(s64(d.imm));
+        res.isMemAccess = true;
+        res.memAddr = addr;
+        res.destValue = b; // the stored data
+        break;
+      }
+      case InstClass::Branch:
+        if (branchTaken(d.inst, a))
+            next = InstAddr(d.target);
+        break;
+      case InstClass::Jump:
+        next = InstAddr(d.target);
+        break;
+      case InstClass::Call:
+        res.destValue = pcReg + 1;
+        res.wroteReg = d.writesReg();
+        next = InstAddr(d.target);
+        break;
+      case InstClass::IndirectJump:
+      case InstClass::Return:
+        next = InstAddr(a);
+        break;
+      case InstClass::Syscall:
+        res.destValue = 0;
+        res.wroteReg = d.writesReg();
+        break;
+      case InstClass::Nop:
+        break;
+      case InstClass::Halt:
+        res.halted = true;
+        next = pcReg;
+        break;
+    }
+
+    if (res.wroteReg)
+        res.destReg = d.inst.rc;
+    res.nextPc = next;
+    return res;
+}
+
+StepResult
+Emulator::previewLegacy() const
+{
+    StepResult res;
+    res.pc = pcReg;
+    if (isHalted) {
+        res.halted = true;
+        return res;
+    }
+    if (fault_.faulted)
+        return res;
 
     const Instruction inst = prog->fetch(pcReg);
     res.inst = inst;
@@ -237,10 +283,16 @@ Emulator::preview() const
 void
 Emulator::commit(const StepResult &res)
 {
-    if (isHalted)
+    if (isHalted || fault_.faulted)
         return;
     const Instruction &inst = res.inst;
     if (inst.isStore()) {
+        if (res.memAddr < textLimit_) {
+            // Immutable text: the store does not happen; pc and icount
+            // freeze at the faulting instruction.
+            raiseTextFault(res.pc, res.memAddr);
+            return;
+        }
         mem.write(res.memAddr, res.destValue, inst.accessSize());
     } else if (inst.isSyscall() &&
                SyscallCode(inst.imm) == SyscallCode::Emit) {
@@ -263,16 +315,293 @@ Emulator::step()
         res.halted = true;
         return res;
     }
+    if (fault_.faulted) {
+        StepResult res;
+        res.pc = pcReg;
+        return res;
+    }
     StepResult res = preview();
     commit(res);
     return res;
 }
 
+// ---------------------------------------------------------------------
+// The run() fast path: straight-line basic-block execution over the
+// decoded form. Handler bodies are generated from the same
+// RIX_ALU_SEMANTICS table the out-of-line aluCompute() expands, so
+// each opcode's semantics exist exactly once; dispatch is an indirect
+// goto through a dense label table under GCC/Clang and a switch
+// elsewhere.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RIX_COMPUTED_GOTO 1
+#endif
+
+// One straight-line ALU slot: read pre-resolved sources, write the
+// pre-resolved destination (the sink slot when the op has none).
+#define RIX_ALU_BODY(OP, EXPR) \
+    { \
+        const u64 a = regs[d->src1]; \
+        const u64 b = regs[d->src2]; \
+        const s64 sa = s64(a); \
+        const s64 sb = s64(b); \
+        const s64 imm = d->imm; \
+        (void)b; (void)sa; (void)sb; (void)imm; \
+        regs[d->dest] = (EXPR); \
+    }
+
+u64
+Emulator::execStraight(const DecodedInst *d, u64 count)
+{
+    if (count == 0)
+        return 0;
+    const DecodedInst *const start = d;
+    const DecodedInst *const end = d + count;
+    (void)end;
+
+#ifdef RIX_COMPUTED_GOTO
+    // Dense dispatch table, indexed by DecodedInst::handler (== the
+    // opcode value; RIX_OPCODE_LIST is static_asserted to match the
+    // enum order).
+    static const void *const handlers[numOpcodes] = {
+#define X(OP) &&handle_##OP,
+        RIX_OPCODE_LIST(X)
+#undef X
+    };
+
+#define RIX_NEXT() \
+    do { \
+        if (++d == end) \
+            return count; \
+        goto *handlers[d->handler]; \
+    } while (0)
+
+    goto *handlers[d->handler];
+
+#define X(OP, EXPR) \
+  handle_##OP: \
+    RIX_ALU_BODY(OP, EXPR) \
+    RIX_NEXT();
+    RIX_ALU_SEMANTICS(X)
+#undef X
+
+  handle_LDQ: {
+        const Addr addr = regs[d->src1] + u64(s64(d->imm));
+        regs[d->dest] = mem.read(addr, 8);
+    }
+    RIX_NEXT();
+
+  handle_LDL: {
+        const Addr addr = regs[d->src1] + u64(s64(d->imm));
+        regs[d->dest] = u64(s64(s32(u32(mem.read(addr, 4)))));
+    }
+    RIX_NEXT();
+
+  handle_STQ: {
+        const Addr addr = regs[d->src1] + u64(s64(d->imm));
+        if (addr < textLimit_)
+            goto text_fault;
+        mem.write(addr, regs[d->src2], 8);
+    }
+    RIX_NEXT();
+
+  handle_STL: {
+        const Addr addr = regs[d->src1] + u64(s64(d->imm));
+        if (addr < textLimit_)
+            goto text_fault;
+        mem.write(addr, regs[d->src2], 4);
+    }
+    RIX_NEXT();
+
+  handle_SYSCALL:
+    if (SyscallCode(d->imm) == SyscallCode::Emit)
+        out.push_back(regs[d->src1]);
+    regs[d->dest] = 0;
+    RIX_NEXT();
+
+  handle_NOP:
+    RIX_NEXT();
+
+  // Block terminators can never sit inside the straight-line portion
+  // (the DecodedProgram block-length invariant).
+  handle_BR:
+  handle_BEQ:
+  handle_BNE:
+  handle_BLT:
+  handle_BGE:
+  handle_BGT:
+  handle_BLE:
+  handle_JSR:
+  handle_JMP:
+  handle_RET:
+  handle_HALT:
+    rix_panic("decoded dispatch: control opcode %s inside a "
+              "straight-line block", opName(Opcode(d->handler)));
+
+  text_fault:
+    raiseTextFault(InstAddr(d - dec_->data()),
+                   regs[d->src1] + u64(s64(d->imm)));
+    return u64(d - start);
+
+#undef RIX_NEXT
+#else // switch fallback
+    while (d != end) {
+        switch (Opcode(d->handler)) {
+#define X(OP, EXPR) \
+          case Opcode::OP: \
+            RIX_ALU_BODY(OP, EXPR) \
+            break;
+            RIX_ALU_SEMANTICS(X)
+#undef X
+          case Opcode::LDQ: {
+            const Addr addr = regs[d->src1] + u64(s64(d->imm));
+            regs[d->dest] = mem.read(addr, 8);
+            break;
+          }
+          case Opcode::LDL: {
+            const Addr addr = regs[d->src1] + u64(s64(d->imm));
+            regs[d->dest] = u64(s64(s32(u32(mem.read(addr, 4)))));
+            break;
+          }
+          case Opcode::STQ:
+          case Opcode::STL: {
+            const Addr addr = regs[d->src1] + u64(s64(d->imm));
+            if (addr < textLimit_) {
+                raiseTextFault(InstAddr(d - dec_->data()), addr);
+                return u64(d - start);
+            }
+            mem.write(addr, regs[d->src2], d->size);
+            break;
+          }
+          case Opcode::SYSCALL:
+            if (SyscallCode(d->imm) == SyscallCode::Emit)
+                out.push_back(regs[d->src1]);
+            regs[d->dest] = 0;
+            break;
+          case Opcode::NOP:
+            break;
+          default:
+            rix_panic("decoded dispatch: control opcode %s inside a "
+                      "straight-line block",
+                      opName(Opcode(d->handler)));
+        }
+        ++d;
+    }
+    return count;
+#endif
+}
+
+bool
+Emulator::execFull(const DecodedInst &d)
+{
+    switch (InstClass(d.cls)) {
+      case InstClass::Branch: {
+        const s64 sa = s64(regs[d.src1]);
+        bool taken;
+        switch (Opcode(d.handler)) {
+#define X(OP, EXPR) \
+          case Opcode::OP: taken = (EXPR); break;
+            RIX_BRANCH_SEMANTICS(X)
+#undef X
+          default:
+            rix_panic("decoded dispatch: %s is not a conditional branch",
+                      opName(Opcode(d.handler)));
+        }
+        pcReg = taken ? InstAddr(d.target) : pcReg + 1;
+        break;
+      }
+      case InstClass::Jump:
+        pcReg = InstAddr(d.target);
+        break;
+      case InstClass::Call:
+        regs[d.dest] = pcReg + 1; // the link value
+        pcReg = InstAddr(d.target);
+        break;
+      case InstClass::IndirectJump:
+      case InstClass::Return:
+        pcReg = InstAddr(regs[d.src1]);
+        break;
+      case InstClass::Halt:
+        isHalted = true; // pc freezes at the HALT
+        break;
+      default:
+        // The last slot of an unterminated tail block: an ordinary
+        // straight-line op, executed through the same dispatch.
+        if (execStraight(&d, 1) != 1)
+            return false;
+        ++pcReg;
+        break;
+    }
+    return true;
+}
+
+u64
+Emulator::runDecoded(u64 limit)
+{
+    const DecodedInst *const base = dec_->data();
+    const size_t n = dec_->size();
+    u64 done = 0;
+    while (done < limit && !isHalted) {
+        if (pcReg >= n) {
+            // Out-of-range fetch decodes as NOP forever, and the
+            // 64-bit pc only ever increments out here — it can never
+            // wrap back into the code segment. Batch the remaining
+            // budget in one addition.
+            const u64 k = limit - done;
+            pcReg += k;
+            done += k;
+            break;
+        }
+        const DecodedInst &d0 = base[pcReg];
+        const u64 avail = limit - done;
+        u64 straight = d0.blockLen - 1;
+        if (straight > avail)
+            straight = avail;
+        if (straight) {
+            const u64 ran = execStraight(&d0, straight);
+            pcReg += ran;
+            done += ran;
+            if (ran != straight)
+                break; // text fault inside the block
+        }
+        if (done < limit) {
+            if (!execFull(base[pcReg]))
+                break; // text fault at the block end
+            ++done;
+        }
+    }
+    icount += done;
+    return done;
+}
+
 u64
 Emulator::run(u64 max_steps, const CancelToken *cancel)
 {
+    if (!dec_)
+        return runLegacy(max_steps, cancel);
+
     const u64 start = icount;
-    while (!isHalted && icount - start < max_steps) {
+    while (!isHalted && !fault_.faulted && icount - start < max_steps) {
+        // Same documented cancel-poll bound as the legacy loop: the
+        // (clock-reading) poll runs at most once per 4096 executed
+        // instructions, between block batches.
+        if (cancel && cancel->poll() != CancelReason::None)
+            break;
+        u64 chunk = max_steps - (icount - start);
+        if (chunk > 4096)
+            chunk = 4096;
+        if (runDecoded(chunk) == 0)
+            break;
+    }
+    return icount - start;
+}
+
+u64
+Emulator::runLegacy(u64 max_steps, const CancelToken *cancel)
+{
+    const u64 start = icount;
+    while (!isHalted && !fault_.faulted && icount - start < max_steps) {
         // ~4096-step poll granularity: functional stepping is orders
         // of magnitude faster than detailed cycles, so the deadline
         // check stays off the per-instruction path.

@@ -9,11 +9,32 @@
  *      retirement and compares every result the out-of-order core
  *      produced (mis-integration detection),
  *   3. examples that want architectural traces.
+ *
+ * Execution core: by default every path runs on the program's
+ * pre-decoded form (isa/decoded.hh) — step()/preview() read
+ * pre-resolved operands instead of re-deriving traits, and run()
+ * executes whole straight-line basic blocks through a dense
+ * handler-indexed dispatch (computed goto under GCC/Clang, a switch
+ * elsewhere), checking halt/fault/budget only at block boundaries and
+ * polling the cancel token at the documented <= 4096-step granularity.
+ * RIX_DECODE=0 selects the legacy decode-per-step loop (kept verbatim
+ * for one release as the escape hatch and as the differential
+ * reference); both produce bit-identical StepResult streams and
+ * architectural state.
+ *
+ * Stores that land in the program image (the immutable text segment,
+ * byte addresses below codeSize * instructionBytes) raise a structured
+ * EmuFault instead of corrupting the decoded form: the store does not
+ * happen, pc/icount freeze at the faulting instruction, and
+ * step()/run() refuse to execute further. Job layers surface the fault
+ * as a contained per-job failure, never a panic.
  */
 
 #ifndef RIX_EMU_EMULATOR_HH
 #define RIX_EMU_EMULATOR_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "assembler/program.hh"
@@ -23,18 +44,6 @@
 
 namespace rix
 {
-
-/** Pure ALU function: computes an instruction's result value.
- *
- * @param inst the instruction (must have a destination or be a store)
- * @param a    value of src1 (ra), zero if unused
- * @param b    value of src2 (rb), zero if unused
- * @return destination value (for stores: the store data, i.e. b)
- */
-u64 aluCompute(const Instruction &inst, u64 a, u64 b);
-
-/** Branch condition evaluation for conditional branches. */
-bool branchTaken(const Instruction &inst, u64 a);
 
 /** Result of one architectural step, for tracing and DIVA comparison. */
 struct StepResult
@@ -48,6 +57,17 @@ struct StepResult
     bool isMemAccess = false;
     Addr memAddr = 0;
     bool halted = false;
+};
+
+/** Structured emulator fault (JobStatus-style data, not a panic). */
+struct EmuFault
+{
+    bool faulted = false;
+    InstAddr pc = 0;   // the faulting (not executed) instruction
+    Addr addr = 0;     // the offending store's effective address
+
+    /** One-line human-readable description. */
+    std::string describe() const;
 };
 
 class Emulator
@@ -109,17 +129,50 @@ class Emulator
     Memory &memory() { return mem; }
     u64 instsExecuted() const { return icount; }
 
+    /** True after a store hit the immutable text segment; pc() names
+     *  the faulting instruction, which did not execute. */
+    bool faulted() const { return fault_.faulted; }
+    const EmuFault &fault() const { return fault_; }
+
     /** Values emitted via SyscallCode::Emit, in order. */
     const std::vector<u64> &output() const { return out; }
 
     const Program &program() const { return *prog; }
 
+    /** True when this emulator runs on the pre-decoded form (tests). */
+    bool usesDecoded() const { return dec_ != nullptr; }
+
   private:
+    // ---- legacy decode-per-step path (RIX_DECODE=0; also the
+    //      differential reference the decoded path is tested against) ----
+    StepResult previewLegacy() const;
+    u64 runLegacy(u64 max_steps, const CancelToken *cancel);
+
+    // ---- pre-decoded path ----
+    StepResult previewDecoded() const;
+    /** Execute up to @p limit instructions block-at-a-time; stops at
+     *  HALT or fault. Updates pc/icount; returns instructions run. */
+    u64 runDecoded(u64 limit);
+    /** Straight-line dispatch over @p count non-control instructions
+     *  starting at @p d; returns @p count, or fewer on a text fault. */
+    u64 execStraight(const DecodedInst *d, u64 count);
+    /** Full one-instruction dispatch (block terminators); updates
+     *  pc/halt; false on a text fault. */
+    bool execFull(const DecodedInst &d);
+    void raiseTextFault(InstAddr at, Addr addr);
+
     const Program *prog; // never null; rebindable via reset(Program)
+    // Keeps the decoded form alive independently of the Program's own
+    // cache (null on the RIX_DECODE=0 legacy path).
+    std::shared_ptr<const DecodedProgram> dec_;
     Memory mem;
-    u64 regs[numLogRegs] = {};
+    // Slot [numLogRegs] is the decoded dispatch's write sink (see
+    // emuRegSink): never read, snapshotted, restored or compared.
+    u64 regs[numLogRegs + 1] = {};
     InstAddr pcReg = 0;
+    Addr textLimit_ = 0;
     bool isHalted = false;
+    EmuFault fault_;
     u64 icount = 0;
     std::vector<u64> out;
 };

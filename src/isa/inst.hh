@@ -3,7 +3,7 @@
  * Static instruction representation.
  *
  * Code memory holds decoded Instruction records directly (the packed
- * 64-bit machine encoding lives in isa/encoding.hh and round-trips
+ * 64-bit machine encoding lives in isa/decoded.hh and round-trips
  * losslessly). PCs are instruction-slot indices; branch/jump targets are
  * absolute slot indices resolved by the assembler.
  */

@@ -29,8 +29,10 @@ constexpr size_t maxLineBytes = 1 << 20;
 size_t
 programFootprint(const Program &p)
 {
+    // decodedBytes() is nonzero only once the decoded form is built;
+    // admission decodes eagerly so the charge is taken up front.
     return sizeof(Program) + p.code.size() * sizeof(Instruction) +
-           p.data.size() + p.name.size();
+           p.data.size() + p.name.size() + p.decodedBytes();
 }
 
 size_t
@@ -385,7 +387,11 @@ Server::acquireInputs(const SimJob &job)
     const std::string pkey =
         job.workload + "@" + std::to_string(job.scale);
     in.prog = progLru.get(pkey, [&job]() {
-        return buildWorkload(job.workload, job.scale);
+        Program p = buildWorkload(job.workload, job.scale);
+        // Decode before admission: the footprint charge includes the
+        // decoded form, and every job sharing this entry reuses it.
+        p.decoded();
+        return p;
     });
     if (job.sampled()) {
         // Checkpoints are configuration-independent architectural

@@ -111,6 +111,11 @@ minimizeProgram(const Program &p,
                 }
                 if (!any)
                     continue;
+                // Copying already drops the decoded cache, but the
+                // NOP-stamping above is an in-place code mutation:
+                // invalidate defensively so no stale decoded form can
+                // ever be observed through this candidate.
+                cand.invalidateDecoded();
                 ++local_runs;
                 if (still_fails(cand)) {
                     cur = std::move(cand);

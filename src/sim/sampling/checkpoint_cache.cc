@@ -1,5 +1,7 @@
 #include "sim/sampling/checkpoint_cache.hh"
 
+#include <stdexcept>
+
 #include "emu/emulator.hh"
 #include "workload/program_cache.hh"
 
@@ -41,6 +43,8 @@ CheckpointCache::get(const std::string &workload, u64 scale, u64 icount)
             emu.restore(*seed);
         if (icount > emu.instsExecuted())
             emu.run(icount - emu.instsExecuted());
+        if (emu.faulted())
+            throw std::runtime_error(emu.fault().describe());
         slot->ckpt = emu.snapshot(/*diff_vs_image=*/true);
         slot->ready.store(true, std::memory_order_release);
         nBuilds.fetch_add(1, std::memory_order_relaxed);
@@ -66,6 +70,8 @@ CheckpointCache::totalInsts(const std::string &workload, u64 scale, u64 cap)
             emu.restore(*seed);
         if (cap > emu.instsExecuted())
             emu.run(cap - emu.instsExecuted());
+        if (emu.faulted())
+            throw std::runtime_error(emu.fault().describe());
         slot->insts = emu.instsExecuted();
     });
     return slot->insts;

@@ -136,6 +136,8 @@ verifyAgainstEmulator(const Program &prog, const CoreParams &params,
 
     Emulator emu(prog);
     emu.run(max_insts + 1);
+    if (emu.faulted())
+        return emu.fault().describe();
     if (!emu.halted())
         return "emulator did not halt";
 

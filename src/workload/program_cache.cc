@@ -29,6 +29,10 @@ ProgramCache::get(const std::string &name, u64 scale)
     }
     std::call_once(slot->once, [&]() {
         slot->prog = builder(name, scale);
+        // Decode eagerly while still inside the once-guard: every
+        // consumer of this shared slot gets the pre-built decoded form
+        // instead of racing to build it on first execution.
+        slot->prog.decoded();
         nBuilds.fetch_add(1, std::memory_order_relaxed);
     });
     return slot->prog;

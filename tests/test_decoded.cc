@@ -1,0 +1,513 @@
+/**
+ * @file
+ * The pre-decoded execution core (isa/decoded.hh + the Emulator fast
+ * path), tested differentially against the legacy decode-per-step loop
+ * (RIX_DECODE=0), which is kept for exactly this purpose:
+ *
+ *  - decode-vs-raw equivalence for every opcode over varied operand
+ *    shapes (rc = r31, aliased sources, negative immediates);
+ *  - full StepResult-stream equality on random-program corpora, plus
+ *    final architectural state (registers, memory, output);
+ *  - basic-block boundary cases: branch into the middle of a block,
+ *    HALT mid-program, budget expiry inside a straight-line block,
+ *    pre-fired cancellation, checkpoint snapshot/restore mid-block;
+ *  - DecodedProgram structural invariants (block lengths, NOP
+ *    sentinel, byte accounting, cache copy/invalidations semantics);
+ *  - the immutable-text guard: a store landing in the program image
+ *    raises a structured EmuFault (identically on both paths) and is
+ *    contained by the detailed core as a stuck stop, not a panic;
+ *  - RIX_DECODE strict parsing (unset/1 -> decoded, 0 -> legacy,
+ *    anything else fatal), mirroring RIX_CHECK.
+ */
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "cpu/params.hh"
+#include "emu/emulator.hh"
+#include "workload/randprog.hh"
+
+using namespace rix;
+
+namespace
+{
+
+/** Construct an emulator pinned to the legacy decode-per-step path. */
+Emulator
+makeLegacy(const Program &p)
+{
+    setenv("RIX_DECODE", "0", 1);
+    Emulator e(p);
+    unsetenv("RIX_DECODE");
+    return e;
+}
+
+/** Construct an emulator pinned to the decoded path (default). */
+Emulator
+makeDecoded(const Program &p)
+{
+    unsetenv("RIX_DECODE");
+    return Emulator(p);
+}
+
+void
+expectSameStep(const StepResult &a, const StepResult &b, const char *what)
+{
+    EXPECT_EQ(a.pc, b.pc) << what;
+    EXPECT_EQ(a.inst, b.inst) << what;
+    EXPECT_EQ(a.nextPc, b.nextPc) << what;
+    EXPECT_EQ(a.wroteReg, b.wroteReg) << what;
+    EXPECT_EQ(a.destReg, b.destReg) << what;
+    EXPECT_EQ(a.destValue, b.destValue) << what;
+    EXPECT_EQ(a.isMemAccess, b.isMemAccess) << what;
+    EXPECT_EQ(a.memAddr, b.memAddr) << what;
+    EXPECT_EQ(a.halted, b.halted) << what;
+}
+
+void
+expectSameArchState(const Emulator &a, const Emulator &b, const char *what)
+{
+    EXPECT_EQ(a.pc(), b.pc()) << what;
+    EXPECT_EQ(a.halted(), b.halted()) << what;
+    EXPECT_EQ(a.faulted(), b.faulted()) << what;
+    EXPECT_EQ(a.instsExecuted(), b.instsExecuted()) << what;
+    for (unsigned r = 0; r < numLogRegs; ++r)
+        EXPECT_EQ(a.reg(LogReg(r)), b.reg(LogReg(r))) << what << " r" << r;
+    EXPECT_EQ(a.output(), b.output()) << what;
+    EXPECT_TRUE(a.memory().contentEquals(b.memory())) << what;
+}
+
+Program
+fromCode(std::vector<Instruction> code)
+{
+    Program p;
+    p.name = "decoded-test";
+    p.code = std::move(code);
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Every opcode, several operand shapes: one decoded and one legacy
+// emulator execute the same single instruction from the same seeded
+// register state; the StepResult and the entire architectural state
+// must match bit for bit.
+// ---------------------------------------------------------------------
+
+TEST(DecodedDifferential, EveryOpcodeEveryOperandShape)
+{
+    for (unsigned opv = 0; opv < numOpcodes; ++opv) {
+        const Opcode op = Opcode(opv);
+
+        // Operand shapes: plain, dest = r31 (write dropped), aliased
+        // sources, negative immediate, source = r31.
+        Instruction shapes[5];
+        for (auto &s : shapes) {
+            s.op = op;
+            s.ra = 1;
+            s.rb = 2;
+            s.rc = 3;
+            s.imm = 12;
+        }
+        shapes[1].rc = regZero;
+        shapes[2].ra = shapes[2].rb = 4;
+        shapes[3].imm = -8;
+        shapes[4].ra = regZero;
+
+        for (const Instruction &inst : shapes) {
+            const Program p = fromCode({inst});
+            Emulator dec = makeDecoded(p);
+            Emulator leg = makeLegacy(p);
+            ASSERT_TRUE(dec.usesDecoded());
+            ASSERT_FALSE(leg.usesDecoded());
+
+            // Seed sources so results are nontrivial; r1 points into
+            // the data segment so memory ops hit a writable address
+            // (never the text segment).
+            for (Emulator *e : {&dec, &leg}) {
+                e->setReg(1, p.dataBase + 64);
+                e->setReg(2, 7);
+                e->setReg(3, 0xdeadbeef);
+                e->setReg(4, u64(-3));
+            }
+
+            const StepResult a = dec.step();
+            const StepResult b = leg.step();
+            const std::string what =
+                disassemble(inst) + " (shape ra=" +
+                std::to_string(inst.ra) + " rc=" +
+                std::to_string(inst.rc) + ")";
+            expectSameStep(a, b, what.c_str());
+            expectSameArchState(dec, leg, what.c_str());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random-program corpora: the full StepResult stream (and final state)
+// of the decoded step path equals the legacy reference, and the
+// block-batched run() path lands on the same architectural state.
+// ---------------------------------------------------------------------
+
+TEST(DecodedDifferential, RandomProgramStepStreams)
+{
+    std::vector<RandProgConfig> shapes(3);
+    shapes[1].branchWeight = 6;
+    shapes[1].callDepth = 6;
+    shapes[2].memWeight = 6;
+    shapes[2].memFootprint = 64;
+
+    for (size_t c = 0; c < shapes.size(); ++c) {
+        for (u64 seed = 1; seed <= 4; ++seed) {
+            const Program p = generateRandomProgram(seed * 17, shapes[c]);
+            Emulator dec = makeDecoded(p);
+            Emulator leg = makeLegacy(p);
+
+            for (u64 i = 0; i < 200'000 && !dec.halted(); ++i) {
+                const StepResult a = dec.step();
+                const StepResult b = leg.step();
+                expectSameStep(a, b, p.name.c_str());
+                if (a.halted)
+                    break;
+            }
+            expectSameArchState(dec, leg, p.name.c_str());
+        }
+    }
+}
+
+TEST(DecodedDifferential, RunMatchesLegacyRun)
+{
+    for (u64 seed = 1; seed <= 6; ++seed) {
+        const Program p = generateRandomProgram(seed);
+        Emulator dec = makeDecoded(p);
+        Emulator leg = makeLegacy(p);
+        const u64 na = dec.run();
+        const u64 nb = leg.run();
+        EXPECT_EQ(na, nb) << "seed " << seed;
+        EXPECT_TRUE(dec.halted());
+        expectSameArchState(dec, leg, "run()");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block-boundary cases.
+// ---------------------------------------------------------------------
+
+TEST(DecodedBlocks, BranchIntoMidBlock)
+{
+    // [0] jumps into the middle of the straight-line block [1..5];
+    // the decoded run must execute exactly the block *remainder*.
+    std::vector<Instruction> code;
+    code.push_back(makeJump(3));
+    for (int i = 0; i < 5; ++i)
+        code.push_back(makeRI(Opcode::ADDQI, 1, 1, 10));
+    code.push_back(makeHalt());
+    const Program p = fromCode(std::move(code));
+
+    Emulator dec = makeDecoded(p);
+    Emulator leg = makeLegacy(p);
+    dec.run();
+    leg.run();
+    EXPECT_TRUE(dec.halted());
+    EXPECT_EQ(dec.reg(1), u64(30)); // slots 3,4,5 only
+    expectSameArchState(dec, leg, "branch into mid-block");
+}
+
+TEST(DecodedBlocks, BudgetExpiryInsideBlock)
+{
+    // A single long straight-line block; every possible budget cut
+    // point must leave pc/icount/regs exactly where the legacy
+    // per-step loop leaves them.
+    std::vector<Instruction> code;
+    for (int i = 0; i < 12; ++i)
+        code.push_back(makeRI(Opcode::ADDQI, 1, 1, 1));
+    code.push_back(makeHalt());
+    const Program p = fromCode(std::move(code));
+
+    for (u64 budget = 0; budget <= 14; ++budget) {
+        Emulator dec = makeDecoded(p);
+        Emulator leg = makeLegacy(p);
+        EXPECT_EQ(dec.run(budget), leg.run(budget)) << "budget " << budget;
+        expectSameArchState(dec, leg, "budget cut");
+        // Resuming after the cut also converges.
+        dec.run();
+        leg.run();
+        EXPECT_TRUE(dec.halted());
+        expectSameArchState(dec, leg, "after resume");
+    }
+}
+
+TEST(DecodedBlocks, HaltMidProgramAndWildernessNops)
+{
+    // HALT in the middle: everything after it is unreachable.
+    const Program p = fromCode({makeRI(Opcode::ADDQI, 1, 1, 5),
+                                makeHalt(),
+                                makeRI(Opcode::ADDQI, 1, 1, 99)});
+    Emulator dec = makeDecoded(p);
+    Emulator leg = makeLegacy(p);
+    dec.run();
+    leg.run();
+    EXPECT_TRUE(dec.halted());
+    EXPECT_EQ(dec.reg(1), u64(5));
+    expectSameArchState(dec, leg, "halt mid-program");
+
+    // Running off the end: out-of-range pc executes as NOP forever;
+    // the decoded path batches the wilderness, the legacy path steps
+    // it, and both land on the same pc/icount.
+    const Program off = fromCode({makeRI(Opcode::ADDQI, 1, 1, 1)});
+    Emulator dec2 = makeDecoded(off);
+    Emulator leg2 = makeLegacy(off);
+    EXPECT_EQ(dec2.run(10'000), leg2.run(10'000));
+    expectSameArchState(dec2, leg2, "nop wilderness");
+    EXPECT_FALSE(dec2.halted());
+}
+
+TEST(DecodedBlocks, PreFiredCancelStopsBeforeAnyStep)
+{
+    const Program p = generateRandomProgram(3);
+    CancelToken token;
+    token.arm(0);
+    token.cancel();
+
+    Emulator dec = makeDecoded(p);
+    Emulator leg = makeLegacy(p);
+    EXPECT_EQ(dec.run(1'000'000, &token), u64(0));
+    EXPECT_EQ(leg.run(1'000'000, &token), u64(0));
+    expectSameArchState(dec, leg, "pre-fired cancel");
+}
+
+TEST(DecodedBlocks, CheckpointRestoreMidBlock)
+{
+    const Program p = generateRandomProgram(11);
+    Emulator dec = makeDecoded(p);
+    // 137 is deliberately not a block multiple of anything: the
+    // snapshot lands mid-block more often than not.
+    dec.run(137);
+    ASSERT_FALSE(dec.halted());
+    const Checkpoint c = dec.snapshot();
+
+    // Restore into a fresh decoded emulator and into a legacy one;
+    // both must finish identically to the original.
+    Emulator resumedDec = makeDecoded(p);
+    resumedDec.restore(c);
+    Emulator resumedLeg = makeLegacy(p);
+    resumedLeg.restore(c);
+    expectSameArchState(resumedDec, resumedLeg, "restored state");
+
+    dec.run();
+    resumedDec.run();
+    resumedLeg.run();
+    EXPECT_TRUE(dec.halted());
+    expectSameArchState(dec, resumedDec, "resume decoded");
+    expectSameArchState(dec, resumedLeg, "resume legacy");
+}
+
+// ---------------------------------------------------------------------
+// DecodedProgram structural invariants.
+// ---------------------------------------------------------------------
+
+TEST(DecodedProgramForm, BlockLengthInvariants)
+{
+    for (u64 seed = 1; seed <= 5; ++seed) {
+        const Program p = generateRandomProgram(seed * 31);
+        const DecodedProgram &d = p.decoded();
+        ASSERT_EQ(d.size(), p.code.size());
+        for (size_t i = 0; i < d.size(); ++i) {
+            const u32 len = d.at(i).blockLen;
+            ASSERT_GE(len, u32(1));
+            ASSERT_LE(i + len, d.size());
+            // Every slot before the block's last is a non-terminator.
+            for (u32 k = 0; k + 1 < len; ++k)
+                ASSERT_FALSE(d.at(i + k).endsBlock());
+            // The last slot terminates the block unless the block runs
+            // into the end of the code segment.
+            if (i + len < d.size())
+                ASSERT_TRUE(d.at(i + len - 1).endsBlock());
+        }
+    }
+}
+
+TEST(DecodedProgramForm, SentinelAndDecodeMetadata)
+{
+    const Program p = fromCode({makeHalt()});
+    const DecodedProgram &d = p.decoded();
+    // Out-of-range fetches yield the NOP sentinel.
+    const DecodedInst &nop = d.fetch(12345);
+    EXPECT_EQ(Opcode(nop.handler), Opcode::NOP);
+    EXPECT_FALSE(nop.writesReg());
+    EXPECT_FALSE(nop.endsBlock());
+
+    // Spot-check pre-resolved metadata.
+    const DecodedInst ld = decodeInst(makeLoad(Opcode::LDL, 5, -16, 2));
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.writesReg());
+    EXPECT_EQ(ld.size, 4u);
+    EXPECT_EQ(ld.src1, u8(2));
+    EXPECT_EQ(ld.dest, u8(5));
+    EXPECT_EQ(ld.imm, -16);
+    EXPECT_EQ(ld.issuePort(), IssuePort::LoadP);
+
+    const DecodedInst st = decodeInst(makeStore(Opcode::STQ, 3, 8, 4));
+    EXPECT_TRUE(st.isStore());
+    EXPECT_FALSE(st.writesReg());
+    EXPECT_EQ(st.size, 8u);
+    EXPECT_EQ(st.issuePort(), IssuePort::StoreP);
+
+    const DecodedInst br = decodeInst(makeBranch(Opcode::BNE, 1, 42));
+    EXPECT_TRUE(br.isCtrl());
+    EXPECT_TRUE(br.endsBlock());
+    EXPECT_EQ(br.target, u32(42));
+    EXPECT_EQ(br.blockLen, u32(1));
+
+    const DecodedInst writesZero = decodeInst(makeRR(Opcode::ADDQ,
+                                                     regZero, 1, 2));
+    EXPECT_FALSE(writesZero.writesReg());
+    EXPECT_EQ(writesZero.dest, u8(emuRegSink));
+}
+
+TEST(DecodedProgramForm, CacheSharingAndInvalidation)
+{
+    Program p = fromCode({makeRI(Opcode::ADDQI, 1, 1, 1), makeHalt()});
+    EXPECT_EQ(p.decodedBytes(), size_t(0)); // not built yet
+
+    const std::shared_ptr<const DecodedProgram> d1 = p.decodedShared();
+    EXPECT_GT(p.decodedBytes(), size_t(0));
+    EXPECT_EQ(p.decodedShared().get(), d1.get()); // cached, not rebuilt
+
+    // Copies drop the cache (copy-to-mutate discipline).
+    Program copy = p;
+    EXPECT_EQ(copy.decodedBytes(), size_t(0));
+
+    // In-place mutation + invalidate rebuilds from the new code.
+    p.code[0] = makeRI(Opcode::ADDQI, 1, 1, 2);
+    p.invalidateDecoded();
+    EXPECT_EQ(p.decodedBytes(), size_t(0));
+    const std::shared_ptr<const DecodedProgram> d2 = p.decodedShared();
+    EXPECT_NE(d1.get(), d2.get());
+    EXPECT_EQ(d2->at(0).imm, 2);
+    // The old shared form stays alive and unchanged for holders.
+    EXPECT_EQ(d1->at(0).imm, 1);
+}
+
+// ---------------------------------------------------------------------
+// The immutable-text guard.
+// ---------------------------------------------------------------------
+
+TEST(TextFault, StoreIntoImageFaultsIdenticallyOnBothPaths)
+{
+    // r1 = 0 -> STQ writes byte address 8, inside the text segment
+    // (4 instructions * 8 bytes). The store must not happen, pc and
+    // icount freeze at the faulting slot, and further stepping refuses.
+    const std::vector<Instruction> code = {
+        makeRI(Opcode::ADDQI, 2, 31, 77), // r2 = 77 (the store data)
+        makeStore(Opcode::STQ, 2, 8, 31), // M[8] = r2: text!
+        makeRI(Opcode::ADDQI, 3, 31, 1),  // must never execute
+        makeHalt(),
+    };
+    const Program p = fromCode(code);
+
+    for (const bool decoded : {true, false}) {
+        Emulator e = decoded ? makeDecoded(p) : makeLegacy(p);
+        const u64 n = e.run();
+        EXPECT_EQ(n, u64(1)) << "only the ADDQI retires";
+        EXPECT_TRUE(e.faulted());
+        EXPECT_FALSE(e.halted());
+        EXPECT_EQ(e.pc(), InstAddr(1));
+        EXPECT_EQ(e.fault().pc, InstAddr(1));
+        EXPECT_EQ(e.fault().addr, Addr(8));
+        EXPECT_NE(e.fault().describe().find("text"), std::string::npos);
+        EXPECT_EQ(e.reg(3), u64(0));
+        EXPECT_EQ(e.memory().read(8, 8), u64(0)) << "store suppressed";
+
+        // Frozen: step() and run() refuse to make progress.
+        const StepResult s = e.step();
+        EXPECT_EQ(s.pc, InstAddr(1));
+        EXPECT_EQ(e.run(100), u64(0));
+        EXPECT_EQ(e.instsExecuted(), u64(1));
+
+        // reset() clears the fault.
+        e.reset();
+        EXPECT_FALSE(e.faulted());
+    }
+}
+
+TEST(TextFault, MidBlockStoreCountsPartialBlock)
+{
+    // Straight-line block whose third slot stores into text: exactly
+    // the first two slots execute, on both paths.
+    const std::vector<Instruction> code = {
+        makeRI(Opcode::ADDQI, 1, 1, 1),
+        makeRI(Opcode::ADDQI, 1, 1, 1),
+        makeStore(Opcode::STL, 1, 0, 31), // M[0] = r1: text!
+        makeRI(Opcode::ADDQI, 1, 1, 1),
+        makeHalt(),
+    };
+    const Program p = fromCode(code);
+    Emulator dec = makeDecoded(p);
+    Emulator leg = makeLegacy(p);
+    EXPECT_EQ(dec.run(), u64(2));
+    EXPECT_EQ(leg.run(), u64(2));
+    EXPECT_TRUE(dec.faulted());
+    EXPECT_EQ(dec.fault().pc, InstAddr(2));
+    expectSameArchState(dec, leg, "mid-block text fault");
+}
+
+TEST(TextFault, StoreJustPastTextSucceeds)
+{
+    // The first writable byte address is codeSize * instructionBytes.
+    const std::vector<Instruction> code = {
+        makeRI(Opcode::ADDQI, 1, 31, 24), // r1 = 3 insts * 8 bytes
+        makeStore(Opcode::STQ, 1, 0, 1),  // M[24] = r1: first legal byte
+        makeHalt(),
+    };
+    const Program p = fromCode(code);
+    Emulator e = makeDecoded(p);
+    e.run();
+    EXPECT_TRUE(e.halted());
+    EXPECT_FALSE(e.faulted());
+    EXPECT_EQ(e.memory().read(24, 8), u64(24));
+}
+
+TEST(TextFault, CoreContainsFaultAsStuckStop)
+{
+    // The detailed pipeline retires the same faulting store: the run
+    // stops as a contained stuck-job failure (not a panic, not
+    // halted()), with the fault description as the reason.
+    const std::vector<Instruction> code = {
+        makeRI(Opcode::ADDQI, 2, 31, 5),
+        makeStore(Opcode::STQ, 2, 0, 31),
+        makeHalt(),
+    };
+    const Program p = fromCode(code);
+    Core core(p, CoreParams{});
+    core.run(1'000, 100'000);
+    EXPECT_TRUE(core.stuck());
+    EXPECT_FALSE(core.halted());
+    EXPECT_NE(core.stuckReason().find("text"), std::string::npos);
+    EXPECT_TRUE(core.golden().faulted());
+}
+
+// ---------------------------------------------------------------------
+// RIX_DECODE parsing, strict like RIX_CHECK.
+// ---------------------------------------------------------------------
+
+TEST(DecodeEnvKnob, StrictValues)
+{
+    unsetenv("RIX_DECODE");
+    EXPECT_TRUE(emulatorDecodeFromEnv()); // default: on
+    setenv("RIX_DECODE", "1", 1);
+    EXPECT_TRUE(emulatorDecodeFromEnv());
+    setenv("RIX_DECODE", "0", 1);
+    EXPECT_FALSE(emulatorDecodeFromEnv());
+    unsetenv("RIX_DECODE");
+}
+
+TEST(DecodeEnvKnobDeath, RejectsGarbage)
+{
+    setenv("RIX_DECODE", "fast", 1);
+    EXPECT_EXIT({ emulatorDecodeFromEnv(); },
+                ::testing::ExitedWithCode(1), "RIX_DECODE must be 0 or 1");
+    unsetenv("RIX_DECODE");
+}

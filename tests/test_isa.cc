@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "isa/encoding.hh"
+#include "isa/decoded.hh"
 #include "isa/inst.hh"
 
 using namespace rix;
