@@ -1,6 +1,7 @@
 #include "assembler/program.hh"
 
 #include "base/log.hh"
+#include "trace/profiler.hh"
 
 namespace rix
 {
@@ -35,6 +36,7 @@ Program::decodedShared() const
     // (Re)build. Racing builders produce identical content; the CAS
     // loop anchors exactly one of them in the member, and every caller
     // leaves holding an anchored pointer.
+    ScopedPhase timer(HostPhase::Decode);
     const Decoded fresh = std::make_shared<const DecodedProgram>(*this);
     while (true) {
         if (std::atomic_compare_exchange_weak(&decoded_, &cur, fresh))

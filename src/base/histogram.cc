@@ -50,6 +50,21 @@ Histogram::mean() const
     return total_ == 0 ? 0.0 : sum_ / double(total_);
 }
 
+u64
+Histogram::quantile(double q) const
+{
+    if (total_ == 0 || bounds_.empty())
+        return 0;
+    const double target = q * double(total_);
+    u64 acc = 0;
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+        acc += counts_[i];
+        if (double(acc) >= target)
+            return bounds_[i];
+    }
+    return bounds_.back(); // overflow saturates to the last bound
+}
+
 void
 Histogram::exportTo(StatSet &out, const std::string &prefix) const
 {

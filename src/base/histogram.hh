@@ -50,6 +50,13 @@ class Histogram
     /** Mean of recorded samples (overflow samples use their raw value). */
     double mean() const;
 
+    /**
+     * Smallest bucket bound whose cumulative fraction reaches @p q
+     * (0..1). Samples in the overflow bucket saturate to the last
+     * bound; an empty histogram yields 0.
+     */
+    u64 quantile(double q) const;
+
     void reset();
 
     /**

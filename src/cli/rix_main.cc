@@ -11,9 +11,11 @@
  * the four figure benches bit-identically.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "base/env.hh"
@@ -39,6 +41,7 @@ usage(FILE *out)
             "usage:\n"
             "  rix run <spec.json> [--out FILE] [--jobs N] [--scale S]\n"
             "          [--store FILE]             run a scenario spec\n"
+            "  rix trace <workload> [options]     one traced detailed run\n"
             "  rix resume <store> [options]       finish a journaled sweep\n"
             "  rix compare <A> <B> [options]      regression-gate two sweeps\n"
             "  rix fuzz [options]                 differential fuzzing\n"
@@ -56,6 +59,23 @@ usage(FILE *out)
             "  --store FILE journal every completed job into a new\n"
             "               crash-recoverable result store (file must not\n"
             "               exist; jsonl/csv renders only)\n"
+            "\n"
+            "trace options (default machine configuration, Konata or\n"
+            "JSON-lines pipeline trace; see README 'Observability'):\n"
+            "  --scale S          workload scale factor (default 1)\n"
+            "  --start N          first retired instruction to trace\n"
+            "                     (default 0)\n"
+            "  --count N          trace window length in retired\n"
+            "                     instructions (default 100000)\n"
+            "  --format F         konata (default) | jsonl\n"
+            "  --out FILE         trace destination (default\n"
+            "                     rix_trace.txt)\n"
+            "  --metrics-every N  also record interval metrics every N\n"
+            "                     simulated cycles\n"
+            "  --metrics-out FILE metrics destination (default\n"
+            "                     rix_metrics.jsonl)\n"
+            "  --max-retired N    run budget (default: the run stops at\n"
+            "                     the end of the trace window)\n"
             "\n"
             "resume options:\n"
             "  --out FILE     render destination (default stdout)\n"
@@ -121,6 +141,13 @@ usage(FILE *out)
             "  RIX_STORE_DIR   serve: journal every completed run into a\n"
             "                  result store under this directory (must\n"
             "                  exist, be a directory, and be writable)\n"
+            "  RIX_TRACE       scenario runs: enable tracing to this\n"
+            "                  file (a .jsonl suffix selects JSON lines,\n"
+            "                  anything else Konata text)\n"
+            "  RIX_TRACE_START first retired instruction to trace\n"
+            "  RIX_TRACE_COUNT trace window length (strictly positive)\n"
+            "  RIX_METRICS_EVERY scenario runs: enable interval metrics\n"
+            "                  every N simulated cycles (positive)\n"
             "\n"
             "spec format: see examples/scenarios/*.json and README.md\n");
     return out == stderr ? 2 : 0;
@@ -202,6 +229,132 @@ cmdRun(int argc, char **argv)
     if (out != stdout)
         fclose(out);
     return rc;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    rix::TraceConfig tcfg;
+    tcfg.enabled = true;
+    rix::MetricsConfig mcfg;
+    rix::u64 maxRetired = 0; // 0: bounded by the trace window
+    const char *workload = nullptr;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto needValue = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                fprintf(stderr, "rix trace: %s needs an argument\n",
+                        what);
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            const char *v = needValue("--scale");
+            rix::parsePositiveCount("rix trace --scale", v);
+            setenv("RIX_SCALE", v, /*overwrite=*/1);
+        } else if (arg == "--start") {
+            tcfg.start = rix::parseNonNegativeCount("rix trace --start",
+                                                    needValue("--start"));
+        } else if (arg == "--count") {
+            tcfg.count = rix::parsePositiveCount("rix trace --count",
+                                                 needValue("--count"));
+        } else if (arg == "--format") {
+            tcfg.format = needValue("--format");
+            if (!rix::traceFormatValid(tcfg.format)) {
+                fprintf(stderr, "rix trace: --format must be 'konata' "
+                                "or 'jsonl', got '%s'\n",
+                        tcfg.format.c_str());
+                return 2;
+            }
+        } else if (arg == "--out") {
+            tcfg.out = needValue("--out");
+        } else if (arg == "--metrics-every") {
+            mcfg.enabled = true;
+            mcfg.every = rix::parsePositiveCount(
+                "rix trace --metrics-every", needValue("--metrics-every"));
+        } else if (arg == "--metrics-out") {
+            mcfg.out = needValue("--metrics-out");
+        } else if (arg == "--max-retired") {
+            maxRetired = rix::parsePositiveCount("rix trace --max-retired",
+                                                 needValue("--max-retired"));
+        } else if (arg[0] == '-') {
+            fprintf(stderr, "rix trace: unknown option '%s'\n", argv[i]);
+            return 2;
+        } else if (!workload) {
+            workload = argv[i];
+        } else {
+            fprintf(stderr, "rix trace: exactly one workload expected\n");
+            return 2;
+        }
+    }
+    if (!workload) {
+        fprintf(stderr, "rix trace: missing workload (see `rix "
+                        "list-workloads`)\n");
+        return 2;
+    }
+    const std::vector<std::string> names = rix::workloadNames();
+    if (std::find(names.begin(), names.end(), workload) == names.end()) {
+        fprintf(stderr, "rix trace: unknown workload '%s' (see `rix "
+                        "list-workloads`)\n", workload);
+        return 2;
+    }
+
+    rix::SimJob job;
+    job.workload = workload;
+    job.scale = rix::envPositiveCount("RIX_SCALE", 1);
+    if (maxRetired) {
+        job.maxRetired = maxRetired;
+    } else if (tcfg.end() != ~rix::u64(0) && tcfg.end() < job.maxRetired) {
+        // The run only needs to reach the end of the trace window.
+        job.maxRetired = tcfg.end();
+    }
+
+    std::string err;
+    std::unique_ptr<rix::TraceSink> sink =
+        rix::openTraceSink(tcfg, tcfg.out, &err);
+    if (!sink) {
+        fprintf(stderr, "rix trace: %s\n", err.c_str());
+        return 1;
+    }
+    rix::TraceSink *counters = sink.get();
+    job.trace = std::move(sink);
+    job.traceStart = tcfg.start;
+    job.traceCount = tcfg.count;
+    if (mcfg.enabled)
+        job.metrics = std::make_shared<rix::MetricsRecorder>(mcfg.every);
+
+    const std::vector<rix::SimJob> jobs{job};
+    const std::vector<rix::SimJobResult> results =
+        rix::SweepRunner().run(jobs);
+    const rix::SimReport &rep = results[0].report;
+
+    if (job.metrics) {
+        std::string merr;
+        if (!job.metrics->writeJsonl(mcfg.out,
+                                     {{"workload", job.workload}},
+                                     &merr)) {
+            fprintf(stderr, "rix trace: %s\n", merr.c_str());
+            return 1;
+        }
+    }
+
+    printf("{\"workload\": \"%s\", \"scale\": %llu, \"out\": \"%s\", "
+           "\"format\": \"%s\", \"events\": %llu, "
+           "\"traced_retired\": %llu, \"traced_squashed\": %llu, "
+           "\"retired\": %llu, \"cycles\": %llu",
+           job.workload.c_str(), (unsigned long long)job.scale,
+           tcfg.out.c_str(), tcfg.format.c_str(),
+           (unsigned long long)counters->numEvents(),
+           (unsigned long long)counters->numRetired(),
+           (unsigned long long)counters->numSquashed(),
+           (unsigned long long)rep.core.retired,
+           (unsigned long long)rep.core.cycles);
+    if (job.metrics)
+        printf(", \"metrics_out\": \"%s\", \"metrics_intervals\": %zu",
+               mcfg.out.c_str(), job.metrics->intervals().size());
+    printf("}\n");
+    return 0;
 }
 
 int
@@ -546,6 +699,8 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
+    if (cmd == "trace")
+        return cmdTrace(argc - 2, argv + 2);
     if (cmd == "resume")
         return cmdResume(argc - 2, argv + 2);
     if (cmd == "compare")

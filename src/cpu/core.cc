@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "base/log.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace rix
 {
@@ -109,6 +111,11 @@ Core::resetMicroarch(const Program &program, const CoreParams &params)
     cancelled_ = CancelReason::None;
     lastProgressCycle = 0;
     stats_ = CoreStats{};
+    trace_ = nullptr;
+    traceStart_ = 0;
+    traceEnd_ = 0;
+    metrics_ = nullptr;
+    metricsNext_ = ~Cycle(0);
 
     initArchState();
 }
@@ -246,9 +253,79 @@ Core::run(u64 max_retired, Cycle max_cycles)
                 break;
             }
         }
+        // Interval metrics: one pointer test per cycle when detached
+        // (the cancel-token discipline). Sampling only reads counters
+        // the simulation maintains anyway.
+        if (metrics_ && stats_.cycles >= metricsNext_)
+            sampleMetrics();
         tick();
     }
+    // Close the final (possibly partial) interval so the series always
+    // sums to the run's aggregate counters.
+    if (metrics_)
+        sampleMetrics();
     return {stats_.retired, stats_.cycles, done};
+}
+
+void
+Core::setTraceSink(TraceSink *sink, u64 start, u64 count)
+{
+    trace_ = sink;
+    if (!sink) {
+        traceStart_ = traceEnd_ = 0;
+        return;
+    }
+    traceStart_ = start;
+    traceEnd_ = count > ~u64(0) - start ? ~u64(0) : start + count;
+}
+
+void
+Core::setMetrics(MetricsRecorder *recorder)
+{
+    metrics_ = recorder;
+    if (!recorder) {
+        metricsNext_ = ~Cycle(0);
+        return;
+    }
+    MetricsMemCounters mc;
+    mc.l1d = mem.l1d().misses();
+    mc.l1i = mem.l1i().misses();
+    mc.l2 = mem.l2().misses();
+    mc.dtlb = mem.dtlb().misses();
+    mc.itlb = mem.itlb().misses();
+    recorder->begin(stats_, mc);
+    metricsNext_ = stats_.cycles + recorder->every();
+}
+
+void
+Core::sampleMetrics()
+{
+    MetricsMemCounters mc;
+    mc.l1d = mem.l1d().misses();
+    mc.l1i = mem.l1i().misses();
+    mc.l2 = mem.l2().misses();
+    mc.dtlb = mem.dtlb().misses();
+    mc.itlb = mem.itlb().misses();
+    metrics_->sample(stats_, mc);
+    metricsNext_ = stats_.cycles + metrics_->every();
+}
+
+void
+Core::traceRetired(const DynInst &di)
+{
+    // recordRetireStats already counted this instruction; its
+    // retire-stream index is retired-1.
+    const u64 idx = stats_.retired - 1;
+    if (idx < traceStart_ || idx >= traceEnd_)
+        return;
+    trace_->emit(
+        makeTraceEvent(di, cycle, /*retired=*/true, SquashCause::None, idx));
+}
+
+void
+Core::traceSquashed(const DynInst &di, SquashCause cause)
+{
+    trace_->emit(makeTraceEvent(di, cycle, /*retired=*/false, cause, 0));
 }
 
 void

@@ -50,6 +50,9 @@
 namespace rix
 {
 
+class TraceSink;
+class MetricsRecorder;
+
 class Core
 {
   public:
@@ -170,6 +173,25 @@ class Core
     MemHierarchy &memHierarchy() { return mem; }
     BranchPredictorUnit &branchPredictor() { return bpred; }
 
+    /**
+     * Attach a pipeline-trace sink (not owned; null detaches): every
+     * instruction leaving the pipeline while the retired count is in
+     * [start, start+count) — retired at the ROB head or squashed on a
+     * recovery walk — is emitted as one TraceEvent. Observability
+     * only: simulated state and every CoreStats field are
+     * bit-identical with or without a sink. Cleared by reset().
+     */
+    void setTraceSink(TraceSink *sink, u64 start, u64 count);
+
+    /**
+     * Attach an interval-metrics recorder (not owned; null detaches):
+     * run() closes one CoreStats-delta interval every
+     * recorder->every() cycles and a final partial interval when it
+     * stops. begin() is called here, so the series starts at the
+     * current counters. Cleared by reset().
+     */
+    void setMetrics(MetricsRecorder *recorder);
+
     /** In-flight instruction count (tests). */
     size_t robOccupancy() const { return rob.size(); }
     unsigned rsOccupancy() const { return rsBusy; }
@@ -248,13 +270,23 @@ class Core
      * redirect fetch to @p new_pc after @p penalty cycles.
      */
     void squashFrom(DynInst &boundary, bool include_boundary,
-                    InstAddr new_pc, unsigned penalty);
+                    InstAddr new_pc, unsigned penalty, SquashCause cause);
     void undoRename(DynInst &di);
 
     // ---- retire helpers ----
     bool divaCheck(const DynInst &di, const StepResult &expected) const;
     void handleMisintegration(DynInst &di);
     void recordRetireStats(const DynInst &di);
+
+    // ---- observability taps (out-of-line; cold unless attached) ----
+    void traceRetired(const DynInst &di);
+    void traceSquashed(const DynInst &di, SquashCause cause);
+    bool
+    traceArmed() const
+    {
+        return stats_.retired >= traceStart_ && stats_.retired < traceEnd_;
+    }
+    void sampleMetrics();
 
     u64 readReg(PhysReg r) const { return pregValue[r]; }
 
@@ -391,6 +423,18 @@ class Core
     CancelReason cancelled_ = CancelReason::None;
     Cycle lastProgressCycle = 0;
     CoreStats stats_;
+
+    // ---- observability (PR 9) ----
+    // Null when off — the same discipline as lockstep_: the only
+    // hot-path cost of the disabled tracer is one pointer test per
+    // retiring/squashed instruction, and of disabled metrics one
+    // pointer test per cycle in run(). Neither ever feeds back into
+    // simulated state.
+    TraceSink *trace_ = nullptr;
+    u64 traceStart_ = 0;
+    u64 traceEnd_ = 0; // exclusive; 0 with trace_ null
+    MetricsRecorder *metrics_ = nullptr;
+    Cycle metricsNext_ = ~Cycle(0);
 };
 
 } // namespace rix

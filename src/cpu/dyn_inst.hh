@@ -15,6 +15,17 @@
 namespace rix
 {
 
+/** Why an in-flight instruction was squashed (pipeline-trace tap). */
+enum class SquashCause : u8
+{
+    None,           // not squashed (retired)
+    Branch,         // control misprediction (rename-time or execute-time)
+    MemOrder,       // load/store ordering violation replay
+    Misintegration, // DIVA-caught wrong integrated result, full flush
+};
+
+const char *squashCauseName(SquashCause cause);
+
 /** Producer status observed when an instruction integrated (Figure 5). */
 enum class IntegStatus : u8
 {
@@ -95,6 +106,10 @@ struct DynInst
 
     u32 selfHandle = ~u32(0);   // own pool handle, set at allocation
     int lqIdx = -1, sqIdx = -1; // -1: no queue entry (integrated loads!)
+
+    // Stamped by squashFrom on the recovery walk, read only by the
+    // pipeline-trace drain (never by simulation logic).
+    SquashCause squashCause = SquashCause::None;
 
     bool isLoad() const { return inst.isLoad(); }
     bool isStore() const { return inst.isStore(); }

@@ -215,7 +215,7 @@ Core::checkStoreViolation(DynInst &store_inst)
         c.increment();
         c.increment();
         squashFrom(*ld, /*include_boundary=*/true, ld->pc,
-                   p.squashPenalty);
+                   p.squashPenalty, SquashCause::MemOrder);
         return;
     }
 }
@@ -367,7 +367,7 @@ Core::resolveControl(DynInst &di)
         ++stats_.branchMispredicts;
         ++stats_.squashesBranch;
         squashFrom(di, /*include_boundary=*/false, di.actualNextPc(),
-                   p.squashPenalty);
+                   p.squashPenalty, SquashCause::Branch);
     }
 }
 

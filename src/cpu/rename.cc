@@ -190,7 +190,7 @@ Core::renameOne(InstHandle h)
             di.mispredicted = true;
             ++stats_.branchMispredicts;
             squashFrom(di, /*include_boundary=*/false, di.actualNextPc(),
-                       p.squashPenalty);
+                       p.squashPenalty, SquashCause::Branch);
         }
         return true;
     }

@@ -40,7 +40,7 @@ Core::undoRename(DynInst &di)
 
 void
 Core::squashFrom(DynInst &boundary, bool include_boundary, InstAddr new_pc,
-                 unsigned penalty)
+                 unsigned penalty, SquashCause cause)
 {
     const InstSeqNum bseq =
         include_boundary ? boundary.seq - 1 : boundary.seq;
@@ -52,15 +52,31 @@ Core::squashFrom(DynInst &boundary, bool include_boundary, InstAddr new_pc,
     const InstAddr boundary_pc = boundary.pc;
     const bool boundary_taken = boundary.actualTaken;
 
+    // The trace drain fires while the retire stream is inside the
+    // window; one flag test per squashed instruction when a sink is
+    // attached, nothing otherwise.
+    const bool tracing = trace_ && traceArmed();
+
     while (!rob.empty() && pool.get(rob.back()).seq > bseq) {
-        undoRename(pool.get(rob.back()));
+        DynInst &victim = pool.get(rob.back());
+        undoRename(victim);
+        if (tracing) {
+            victim.squashCause = cause;
+            traceSquashed(victim, cause);
+        }
         ++stats_.squashedInsts;
         pool.release(rob.pop_back());
     }
 
     stats_.squashedInsts += fetchQueue.size();
-    while (!fetchQueue.empty())
+    while (!fetchQueue.empty()) {
+        if (tracing) {
+            DynInst &victim = pool.get(fetchQueue.front());
+            victim.squashCause = cause;
+            traceSquashed(victim, cause);
+        }
         pool.release(fetchQueue.pop_front());
+    }
 
     while (!sq.empty() && sq.back().seq > bseq)
         sq.pop_back();
@@ -122,7 +138,8 @@ Core::handleMisintegration(DynInst &di)
 
     ++stats_.squashesMisint;
     // Complete flush including the offender; monolithic recovery.
-    squashFrom(di, /*include_boundary=*/true, di.pc, p.misintPenalty + 1);
+    squashFrom(di, /*include_boundary=*/true, di.pc, p.misintPenalty + 1,
+               SquashCause::Misintegration);
 }
 
 void
@@ -302,6 +319,8 @@ Core::retireStage()
         }
 
         recordRetireStats(di);
+        if (trace_)
+            traceRetired(di);
 
         const bool halt = di.inst.isHalt();
         pool.release(rob.pop_front());

@@ -1,6 +1,7 @@
 #include "emu/emulator.hh"
 
 #include "base/log.hh"
+#include "trace/profiler.hh"
 
 namespace rix
 {
@@ -50,6 +51,7 @@ Emulator::reset(const Program &p)
 Checkpoint
 Emulator::snapshot(bool diff_vs_image) const
 {
+    ScopedPhase timer(HostPhase::CheckpointBuild);
     Checkpoint c;
     c.icount = icount;
     c.pc = pcReg;
@@ -72,6 +74,7 @@ Emulator::snapshot(bool diff_vs_image) const
 void
 Emulator::restore(const Checkpoint &c)
 {
+    ScopedPhase timer(HostPhase::CheckpointRestore);
     if (c.diffVsImage) {
         reset(); // reload the program image...
         mem.importPages(c.pages); // ...then overlay the diff

@@ -1,6 +1,7 @@
 #include "serve/server.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -14,6 +15,7 @@
 #include "base/log.hh"
 #include "base/stats.hh"
 #include "emu/emulator.hh"
+#include "trace/profiler.hh"
 #include "workload/workload.hh"
 
 namespace rix
@@ -40,6 +42,37 @@ checkpointFootprint(const Checkpoint &c)
 {
     return sizeof(Checkpoint) + c.memoryBytes() +
            c.output.size() * sizeof(u64);
+}
+
+/** 1-2-5 log-spaced microsecond bounds, 1 us .. 10 s. */
+std::vector<u64>
+latencyBounds()
+{
+    std::vector<u64> b;
+    for (u64 decade = 1; decade <= 1'000'000; decade *= 10)
+        for (u64 m : {u64(1), u64(2), u64(5)})
+            b.push_back(decade * m);
+    b.push_back(10'000'000);
+    return b;
+}
+
+u64
+elapsedMicros(std::chrono::steady_clock::time_point t0)
+{
+    return u64(std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count());
+}
+
+/** lat_<op>_{p50,p95,p99,mean}_us + lat_<op>_samples. */
+void
+exportLatency(StatSet &s, const std::string &prefix, const Histogram &h)
+{
+    s.set(prefix + "_p50_us", double(h.quantile(0.50)));
+    s.set(prefix + "_p95_us", double(h.quantile(0.95)));
+    s.set(prefix + "_p99_us", double(h.quantile(0.99)));
+    s.set(prefix + "_mean_us", h.mean());
+    s.set(prefix + "_samples", double(h.totalSamples()));
 }
 
 } // namespace
@@ -77,7 +110,9 @@ struct Server::Conn
 Server::Server(const ServeOptions &options)
     : opts(options),
       progLru(options.cacheBytes / 2, programFootprint),
-      ckptLru(options.cacheBytes / 2, checkpointFootprint)
+      ckptLru(options.cacheBytes / 2, checkpointFootprint),
+      latRun(latencyBounds()), latPing(latencyBounds()),
+      latStats(latencyBounds())
 {
 }
 
@@ -267,6 +302,8 @@ void
 Server::handleLine(const std::shared_ptr<Conn> &conn,
                    const std::string &line)
 {
+    ScopedPhase phase(HostPhase::ServeRequest);
+    const auto t0 = std::chrono::steady_clock::now();
     stats_.requests.fetch_add(1, std::memory_order_relaxed);
     ServeRequest req;
     const std::string err = parseServeRequest(line, &req);
@@ -280,9 +317,11 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
     switch (req.op) {
       case ServeRequest::Op::Ping:
         writeToConn(conn, renderAckResponse("ping"));
+        recordOpLatency(latPing, elapsedMicros(t0));
         return;
       case ServeRequest::Op::Stats:
         writeToConn(conn, renderStats());
+        recordOpLatency(latStats, elapsedMicros(t0));
         return;
       case ServeRequest::Op::Shutdown:
         writeToConn(conn, renderAckResponse("shutdown"));
@@ -332,7 +371,10 @@ Server::submitRun(const std::shared_ptr<Conn> &conn, const ServeRequest &req)
         ;
     stats_.admitted.fetch_add(1, std::memory_order_relaxed);
 
-    pool->submit([this, conn, req]() {
+    // Run latency covers admission to completion: queueing time is
+    // part of what the client experiences under load.
+    const auto admittedAt = std::chrono::steady_clock::now();
+    pool->submit([this, conn, req, admittedAt]() {
         // One long-lived simulation context per pool worker, exactly
         // the sweep engine's reuse discipline.
         thread_local SimContext ctx;
@@ -376,6 +418,7 @@ Server::submitRun(const std::shared_ptr<Conn> &conn, const ServeRequest &req)
         stats_.retries.fetch_add(r.attempts - 1,
                                  std::memory_order_relaxed);
         outstanding.fetch_sub(1, std::memory_order_relaxed);
+        recordOpLatency(latRun, elapsedMicros(admittedAt));
         writeToConn(conn, renderRunResponse(req.id, req.job, r));
     });
 }
@@ -441,6 +484,13 @@ Server::renderStats()
     s.set("ckpt_cache_evictions", double(ckptLru.evictions()));
     s.set("ckpt_cache_bytes", double(ckptLru.bytes()));
     s.set("cache_budget_bytes", double(opts.cacheBytes));
+    {
+        std::lock_guard<std::mutex> lk(latMu);
+        exportLatency(s, "lat_run", latRun);
+        exportLatency(s, "lat_ping", latPing);
+        exportLatency(s, "lat_stats", latStats);
+    }
+    hostProfiler().exportTo(s);
 
     char *buf = nullptr;
     size_t len = 0;
@@ -452,6 +502,13 @@ Server::renderStats()
     std::string out(buf, len);
     free(buf);
     return out;
+}
+
+void
+Server::recordOpLatency(Histogram &h, u64 micros)
+{
+    std::lock_guard<std::mutex> lk(latMu);
+    h.sample(micros);
 }
 
 void
@@ -478,6 +535,10 @@ int
 runServe(const ServeOptions &opts)
 {
     static std::atomic<Server *> g_server{nullptr};
+
+    // A daemon is a long-running host process: the phase profile is
+    // always worth its one-atomic-add cost here.
+    hostProfiler().setEnabled(true);
 
     Server server(opts);
     const std::string err = server.start();

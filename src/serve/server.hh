@@ -28,7 +28,11 @@
  *
  * Observability: the "stats" op renders the daemon's counters (request
  * and per-status job counts, retries, queue depth/peak, overload
- * rejections, cache hit/miss/eviction/bytes) as one StatRegistry row.
+ * rejections, cache hit/miss/eviction/bytes) as one StatRegistry row,
+ * plus per-op latency distributions (lat_<op>_{p50,p95,p99,mean}_us
+ * and sample counts — inline ops measure parse-to-response, run jobs
+ * admission-to-completion) and the host-phase profile (host_<phase>_s;
+ * the profiler is always armed under `rix serve`).
  */
 
 #ifndef RIX_SERVE_SERVER_HH
@@ -36,11 +40,13 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/fault.hh"
+#include "base/histogram.hh"
 #include "base/lru_cache.hh"
 #include "base/thread_pool.hh"
 #include "emu/checkpoint.hh"
@@ -153,6 +159,7 @@ class Server
                    const ServeRequest &req);
     PinnedJobInputs acquireInputs(const SimJob &job);
     std::string renderStats();
+    void recordOpLatency(Histogram &h, u64 micros);
     static void writeToConn(const std::shared_ptr<Conn> &conn,
                             const std::string &data);
 
@@ -172,6 +179,12 @@ class Server
 
     LruCache<std::string, Program> progLru;
     LruCache<std::string, Checkpoint> ckptLru;
+
+    // Per-op latency distributions (microseconds, log-spaced bounds).
+    // Inline ops (ping/stats) measure parse-to-response; run measures
+    // admission-to-completion. renderStats derives p50/p95/p99.
+    std::mutex latMu;
+    Histogram latRun, latPing, latStats;
 
     // RIX_STORE_DIR journal: ok run results appended (fsync commit
     // point) as they complete, indices monotonic across daemon

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "emu/emulator.hh"
+#include "trace/profiler.hh"
 #include "workload/program_cache.hh"
 
 namespace rix
@@ -41,8 +42,10 @@ CheckpointCache::get(const std::string &workload, u64 scale, u64 icount)
         Emulator emu(prog);
         if (const Checkpoint *seed = bestReadySeed(workload, scale, icount))
             emu.restore(*seed);
-        if (icount > emu.instsExecuted())
+        if (icount > emu.instsExecuted()) {
+            ScopedPhase timer(HostPhase::FastForward);
             emu.run(icount - emu.instsExecuted());
+        }
         if (emu.faulted())
             throw std::runtime_error(emu.fault().describe());
         slot->ckpt = emu.snapshot(/*diff_vs_image=*/true);
@@ -68,8 +71,10 @@ CheckpointCache::totalInsts(const std::string &workload, u64 scale, u64 cap)
         Emulator emu(prog);
         if (const Checkpoint *seed = bestReadySeed(workload, scale, cap))
             emu.restore(*seed);
-        if (cap > emu.instsExecuted())
+        if (cap > emu.instsExecuted()) {
+            ScopedPhase timer(HostPhase::FastForward);
             emu.run(cap - emu.instsExecuted());
+        }
         if (emu.faulted())
             throw std::runtime_error(emu.fault().describe());
         slot->insts = emu.instsExecuted();

@@ -11,6 +11,7 @@
 #include "sim/sampling/checkpoint_cache.hh"
 #include "sim/validate.hh"
 #include "store/result_store.hh"
+#include "trace/profiler.hh"
 #include "workload/workload.hh"
 
 namespace rix
@@ -381,7 +382,7 @@ parseScenario(const std::string &json_text)
     static const char *const known[] = {
         "name",    "description", "workloads", "scale",  "max_retired",
         "max_cycles", "base",     "configs",   "grid",   "render",
-        "sampling"};
+        "sampling", "trace",      "metrics",   "profile"};
     for (const auto &[key, unused] : doc.members()) {
         (void)unused;
         bool ok = false;
@@ -504,6 +505,75 @@ parseScenario(const std::string &json_text)
         rix_fatal("scenario spec: render '%s' requires full detailed "
                   "runs — sampled results are estimates; use \"jsonl\" "
                   "or \"csv\"", spec.render.c_str());
+
+    // Observability blocks, then the RIX_TRACE* / RIX_METRICS_EVERY
+    // environment overrides (which can also enable either one on a
+    // spec that never mentions them).
+    if (const JsonValue *v = doc.find("trace")) {
+        if (!v->isObject())
+            rix_fatal("scenario spec: 'trace' must be an object");
+        spec.trace.enabled = true;
+        for (const auto &[key, val] : v->members()) {
+            if (key == "start") {
+                const std::string cerr =
+                    coerceCount(val, ~u64(0), &spec.trace.start);
+                if (!cerr.empty())
+                    rix_fatal("scenario spec: 'trace.start' must be a "
+                              "non-negative integer: %s", cerr.c_str());
+            } else if (key == "count") {
+                const std::string cerr =
+                    coerceCount(val, ~u64(0), &spec.trace.count);
+                if (!cerr.empty() || spec.trace.count == 0)
+                    rix_fatal("scenario spec: 'trace.count' must be a "
+                              "positive integer%s%s",
+                              cerr.empty() ? "" : ": ", cerr.c_str());
+            } else if (key == "format") {
+                if (!val.isString() ||
+                    !traceFormatValid(val.asString()))
+                    rix_fatal("scenario spec: 'trace.format' must be "
+                              "\"konata\" or \"jsonl\"");
+                spec.trace.format = val.asString();
+            } else if (key == "out") {
+                if (!val.isString() || val.asString().empty())
+                    rix_fatal("scenario spec: 'trace.out' must be a "
+                              "non-empty path string");
+                spec.trace.out = val.asString();
+            } else {
+                rix_fatal("scenario spec: unknown 'trace' field '%s'",
+                          key.c_str());
+            }
+        }
+    }
+    spec.trace = applyTraceEnv(std::move(spec.trace));
+    if (const JsonValue *v = doc.find("metrics")) {
+        if (!v->isObject())
+            rix_fatal("scenario spec: 'metrics' must be an object");
+        spec.metrics.enabled = true;
+        for (const auto &[key, val] : v->members()) {
+            if (key == "every") {
+                const std::string cerr =
+                    coerceCount(val, ~u64(0), &spec.metrics.every);
+                if (!cerr.empty() || spec.metrics.every == 0)
+                    rix_fatal("scenario spec: 'metrics.every' must be a "
+                              "positive integer%s%s",
+                              cerr.empty() ? "" : ": ", cerr.c_str());
+            } else if (key == "out") {
+                if (!val.isString() || val.asString().empty())
+                    rix_fatal("scenario spec: 'metrics.out' must be a "
+                              "non-empty path string");
+                spec.metrics.out = val.asString();
+            } else {
+                rix_fatal("scenario spec: unknown 'metrics' field '%s'",
+                          key.c_str());
+            }
+        }
+    }
+    spec.metrics = applyMetricsEnv(std::move(spec.metrics));
+    if (const JsonValue *v = doc.find("profile")) {
+        const std::string berr = coerceBool(*v, &spec.profile);
+        if (!berr.empty())
+            rix_fatal("scenario spec: 'profile': %s", berr.c_str());
+    }
 
     // Base parameters: machine defaults plus the spec's "base" set.
     CoreParams base;
@@ -657,15 +727,97 @@ scenarioJobConfigLabel(const ScenarioSpec &spec, size_t job_index)
     return spec.configs[point % spec.configs.size()].label;
 }
 
+namespace
+{
+
+/** Per-job observability output path: the spec's path, suffixed with
+ *  the expanded job index when the sweep has more than one job so
+ *  parallel jobs never share a file. */
+std::string
+observabilityPath(const std::string &base, size_t job_index, size_t n_jobs)
+{
+    return n_jobs <= 1 ? base : base + strfmt(".%zu", job_index);
+}
+
+/** Arm the spec's observability on one expanded job. @p job_index is
+ *  the stable expanded-sweep index (used for the file suffix), @p
+ *  n_jobs the full expansion size — both invariant under resume, so a
+ *  resumed sweep's file names line up with a fresh one's. */
+void
+attachObservabilityJob(const ScenarioSpec &spec, SimJob &job,
+                       size_t job_index, size_t n_jobs)
+{
+    if (spec.trace.enabled) {
+        std::string err;
+        std::unique_ptr<TraceSink> sink = openTraceSink(
+            spec.trace,
+            observabilityPath(spec.trace.out, job_index, n_jobs), &err);
+        if (!sink)
+            rix_fatal("scenario '%s': %s", spec.name.c_str(),
+                      err.c_str());
+        job.trace = std::move(sink);
+        job.traceStart = spec.trace.start;
+        job.traceCount = spec.trace.count;
+    }
+    if (spec.metrics.enabled)
+        job.metrics = std::make_shared<MetricsRecorder>(spec.metrics.every);
+}
+
+/** Arm every job of a fresh (non-resumed) sweep. */
+void
+attachObservability(const ScenarioSpec &spec, std::vector<SimJob> &jobs)
+{
+    if (spec.profile)
+        hostProfiler().setEnabled(true);
+    if (!spec.trace.enabled && !spec.metrics.enabled)
+        return;
+    for (size_t i = 0; i < jobs.size(); ++i)
+        attachObservabilityJob(spec, jobs[i], i, jobs.size());
+}
+
+/** Write one job's metrics time series (JSON lines, suffixed like the
+ *  trace outputs), labeled scenario/workload/config. */
+void
+writeMetricsOutputJob(const ScenarioSpec &spec, const SimJob &job,
+                      size_t job_index, size_t n_jobs)
+{
+    if (!job.metrics)
+        return;
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (!spec.name.empty())
+        labels.emplace_back("scenario", spec.name);
+    labels.emplace_back("workload", job.workload);
+    labels.emplace_back("config", scenarioJobConfigLabel(spec, job_index));
+    std::string err;
+    if (!job.metrics->writeJsonl(
+            observabilityPath(spec.metrics.out, job_index, n_jobs),
+            labels, &err))
+        rix_fatal("scenario '%s': %s", spec.name.c_str(), err.c_str());
+}
+
+void
+writeMetricsOutputs(const ScenarioSpec &spec,
+                    const std::vector<SimJob> &jobs)
+{
+    if (!spec.metrics.enabled)
+        return;
+    for (size_t i = 0; i < jobs.size(); ++i)
+        writeMetricsOutputJob(spec, jobs[i], i, jobs.size());
+}
+
+} // namespace
+
 ScenarioResults
 runScenario(const ScenarioSpec &spec)
 {
     std::vector<SimJob> jobs = expandScenarioJobs(spec);
+    attachObservability(spec, jobs);
 
     ScenarioResults res;
     res.numConfigs = spec.configs.size();
     if (spec.sampling.empty()) {
         res.jobs = SweepRunner().run(jobs);
+        writeMetricsOutputs(spec, jobs);
         return res;
     }
     const size_t numIntervals = spec.sampling.intervals.size();
@@ -705,6 +857,7 @@ runScenario(const ScenarioSpec &spec)
     }
 
     res.intervalJobs = SweepRunner().run(jobs);
+    writeMetricsOutputs(spec, jobs);
 
     // Merge every point's intervals back into one row.
     const size_t points = spec.workloads.size() * spec.configs.size();
@@ -808,6 +961,17 @@ runScenario(const ScenarioSpec &spec, const FaultPolicy &policy,
     for (size_t i : remainingIdx)
         remaining.push_back(jobs[i]);
 
+    // Observability attaches only to the jobs that will actually run:
+    // a resumed (journaled) job keeps its stored result and gets no
+    // fresh trace/metrics files. File suffixes use the stable expanded
+    // index, so resumed and fresh sweeps name their outputs alike.
+    if (spec.profile)
+        hostProfiler().setEnabled(true);
+    if (spec.trace.enabled || spec.metrics.enabled)
+        for (size_t k = 0; k < remaining.size(); ++k)
+            attachObservabilityJob(spec, remaining[k], remainingIdx[k],
+                                   jobs.size());
+
     ScenarioResults res;
     res.contained = true;
     res.numConfigs = spec.configs.size();
@@ -863,6 +1027,10 @@ runScenario(const ScenarioSpec &spec, const FaultPolicy &policy,
         SweepRunner().run(remaining, policy, onRetire);
     for (size_t k = 0; k < remainingIdx.size(); ++k)
         all[remainingIdx[k]] = std::move(fresh[k]);
+    if (spec.metrics.enabled)
+        for (size_t k = 0; k < remaining.size(); ++k)
+            writeMetricsOutputJob(spec, remaining[k], remainingIdx[k],
+                                  jobs.size());
 
     if (spec.sampling.empty()) {
         res.jobs = std::move(all);

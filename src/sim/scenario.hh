@@ -24,7 +24,11 @@
  *     "base":        { <param overrides applied to every config> },
  *     "configs":     [ {"label": "base", "set": { ... }}, ... ],
  *     "grid":        { "integ.it_assoc": [1, 2, 4], ... },
- *     "render":      "jsonl" | "csv" | "fig4" | "fig5" | "fig6" | "fig7"
+ *     "render":      "jsonl" | "csv" | "fig4" | "fig5" | "fig6" | "fig7",
+ *     "trace":       { "start": 0, "count": 100000,
+ *                      "format": "konata", "out": "rix_trace.txt" },
+ *     "metrics":     { "every": 10000, "out": "rix_metrics.jsonl" },
+ *     "profile":     false
  *   }
  *
  * Parameter override keys are dotted snake_case paths into CoreParams
@@ -48,6 +52,8 @@
 #include "base/json.hh"
 #include "sim/sampling/sampling.hh"
 #include "sim/sweep.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace rix
 {
@@ -81,6 +87,18 @@ struct ScenarioSpec
      * row per point, with the sampled_* rollup columns added.
      */
     SamplingPlan sampling;
+
+    /**
+     * Observability, from the spec's "trace" / "metrics" / "profile"
+     * fields plus the RIX_TRACE* / RIX_METRICS_EVERY env overrides.
+     * Each expanded job gets its own sink/recorder; when the spec
+     * expands to more than one job, output paths are suffixed with the
+     * job index (".<N>") so parallel jobs never share a file. All three
+     * default off, leaving every simulated field bit-identical.
+     */
+    TraceConfig trace;
+    MetricsConfig metrics;
+    bool profile = false;
 
     /** Index of the config labeled @p label, or -1. */
     int configIndex(const std::string &label) const;

@@ -2,6 +2,7 @@
 
 #include "base/log.hh"
 #include "sim/validate.hh"
+#include "trace/profiler.hh"
 
 namespace rix
 {
@@ -54,6 +55,11 @@ exportReport(const SimReport &rep, StatSet &out)
     static const char *const refLabels[4] = {"eq1", "le3", "le7", "le15"};
     exportBreakdown(out, "integ_refcount", refLabels,
                     rep.core.integByRefcount);
+
+    // Host-phase profile, only when armed: default reports (and the
+    // compare gate's describeDiff) stay byte-for-byte unchanged.
+    if (hostProfiler().enabled())
+        hostProfiler().exportTo(out);
 }
 
 void

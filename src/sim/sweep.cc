@@ -8,6 +8,9 @@
 #include "base/thread_pool.hh"
 #include "sim/sampling/checkpoint_cache.hh"
 #include "sim/validate.hh"
+#include "trace/metrics.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
 #include "workload/program_cache.hh"
 
 namespace rix
@@ -97,6 +100,10 @@ executeOnce(SimContext &ctx, const SimJob &job, const CancelToken *cancel,
             RunControl ctl;
             ctl.cancel = cancel;
             ctl.fault = graceful ? &fault : nullptr;
+            ctl.trace = job.trace.get();
+            ctl.traceStart = job.traceStart;
+            ctl.traceCount = job.traceCount;
+            ctl.metrics = job.metrics.get();
             res.report =
                 in.from ? ctx.runInterval(*in.prog, *in.from, job.params,
                                           job.warmup, job.maxRetired,
@@ -230,7 +237,16 @@ SimContext::run(const Program &prog, const CoreParams &params,
     else
         core->reset(prog, params);
     core->setCancelToken(ctl.cancel);
-    core->run(max_retired, max_cycles);
+    if (ctl.trace)
+        core->setTraceSink(ctl.trace, ctl.traceStart, ctl.traceCount);
+    if (ctl.metrics)
+        core->setMetrics(ctl.metrics);
+    {
+        ScopedPhase timer(HostPhase::DetailedSim);
+        core->run(max_retired, max_cycles);
+    }
+    if (ctl.trace)
+        ctl.trace->flush();
     noteOutcome(*core, prog.name, ctl);
     return collectReport(*core, prog.name);
 }
@@ -243,7 +259,10 @@ SimContext::runInterval(const Program &prog, const Checkpoint &from,
     requireValidCoreParams(params, "SimContext(" + prog.name + ")");
     if (!core)
         core = std::make_unique<Core>(prog, params);
-    core->reset(prog, params, from);
+    {
+        ScopedPhase timer(HostPhase::CheckpointRestore);
+        core->reset(prog, params, from);
+    }
     core->setCancelToken(ctl.cancel);
 
     // Detailed warmup: simulate but snapshot-and-subtract the
@@ -254,16 +273,35 @@ SimContext::runInterval(const Program &prog, const Checkpoint &from,
     // through multi-wide retirement overshoot.
     SimReport warm;
     if (warmup) {
+        ScopedPhase timer(HostPhase::DetailedSim);
         core->setRetireStop(warmup);
         core->run(warmup, max_cycles);
     }
     warm = collectReport(*core, prog.name);
 
+    // Observability attaches after warmup: the trace window indexes
+    // into the measured retire stream and the metrics series covers
+    // exactly the measured (reported) interval.
+    if (ctl.trace) {
+        const u64 warmed0 = core->stats().retired;
+        const u64 start = ctl.traceStart > ~u64(0) - warmed0
+                              ? ~u64(0)
+                              : warmed0 + ctl.traceStart;
+        core->setTraceSink(ctl.trace, start, ctl.traceCount);
+    }
+    if (ctl.metrics)
+        core->setMetrics(ctl.metrics);
+
     const u64 warmed = core->stats().retired;
     const u64 target =
         measure > ~u64(0) - warmed ? ~u64(0) : warmed + measure;
     core->setRetireStop(target);
-    core->run(target, max_cycles);
+    {
+        ScopedPhase timer(HostPhase::DetailedSim);
+        core->run(target, max_cycles);
+    }
+    if (ctl.trace)
+        ctl.trace->flush();
     noteOutcome(*core, strfmt("%s (interval from %llu)", prog.name.c_str(),
                               (unsigned long long)from.icount),
                 ctl);

@@ -38,6 +38,9 @@
 namespace rix
 {
 
+class TraceSink;
+class MetricsRecorder;
+
 /**
  * Test-only fault injection, settable per job: prove the containment
  * machinery works (timeouts fire, retries recover, a poisoned job
@@ -86,6 +89,18 @@ struct SimJob
     u64 checkpointAt = noCheckpoint;
     u64 warmup = 0;
 
+    // Observability attach points (PR 9), null/zero when off. The
+    // sink/recorder are owned by the job (shared_ptr so SimJob stays
+    // copyable) and attached to the worker's core for the measured
+    // run; they never affect simulated state. For sampled jobs the
+    // trace window indexes into the *measured* retire stream (warmup
+    // is not traced). A retried attempt re-arms the metrics recorder
+    // but appends to the trace sink (file sinks cannot rewind).
+    std::shared_ptr<TraceSink> trace;
+    u64 traceStart = 0;
+    u64 traceCount = 0;
+    std::shared_ptr<MetricsRecorder> metrics;
+
     bool sampled() const { return checkpointAt != noCheckpoint; }
 };
 
@@ -130,6 +145,13 @@ struct RunControl
 {
     const CancelToken *cancel = nullptr;
     JobFault *fault = nullptr;
+
+    // Observability taps forwarded to the core (see SimJob). Non-owning;
+    // the caller keeps them alive across the run.
+    TraceSink *trace = nullptr;
+    u64 traceStart = 0;
+    u64 traceCount = 0;
+    MetricsRecorder *metrics = nullptr;
 };
 
 /**

@@ -9,6 +9,7 @@
 
 #include "base/env.hh"
 #include "base/log.hh"
+#include "trace/profiler.hh"
 
 namespace rix
 {
@@ -428,6 +429,7 @@ ResultStore::openReadOnly(const std::string &path, std::string *err,
 std::string
 ResultStore::append(const StoreRecord &rec)
 {
+    ScopedPhase timer(HostPhase::StoreJournal);
     std::lock_guard<std::mutex> lock(appendMutex_);
     if (fd_ < 0)
         return "store '" + path_ + "' is read-only";

@@ -1,0 +1,99 @@
+#include "trace/metrics.hh"
+
+#include <cstdlib>
+
+#include "base/env.hh"
+#include "base/log.hh"
+
+namespace rix
+{
+
+MetricsRecorder::MetricsRecorder(u64 every) : every_(every)
+{
+    if (!every_)
+        rix_fatal("MetricsRecorder: interval must be positive");
+}
+
+void
+MetricsRecorder::begin(const CoreStats &now, const MetricsMemCounters &mem)
+{
+    prev_ = now;
+    prevMem_ = mem;
+    rows_.clear();
+}
+
+void
+MetricsRecorder::sample(const CoreStats &now, const MetricsMemCounters &mem)
+{
+    if (now.cycles == prev_.cycles)
+        return; // exact-boundary flush: nothing elapsed
+    Interval iv;
+    iv.cycleStart = prev_.cycles;
+    iv.cycleEnd = now.cycles;
+    iv.delta = now;
+    CoreStats::subtract(iv.delta, prev_);
+    iv.mem.l1d = mem.l1d - prevMem_.l1d;
+    iv.mem.l1i = mem.l1i - prevMem_.l1i;
+    iv.mem.l2 = mem.l2 - prevMem_.l2;
+    iv.mem.dtlb = mem.dtlb - prevMem_.dtlb;
+    iv.mem.itlb = mem.itlb - prevMem_.itlb;
+    rows_.push_back(std::move(iv));
+    prev_ = now;
+    prevMem_ = mem;
+}
+
+void
+MetricsRecorder::exportRows(
+    StatRegistry &reg,
+    const std::vector<std::pair<std::string, std::string>> &labels) const
+{
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        const Interval &iv = rows_[i];
+        StatRegistry::Row &row = reg.addRow();
+        for (const auto &kv : labels)
+            row.label(kv.first, kv.second);
+        row.label("interval", std::to_string(i));
+        iv.delta.exportTo(row.stats);
+        row.stats.set("cycle_start", double(iv.cycleStart));
+        row.stats.set("cycle_end", double(iv.cycleEnd));
+        row.stats.set("l1d_misses", double(iv.mem.l1d));
+        row.stats.set("l1i_misses", double(iv.mem.l1i));
+        row.stats.set("l2_misses", double(iv.mem.l2));
+        row.stats.set("dtlb_misses", double(iv.mem.dtlb));
+        row.stats.set("itlb_misses", double(iv.mem.itlb));
+    }
+}
+
+bool
+MetricsRecorder::writeJsonl(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &labels,
+    std::string *err) const
+{
+    StatRegistry reg;
+    exportRows(reg, labels);
+    FILE *f = fopen(path.c_str(), "w");
+    if (!f) {
+        if (err)
+            *err = "cannot open metrics output '" + path + "'";
+        return false;
+    }
+    reg.writeJsonLines(f);
+    const bool ok = fflush(f) == 0 && !ferror(f);
+    fclose(f);
+    if (!ok && err)
+        *err = "write failed on metrics output '" + path + "'";
+    return ok;
+}
+
+MetricsConfig
+applyMetricsEnv(MetricsConfig cfg)
+{
+    if (const char *v = getenv("RIX_METRICS_EVERY")) {
+        cfg.every = parsePositiveCount("RIX_METRICS_EVERY", v);
+        cfg.enabled = true;
+    }
+    return cfg;
+}
+
+} // namespace rix

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Interval time-series metrics: periodic CoreStats-delta sampling.
+ *
+ * End-of-run aggregates can't show *when* a configuration wins — a
+ * burst of misintegrations in one phase looks identical to a uniform
+ * trickle. The recorder snapshots the full CoreStats block (plus the
+ * substrate miss counters) every N simulated cycles and keeps the
+ * per-interval deltas; each interval renders as one StatRegistry row
+ * (JSON lines), so the time series uses the exact same column names as
+ * the end-of-run export and the rows sum to the aggregate counters
+ * (enforced by tests/test_trace.cc).
+ *
+ * Attachment mirrors the trace sink: the Core holds a null recorder
+ * pointer when metrics are off and pays one pointer test per cycle in
+ * the run loop (next to the cancellation poll). Sampling reads
+ * counters the simulation already maintains; simulated state is
+ * untouched.
+ *
+ * Spec block (scenario JSON) / env override:
+ *
+ *   "metrics": { "every": 10000, "out": "metrics.jsonl" }
+ *
+ * RIX_METRICS_EVERY overrides (and enables) the interval; it must be a
+ * strictly positive decimal (garbage, 0, trailing junk: fatal).
+ */
+
+#ifndef RIX_TRACE_METRICS_HH
+#define RIX_TRACE_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core_stats.hh"
+
+namespace rix
+{
+
+class StatRegistry;
+
+/** Substrate miss counters sampled alongside CoreStats. */
+struct MetricsMemCounters
+{
+    u64 l1d = 0;
+    u64 l1i = 0;
+    u64 l2 = 0;
+    u64 dtlb = 0;
+    u64 itlb = 0;
+};
+
+/**
+ * Accumulates one run's interval deltas. Single-run, single-thread
+ * (each SimJob owns its own); begin() re-arms it, so a retried job
+ * attempt starts a fresh series.
+ */
+class MetricsRecorder
+{
+  public:
+    explicit MetricsRecorder(u64 every);
+
+    u64 every() const { return every_; }
+
+    struct Interval
+    {
+        u64 cycleStart = 0;
+        u64 cycleEnd = 0;       // exclusive
+        CoreStats delta;        // counter deltas over [start, end)
+        MetricsMemCounters mem; // miss deltas over [start, end)
+    };
+
+    /** Re-arm at the current counters: deltas accumulate from here. */
+    void begin(const CoreStats &now, const MetricsMemCounters &mem);
+
+    /**
+     * Close the interval ending at the current counters. A no-op when
+     * no cycles elapsed since the previous sample (run-exit flush
+     * after an exact boundary sample).
+     */
+    void sample(const CoreStats &now, const MetricsMemCounters &mem);
+
+    const std::vector<Interval> &intervals() const { return rows_; }
+
+    /**
+     * Append one row per interval to @p reg, labeled with the caller's
+     * (label, value) pairs plus "interval"; stats are the CoreStats
+     * export of the delta plus cycle_start/cycle_end and the miss
+     * deltas — the same names as the end-of-run report columns.
+     */
+    void exportRows(
+        StatRegistry &reg,
+        const std::vector<std::pair<std::string, std::string>> &labels)
+        const;
+
+    /**
+     * Render the rows as JSON lines into @p path.
+     * @return false with *err set on I/O failure.
+     */
+    bool writeJsonl(
+        const std::string &path,
+        const std::vector<std::pair<std::string, std::string>> &labels,
+        std::string *err) const;
+
+  private:
+    u64 every_;
+    CoreStats prev_{};
+    MetricsMemCounters prevMem_{};
+    std::vector<Interval> rows_;
+};
+
+/** Metrics block of a scenario spec, after parsing and env overrides. */
+struct MetricsConfig
+{
+    bool enabled = false;
+    u64 every = 10'000;     // simulated cycles per interval
+    std::string out = "rix_metrics.jsonl";
+};
+
+/** Apply the RIX_METRICS_EVERY knob (strict positive) over @p cfg. */
+MetricsConfig applyMetricsEnv(MetricsConfig cfg);
+
+} // namespace rix
+
+#endif // RIX_TRACE_METRICS_HH

@@ -1,0 +1,51 @@
+#include "trace/profiler.hh"
+
+#include "base/stats.hh"
+
+namespace rix
+{
+
+const char *
+hostPhaseName(HostPhase phase)
+{
+    switch (phase) {
+      case HostPhase::Decode: return "decode";
+      case HostPhase::CheckpointBuild: return "checkpoint_build";
+      case HostPhase::CheckpointRestore: return "checkpoint_restore";
+      case HostPhase::FastForward: return "fast_forward";
+      case HostPhase::DetailedSim: return "detailed_sim";
+      case HostPhase::StoreJournal: return "store_journal";
+      case HostPhase::ServeRequest: return "serve_request";
+    }
+    return "?";
+}
+
+void
+HostProfiler::reset()
+{
+    for (unsigned i = 0; i < numHostPhases; ++i) {
+        ns_[i].store(0, std::memory_order_relaxed);
+        calls_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+HostProfiler::exportTo(StatSet &out) const
+{
+    for (unsigned i = 0; i < numHostPhases; ++i) {
+        const HostPhase p = HostPhase(i);
+        out.set(std::string("host_") + hostPhaseName(p) + "_s",
+                double(nanos(p)) / 1e9);
+        out.set(std::string("host_") + hostPhaseName(p) + "_calls",
+                double(calls(p)));
+    }
+}
+
+HostProfiler &
+hostProfiler()
+{
+    static HostProfiler prof;
+    return prof;
+}
+
+} // namespace rix

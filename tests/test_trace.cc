@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Observability tests (PR 9): pipeline-trace invariants (monotone
+ * stage cycles, exact retire window, squash causes), the Konata golden
+ * format and file round-trip, the zero-overhead contract (simulated
+ * state bit-identical with tracing on or off), interval metrics
+ * summing to the end-of-run aggregates, strict environment parsing,
+ * the host-phase profiler, and Histogram::quantile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "base/histogram.hh"
+#include "base/stats.hh"
+#include "cpu/core.hh"
+#include "trace/metrics.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
+#include "workload/workload.hh"
+
+using namespace rix;
+
+namespace
+{
+
+const Program &
+cachedProgram(const std::string &name)
+{
+    static std::map<std::string, Program> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, buildWorkload(name, 1)).first;
+    return it->second;
+}
+
+/** In-memory sink: keeps every event for invariant checks. */
+struct CollectingSink : TraceSink
+{
+    std::vector<TraceEvent> events;
+
+  protected:
+    void write(const TraceEvent &ev) override { events.push_back(ev); }
+};
+
+void
+expectMonotone(const TraceEvent &ev)
+{
+    EXPECT_LE(ev.fetch, ev.decode);
+    EXPECT_LE(ev.decode, ev.rename);
+    EXPECT_LE(ev.rename, ev.issue);
+    EXPECT_LE(ev.issue, ev.complete);
+    EXPECT_LE(ev.complete, ev.retire);
+}
+
+/** Scoped environment override (restores/unsets on destruction). */
+struct EnvGuard
+{
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        setenv(name, value, /*overwrite=*/1);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+    const char *name_;
+};
+
+} // namespace
+
+// ---- Histogram::quantile -------------------------------------------
+
+TEST(HistogramQuantile, EmptyAndBasics)
+{
+    Histogram h({10, 20, 50});
+    EXPECT_EQ(h.quantile(0.5), 0u); // empty histogram
+
+    h.sample(5, 50);   // <= 10
+    h.sample(15, 30);  // <= 20
+    h.sample(100, 20); // overflow
+    EXPECT_EQ(h.quantile(0.5), 10u);
+    EXPECT_EQ(h.quantile(0.8), 20u);
+    // Overflow samples saturate to the last bound.
+    EXPECT_EQ(h.quantile(0.95), 50u);
+    EXPECT_EQ(h.quantile(1.0), 50u);
+}
+
+// ---- host-phase profiler -------------------------------------------
+
+TEST(Profiler, ScopedPhaseCountsOnlyWhenEnabled)
+{
+    HostProfiler &p = hostProfiler();
+    p.reset();
+    p.setEnabled(false);
+    {
+        ScopedPhase t(HostPhase::Decode);
+    }
+    EXPECT_EQ(p.calls(HostPhase::Decode), 0u);
+
+    p.setEnabled(true);
+    {
+        ScopedPhase t(HostPhase::Decode);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(p.calls(HostPhase::Decode), 1u);
+    EXPECT_GT(p.nanos(HostPhase::Decode), 0u);
+
+    StatSet s;
+    p.exportTo(s);
+    EXPECT_TRUE(s.has("host_decode_s"));
+    EXPECT_TRUE(s.has("host_decode_calls"));
+    EXPECT_TRUE(s.has("host_detailed_sim_s"));
+    EXPECT_EQ(s.get("host_decode_calls"), 1.0);
+    EXPECT_GT(s.get("host_decode_s"), 0.0);
+
+    p.setEnabled(false);
+    p.reset();
+}
+
+// ---- TraceEvent clamping -------------------------------------------
+
+TEST(TraceEvent, StampsClampedMonotone)
+{
+    DynInst di;
+    di.seq = 9;
+    di.pc = 0x10;
+    di.inst = makeRR(Opcode::ADDQ, 3, 1, 2);
+    di.fetchCycle = 100;
+    di.renameReadyCycle = 99; // stamped "before" fetch: must clamp up
+    di.renameCycle = 105;
+    di.issueCycle = 0;   // never issued (integrated)
+    di.completeCycle = 104;
+
+    const TraceEvent ev =
+        makeTraceEvent(di, /*now=*/103, /*retired=*/true,
+                       SquashCause::None, /*retire_index=*/7);
+    expectMonotone(ev);
+    EXPECT_EQ(ev.fetch, 100u);
+    EXPECT_EQ(ev.decode, 100u);
+    EXPECT_EQ(ev.rename, 105u);
+    EXPECT_EQ(ev.issue, 105u);
+    EXPECT_EQ(ev.complete, 105u);
+    EXPECT_EQ(ev.retire, 105u);
+    EXPECT_TRUE(ev.retired);
+    EXPECT_EQ(ev.retireIndex, 7u);
+    EXPECT_EQ(ev.cause, SquashCause::None);
+
+    const TraceEvent sq = makeTraceEvent(di, 103, /*retired=*/false,
+                                         SquashCause::Branch, 99);
+    EXPECT_FALSE(sq.retired);
+    EXPECT_EQ(sq.retireIndex, 0u);
+    EXPECT_EQ(sq.cause, SquashCause::Branch);
+}
+
+// ---- Konata golden format ------------------------------------------
+
+TEST(Konata, GoldenFormat)
+{
+    TraceEvent ev;
+    ev.seq = 7;
+    ev.pc = 0x40;
+    ev.inst = makeRR(Opcode::ADDQ, 3, 1, 2);
+    ev.fetch = 10;
+    ev.decode = 11;
+    ev.rename = 12;
+    ev.issue = 13;
+    ev.complete = 15;
+    ev.retire = 20;
+    ev.retired = true;
+
+    TraceEvent sq = ev;
+    sq.seq = 8;
+    sq.retired = false;
+    sq.cause = SquashCause::Branch;
+
+    char *buf = nullptr;
+    size_t len = 0;
+    FILE *mem = open_memstream(&buf, &len);
+    ASSERT_NE(mem, nullptr);
+    {
+        KonataTraceSink sink(mem); // dtor fcloses, finalizing buf/len
+        sink.emit(ev);
+        sink.emit(sq);
+        EXPECT_EQ(sink.numEvents(), 2u);
+        EXPECT_EQ(sink.numRetired(), 1u);
+        EXPECT_EQ(sink.numSquashed(), 1u);
+    }
+    const std::string text(buf, len);
+    free(buf);
+
+    EXPECT_EQ(text,
+              "O3PipeView:fetch:10:0x00000040:0:7:addq r3, r1, r2\n"
+              "O3PipeView:decode:11\n"
+              "O3PipeView:rename:12\n"
+              "O3PipeView:dispatch:12\n"
+              "O3PipeView:issue:13\n"
+              "O3PipeView:complete:15\n"
+              "O3PipeView:retire:20:store:0\n"
+              "O3PipeView:fetch:10:0x00000040:0:8:addq r3, r1, r2\n"
+              "O3PipeView:decode:11\n"
+              "O3PipeView:rename:12\n"
+              "O3PipeView:dispatch:12\n"
+              "O3PipeView:issue:13\n"
+              "O3PipeView:complete:15\n"
+              "O3PipeView:retire:0:store:0\n");
+}
+
+// ---- core-attached tracing -----------------------------------------
+
+TEST(Trace, WindowIsExactAndStagesMonotone)
+{
+    const Program &prog = cachedProgram("mcf");
+    CoreParams params;
+    Core core(prog, params);
+    CollectingSink sink;
+    core.setTraceSink(&sink, /*start=*/100, /*count=*/500);
+    core.run(5'000'000, 50'000'000);
+    ASSERT_GE(core.stats().retired, 600u);
+
+    u64 retired = 0;
+    u64 lastIndex = 0;
+    for (const TraceEvent &ev : sink.events) {
+        expectMonotone(ev);
+        if (!ev.retired)
+            continue;
+        if (retired)
+            EXPECT_EQ(ev.retireIndex, lastIndex + 1);
+        else
+            EXPECT_EQ(ev.retireIndex, 100u);
+        lastIndex = ev.retireIndex;
+        ++retired;
+    }
+    // Exactly the [100, 600) slice of the retire stream.
+    EXPECT_EQ(retired, 500u);
+    EXPECT_EQ(sink.numRetired(), 500u);
+    EXPECT_EQ(lastIndex, 599u);
+}
+
+TEST(Trace, SquashedEventsCarryACause)
+{
+    const Program &prog = cachedProgram("mcf");
+    CoreParams params;
+    Core core(prog, params);
+    CollectingSink sink;
+    core.setTraceSink(&sink, 0, ~u64(0));
+    core.run(200'000, 2'000'000);
+
+    u64 squashed = 0;
+    for (const TraceEvent &ev : sink.events) {
+        if (ev.retired) {
+            EXPECT_EQ(ev.cause, SquashCause::None);
+            continue;
+        }
+        ++squashed;
+        EXPECT_NE(ev.cause, SquashCause::None)
+            << "squashed seq " << ev.seq << " has no cause";
+        EXPECT_EQ(ev.retireIndex, 0u);
+    }
+    // mcf under the default predictor mispredicts: wrong-path work
+    // must show up as squash events.
+    EXPECT_GT(squashed, 0u);
+    EXPECT_EQ(squashed, sink.numSquashed());
+}
+
+TEST(Trace, SimulatedStateBitIdenticalTracingOnOrOff)
+{
+    const Program &prog = cachedProgram("mcf");
+    CoreParams params;
+
+    Core off(prog, params);
+    off.run(200'000, 2'000'000);
+
+    Core on(prog, params);
+    CollectingSink sink;
+    on.setTraceSink(&sink, 0, 100'000);
+    on.run(200'000, 2'000'000);
+    EXPECT_GT(sink.numEvents(), 0u);
+
+    const CoreStats &a = off.stats();
+    const CoreStats &b = on.stats();
+    EXPECT_EQ(memcmp(&a, &b, sizeof(CoreStats)), 0);
+    EXPECT_EQ(off.halted(), on.halted());
+    EXPECT_EQ(off.memHierarchy().l1d().misses(),
+              on.memHierarchy().l1d().misses());
+    EXPECT_EQ(off.memHierarchy().l2().misses(),
+              on.memHierarchy().l2().misses());
+}
+
+TEST(Trace, KonataFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "rix_trace_rt.txt";
+    TraceConfig cfg;
+    cfg.enabled = true;
+    std::string err;
+    std::unique_ptr<TraceSink> sink = openTraceSink(cfg, path, &err);
+    ASSERT_NE(sink, nullptr) << err;
+
+    const Program &prog = cachedProgram("mcf");
+    CoreParams params;
+    Core core(prog, params);
+    core.setTraceSink(sink.get(), 0, 2'000);
+    core.run(100'000, 1'000'000);
+    sink->flush();
+
+    // Reparse: every event renders exactly one fetch and one retire
+    // line; retired events carry a nonzero retire cycle, squashed a
+    // zero one.
+    FILE *f = fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    u64 fetchLines = 0, retireLines = 0, retiredNonzero = 0;
+    char line[512];
+    while (fgets(line, sizeof(line), f)) {
+        if (strncmp(line, "O3PipeView:fetch:", 17) == 0)
+            ++fetchLines;
+        else if (strncmp(line, "O3PipeView:retire:", 18) == 0) {
+            ++retireLines;
+            if (strncmp(line, "O3PipeView:retire:0:", 20) != 0)
+                ++retiredNonzero;
+        }
+    }
+    fclose(f);
+    remove(path.c_str());
+
+    EXPECT_EQ(fetchLines, sink->numEvents());
+    EXPECT_EQ(retireLines, sink->numEvents());
+    EXPECT_EQ(retiredNonzero, sink->numRetired());
+    EXPECT_EQ(sink->numRetired(), 2'000u);
+}
+
+// ---- interval metrics ----------------------------------------------
+
+TEST(Metrics, IntervalsSumToEndOfRunAggregates)
+{
+    const Program &prog = cachedProgram("mcf");
+    CoreParams params;
+    Core core(prog, params);
+    MetricsRecorder rec(1'000);
+    core.setMetrics(&rec);
+    core.run(100'000, 1'000'000);
+
+    ASSERT_GT(rec.intervals().size(), 1u);
+    CoreStats sum{};
+    MetricsMemCounters mem;
+    u64 prevEnd = 0;
+    for (const MetricsRecorder::Interval &iv : rec.intervals()) {
+        EXPECT_LT(iv.cycleStart, iv.cycleEnd);
+        if (prevEnd) {
+            EXPECT_EQ(iv.cycleStart, prevEnd); // contiguous partition
+        }
+        prevEnd = iv.cycleEnd;
+        CoreStats::accumulate(sum, iv.delta);
+        mem.l1d += iv.mem.l1d;
+        mem.l1i += iv.mem.l1i;
+        mem.l2 += iv.mem.l2;
+        mem.dtlb += iv.mem.dtlb;
+        mem.itlb += iv.mem.itlb;
+    }
+
+    const CoreStats &fin = core.stats();
+    EXPECT_EQ(memcmp(&sum, &fin, sizeof(CoreStats)), 0);
+    EXPECT_EQ(prevEnd, fin.cycles);
+    EXPECT_EQ(mem.l1d, core.memHierarchy().l1d().misses());
+    EXPECT_EQ(mem.l1i, core.memHierarchy().l1i().misses());
+    EXPECT_EQ(mem.l2, core.memHierarchy().l2().misses());
+    EXPECT_EQ(mem.dtlb, core.memHierarchy().dtlb().misses());
+    EXPECT_EQ(mem.itlb, core.memHierarchy().itlb().misses());
+}
+
+TEST(Metrics, MetricsDoNotPerturbSimulatedState)
+{
+    const Program &prog = cachedProgram("mcf");
+    CoreParams params;
+
+    Core off(prog, params);
+    off.run(100'000, 1'000'000);
+
+    Core on(prog, params);
+    MetricsRecorder rec(777); // deliberately unaligned interval
+    on.setMetrics(&rec);
+    on.run(100'000, 1'000'000);
+
+    const CoreStats &a = off.stats();
+    const CoreStats &b = on.stats();
+    EXPECT_EQ(memcmp(&a, &b, sizeof(CoreStats)), 0);
+}
+
+TEST(Metrics, WriteJsonlRendersOneRowPerInterval)
+{
+    const Program &prog = cachedProgram("mcf");
+    CoreParams params;
+    Core core(prog, params);
+    MetricsRecorder rec(10'000);
+    core.setMetrics(&rec);
+    core.run(50'000, 500'000);
+    ASSERT_GT(rec.intervals().size(), 0u);
+
+    const std::string path =
+        ::testing::TempDir() + "rix_metrics_rt.jsonl";
+    std::string err;
+    ASSERT_TRUE(rec.writeJsonl(path, {{"workload", "mcf"}}, &err))
+        << err;
+
+    FILE *f = fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    u64 lines = 0;
+    char line[8192];
+    while (fgets(line, sizeof(line), f)) {
+        ++lines;
+        EXPECT_NE(strstr(line, "\"workload\": \"mcf\""), nullptr);
+        EXPECT_NE(strstr(line, "\"interval\""), nullptr);
+        EXPECT_NE(strstr(line, "\"cycle_start\""), nullptr);
+        EXPECT_NE(strstr(line, "\"retired\""), nullptr);
+    }
+    fclose(f);
+    remove(path.c_str());
+    EXPECT_EQ(lines, rec.intervals().size());
+}
+
+TEST(MetricsDeathTest, ZeroIntervalIsFatal)
+{
+    EXPECT_DEATH(MetricsRecorder rec(0), "positive");
+}
+
+// ---- strict environment parsing ------------------------------------
+
+TEST(TraceEnv, AppliesValidValues)
+{
+    EnvGuard t("RIX_TRACE", "/tmp/t.jsonl");
+    EnvGuard s("RIX_TRACE_START", "5");
+    EnvGuard c("RIX_TRACE_COUNT", "7");
+    const TraceConfig cfg = applyTraceEnv(TraceConfig{});
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_EQ(cfg.out, "/tmp/t.jsonl");
+    EXPECT_EQ(cfg.format, "jsonl"); // sniffed from the suffix
+    EXPECT_EQ(cfg.start, 5u);
+    EXPECT_EQ(cfg.count, 7u);
+    EXPECT_EQ(cfg.end(), 12u);
+
+    EnvGuard k("RIX_TRACE", "/tmp/t.txt");
+    EXPECT_EQ(applyTraceEnv(TraceConfig{}).format, "konata");
+}
+
+TEST(TraceEnv, MetricsEveryEnables)
+{
+    EnvGuard e("RIX_METRICS_EVERY", "2500");
+    const MetricsConfig cfg = applyMetricsEnv(MetricsConfig{});
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_EQ(cfg.every, 2'500u);
+}
+
+TEST(TraceEnvDeathTest, EmptyTraceFileIsFatal)
+{
+    EnvGuard g("RIX_TRACE", "");
+    EXPECT_DEATH(applyTraceEnv(TraceConfig{}), "RIX_TRACE");
+}
+
+TEST(TraceEnvDeathTest, GarbageStartIsFatal)
+{
+    EnvGuard g("RIX_TRACE_START", "abc");
+    EXPECT_DEATH(applyTraceEnv(TraceConfig{}), "RIX_TRACE_START");
+}
+
+TEST(TraceEnvDeathTest, ZeroCountIsFatal)
+{
+    EnvGuard g("RIX_TRACE_COUNT", "0");
+    EXPECT_DEATH(applyTraceEnv(TraceConfig{}), "RIX_TRACE_COUNT");
+}
+
+TEST(TraceEnvDeathTest, TrailingJunkCountIsFatal)
+{
+    EnvGuard g("RIX_TRACE_COUNT", "12x");
+    EXPECT_DEATH(applyTraceEnv(TraceConfig{}), "RIX_TRACE_COUNT");
+}
+
+TEST(TraceEnvDeathTest, ZeroMetricsEveryIsFatal)
+{
+    EnvGuard g("RIX_METRICS_EVERY", "0");
+    EXPECT_DEATH(applyMetricsEnv(MetricsConfig{}), "RIX_METRICS_EVERY");
+}
+
+TEST(TraceEnvDeathTest, GarbageMetricsEveryIsFatal)
+{
+    EnvGuard g("RIX_METRICS_EVERY", "10 thousand");
+    EXPECT_DEATH(applyMetricsEnv(MetricsConfig{}), "RIX_METRICS_EVERY");
+}
