@@ -107,6 +107,12 @@ usage(FILE *out)
             "  --max-retired N  per-run retired-instruction budget\n"
             "  --no-minimize    skip shrinking the failing program\n"
             "  --jobs N         worker threads (overrides RIX_JOBS)\n"
+            "  --guided         coverage-guided mode: keep a seed corpus,\n"
+            "                   run the whole budget, dedupe failures\n"
+            "  --corpus DIR     journal corpus entries to DIR and reload\n"
+            "                   them next run (implies --guided)\n"
+            "  --explore PCT    guided slots given to fresh seeds, 0-100\n"
+            "                   (default 50; the rest mutate the corpus)\n"
             "  exit status: 0 no divergence; 1 divergence (reproducer\n"
             "  written — its presence disambiguates from fatal\n"
             "  configuration errors, which also exit 1); 2 usage error\n"
@@ -504,6 +510,32 @@ cmdFuzz(int argc, char **argv)
             opts.panelPath = needValue("--panel");
         } else if (arg == "--config") {
             opts.onlyConfig = needValue("--config");
+            if (opts.onlyConfig.empty()) {
+                // Panel point labels are never empty (the scenario
+                // parser rejects them), so an empty filter is always a
+                // quoting mistake — say so instead of "matches no
+                // panel point".
+                fprintf(stderr, "rix fuzz: --config needs a non-empty "
+                                "label (panel point labels are never "
+                                "empty)\n");
+                return 2;
+            }
+        } else if (arg == "--guided") {
+            opts.guided = true;
+        } else if (arg == "--corpus") {
+            opts.corpusDir = needValue("--corpus");
+            opts.guided = true;
+        } else if (arg == "--explore") {
+            const char *v = needValue("--explore");
+            char *end = nullptr;
+            const unsigned long pct = strtoul(v, &end, 10);
+            if (!end || *end != '\0' || end == v || pct > 100) {
+                fprintf(stderr, "rix fuzz: --explore wants a percentage "
+                                "0-100, got '%s'\n", v);
+                return 2;
+            }
+            opts.explorePct = unsigned(pct);
+            opts.guided = true;
         } else if (arg == "--out") {
             opts.reproPath = needValue("--out");
         } else if (arg == "--max-retired") {
@@ -541,12 +573,22 @@ cmdFuzz(int argc, char **argv)
     }
     printf("{\"fuzz\": \"rix\", \"seeds\": %llu, \"first_seed\": %llu, "
            "\"points\": %zu, \"runs\": %llu, \"divergences\": %d, "
-           "\"truncated\": %llu, \"fault_injected\": %d}\n",
+           "\"truncated\": %llu, \"fault_injected\": %d, "
+           "\"guided\": %d, \"coverage_bits\": %zu, "
+           "\"coverage_sig\": \"%016llx\", \"failures\": %llu, "
+           "\"unique_failures\": %llu, \"corpus_entries\": %zu, "
+           "\"corpus_loaded\": %zu}\n",
            (unsigned long long)res.programs,
            (unsigned long long)opts.firstSeed, res.points,
            (unsigned long long)res.runs, res.failed ? 1 : 0,
            (unsigned long long)res.truncated,
-           rix::buildHasInjectedFault() ? 1 : 0);
+           rix::buildHasInjectedFault() ? 1 : 0,
+           (opts.guided || !opts.corpusDir.empty()) ? 1 : 0,
+           res.coverage.popcount(),
+           (unsigned long long)res.coverage.signature(),
+           (unsigned long long)res.failures,
+           (unsigned long long)res.uniqueFailures, res.corpusEntries,
+           res.corpusLoaded);
     return res.failed ? 1 : 0;
 }
 

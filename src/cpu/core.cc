@@ -116,6 +116,7 @@ Core::resetMicroarch(const Program &program, const CoreParams &params)
     traceEnd_ = 0;
     metrics_ = nullptr;
     metricsNext_ = ~Cycle(0);
+    cov_ = nullptr;
 
     initArchState();
 }

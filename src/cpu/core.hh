@@ -52,6 +52,7 @@ namespace rix
 
 class TraceSink;
 class MetricsRecorder;
+class CoverageMap;
 
 class Core
 {
@@ -182,6 +183,17 @@ class Core
      * bit-identical with or without a sink. Cleared by reset().
      */
     void setTraceSink(TraceSink *sink, u64 start, u64 count);
+
+    /**
+     * Attach a microarchitectural coverage map (not owned; null
+     * detaches): the rename/retire/squash taps set discrete event
+     * bits in it as the simulation runs. Observability only — the
+     * same zero-overhead discipline as tracing: one pointer test at
+     * each tap when detached, and simulated state plus every
+     * CoreStats field are bit-identical either way. Cleared by
+     * reset().
+     */
+    void setCoverage(CoverageMap *map) { cov_ = map; }
 
     /**
      * Attach an interval-metrics recorder (not owned; null detaches):
@@ -435,6 +447,7 @@ class Core
     u64 traceEnd_ = 0; // exclusive; 0 with trace_ null
     MetricsRecorder *metrics_ = nullptr;
     Cycle metricsNext_ = ~Cycle(0);
+    CoverageMap *cov_ = nullptr;
 };
 
 } // namespace rix

@@ -1,0 +1,221 @@
+#include "sim/corpus.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include "base/log.hh"
+
+namespace rix
+{
+
+std::string
+formatCorpusEntry(const CorpusEntry &e)
+{
+    const RandProgConfig &c = e.cfg;
+    std::string out = "# rix fuzz corpus entry\n";
+    out += strfmt("seed=%llu\n", (unsigned long long)e.seed);
+    out += strfmt("body_ops_min=%u\n", c.bodyOpsMin);
+    out += strfmt("body_ops_max=%u\n", c.bodyOpsMax);
+    out += strfmt("iters_min=%u\n", c.itersMin);
+    out += strfmt("iters_max=%u\n", c.itersMax);
+    out += strfmt("branch_weight=%u\n", c.branchWeight);
+    out += strfmt("mem_weight=%u\n", c.memWeight);
+    out += strfmt("call_depth=%u\n", c.callDepth);
+    out += strfmt("mem_footprint=%u\n", c.memFootprint);
+    out += strfmt("data_quads=%u\n", c.dataQuads);
+    out += strfmt("alu_op_bias=%u\n", c.aluOpBias);
+    out += strfmt("splice_seed=%llu\n", (unsigned long long)c.spliceSeed);
+    out += "mutator=" + e.mutator + "\n";
+    out += "coverage=" + e.map.toHex() + "\n";
+    return out;
+}
+
+namespace
+{
+
+bool
+parseU64(const std::string &v, u64 *out)
+{
+    if (v.empty() || v.size() > 20)
+        return false;
+    u64 acc = 0;
+    for (char c : v) {
+        if (c < '0' || c > '9')
+            return false;
+        const u64 next = acc * 10 + u64(c - '0');
+        if (next < acc)
+            return false;
+        acc = next;
+    }
+    *out = acc;
+    return true;
+}
+
+bool
+parseU32Field(const std::string &v, unsigned *out)
+{
+    u64 wide;
+    if (!parseU64(v, &wide) || wide > ~0u)
+        return false;
+    *out = unsigned(wide);
+    return true;
+}
+
+} // namespace
+
+bool
+parseCorpusEntry(const std::string &text, CorpusEntry *out)
+{
+    CorpusEntry e;
+    bool sawSeed = false, sawCoverage = false;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = line.substr(0, eq);
+        const std::string val = line.substr(eq + 1);
+
+        bool ok = true;
+        if (key == "seed") {
+            ok = parseU64(val, &e.seed);
+            sawSeed = ok;
+        } else if (key == "body_ops_min") {
+            ok = parseU32Field(val, &e.cfg.bodyOpsMin);
+        } else if (key == "body_ops_max") {
+            ok = parseU32Field(val, &e.cfg.bodyOpsMax);
+        } else if (key == "iters_min") {
+            ok = parseU32Field(val, &e.cfg.itersMin);
+        } else if (key == "iters_max") {
+            ok = parseU32Field(val, &e.cfg.itersMax);
+        } else if (key == "branch_weight") {
+            ok = parseU32Field(val, &e.cfg.branchWeight);
+        } else if (key == "mem_weight") {
+            ok = parseU32Field(val, &e.cfg.memWeight);
+        } else if (key == "call_depth") {
+            ok = parseU32Field(val, &e.cfg.callDepth);
+        } else if (key == "mem_footprint") {
+            ok = parseU32Field(val, &e.cfg.memFootprint);
+        } else if (key == "data_quads") {
+            ok = parseU32Field(val, &e.cfg.dataQuads);
+        } else if (key == "alu_op_bias") {
+            ok = parseU32Field(val, &e.cfg.aluOpBias);
+        } else if (key == "splice_seed") {
+            ok = parseU64(val, &e.cfg.spliceSeed);
+        } else if (key == "mutator") {
+            e.mutator = val;
+        } else if (key == "coverage") {
+            ok = e.map.fromHex(val);
+            sawCoverage = ok;
+        }
+        // Unknown keys: forward compatibility, ignore.
+        if (!ok)
+            return false;
+    }
+    if (!sawSeed || !sawCoverage)
+        return false;
+    if (!validateRandProgConfig(e.cfg).empty())
+        return false;
+    *out = std::move(e);
+    return true;
+}
+
+bool
+Corpus::admit(CorpusEntry e)
+{
+    if (!e.map.orInto(union_))
+        return false;
+    entries_.push_back(std::move(e));
+    return true;
+}
+
+size_t
+Corpus::loadDir(const std::string &dir)
+{
+    DIR *d = opendir(dir.c_str());
+    if (!d) {
+        if (errno == ENOENT)
+            return 0;
+        rix_fatal("rix fuzz: cannot open corpus directory '%s': %s",
+                  dir.c_str(), strerror(errno));
+    }
+    std::vector<std::string> names;
+    while (const dirent *ent = readdir(d)) {
+        const std::string name = ent->d_name;
+        const std::string suffix = ".rixseed";
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            names.push_back(name);
+    }
+    closedir(d);
+    // Journal order == sorted order (files are named by position), so
+    // a reload replays admissions exactly as the writer made them.
+    std::sort(names.begin(), names.end());
+
+    size_t kept = 0;
+    for (const std::string &name : names) {
+        const std::string path = dir + "/" + name;
+        FILE *f = fopen(path.c_str(), "r");
+        if (!f)
+            rix_fatal("rix fuzz: cannot read corpus entry '%s': %s",
+                      path.c_str(), strerror(errno));
+        std::string text;
+        char buf[4096];
+        size_t n;
+        while ((n = fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        fclose(f);
+
+        CorpusEntry e;
+        if (!parseCorpusEntry(text, &e))
+            rix_fatal("rix fuzz: malformed corpus entry '%s'",
+                      path.c_str());
+        kept += admit(std::move(e)) ? 1 : 0;
+    }
+    saved_ = entries_.size();
+    return kept;
+}
+
+size_t
+Corpus::saveNew(const std::string &dir)
+{
+    if (saved_ >= entries_.size())
+        return 0;
+    if (mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+        rix_fatal("rix fuzz: cannot create corpus directory '%s': %s",
+                  dir.c_str(), strerror(errno));
+
+    size_t written = 0;
+    for (; saved_ < entries_.size(); ++saved_) {
+        const CorpusEntry &e = entries_[saved_];
+        const std::string path =
+            dir + strfmt("/%06zu-%016llx.rixseed", saved_,
+                         (unsigned long long)e.seed);
+        FILE *f = fopen(path.c_str(), "w");
+        if (!f)
+            rix_fatal("rix fuzz: cannot write corpus entry '%s': %s",
+                      path.c_str(), strerror(errno));
+        const std::string text = formatCorpusEntry(e);
+        if (fwrite(text.data(), 1, text.size(), f) != text.size()) {
+            fclose(f);
+            rix_fatal("rix fuzz: short write to corpus entry '%s'",
+                      path.c_str());
+        }
+        fclose(f);
+        ++written;
+    }
+    return written;
+}
+
+} // namespace rix

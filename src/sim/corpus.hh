@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seed corpus for coverage-guided fuzzing.
+ *
+ * A corpus entry is a (seed, RandProgConfig) pair — everything needed
+ * to regenerate its program bit-identically — plus the coverage map
+ * its run produced and the name of the mutator that derived it.
+ * Admission is greedy: an entry is kept iff its map contributes at
+ * least one bit the corpus union does not already have, and admission
+ * order is part of the campaign's deterministic schedule (the fuzz
+ * driver admits in program order, never thread completion order).
+ *
+ * Entries can be journaled to a directory as one `*.rixseed` text
+ * file each (key=value lines), and reloaded in sorted filename order
+ * — so a reloaded corpus reproduces the same union map and the same
+ * entry sequence, and a second campaign can resume exploitation where
+ * the first left off. A corpus directory should be managed by rix
+ * alone; files are named by entry position.
+ */
+
+#ifndef RIX_SIM_CORPUS_HH
+#define RIX_SIM_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/coverage.hh"
+#include "workload/randprog.hh"
+
+namespace rix
+{
+
+struct CorpusEntry
+{
+    u64 seed = 0;
+    RandProgConfig cfg;
+    CoverageMap map;
+    /** Provenance: "seed" for fresh programs, else the mutator name. */
+    std::string mutator = "seed";
+};
+
+/** Serialize one entry as `*.rixseed` key=value text. */
+std::string formatCorpusEntry(const CorpusEntry &e);
+
+/**
+ * Parse formatCorpusEntry() output (unknown keys ignored, so newer
+ * files with extra knobs still load). @return false on malformed
+ * input or an invalid config.
+ */
+bool parseCorpusEntry(const std::string &text, CorpusEntry *out);
+
+class Corpus
+{
+  public:
+    /**
+     * Offer @p e: its map is folded into the union, and the entry is
+     * kept iff the union gained at least one bit.
+     * @return true when the entry was kept.
+     */
+    bool admit(CorpusEntry e);
+
+    /** Union of every admitted map (kept or not). */
+    const CoverageMap &unionMap() const { return union_; }
+
+    const std::vector<CorpusEntry> &entries() const { return entries_; }
+    size_t size() const { return entries_.size(); }
+
+    /**
+     * Load every `*.rixseed` file under @p dir (sorted filename
+     * order) through admit(). A missing directory loads nothing.
+     * Fatal on a file that exists but does not parse.
+     * @return entries kept.
+     */
+    size_t loadDir(const std::string &dir);
+
+    /**
+     * Write entries not yet journaled to @p dir (created if needed),
+     * one `NNNNNN-<seed>.rixseed` file per entry, and mark them
+     * saved. Fatal on I/O failure. @return files written.
+     */
+    size_t saveNew(const std::string &dir);
+
+  private:
+    std::vector<CorpusEntry> entries_;
+    CoverageMap union_;
+    size_t saved_ = 0; // entries_[0..saved_) are already on disk
+};
+
+} // namespace rix
+
+#endif // RIX_SIM_CORPUS_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 
 #include "base/log.hh"
+#include "base/rng.hh"
 #include "base/thread_pool.hh"
 #include "sim/validate.hh"
 
@@ -46,12 +48,12 @@ buildHasInjectedFault()
 }
 
 std::vector<ScenarioConfig>
-fuzzPanel(const std::string &panel_path, const std::string &only_config)
+selectPanelPoints(const ScenarioSpec &spec, const std::string &panel_name,
+                  const std::string &only_config)
 {
-    const std::string text = panel_path.empty()
-                                 ? std::string(kBuiltinPanel)
-                                 : readScenarioFile(panel_path);
-    const ScenarioSpec spec = parseScenario(text);
+    if (spec.configs.empty())
+        rix_fatal("rix fuzz: panel %s declares no configs — there is "
+                  "nothing to fuzz against", panel_name.c_str());
 
     std::vector<ScenarioConfig> points;
     for (const ScenarioConfig &cfg : spec.configs) {
@@ -67,10 +69,22 @@ fuzzPanel(const std::string &panel_path, const std::string &only_config)
         std::string labels;
         for (const ScenarioConfig &cfg : spec.configs)
             labels += " '" + cfg.label + "'";
-        rix_fatal("rix fuzz: --config '%s' matches no panel point; "
-                  "valid labels:%s", only_config.c_str(), labels.c_str());
+        rix_fatal("rix fuzz: --config '%s' matches no point of panel %s; "
+                  "valid labels:%s", only_config.c_str(),
+                  panel_name.c_str(), labels.c_str());
     }
     return points;
+}
+
+std::vector<ScenarioConfig>
+fuzzPanel(const std::string &panel_path, const std::string &only_config)
+{
+    const std::string text = panel_path.empty()
+                                 ? std::string(kBuiltinPanel)
+                                 : readScenarioFile(panel_path);
+    const std::string name =
+        panel_path.empty() ? "builtin" : "'" + panel_path + "'";
+    return selectPanelPoints(parseScenario(text), name, only_config);
 }
 
 size_t
@@ -80,6 +94,40 @@ liveInstCount(const Program &p)
     for (const Instruction &inst : p.code)
         n += inst.isNop() ? 0 : 1;
     return n;
+}
+
+u64
+failureFingerprint(const std::string &kind, const CoverageMap &map)
+{
+    u64 h = 14695981039346656037ull;
+    const auto mix = [&h](const void *p, size_t n) {
+        const unsigned char *bytes =
+            static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= bytes[i];
+            h *= 1099511628211ull;
+        }
+    };
+    mix(kind.data(), kind.size());
+    const u64 events = map.eventWord();
+    mix(&events, sizeof(events));
+    return h;
+}
+
+void
+applyFailureClass(const DivergenceReport &r, CoverageMap &map)
+{
+    if (r.kind == "value")
+        map.set(kCovFailValue);
+    else if (r.kind == "pc-stream")
+        map.set(kCovFailPcStream);
+    else if (r.kind == "shadow")
+        map.set(kCovFailShadow);
+    else if (r.kind == "stuck")
+        map.set(r.reason.compare(0, 8, "watchdog") == 0
+                    ? kCovFailStuckWatchdog
+                    : kCovFailStuckTextFault);
+    // Synthetic test-hook kinds carry no class bit.
 }
 
 Program
@@ -145,10 +193,11 @@ describeGenerator(const RandProgConfig &c)
 {
     return strfmt("body_ops=[%u,%u] iters=[%u,%u] branch_weight=%u "
                   "mem_weight=%u call_depth=%u mem_footprint=%u "
-                  "data_quads=%u",
+                  "data_quads=%u alu_op_bias=%u splice_seed=%llu",
                   c.bodyOpsMin, c.bodyOpsMax, c.itersMin, c.itersMax,
                   c.branchWeight, c.memWeight, c.callDepth,
-                  c.memFootprint, c.dataQuads);
+                  c.memFootprint, c.dataQuads, c.aluOpBias,
+                  (unsigned long long)c.spliceSeed);
 }
 
 void
@@ -164,17 +213,28 @@ writeReproducer(const FuzzOptions &opts, const FuzzFailure &f)
     fprintf(out, "# config: %s\n", f.configLabel.c_str());
     fprintf(out, "# panel: %s\n",
             opts.panelPath.empty() ? "builtin" : opts.panelPath.c_str());
-    fprintf(out, "# generator: %s\n",
-            describeGenerator(opts.prog).c_str());
+    fprintf(out, "# generator: %s\n", describeGenerator(f.cfg).c_str());
+    fprintf(out, "# mutator: %s\n", f.mutator.c_str());
+    fprintf(out, "# failure kind: %s\n", f.report.kind.c_str());
+    fprintf(out, "# fingerprint: %016llx\n",
+            (unsigned long long)f.fingerprint);
+    fprintf(out, "# coverage: %zu bits, signature %016llx\n",
+            f.map.popcount(), (unsigned long long)f.map.signature());
     fprintf(out, "# replay: rix fuzz --seeds 1 --first-seed %llu "
             "--config \"%s\"%s%s\n",
             (unsigned long long)f.seed, f.configLabel.c_str(),
             opts.panelPath.empty() ? "" : " --panel ",
             opts.panelPath.c_str());
+    if (f.mutator != "seed")
+        fprintf(out, "# note: mutated generator config — regenerate "
+                "from the generator line above, not the CLI "
+                "defaults\n");
     fprintf(out, "#\n# divergence:\n");
     fprintf(out, "%s", f.report.format().c_str());
+    fprintf(out, "\n# minimized failure kind: %s\n",
+            f.minimizedReport.kind.c_str());
     fprintf(out,
-            "\n# minimized program: %zu live instructions in %zu slots "
+            "# minimized program: %zu live instructions in %zu slots "
             "(%llu shrink runs; NOP slots omitted), entry at slot %llu\n",
             f.liveInsts, f.minimized.code.size(),
             (unsigned long long)f.minimizeRuns,
@@ -191,6 +251,78 @@ writeReproducer(const FuzzOptions &opts, const FuzzFailure &f)
     fclose(out);
 }
 
+struct Outcome
+{
+    bool failed = false;
+    bool truncated = false; // budget hit before HALT: prefix-only
+    DivergenceReport report;
+    CoverageMap map;
+};
+
+/** One scheduled program: everything needed to regenerate it. */
+struct RunDesc
+{
+    u64 seed = 0;
+    RandProgConfig cfg;
+    const char *mutator = "seed";
+};
+
+/**
+ * One (program, panel point) simulation. Reuses one long-lived core
+ * per worker thread (and one on the calling thread for the serial
+ * path), reset per job — the same reusable-context discipline as the
+ * sweep engine.
+ */
+Outcome
+runOne(const FuzzOptions &opts, u64 seed, const RandProgConfig &cfg,
+       const ScenarioConfig &pt)
+{
+    const Program prog = generateRandomProgram(seed, cfg);
+
+    Outcome o;
+    if (opts.testFailure) {
+        const std::string kind = opts.testFailure(prog, seed, pt.label);
+        if (!kind.empty()) {
+            o.failed = true;
+            o.report.diverged = true;
+            o.report.kind = kind;
+            o.report.reason = "synthetic failure (test hook)";
+            applyFailureClass(o.report, o.map);
+            return o;
+        }
+    }
+
+    thread_local std::unique_ptr<Core> core;
+    if (!core)
+        core = std::make_unique<Core>(prog, pt.params);
+    else
+        core->reset(prog, pt.params);
+    core->setCoverage(&o.map);
+    core->run(opts.maxRetired, opts.maxCycles);
+    core->setCoverage(nullptr); // o.map is about to move out
+    o.map.harvestStats(core->stats());
+
+    if (const DivergenceReport *d = core->divergence()) {
+        o.failed = true;
+        o.report = *d;
+    } else if (core->stuck()) {
+        // The forward-progress watchdog tripped (or a store hit the
+        // text segment): a deadlock, livelock or wild store the fuzzer
+        // provoked. As much a finding as a divergence — report and
+        // minimize it; it does not kill the campaign.
+        o.failed = true;
+        o.report.diverged = true;
+        o.report.kind = "stuck";
+        o.report.icount = core->stats().retired;
+        o.report.reason = core->stuckReason();
+    } else if (!core->halted()) {
+        o.truncated = true;
+    }
+    if (o.failed)
+        applyFailureClass(o.report, o.map);
+    return o;
+}
+
 } // namespace
 
 FuzzResult
@@ -201,100 +333,194 @@ runFuzz(const FuzzOptions &opts)
     if (opts.seeds > 100'000'000)
         rix_fatal("rix fuzz: --seeds %llu is unreasonably large",
                   (unsigned long long)opts.seeds);
+    if (opts.explorePct > 100)
+        rix_fatal("rix fuzz: --explore %u is not a percentage",
+                  opts.explorePct);
     const std::string verr = validateRandProgConfig(opts.prog);
     if (!verr.empty())
         rix_fatal("rix fuzz: %s", verr.c_str());
 
     const std::vector<ScenarioConfig> points =
         fuzzPanel(opts.panelPath, opts.onlyConfig);
+    const bool guided = opts.guided || !opts.corpusDir.empty();
 
     FuzzResult res;
     res.programs = opts.seeds;
     res.points = points.size();
 
+    // First failure in deterministic program-major, point-minor order;
+    // guided campaigns keep going past it, deduplicating later ones.
+    std::set<u64> seenFps;
+    size_t failPointIdx = 0;
+    const auto recordFailure = [&](const RunDesc &d, size_t pt_idx,
+                                   Outcome &o) {
+        ++res.failures;
+        const u64 fp = failureFingerprint(o.report.kind, o.map);
+        if (!seenFps.insert(fp).second)
+            return;
+        ++res.uniqueFailures;
+        if (res.failed)
+            return;
+        res.failed = true;
+        FuzzFailure &f = res.failure;
+        f.seed = d.seed;
+        f.cfg = d.cfg;
+        f.mutator = d.mutator;
+        f.configLabel = points[pt_idx].label;
+        f.report = std::move(o.report);
+        f.map = o.map;
+        f.fingerprint = fp;
+        failPointIdx = pt_idx;
+    };
+
     const u64 total = opts.seeds * points.size();
-
-    struct Outcome
-    {
-        bool failed = false;
-        bool truncated = false; // budget hit before HALT: prefix-only
-        DivergenceReport report;
-    };
-
-    // One long-lived core per worker thread (and one on the calling
-    // thread for the serial path), reset per job — the same reusable-
-    // context discipline as the sweep engine.
-    const auto runJob = [&](u64 i) -> Outcome {
-        const u64 seed = opts.firstSeed + i / points.size();
-        const ScenarioConfig &pt = points[i % points.size()];
-        const Program prog = generateRandomProgram(seed, opts.prog);
-
-        thread_local std::unique_ptr<Core> core;
-        if (!core)
-            core = std::make_unique<Core>(prog, pt.params);
-        else
-            core->reset(prog, pt.params);
-        core->run(opts.maxRetired, opts.maxCycles);
-
-        Outcome o;
-        if (const DivergenceReport *d = core->divergence()) {
-            o.failed = true;
-            o.report = *d;
-        } else if (core->stuck()) {
-            // The forward-progress watchdog tripped: a scheduling
-            // deadlock or livelock the fuzzer provoked. As much a
-            // finding as a divergence — report and minimize it; it no
-            // longer kills the campaign.
-            o.failed = true;
-            o.report.diverged = true;
-            o.report.kind = "stuck";
-            o.report.icount = core->stats().retired;
-            o.report.reason = core->stuckReason();
-        } else if (!core->halted()) {
-            o.truncated = true;
-        }
-        return o;
-    };
-
-    u64 failIdx = ~u64(0);
-    Outcome fail;
     const unsigned nThreads =
         unsigned(std::min<u64>(jobsFromEnv(), total));
-    if (nThreads <= 1) {
-        for (u64 i = 0; i < total; ++i) {
-            Outcome o = runJob(i);
-            ++res.runs;
-            res.truncated += o.truncated ? 1 : 0;
-            if (o.failed) {
-                failIdx = i;
-                fail = std::move(o);
-                break;
-            }
-        }
-    } else {
-        // Batches keep the first reported failure deterministic
-        // (seed-major, point-minor order) while bounding how much work
-        // runs past it.
-        ThreadPool pool(nThreads);
-        const u64 batch = std::max<u64>(u64(nThreads) * 8, 32);
-        for (u64 b0 = 0; b0 < total && failIdx == ~u64(0); b0 += batch) {
-            const u64 b1 = std::min(total, b0 + batch);
-            std::vector<std::future<Outcome>> futs;
-            futs.reserve(size_t(b1 - b0));
-            for (u64 i = b0; i < b1; ++i)
-                futs.push_back(pool.submit([&runJob, i]() {
-                    return runJob(i);
-                }));
-            for (u64 i = b0; i < b1; ++i) {
-                Outcome o = futs[size_t(i - b0)].get();
+
+    if (!guided) {
+        // Blind campaign: seeds in order, stop at the first failure.
+        u64 failIdx = ~u64(0);
+        const auto blindDesc = [&](u64 i) {
+            return RunDesc{opts.firstSeed + i / points.size(),
+                           opts.prog, "seed"};
+        };
+        if (nThreads <= 1) {
+            for (u64 i = 0; i < total; ++i) {
+                const RunDesc d = blindDesc(i);
+                Outcome o =
+                    runOne(opts, d.seed, d.cfg, points[i % points.size()]);
                 ++res.runs;
                 res.truncated += o.truncated ? 1 : 0;
-                if (o.failed && failIdx == ~u64(0)) {
+                o.map.orInto(res.coverage);
+                if (o.failed) {
+                    recordFailure(d, size_t(i % points.size()), o);
                     failIdx = i;
-                    fail = std::move(o);
+                    break;
+                }
+            }
+        } else {
+            // Batches bound how much work runs past a failure. Within
+            // the failing batch only outcomes up to the failure index
+            // are counted and folded, so runs/truncated/coverage are
+            // identical to the serial break-at-first-failure path for
+            // any job count.
+            ThreadPool pool(nThreads);
+            const u64 batch = std::max<u64>(u64(nThreads) * 8, 32);
+            for (u64 b0 = 0; b0 < total && failIdx == ~u64(0);
+                 b0 += batch) {
+                const u64 b1 = std::min(total, b0 + batch);
+                std::vector<std::future<Outcome>> futs;
+                futs.reserve(size_t(b1 - b0));
+                for (u64 i = b0; i < b1; ++i)
+                    futs.push_back(pool.submit([&opts, &points, i]() {
+                        return runOne(opts,
+                                      opts.firstSeed + i / points.size(),
+                                      opts.prog,
+                                      points[i % points.size()]);
+                    }));
+                for (u64 i = b0; i < b1; ++i) {
+                    Outcome o = futs[size_t(i - b0)].get();
+                    if (failIdx != ~u64(0))
+                        continue; // past the first failure: uncounted
+                    ++res.runs;
+                    res.truncated += o.truncated ? 1 : 0;
+                    o.map.orInto(res.coverage);
+                    if (o.failed) {
+                        const RunDesc d = blindDesc(i);
+                        recordFailure(d, size_t(i % points.size()), o);
+                        failIdx = i;
+                    }
                 }
             }
         }
+    } else {
+        // Guided campaign: fixed-size generations; all scheduling for
+        // a generation depends only on the corpus as it stood at the
+        // generation barrier, and outcomes are counted, folded and
+        // admitted in program order — bit-reproducible for any job
+        // count. The whole budget always runs (failures dedupe
+        // instead of stopping the campaign).
+        constexpr u64 kGenSize = 32; // must not depend on thread count
+
+        Corpus corpus;
+        if (!opts.corpusDir.empty()) {
+            res.corpusLoaded = corpus.loadDir(opts.corpusDir);
+            corpus.unionMap().orInto(res.coverage);
+        }
+
+        std::unique_ptr<ThreadPool> pool;
+        if (nThreads > 1)
+            pool = std::make_unique<ThreadPool>(nThreads);
+
+        for (u64 g0 = 0, gen = 0; g0 < opts.seeds;
+             g0 += kGenSize, ++gen) {
+            const u64 g1 = std::min(opts.seeds, g0 + kGenSize);
+
+            // Explore/exploit split, scheduled serially per (first
+            // seed, generation): fresh seeds keep their blind-mode
+            // numbering; exploit slots mutate a corpus entry instead.
+            Rng sched(0x9e3779b97f4a7c15ull * (opts.firstSeed + 1) +
+                      0x517cc1b727220a95ull * (gen + 1));
+            std::vector<RunDesc> descs;
+            descs.reserve(size_t(g1 - g0));
+            for (u64 p = g0; p < g1; ++p) {
+                if (corpus.size() == 0 ||
+                    sched.below(100) < opts.explorePct) {
+                    descs.push_back(
+                        {opts.firstSeed + p, opts.prog, "seed"});
+                } else {
+                    const CorpusEntry &e =
+                        corpus.entries()[size_t(
+                            sched.below(corpus.size()))];
+                    const RandProgMutation m =
+                        mutateRandProg(e.seed, e.cfg, sched.next());
+                    descs.push_back({m.seed, m.cfg, m.mutator});
+                }
+            }
+
+            std::vector<Outcome> outs(descs.size() * points.size());
+            if (pool) {
+                std::vector<std::future<Outcome>> futs;
+                futs.reserve(outs.size());
+                for (size_t di = 0; di < descs.size(); ++di)
+                    for (size_t pi = 0; pi < points.size(); ++pi)
+                        futs.push_back(pool->submit(
+                            [&opts, &points, &descs, di, pi]() {
+                                return runOne(opts, descs[di].seed,
+                                              descs[di].cfg, points[pi]);
+                            }));
+                for (size_t k = 0; k < futs.size(); ++k)
+                    outs[k] = futs[k].get();
+            } else {
+                for (size_t di = 0; di < descs.size(); ++di)
+                    for (size_t pi = 0; pi < points.size(); ++pi)
+                        outs[di * points.size() + pi] = runOne(
+                            opts, descs[di].seed, descs[di].cfg,
+                            points[pi]);
+            }
+
+            // Generation barrier: fold in program-major, point-minor
+            // order; a program's corpus entry carries the union of its
+            // coverage across the whole panel.
+            for (size_t di = 0; di < descs.size(); ++di) {
+                CoverageMap progMap;
+                for (size_t pi = 0; pi < points.size(); ++pi) {
+                    Outcome &o = outs[di * points.size() + pi];
+                    ++res.runs;
+                    res.truncated += o.truncated ? 1 : 0;
+                    o.map.orInto(progMap);
+                    o.map.orInto(res.coverage);
+                    if (o.failed)
+                        recordFailure(descs[di], pi, o);
+                }
+                corpus.admit({descs[di].seed, descs[di].cfg, progMap,
+                              descs[di].mutator});
+            }
+        }
+
+        res.corpusEntries = corpus.size();
+        if (!opts.corpusDir.empty())
+            corpus.saveNew(opts.corpusDir);
     }
 
     if (res.truncated)
@@ -304,16 +530,13 @@ runFuzz(const FuzzOptions &opts)
                  (unsigned long long)res.truncated,
                  (unsigned long long)res.runs);
 
-    if (failIdx == ~u64(0))
+    if (!res.failed)
         return res;
 
-    res.failed = true;
     FuzzFailure &f = res.failure;
-    f.seed = opts.firstSeed + failIdx / points.size();
-    const ScenarioConfig &pt = points[failIdx % points.size()];
-    f.configLabel = pt.label;
-    f.report = fail.report;
-    f.minimized = generateRandomProgram(f.seed, opts.prog);
+    const ScenarioConfig &pt = points[failPointIdx];
+    f.minimized = generateRandomProgram(f.seed, f.cfg);
+    f.minimizedReport = f.report;
 
     if (opts.minimize) {
         // Candidate budgets: divergence can only move modestly past the
@@ -325,19 +548,52 @@ runFuzz(const FuzzOptions &opts)
             std::min<Cycle>(opts.maxCycles,
                             budget_retired * 20 + 100'000);
         std::unique_ptr<Core> mcore;
-        const auto stillFails = [&](const Program &cand) {
+        const auto runCandidate = [&](const Program &cand) {
             if (!mcore)
                 mcore = std::make_unique<Core>(cand, pt.params);
             else
                 mcore->reset(cand, pt.params);
             mcore->run(budget_retired, budget_cycles);
-            // Shrink whichever failure we found: divergence or a
-            // tripped forward-progress watchdog.
-            return mcore->divergence() != nullptr || mcore->stuck();
+        };
+        // Only candidates reproducing the original failure *kind*
+        // count: a divergence must not shrink into an unrelated stuck
+        // program (or vice versa). Full-fingerprint equality would be
+        // too strict — coverage bits vanish as instructions are
+        // neutralized.
+        const std::string wantKind = f.report.kind;
+        const auto failsSameKind = [&](const Program &cand) {
+            runCandidate(cand);
+            if (const DivergenceReport *d = mcore->divergence())
+                return d->kind == wantKind;
+            return mcore->stuck() && wantKind == "stuck";
         };
         f.minimized =
-            minimizeProgram(f.minimized, stillFails, &f.minimizeRuns);
+            minimizeProgram(f.minimized, failsSameKind, &f.minimizeRuns);
         res.runs += f.minimizeRuns;
+
+        // Confirmation run: re-verify the shrunken program once and
+        // record how it fails (the reproducer embeds this report).
+        runCandidate(f.minimized);
+        ++res.runs;
+        if (const DivergenceReport *d = mcore->divergence()) {
+            f.minimizedReport = *d;
+        } else if (mcore->stuck()) {
+            f.minimizedReport = DivergenceReport{};
+            f.minimizedReport.diverged = true;
+            f.minimizedReport.kind = "stuck";
+            f.minimizedReport.icount = mcore->stats().retired;
+            f.minimizedReport.reason = mcore->stuckReason();
+        } else {
+            // The predicate held for every kept candidate, so this is
+            // unreachable for a deterministic core; keep the original
+            // report rather than fail the campaign.
+            rix_warn("rix fuzz: minimized program did not re-fail "
+                     "(non-deterministic failure?)");
+        }
+        if (f.minimizedReport.kind != wantKind)
+            rix_warn("rix fuzz: minimized failure kind '%s' differs "
+                     "from original '%s'",
+                     f.minimizedReport.kind.c_str(), wantKind.c_str());
     }
     f.liveInsts = liveInstCount(f.minimized);
 

@@ -38,6 +38,8 @@ validateRandProgConfig(const RandProgConfig &c)
                       "(max 1000000)", c.dataQuads);
     if (c.callDepth > 16)
         return strfmt("call_depth %u too deep (max 16)", c.callDepth);
+    if (c.aluOpBias > 8)
+        return strfmt("alu_op_bias %u too large (max 8)", c.aluOpBias);
     return "";
 }
 
@@ -46,8 +48,10 @@ randProgInstBudget(const RandProgConfig &c)
 {
     // Worst case per arm: the call arm runs the whole chain (~12
     // instructions per level), every other arm emits at most 7.
+    // Splicing appends a second run of arms to every iteration.
     const u64 perArm = 8 + 12ull * c.callDepth;
-    const u64 perIter = 4 + u64(c.bodyOpsMax) * perArm;
+    const u64 arms = u64(c.bodyOpsMax) * (c.spliceSeed ? 2 : 1);
+    const u64 perIter = 4 + arms * perArm;
     return 64 + u64(c.itersMax) * perIter;
 }
 
@@ -67,7 +71,8 @@ generateRandomProgram(u64 seed, const RandProgConfig &cfg)
     const s32 scratchMask = s32(cfg.memFootprint - 8);
 
     const LogReg regs[] = {1, 2, 3, 4, 5, 6, 7, 8, 16, 17, 22, 23};
-    auto reg = [&]() { return regs[rng.below(std::size(regs))]; };
+    auto regFrom = [&](Rng &r) { return regs[r.below(std::size(regs))]; };
+    auto reg = [&]() { return regFrom(rng); };
 
     b.br("main");
 
@@ -119,19 +124,27 @@ generateRandomProgram(u64 seed, const RandProgConfig &cfg)
     tickets.push_back(Arm::Spill);
     tickets.push_back(Arm::Checksum);
 
-    const unsigned body =
-        cfg.bodyOpsMin + unsigned(rng.below(cfg.bodyOpsMax -
-                                            cfg.bodyOpsMin + 1));
-    for (unsigned i = 0; i < body; ++i) {
-        switch (tickets[rng.below(tickets.size())]) {
+    // One lottery arm, drawing every random decision from @p r. The
+    // main body uses the program rng; splicing replays the same arm
+    // machinery against an independent stream, so a spliced program's
+    // main body stays bit-identical to the unspliced one.
+    auto emitArm = [&](Rng &r) {
+        auto reg = [&]() { return regFrom(r); };
+        switch (tickets[r.below(tickets.size())]) {
           case Arm::AluRR:
           {
             static const Opcode ops[] = {Opcode::ADDQ, Opcode::SUBQ,
                                          Opcode::AND, Opcode::BIS,
                                          Opcode::XOR, Opcode::CMPLT,
                                          Opcode::MULQ};
-            b.emit(makeRR(ops[rng.below(std::size(ops))], reg(), reg(),
-                          reg()));
+            // The bias rotates which opcode a given draw lands on
+            // (op substitution) without disturbing the draw stream.
+            // The draw stays inside the call expression: hoisting it
+            // would reorder it against the reg() draws (argument
+            // evaluation order) and change every historical program.
+            b.emit(makeRR(ops[(r.below(std::size(ops)) +
+                               cfg.aluOpBias) % std::size(ops)],
+                          reg(), reg(), reg()));
             break;
           }
           case Arm::AluRI:
@@ -140,10 +153,13 @@ generateRandomProgram(u64 seed, const RandProgConfig &cfg)
             static const Opcode ops[] = {Opcode::ADDQI, Opcode::SUBQI,
                                          Opcode::ANDI, Opcode::XORI,
                                          Opcode::SLLI, Opcode::SRLI};
-            Opcode op = ops[rng.below(std::size(ops))];
+            const size_t pick =
+                (r.below(std::size(ops)) + cfg.aluOpBias) %
+                std::size(ops);
+            Opcode op = ops[pick];
             s32 imm = (op == Opcode::SLLI || op == Opcode::SRLI)
-                          ? s32(rng.below(63))
-                          : s32(rng.range(-64, 64));
+                          ? s32(r.below(63))
+                          : s32(r.range(-64, 64));
             b.emit(makeRI(op, reg(), reg(), imm));
             break;
           }
@@ -167,16 +183,16 @@ generateRandomProgram(u64 seed, const RandProgConfig &cfg)
           {
             const std::string skip = b.genLabel("skip");
             LogReg c = reg();
-            b.andi(c, c, s32(1 + rng.below(3)));
-            switch (rng.below(4)) {
+            b.andi(c, c, s32(1 + r.below(3)));
+            switch (r.below(4)) {
               case 0: b.beq(c, skip); break;
               case 1: b.bne(c, skip); break;
               case 2: b.bgt(c, skip); break;
               default: b.ble(c, skip); break;
             }
-            for (unsigned k = 0; k < 1 + rng.below(4); ++k)
+            for (unsigned k = 0; k < 1 + r.below(4); ++k)
                 b.emit(makeRI(Opcode::ADDQI, reg(), reg(),
-                              s32(rng.range(-5, 5))));
+                              s32(r.range(-5, 5))));
             b.bind(skip);
             break;
           }
@@ -186,13 +202,30 @@ generateRandomProgram(u64 seed, const RandProgConfig &cfg)
             b.xor_(13, 13, 0);
             break;
           case Arm::Spill: // spill-slot style store+reload via gp
-            b.stq(reg(), s32(rng.below(8)) * 8, regGp);
-            b.ldq(reg(), s32(rng.below(8)) * 8, regGp);
+            b.stq(reg(), s32(r.below(8)) * 8, regGp);
+            b.ldq(reg(), s32(r.below(8)) * 8, regGp);
             break;
           case Arm::Checksum:
             b.xor_(13, 13, reg());
             break;
         }
+    };
+
+    const unsigned body =
+        cfg.bodyOpsMin + unsigned(rng.below(cfg.bodyOpsMax -
+                                            cfg.bodyOpsMin + 1));
+    for (unsigned i = 0; i < body; ++i)
+        emitArm(rng);
+
+    if (cfg.spliceSeed != 0) {
+        // Body splicing: graft a second run of arms — drawn from the
+        // donor stream — onto every iteration, after the native body.
+        Rng donor(cfg.spliceSeed);
+        const unsigned grafted =
+            cfg.bodyOpsMin + unsigned(donor.below(cfg.bodyOpsMax -
+                                                  cfg.bodyOpsMin + 1));
+        for (unsigned i = 0; i < grafted; ++i)
+            emitArm(donor);
     }
 
     b.subqi(14, 14, 1);
@@ -201,6 +234,44 @@ generateRandomProgram(u64 seed, const RandProgConfig &cfg)
     b.halt();
     b.entry("main");
     return b.finish();
+}
+
+RandProgMutation
+mutateRandProg(u64 base_seed, const RandProgConfig &base, u64 mut_seed)
+{
+    RandProgMutation out{base_seed, base, "reseed"};
+    Rng m(mut_seed);
+    switch (m.below(7)) {
+      case 0: // op substitution: rotate the ALU opcode tables
+        out.cfg.aluOpBias = unsigned(1 + m.below(6));
+        out.mutator = "op-subst";
+        break;
+      case 1: // branch-density perturbation
+        out.cfg.branchWeight = unsigned(m.below(6));
+        out.mutator = "branch-weight";
+        break;
+      case 2: // memory-density perturbation
+        out.cfg.memWeight = unsigned(m.below(6));
+        out.mutator = "mem-weight";
+        break;
+      case 3: // splice a donor body into every iteration
+        out.cfg.spliceSeed = m.next() | 1; // any non-zero stream
+        out.mutator = "splice";
+        break;
+      case 4: // scratch-footprint shift (aliasing pressure)
+        out.cfg.memFootprint = 64u << m.below(7);
+        out.mutator = "footprint";
+        break;
+      case 5: // call-chain depth shift (RAS / reverse-entry pressure)
+        out.cfg.callDepth = unsigned(m.below(5));
+        out.mutator = "call-depth";
+        break;
+      default: // fresh program, same shape
+        out.seed = m.next();
+        out.mutator = "reseed";
+        break;
+    }
+    return out;
 }
 
 } // namespace rix

@@ -58,6 +58,17 @@ struct RandProgConfig
     /** Random 64-bit words in the initialized data segment (also the
      *  gp-relative spill area; minimum 8). */
     unsigned dataQuads = 64;
+
+    /** ALU opcode-table rotation (the op-substitution mutator): arm
+     *  lotteries draw the same indices but land on rotated opcodes.
+     *  0 is the canonical table order. */
+    unsigned aluOpBias = 0;
+
+    /** When non-zero, splice a second run of body arms — drawn from an
+     *  independent Rng(spliceSeed) stream — into every loop iteration
+     *  (the body-splicing mutator). 0 disables splicing, and the
+     *  emitted program is bit-identical to pre-splice generation. */
+    u64 spliceSeed = 0;
 };
 
 /** Config sanity check: "" when valid, else a diagnostic. */
@@ -75,6 +86,27 @@ u64 randProgInstBudget(const RandProgConfig &c);
  * bit-identical across calls; fatal on an invalid config.
  */
 Program generateRandomProgram(u64 seed, const RandProgConfig &cfg = {});
+
+/**
+ * One deterministic mutation of a (seed, config) corpus entry: the
+ * mutated pair plus the name of the mutator that produced it. The
+ * mutated program remains a pure function of (seed, cfg), so corpus
+ * entries stay replayable from the pair alone.
+ */
+struct RandProgMutation
+{
+    u64 seed;
+    RandProgConfig cfg;
+    const char *mutator;
+};
+
+/**
+ * Mutate (@p base_seed, @p base) under mutation seed @p mut_seed.
+ * Pure: the same triple always picks the same mutator and parameters,
+ * and the result always passes validateRandProgConfig().
+ */
+RandProgMutation mutateRandProg(u64 base_seed, const RandProgConfig &base,
+                                u64 mut_seed);
 
 } // namespace rix
 
